@@ -1,0 +1,19 @@
+// Figure 2a: latency and accepted load vs offered load under Uniform
+// Random traffic, with transit-over-injection priority.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace benchutil;
+  const BenchSetup setup = bench_setup();
+  report_preamble(
+      std::cout, "Figure 2a — UN traffic, transit-over-injection priority ON",
+      setup.base, setup.seeds,
+      "all mechanisms competitive; MIN lowest latency; RRG variants pay an "
+      "extra local hop (higher latency); oblivious Valiant saturates near "
+      "half of MIN's throughput");
+  const auto curves = run_figure(setup, TrafficKind::kUniform,
+                                 /*transit_priority=*/true);
+  report_latency_throughput(std::cout, "Figure 2a (UN, priority ON)",
+                            "fig2a_un_priority", curves);
+  return 0;
+}

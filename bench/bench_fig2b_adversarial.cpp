@@ -1,0 +1,20 @@
+// Figure 2b: latency and accepted load vs offered load under ADV+1
+// traffic, with transit-over-injection priority.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace benchutil;
+  BenchSetup setup = bench_setup();
+  report_preamble(
+      std::cout,
+      "Figure 2b — ADV+1 traffic, transit-over-injection priority ON",
+      setup.base, setup.seeds,
+      "MIN collapses at 1/(a*p); CRG beats RRG; in-transit adaptive best "
+      "throughput; latency peaks where the bottleneck router starts to "
+      "starve (extremely low load for In-Trns-CRG)");
+  const auto curves = run_figure(setup, TrafficKind::kAdversarial,
+                                 /*transit_priority=*/true);
+  report_latency_throughput(std::cout, "Figure 2b (ADV+1, priority ON)",
+                            "fig2b_adv_priority", curves);
+  return 0;
+}

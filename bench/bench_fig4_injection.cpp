@@ -1,0 +1,22 @@
+// Figure 4: number of injected packets per router in one group of the
+// Dragonfly under ADVc traffic, with transit-over-injection priority.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace benchutil;
+  const BenchSetup setup = bench_setup();
+  report_preamble(
+      std::cout,
+      "Figure 4 — injected packets per router (group 0), ADVc, priority ON",
+      setup.base, setup.seeds,
+      "oblivious flat across routers; source-adaptive skews at R0/R(a-1); "
+      "in-transit starves the bottleneck router R(a-1) by orders of "
+      "magnitude, regardless of the global misrouting policy");
+  const auto curves = run_fairness(setup, /*transit_priority=*/true);
+  std::cout << "offered load: " << fairness_load(setup)
+            << " phits/(node*cycle)\n\n";
+  report_injections_per_router(
+      std::cout, "Figure 4 (injected packets per router, group 0)",
+      "fig4_injection_priority", curves, /*group=*/0, setup.base.topo.a);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 5b: Figure 2b repeated without transit-over-injection priority.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace benchutil;
+  const BenchSetup setup = bench_setup();
+  report_preamble(
+      std::cout, "Figure 5b — ADV+1 traffic, priority OFF", setup.base,
+      setup.seeds,
+      "without the priority, in-transit CRG/MM lose their starvation "
+      "latency peak; RRG's peak moves to a much higher load");
+  const auto curves = run_figure(setup, TrafficKind::kAdversarial,
+                                 /*transit_priority=*/false);
+  report_latency_throughput(std::cout, "Figure 5b (ADV+1, priority OFF)",
+                            "fig5b_adv_nopriority", curves);
+  return 0;
+}

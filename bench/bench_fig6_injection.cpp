@@ -1,0 +1,22 @@
+// Figure 6: injected packets per router in one group under ADVc traffic,
+// without transit-over-injection priority.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace benchutil;
+  const BenchSetup setup = bench_setup();
+  report_preamble(
+      std::cout,
+      "Figure 6 — injected packets per router (group 0), ADVc, priority OFF",
+      setup.base, setup.seeds,
+      "oblivious unchanged; Src-CRG's bottleneck router now *over*-injects "
+      "(>2x the others); in-transit fairness vastly improved and identical "
+      "across RRG/CRG/MM — but still not as flat as oblivious");
+  const auto curves = run_fairness(setup, /*transit_priority=*/false);
+  std::cout << "offered load: " << fairness_load(setup)
+            << " phits/(node*cycle)\n\n";
+  report_injections_per_router(
+      std::cout, "Figure 6 (injected packets per router, group 0)",
+      "fig6_injection_nopriority", curves, /*group=*/0, setup.base.topo.a);
+  return 0;
+}

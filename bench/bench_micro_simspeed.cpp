@@ -1,0 +1,90 @@
+// Micro-benchmarks (google-benchmark): raw allocator and simulator speed.
+// Not a paper experiment — used to keep the simulator fast enough for the
+// full-scale (h=6, 5,256-node) reproduction runs.
+#include <benchmark/benchmark.h>
+
+#include "core/api.hpp"
+
+namespace {
+
+using namespace dragonfly;
+
+void BM_SeparableAllocator(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  SeparableAllocator alloc(ports, ports, {});
+  Rng rng(7);
+  std::vector<AllocRequest> requests;
+  for (auto _ : state) {
+    state.PauseTiming();
+    requests.clear();
+    for (int in = 0; in < ports; ++in) {
+      for (VcId vc = 0; vc < 3; ++vc) {
+        AllocRequest r;
+        r.in_port = in;
+        r.in_vc = vc;
+        r.out_port = static_cast<PortId>(
+            rng.below(static_cast<std::uint64_t>(ports)));
+        r.is_injection = in < ports / 3;
+        requests.push_back(r);
+      }
+    }
+    state.ResumeTiming();
+    alloc.allocate(requests);
+    benchmark::DoNotOptimize(requests.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_SeparableAllocator)->Arg(11)->Arg(23);
+
+void BM_NetworkStepUniform(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  SimConfig cfg = SimConfig::small(h);
+  cfg.routing = RoutingKind::kInTransitMm;
+  cfg.traffic = TrafficKind::kUniform;
+  cfg.load = 0.5;
+  cfg.apply_vc_defaults();
+  Network net(cfg);
+  for (int i = 0; i < 500; ++i) net.step();  // warm the pipeline
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations() * net.num_routers());
+  state.counters["nodes"] = net.num_nodes();
+}
+BENCHMARK(BM_NetworkStepUniform)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_NetworkStepAdvc(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  SimConfig cfg = SimConfig::small(h);
+  cfg.routing = RoutingKind::kInTransitMm;
+  cfg.traffic = TrafficKind::kAdvConsecutive;
+  cfg.load = 0.4;
+  cfg.apply_vc_defaults();
+  Network net(cfg);
+  for (int i = 0; i < 500; ++i) net.step();
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations() * net.num_routers());
+}
+BENCHMARK(BM_NetworkStepAdvc)->Arg(3);
+
+void BM_MinimalOutputOracle(benchmark::State& state) {
+  const DragonflyTopology topo = DragonflyTopology::balanced_palmtree(6);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto at = static_cast<RouterId>(
+        rng.below(static_cast<std::uint64_t>(topo.num_routers())));
+    const auto dst = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(topo.num_nodes())));
+    benchmark::DoNotOptimize(topo.minimal_output(at, dst));
+  }
+}
+BENCHMARK(BM_MinimalOutputOracle);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.below(73));
+}
+BENCHMARK(BM_RngBelow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+// Table III: fairness metrics under ADVc without transit-over-injection
+// priority.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace benchutil;
+  const BenchSetup setup = bench_setup();
+  report_preamble(
+      std::cout, "Table III — fairness metrics, ADVc, priority OFF",
+      setup.base, setup.seeds,
+      "paper (h=6, load 0.4): Obl unchanged; Src-CRG degrades (CoV~0.56, "
+      "Max/Min~6.7 — the bottleneck router exploits its faster view of "
+      "the links); In-Trns recovers to Max/Min~1.85, CoV~0.11 for all "
+      "three policies — better, but still short of oblivious fairness");
+  const auto curves = run_fairness(setup, /*transit_priority=*/false);
+  std::cout << "offered load: " << fairness_load(setup)
+            << " phits/(node*cycle)\n\n";
+  report_fairness_table(std::cout, "Table III (fairness, priority OFF)",
+                        "table3_fairness_nopriority", curves);
+  return 0;
+}

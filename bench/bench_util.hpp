@@ -1,0 +1,99 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper:
+// it prints a configuration preamble, the measured rows/series, and the
+// paper's expected shape, and mirrors the series to CSV under
+// results_dir(). Environment knobs (see DESIGN.md):
+//   REPRO_FULL=1  — paper-scale run (h=6, 5,256 nodes, Table I windows)
+//   REPRO_H=<n>   — override the dragonfly radix (default 3 small, 6 full)
+//   REPRO_SEEDS   — seeds averaged per point (default 2 small, 3 full)
+//   REPRO_LOADS   — thin the offered-load sweep to this many points
+//   REPRO_OUT     — CSV output directory (default "results")
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+
+namespace benchutil {
+
+using namespace dragonfly;
+
+/// The operating point of the fairness experiments (Figs. 4/6, Tables
+/// II/III). The paper uses 0.4 at h=6; at reduced scale the oblivious
+/// mechanisms saturate earlier, so the equivalent below-oblivious-
+/// saturation point is 0.3 (see EXPERIMENTS.md).
+inline double fairness_load(const BenchSetup& setup) {
+  return setup.full_scale || setup.base.topo.h >= 6 ? 0.4 : 0.3;
+}
+
+/// Paper legend label: the "MIN/Obl-RRG" reference line is MIN under UN
+/// and non-minimal oblivious RRG under the adversarial patterns.
+inline RoutingKind reference_routing(TrafficKind traffic) {
+  return traffic == TrafficKind::kUniform ? RoutingKind::kMinimal
+                                          : RoutingKind::kObliviousRrg;
+}
+
+/// The seven curves of Figures 2/5 for one traffic pattern.
+inline std::vector<RoutingKind> figure_routings(TrafficKind traffic) {
+  std::vector<RoutingKind> kinds{reference_routing(traffic)};
+  for (RoutingKind kind : paper_routings()) {
+    if (kind != kinds.front()) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+inline std::string curve_label(RoutingKind kind, TrafficKind traffic) {
+  if (kind == reference_routing(traffic) &&
+      (kind == RoutingKind::kMinimal || kind == RoutingKind::kObliviousRrg)) {
+    return "MIN/Obl-RRG";
+  }
+  return to_string(kind);
+}
+
+/// Run the full latency/throughput figure for one traffic pattern.
+inline std::vector<Curve> run_figure(const BenchSetup& setup,
+                                     TrafficKind traffic,
+                                     bool transit_priority) {
+  std::vector<Curve> curves;
+  for (RoutingKind kind : figure_routings(traffic)) {
+    SimConfig base = setup.base;
+    base.routing = kind;
+    base.traffic = traffic;
+    base.transit_priority = transit_priority;
+    base.apply_vc_defaults();
+    Curve curve;
+    curve.label = curve_label(kind, traffic);
+    curve.points = run_sweep(base, setup.loads, setup.seeds);
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+/// Run the per-router injection / fairness experiment (one load point).
+inline std::vector<Curve> run_fairness(const BenchSetup& setup,
+                                       bool transit_priority) {
+  std::vector<SimConfig> configs;
+  std::vector<std::string> labels;
+  for (RoutingKind kind : paper_routings()) {
+    SimConfig cfg = setup.base;
+    cfg.routing = kind;
+    cfg.traffic = TrafficKind::kAdvConsecutive;
+    cfg.load = fairness_load(setup);
+    cfg.transit_priority = transit_priority;
+    cfg.apply_vc_defaults();
+    configs.push_back(cfg);
+    labels.push_back(to_string(kind));
+  }
+  const std::vector<AveragedResult> results =
+      run_configs(configs, setup.seeds);
+  std::vector<Curve> curves;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    curves.push_back(Curve{labels[i], {results[i]}});
+  }
+  return curves;
+}
+
+}  // namespace benchutil

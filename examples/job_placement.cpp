@@ -1,0 +1,65 @@
+// Job placement study (paper Sec. III motivation): a scheduler allocating
+// an application on consecutive groups turns *uniform* application
+// traffic into ADVc-like network traffic.
+//
+// Sweeps the number of consecutive groups a job occupies and reports how
+// fairness inside the job degrades with in-transit adaptive routing —
+// versus the same job under explicit ADVc for reference.
+//
+//   ./examples/job_placement [h] [load]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dragonfly;
+
+  const int h = argc > 1 ? std::atoi(argv[1]) : 3;
+  const double load = argc > 2 ? std::atof(argv[2]) : 0.35;
+
+  SimConfig base = SimConfig::small(h);
+  base.routing = RoutingKind::kInTransitMm;
+  base.load = load;
+  base.apply_vc_defaults();
+
+  std::cout
+      << "Job placement study on a dragonfly h=" << h << " ("
+      << base.topo.num_groups() << " groups): an application allocated on\n"
+      << "k consecutive groups exchanges uniform traffic among its own "
+         "nodes.\n"
+      << "Routing In-Trns-MM, load " << load
+      << " phits/node/cycle, transit priority ON.\n\n";
+
+  Table table({"job groups", "accepted", "avg latency", "min inj", "max/min",
+               "CoV (job routers)"});
+  table.set_title("uniform traffic inside a consecutive-group job");
+  for (int k = 2; k <= std::min(base.topo.h + 2, base.topo.num_groups());
+       ++k) {
+    SimConfig cfg = base;
+    cfg.traffic = TrafficKind::kPlacement;
+    cfg.placement_first_group = 0;
+    cfg.placement_num_groups = k;
+    const SimResult r = run_simulation(cfg);
+    table.add_row({std::int64_t{k}, r.accepted_load, r.avg_latency,
+                   r.fairness.min_injections, r.fairness.max_over_min,
+                   r.fairness.cov});
+  }
+  table.print(std::cout);
+
+  // Reference: the synthetic ADVc pattern (the paper's abstraction of the
+  // same phenomenon, network-wide).
+  SimConfig advc = base;
+  advc.traffic = TrafficKind::kAdvConsecutive;
+  const SimResult r = run_simulation(advc);
+  std::cout << "\nreference, synthetic ADVc network-wide: accepted "
+            << r.accepted_load << ", min inj " << r.fairness.min_injections
+            << ", Max/Min " << r.fairness.max_over_min << ", CoV "
+            << r.fairness.cov << "\n\n"
+            << "Uniform traffic within h+1 = " << base.topo.h + 1
+            << " consecutive groups reproduces the ADVc\n"
+            << "bottleneck inside the job: consecutive allocation is enough "
+               "to trigger the\nunfairness the paper describes — no "
+               "adversarial application required.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a small Dragonfly, run one simulation per routing
+// mechanism under ADVc traffic, and print throughput/latency/fairness.
+//
+//   ./examples/quickstart [h] [load]
+//
+// Defaults: h=2 (9 groups, 72 nodes), load=0.4 phits/node/cycle — the
+// operating point of the paper's Figure 4.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dragonfly;
+
+  const int h = argc > 1 ? std::atoi(argv[1]) : 2;
+  const double load = argc > 2 ? std::atof(argv[2]) : 0.4;
+
+  SimConfig base = SimConfig::small(h);
+  base.traffic = TrafficKind::kAdvConsecutive;
+  base.load = load;
+
+  std::cout << "Dragonfly h=" << h << ": " << base.topo.num_groups()
+            << " groups, " << base.topo.num_routers() << " routers, "
+            << base.topo.num_nodes() << " nodes; ADVc traffic @ " << load
+            << " phits/node/cycle\n\n";
+
+  Table table({"routing", "accepted", "avg latency", "min inj", "max/min",
+               "CoV"});
+  for (RoutingKind kind :
+       {RoutingKind::kMinimal, RoutingKind::kObliviousRrg,
+        RoutingKind::kObliviousCrg, RoutingKind::kSourceRrg,
+        RoutingKind::kSourceCrg, RoutingKind::kInTransitRrg,
+        RoutingKind::kInTransitCrg, RoutingKind::kInTransitMm}) {
+    SimConfig cfg = base;
+    cfg.routing = kind;
+    cfg.apply_vc_defaults();
+    const SimResult r = run_simulation(cfg);
+    table.add_row({std::string(to_string(kind)), r.accepted_load,
+                   r.avg_latency, r.fairness.min_injections,
+                   r.fairness.max_over_min, r.fairness.cov});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nUnder ADVc the bottleneck router (last of each group) "
+               "starves with in-transit adaptive routing:\nhigh Max/Min and "
+               "CoV versus the oblivious mechanisms.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Deterministic, splittable random number generation.
+//
+// The simulator needs (a) reproducible runs given a seed, (b) independent
+// streams per traffic source so that adding a node does not perturb the
+// randomness seen by others, and (c) speed. xoshiro256** satisfies all
+// three and is trivially seedable through splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dragonfly {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full
+/// xoshiro state and to derive independent child seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** by Blackman & Vigna (public domain algorithm),
+/// re-implemented here so the simulator has zero external dependencies.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Derive an independent child generator (e.g. one per node). Children
+  /// of distinct indices are statistically independent streams.
+  Rng child(std::uint64_t index) const;
+
+  std::uint64_t next();
+  result_type operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dragonfly

@@ -1,0 +1,128 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dragonfly {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cov() const {
+  const double mu = mean();
+  return mu == 0.0 ? 0.0 : stddev() / mu;
+}
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  RunningStats rs;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    rs.add(v);
+    sum_sq += v * v;
+  }
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.cov = rs.cov();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.max_over_min = s.min > 0.0 ? s.max / s.min
+                               : (s.max > 0.0
+                                      ? std::numeric_limits<double>::infinity()
+                                      : 0.0);
+  const double sum = rs.sum();
+  s.jain = sum_sq > 0.0
+               ? (sum * sum) / (static_cast<double>(s.count) * sum_sq)
+               : 1.0;
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  auto idx = static_cast<std::int64_t>((x - lo_) / width);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.bins_.size() != bins_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_ += other.total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto in_bin = static_cast<double>(bins_[i]);
+    if (seen + in_bin >= target && in_bin > 0.0) {
+      const double frac = (target - seen) / in_bin;
+      return bin_low(i) + frac * (bin_high(i) - bin_low(i));
+    }
+    seen += in_bin;
+  }
+  return hi_;
+}
+
+}  // namespace dragonfly

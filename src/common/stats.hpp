@@ -1,0 +1,77 @@
+// Streaming statistics used by the metric collectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dragonfly {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  double mean() const;
+  /// Population variance (the paper's CoV uses sigma/mu over the full set
+  /// of routers, which is a population, not a sample).
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation sigma/mu; 0 when the mean is 0.
+  double cov() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary statistics of a complete sample, computed in one pass.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double cov = 0.0;       ///< sigma / mu (0 if mu == 0)
+  double min = 0.0;
+  double max = 0.0;
+  double max_over_min = 0.0;  ///< paper's Max/Min ratio (inf-safe: 0 if min==0 handled by caller)
+  double jain = 0.0;      ///< Jain fairness index (sum x)^2 / (n * sum x^2)
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Used for latency distribution reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  /// Merge another histogram with identical bounds and bin count.
+  void merge(const Histogram& other);
+  std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
+  std::size_t bins() const { return bins_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Value below which the given fraction q in [0,1] of samples fall
+  /// (linear interpolation inside the bin).
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dragonfly

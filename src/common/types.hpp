@@ -1,0 +1,56 @@
+// Core identifier and time types shared by every module of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dragonfly {
+
+/// Simulation time, measured in link-clock cycles (routers internally run
+/// at 2x this clock; the speedup is modelled in the allocator, not the
+/// clock — see router/allocator.hpp).
+using Cycle = std::int64_t;
+
+/// Sentinel for "not yet happened" timestamps.
+inline constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+/// Global node identifier in [0, num_nodes).
+using NodeId = std::int32_t;
+/// Global router identifier in [0, num_routers).
+using RouterId = std::int32_t;
+/// Group identifier in [0, num_groups).
+using GroupId = std::int32_t;
+/// Port index local to one router.
+using PortId = std::int32_t;
+/// Virtual channel index local to one port.
+using VcId = std::int32_t;
+/// Monotonically increasing packet identifier.
+using PacketId = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr RouterId kInvalidRouter = -1;
+inline constexpr GroupId kInvalidGroup = -1;
+inline constexpr PortId kInvalidPort = -1;
+inline constexpr VcId kInvalidVc = -1;
+
+/// Classification of a router port. Order matters: it is used for
+/// transit-over-injection arbitration and for latency-breakdown buckets.
+enum class PortKind : std::uint8_t {
+  kInjection,  ///< from a compute node into the router
+  kLocal,      ///< intra-group (router-to-router) link
+  kGlobal,     ///< inter-group link
+  kEjection,   ///< from the router to a compute node (consumption)
+};
+
+/// Human-readable name, for logs and test failure messages.
+inline const char* to_string(PortKind kind) {
+  switch (kind) {
+    case PortKind::kInjection: return "injection";
+    case PortKind::kLocal: return "local";
+    case PortKind::kGlobal: return "global";
+    case PortKind::kEjection: return "ejection";
+  }
+  return "?";
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,27 @@
+// Umbrella public header: everything an application needs to build and
+// run Dragonfly fairness experiments.
+//
+//   #include "core/api.hpp"
+//
+//   dragonfly::SimConfig cfg = dragonfly::SimConfig::small(3);
+//   cfg.routing = dragonfly::RoutingKind::kInTransitMm;
+//   cfg.traffic = dragonfly::TrafficKind::kAdvConsecutive;
+//   cfg.load = 0.4;
+//   cfg.apply_vc_defaults();
+//   dragonfly::SimResult r = dragonfly::run_simulation(cfg);
+#pragma once
+
+#include "common/rng.hpp"          // IWYU pragma: export
+#include "common/stats.hpp"        // IWYU pragma: export
+#include "common/table.hpp"        // IWYU pragma: export
+#include "common/types.hpp"        // IWYU pragma: export
+#include "core/experiment.hpp"     // IWYU pragma: export
+#include "core/report.hpp"         // IWYU pragma: export
+#include "metrics/fairness.hpp"    // IWYU pragma: export
+#include "metrics/latency.hpp"     // IWYU pragma: export
+#include "routing/routing.hpp"     // IWYU pragma: export
+#include "sim/config.hpp"          // IWYU pragma: export
+#include "sim/engine.hpp"          // IWYU pragma: export
+#include "sim/network.hpp"         // IWYU pragma: export
+#include "topology/dragonfly.hpp"  // IWYU pragma: export
+#include "traffic/pattern.hpp"     // IWYU pragma: export

@@ -1,0 +1,170 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace dragonfly {
+
+namespace {
+
+AveragedResult average(std::span<const SimResult> runs) {
+  if (runs.empty()) throw std::invalid_argument("average: no runs");
+  AveragedResult avg;
+  avg.seeds = static_cast<int>(runs.size());
+  avg.offered_load = runs.front().offered_load;
+  avg.injections_per_router.assign(runs.front().injections_per_router.size(),
+                                   0.0);
+  const double inv = 1.0 / static_cast<double>(runs.size());
+  for (const SimResult& r : runs) {
+    avg.accepted_load += r.accepted_load * inv;
+    avg.avg_latency += r.avg_latency * inv;
+    avg.components.base += r.components.base * inv;
+    avg.components.misroute += r.components.misroute * inv;
+    avg.components.local_queue += r.components.local_queue * inv;
+    avg.components.global_queue += r.components.global_queue * inv;
+    avg.components.injection_queue += r.components.injection_queue * inv;
+    avg.avg_local_hops += r.avg_local_hops * inv;
+    avg.avg_global_hops += r.avg_global_hops * inv;
+    avg.fairness.min_injections += r.fairness.min_injections * inv;
+    avg.fairness.max_injections += r.fairness.max_injections * inv;
+    avg.fairness.max_over_min += r.fairness.max_over_min * inv;
+    avg.fairness.cov += r.fairness.cov * inv;
+    avg.fairness.jain += r.fairness.jain * inv;
+    avg.fairness.mean += r.fairness.mean * inv;
+    for (std::size_t i = 0; i < r.injections_per_router.size(); ++i) {
+      avg.injections_per_router[i] +=
+          static_cast<double>(r.injections_per_router[i]) * inv;
+    }
+  }
+  return avg;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+}  // namespace
+
+AveragedResult run_averaged(const SimConfig& base, int num_seeds) {
+  std::vector<SimResult> runs;
+  runs.reserve(static_cast<std::size_t>(num_seeds));
+  for (int s = 0; s < num_seeds; ++s) {
+    SimConfig cfg = base;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(s);
+    runs.push_back(run_simulation(cfg));
+  }
+  return average(runs);
+}
+
+std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
+                                        int num_seeds, int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  // Flatten (config, seed) pairs so seeds also run in parallel.
+  struct Job {
+    std::size_t config_index;
+    int seed_index;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(configs.size() * static_cast<std::size_t>(num_seeds));
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    for (int s = 0; s < num_seeds; ++s) jobs.push_back({c, s});
+  }
+  std::vector<std::vector<SimResult>> results(configs.size());
+  for (auto& r : results) r.resize(static_cast<std::size_t>(num_seeds));
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      try {
+        const Job& job = jobs[i];
+        SimConfig cfg = configs[job.config_index];
+        cfg.seed += static_cast<std::uint64_t>(job.seed_index);
+        results[job.config_index][static_cast<std::size_t>(job.seed_index)] =
+            run_simulation(cfg);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const int n_workers =
+      std::min<int>(threads, static_cast<int>(jobs.size()));
+  pool.reserve(static_cast<std::size_t>(n_workers));
+  for (int t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+
+  std::vector<AveragedResult> out;
+  out.reserve(configs.size());
+  for (auto& r : results) out.push_back(average(r));
+  return out;
+}
+
+std::vector<AveragedResult> run_sweep(const SimConfig& base,
+                                      std::span<const double> loads,
+                                      int num_seeds, int threads) {
+  std::vector<SimConfig> configs;
+  configs.reserve(loads.size());
+  for (double load : loads) {
+    SimConfig cfg = base;
+    cfg.load = load;
+    configs.push_back(cfg);
+  }
+  return run_configs(configs, num_seeds, threads);
+}
+
+std::span<const RoutingKind> paper_routings() {
+  static const RoutingKind kinds[] = {
+      RoutingKind::kObliviousRrg, RoutingKind::kObliviousCrg,
+      RoutingKind::kSourceRrg,    RoutingKind::kSourceCrg,
+      RoutingKind::kInTransitRrg, RoutingKind::kInTransitCrg,
+      RoutingKind::kInTransitMm,
+  };
+  return kinds;
+}
+
+std::vector<double> default_loads() {
+  return {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+BenchSetup bench_setup() {
+  BenchSetup setup;
+  setup.full_scale = env_int("REPRO_FULL", 0) != 0;
+  const int h = env_int("REPRO_H", setup.full_scale ? 6 : 3);
+  setup.base = setup.full_scale ? SimConfig::paper() : SimConfig::small(h);
+  setup.base.topo = DragonflyParams::balanced(h);
+  // The paper averages 3 simulations; the small-scale default favours a
+  // fast harness pass (set REPRO_SEEDS=3 to average like the paper).
+  setup.seeds = env_int("REPRO_SEEDS", setup.full_scale ? 3 : 1);
+  setup.loads = default_loads();
+  const int max_loads = env_int("REPRO_LOADS", 0);
+  if (max_loads >= 2 && max_loads < static_cast<int>(setup.loads.size())) {
+    // Thin the sweep while keeping the first and last point.
+    std::vector<double> thin;
+    const double stride = static_cast<double>(setup.loads.size() - 1) /
+                          static_cast<double>(max_loads - 1);
+    for (int i = 0; i < max_loads; ++i) {
+      thin.push_back(
+          setup.loads[static_cast<std::size_t>(i * stride + 0.5)]);
+    }
+    setup.loads = thin;
+  }
+  return setup;
+}
+
+}  // namespace dragonfly

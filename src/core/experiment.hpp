@@ -1,0 +1,70 @@
+// Experiment runner: load sweeps, multi-seed averaging and parallel
+// execution of independent simulation points (one thread per point).
+//
+// This is the layer the bench harness and the examples sit on; it also
+// defines the scaled-down defaults (and the REPRO_* environment knobs)
+// described in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/fairness.hpp"
+#include "sim/engine.hpp"
+
+namespace dragonfly {
+
+/// Seed-averaged result at one offered load (curve sample of Figs. 2/5).
+struct AveragedResult {
+  double offered_load = 0.0;
+  double accepted_load = 0.0;
+  double avg_latency = 0.0;
+  LatencyComponents components;
+  double avg_local_hops = 0.0;
+  double avg_global_hops = 0.0;
+  /// Seed-averaged injected packets per router (Figs. 4/6).
+  std::vector<double> injections_per_router;
+  /// Fairness metrics computed per seed, then averaged (as the paper's
+  /// tables do: "curves present the average of 3 different simulations").
+  FairnessReport fairness;
+  int seeds = 0;
+};
+
+/// Run `base` once per seed (seed = base.seed + i) and average.
+AveragedResult run_averaged(const SimConfig& base, int num_seeds);
+
+/// Run a load sweep; points execute in parallel on `threads` workers
+/// (threads <= 0 selects the hardware concurrency).
+std::vector<AveragedResult> run_sweep(const SimConfig& base,
+                                      std::span<const double> loads,
+                                      int num_seeds, int threads = 0);
+
+/// Run arbitrary configs in parallel (ablation grids).
+std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
+                                        int num_seeds, int threads = 0);
+
+// --- bench-harness defaults -----------------------------------------------
+
+/// The seven routing configurations of the paper's evaluation, in the
+/// legend order of Figures 2/4/5/6.
+std::span<const RoutingKind> paper_routings();
+
+/// Offered-load sweep used for the latency/throughput figures.
+std::vector<double> default_loads();
+
+/// Base configuration for benches: SimConfig::small(REPRO_H or 3), or the
+/// paper-scale Table I setup when REPRO_FULL=1. REPRO_SEEDS overrides the
+/// number of averaged seeds (default 1 small / 3 full), REPRO_LOADS the
+/// number of sweep points.
+struct BenchSetup {
+  SimConfig base;
+  int seeds = 2;
+  std::vector<double> loads;
+  bool full_scale = false;
+};
+BenchSetup bench_setup();
+
+}  // namespace dragonfly

@@ -1,0 +1,108 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+namespace dragonfly {
+
+void report_preamble(std::ostream& os, const std::string& experiment,
+                     const SimConfig& base, int seeds,
+                     const std::string& paper_expectation) {
+  const auto& t = base.topo;
+  os << "=== " << experiment << " ===\n"
+     << "topology: dragonfly p=" << t.p << " a=" << t.a << " h=" << t.h
+     << " (" << t.num_groups() << " groups, " << t.num_routers()
+     << " routers, " << t.num_nodes() << " nodes, " << base.arrangement
+     << ")\n"
+     << "window: " << base.warmup_cycles << " warmup + " << base.measure_cycles
+     << " measured cycles, " << seeds << " seed(s) averaged\n"
+     << "transit-over-injection priority: "
+     << (base.transit_priority ? "ON" : "OFF")
+     << (base.age_arbitration ? ", age arbitration: ON" : "") << "\n"
+     << "paper expectation: " << paper_expectation << "\n\n";
+}
+
+void report_latency_throughput(std::ostream& os, const std::string& title,
+                               const std::string& stem,
+                               std::span<const Curve> curves) {
+  std::vector<std::string> lat_headers{"offered"};
+  std::vector<std::string> thr_headers{"offered"};
+  for (const Curve& c : curves) {
+    lat_headers.push_back(c.label + " lat");
+    thr_headers.push_back(c.label + " acc");
+  }
+  Table latency(lat_headers);
+  latency.set_title(title + " — average packet latency (cycles)");
+  Table throughput(thr_headers);
+  throughput.set_title(title + " — accepted load (phits/node/cycle)");
+
+  const std::size_t points = curves.empty() ? 0 : curves[0].points.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<Table::Cell> lrow{curves[0].points[i].offered_load};
+    std::vector<Table::Cell> trow{curves[0].points[i].offered_load};
+    for (const Curve& c : curves) {
+      lrow.emplace_back(c.points[i].avg_latency);
+      trow.emplace_back(c.points[i].accepted_load);
+    }
+    latency.add_row(std::move(lrow));
+    throughput.add_row(std::move(trow));
+  }
+  latency.print(os);
+  os << "\n";
+  throughput.print(os);
+  os << "\n";
+  latency.write_csv(results_dir() + "/" + stem + "_latency.csv");
+  throughput.write_csv(results_dir() + "/" + stem + "_throughput.csv");
+}
+
+void report_latency_breakdown(std::ostream& os, const std::string& title,
+                              const std::string& stem, const Curve& curve) {
+  Table table({"offered", "base", "misrouting", "congestion_local",
+               "congestion_global", "injection_queues", "total"});
+  table.set_title(title);
+  for (const AveragedResult& r : curve.points) {
+    const LatencyComponents& c = r.components;
+    table.add_row({r.offered_load, c.base, c.misroute, c.local_queue,
+                   c.global_queue, c.injection_queue, c.total()});
+  }
+  table.print(os);
+  os << "\n";
+  table.write_csv(results_dir() + "/" + stem + ".csv");
+}
+
+void report_injections_per_router(std::ostream& os, const std::string& title,
+                                  const std::string& stem,
+                                  std::span<const Curve> curves,
+                                  GroupId group, int routers_per_group) {
+  std::vector<std::string> headers{"router"};
+  for (const Curve& c : curves) headers.push_back(c.label);
+  Table table(headers);
+  table.set_title(title);
+  for (int r = 0; r < routers_per_group; ++r) {
+    std::vector<Table::Cell> row{std::string("R") + std::to_string(r)};
+    for (const Curve& c : curves) {
+      const auto& inj = c.points.front().injections_per_router;
+      row.emplace_back(
+          inj[static_cast<std::size_t>(group * routers_per_group + r)]);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+  os << "\n";
+  table.write_csv(results_dir() + "/" + stem + ".csv");
+}
+
+void report_fairness_table(std::ostream& os, const std::string& title,
+                           const std::string& stem,
+                           std::span<const Curve> curves) {
+  Table table({"routing", "Min inj", "Max/Min", "COV", "Jain"});
+  table.set_title(title);
+  for (const Curve& c : curves) {
+    const FairnessReport& f = c.points.front().fairness;
+    table.add_row({c.label, f.min_injections, f.max_over_min, f.cov, f.jain});
+  }
+  table.print(os);
+  os << "\n";
+  table.write_csv(results_dir() + "/" + stem + ".csv");
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,51 @@
+// Figure/table emitters: print the same rows/series the paper reports and
+// mirror them to CSV under results_dir().
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace dragonfly {
+
+/// One curve of a latency/throughput figure: a routing configuration and
+/// its swept results.
+struct Curve {
+  std::string label;
+  std::vector<AveragedResult> points;
+};
+
+/// Figures 2/5: for each routing, the latency-vs-load and accepted-vs-
+/// offered series. Prints one combined table; CSV mirrors to
+/// `<stem>_latency.csv` and `<stem>_throughput.csv`.
+void report_latency_throughput(std::ostream& os, const std::string& title,
+                               const std::string& stem,
+                               std::span<const Curve> curves);
+
+/// Figure 3: latency component breakdown over offered load.
+void report_latency_breakdown(std::ostream& os, const std::string& title,
+                              const std::string& stem,
+                              const Curve& curve);
+
+/// Figures 4/6: injected packets per router of one group.
+void report_injections_per_router(std::ostream& os, const std::string& title,
+                                  const std::string& stem,
+                                  std::span<const Curve> curves,
+                                  GroupId group, int routers_per_group);
+
+/// Tables II/III: Min inj / Max-Min / CoV per routing configuration.
+void report_fairness_table(std::ostream& os, const std::string& title,
+                           const std::string& stem,
+                           std::span<const Curve> curves);
+
+/// Header block every bench prints: configuration summary + paper
+/// expectation reminder.
+void report_preamble(std::ostream& os, const std::string& experiment,
+                     const SimConfig& base, int seeds,
+                     const std::string& paper_expectation);
+
+}  // namespace dragonfly

@@ -1,0 +1,32 @@
+#include "metrics/collector.hpp"
+
+#include <stdexcept>
+
+namespace dragonfly {
+
+void MetricsCollector::on_delivered(const Packet& pkt, Cycle when) {
+  ++delivered_packets_total_;
+  if (!measuring_) return;
+  ++delivered_packets_measured_;
+  delivered_phits_measured_ += pkt.size_phits;
+  const Cycle base = base_latency(topo_, cfg_, pkt.src, pkt.dst);
+  // Exact decomposition invariant (see metrics/latency.hpp). A violation
+  // means the structural/wait bookkeeping in Router drifted.
+  const Cycle structural = pkt.structural + pkt.size_phits;
+  const Cycle reconstructed = structural + pkt.wait_injection +
+                              pkt.wait_local + pkt.wait_global;
+  if (reconstructed != when - pkt.t_net) {
+    throw std::logic_error("latency decomposition identity violated");
+  }
+  latency_.add(pkt, when, base);
+}
+
+double MetricsCollector::accepted_load(int generating_nodes) const {
+  const Cycle window = measure_end_ - measure_start_;
+  if (measuring_ || window <= 0 || generating_nodes <= 0) return 0.0;
+  return static_cast<double>(delivered_phits_measured_) /
+         (static_cast<double>(generating_nodes) *
+          static_cast<double>(window));
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,64 @@
+// Per-simulation metrics collection: delivered traffic, latency
+// decomposition and conservation counters.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "metrics/latency.hpp"
+#include "router/packet.hpp"
+#include "sim/config.hpp"
+#include "topology/dragonfly.hpp"
+
+namespace dragonfly {
+
+class MetricsCollector {
+ public:
+  MetricsCollector(const DragonflyTopology& topo, const SimConfig& cfg)
+      : topo_(topo), cfg_(cfg) {}
+
+  void begin_measurement(Cycle now) {
+    measuring_ = true;
+    measure_start_ = now;
+    latency_ = LatencyAccumulator{};
+    delivered_packets_measured_ = 0;
+    delivered_phits_measured_ = 0;
+  }
+  void end_measurement(Cycle now) {
+    measuring_ = false;
+    measure_end_ = now;
+  }
+  bool measuring() const { return measuring_; }
+
+  /// Called by the network when a packet tail reaches its destination.
+  void on_delivered(const Packet& pkt, Cycle when);
+
+  // --- measured-window results ------------------------------------------
+  const LatencyAccumulator& latency() const { return latency_; }
+  std::int64_t delivered_packets_measured() const {
+    return delivered_packets_measured_;
+  }
+  std::int64_t delivered_phits_measured() const {
+    return delivered_phits_measured_;
+  }
+  /// Accepted load in phits/(node*cycle) over `generating_nodes` sources.
+  double accepted_load(int generating_nodes) const;
+
+  // --- whole-run conservation counters ---------------------------------------
+  std::int64_t delivered_packets_total() const {
+    return delivered_packets_total_;
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+  const SimConfig& cfg_;
+  bool measuring_ = false;
+  Cycle measure_start_ = 0;
+  Cycle measure_end_ = 0;
+  LatencyAccumulator latency_;
+  std::int64_t delivered_packets_measured_ = 0;
+  std::int64_t delivered_phits_measured_ = 0;
+  std::int64_t delivered_packets_total_ = 0;
+};
+
+}  // namespace dragonfly

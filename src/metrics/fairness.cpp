@@ -1,0 +1,22 @@
+#include "metrics/fairness.hpp"
+
+namespace dragonfly {
+
+FairnessReport fairness_report(std::span<const double> injections) {
+  FairnessReport r;
+  const Summary s = summarize(injections);
+  r.min_injections = s.min;
+  r.max_injections = s.max;
+  r.max_over_min = s.max_over_min;
+  r.cov = s.cov;
+  r.jain = s.jain;
+  r.mean = s.mean;
+  return r;
+}
+
+FairnessReport fairness_report(std::span<const std::int64_t> injections) {
+  std::vector<double> values(injections.begin(), injections.end());
+  return fairness_report(std::span<const double>(values));
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,31 @@
+// Fairness metrics (paper Sec. IV-B, Tables II and III).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace dragonfly {
+
+/// The paper's three indicators over per-router injected-packet counts,
+/// plus the Jain index as an extension.
+struct FairnessReport {
+  double min_injections = 0.0;  ///< "Min inj"
+  double max_injections = 0.0;
+  double max_over_min = 0.0;    ///< "Max/Min"
+  double cov = 0.0;             ///< coefficient of variation sigma/mu
+  double jain = 0.0;            ///< Jain fairness index (1 = perfectly fair)
+  double mean = 0.0;
+};
+
+/// Compute the report over per-router injected-packet counts. Counts from
+/// routers whose nodes do not generate traffic should be excluded by the
+/// caller (relevant for placement traffic).
+FairnessReport fairness_report(std::span<const double> injections_per_router);
+FairnessReport fairness_report(
+    std::span<const std::int64_t> injections_per_router);
+
+}  // namespace dragonfly

@@ -1,0 +1,120 @@
+#include "router/allocator.hpp"
+
+#include <algorithm>
+
+namespace dragonfly {
+
+SeparableAllocator::SeparableAllocator(int num_inputs, int num_outputs,
+                                       AllocatorConfig cfg)
+    : num_inputs_(num_inputs),
+      num_outputs_(num_outputs),
+      cfg_(cfg),
+      input_rr_(static_cast<std::size_t>(num_inputs), 0),
+      output_rr_(static_cast<std::size_t>(num_outputs), 0),
+      by_input_(static_cast<std::size_t>(num_inputs)),
+      proposals_(static_cast<std::size_t>(num_outputs)),
+      grants_in_(static_cast<std::size_t>(num_inputs), 0),
+      grants_out_(static_cast<std::size_t>(num_outputs), 0) {}
+
+void SeparableAllocator::allocate(std::vector<AllocRequest>& requests) {
+  for (auto& v : by_input_) v.clear();
+  std::fill(grants_in_.begin(), grants_in_.end(), 0);
+  std::fill(grants_out_.begin(), grants_out_.end(), 0);
+
+  for (int i = 0; i < static_cast<int>(requests.size()); ++i) {
+    by_input_[static_cast<std::size_t>(requests[static_cast<std::size_t>(i)]
+                                           .in_port)]
+        .push_back(i);
+  }
+
+  for (int iter = 0; iter < cfg_.iterations; ++iter) {
+    for (auto& v : proposals_) v.clear();
+
+    // Input stage: each input port proposes one still-valid request,
+    // chosen by a persistent round-robin pointer over its VCs.
+    for (int in = 0; in < num_inputs_; ++in) {
+      if (grants_in_[static_cast<std::size_t>(in)] >=
+          cfg_.max_grants_per_input) {
+        continue;
+      }
+      const auto& cand = by_input_[static_cast<std::size_t>(in)];
+      if (cand.empty()) continue;
+      const auto n = static_cast<std::uint32_t>(cand.size());
+      const std::uint32_t start = input_rr_[static_cast<std::size_t>(in)];
+      for (std::uint32_t step = 0; step < n; ++step) {
+        const int idx = cand[(start + step) % n];
+        const auto& req = requests[static_cast<std::size_t>(idx)];
+        if (req.granted) continue;
+        if (grants_out_[static_cast<std::size_t>(req.out_port)] >=
+            cfg_.max_grants_per_output) {
+          continue;
+        }
+        proposals_[static_cast<std::size_t>(req.out_port)].push_back(idx);
+        break;  // one proposal per input port per iteration
+      }
+    }
+
+    // Output stage: each output port picks one winner among proposals.
+    for (int out = 0; out < num_outputs_; ++out) {
+      auto& props = proposals_[static_cast<std::size_t>(out)];
+      if (props.empty()) continue;
+
+      if (cfg_.transit_priority && !cfg_.age_arbitration) {
+        // Age arbitration supersedes the priority classes: it *is* the
+        // explicit fairness mechanism (oldest packet wins regardless of
+        // transit/injection class), per Abts & Weisser.
+        // If any transit (non-injection) request wants this output,
+        // injection requests are not eligible this iteration.
+        const bool has_transit =
+            std::any_of(props.begin(), props.end(), [&](int idx) {
+              return !requests[static_cast<std::size_t>(idx)].is_injection;
+            });
+        if (has_transit) {
+          std::erase_if(props, [&](int idx) {
+            return requests[static_cast<std::size_t>(idx)].is_injection;
+          });
+        }
+      }
+
+      int winner = -1;
+      if (cfg_.age_arbitration) {
+        // Oldest packet first (minimum generation timestamp).
+        for (int idx : props) {
+          if (winner < 0 || requests[static_cast<std::size_t>(idx)].age <
+                                requests[static_cast<std::size_t>(winner)].age) {
+            winner = idx;
+          }
+        }
+      } else {
+        // Round-robin over input-port index with a persistent pointer.
+        const std::uint32_t ptr = output_rr_[static_cast<std::size_t>(out)];
+        std::uint32_t best_dist = ~0u;
+        for (int idx : props) {
+          const auto in = static_cast<std::uint32_t>(
+              requests[static_cast<std::size_t>(idx)].in_port);
+          const std::uint32_t dist =
+              (in + static_cast<std::uint32_t>(num_inputs_) - ptr) %
+              static_cast<std::uint32_t>(num_inputs_);
+          if (dist < best_dist) {
+            best_dist = dist;
+            winner = idx;
+          }
+        }
+      }
+      if (winner < 0) continue;
+
+      auto& req = requests[static_cast<std::size_t>(winner)];
+      req.granted = true;
+      ++grants_in_[static_cast<std::size_t>(req.in_port)];
+      ++grants_out_[static_cast<std::size_t>(out)];
+      input_rr_[static_cast<std::size_t>(req.in_port)] += 1;
+      if (!cfg_.age_arbitration) {
+        output_rr_[static_cast<std::size_t>(out)] =
+            (static_cast<std::uint32_t>(req.in_port) + 1) %
+            static_cast<std::uint32_t>(num_inputs_);
+      }
+    }
+  }
+}
+
+}  // namespace dragonfly

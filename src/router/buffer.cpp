@@ -1,0 +1,112 @@
+#include "router/buffer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace dragonfly {
+
+void VcFifo::push(PacketRef pkt, int size_phits) {
+  if (occupancy_ + size_phits > capacity_) {
+    throw std::logic_error("VcFifo overflow: credit accounting broken");
+  }
+  occupancy_ += size_phits;
+  fifo_.push_back(pkt);
+}
+
+int VcFifo::pop(int size_phits) {
+  if (fifo_.empty()) throw std::logic_error("VcFifo::pop on empty FIFO");
+  fifo_.pop_front();
+  occupancy_ -= size_phits;
+  if (occupancy_ < 0) throw std::logic_error("VcFifo negative occupancy");
+  return size_phits;
+}
+
+int InputPort::total_occupancy() const {
+  int sum = 0;
+  for (const auto& vc : vcs) sum += vc.occupancy();
+  return sum;
+}
+
+void OutputPort::configure(PortKind kind, RouterId peer, PortId peer_port,
+                           Cycle link_latency, int queue_capacity,
+                           std::vector<int> credits_per_vc) {
+  kind_ = kind;
+  peer_ = peer;
+  peer_port_ = peer_port;
+  link_latency_ = link_latency;
+  queue_capacity_ = queue_capacity;
+  credits_ = credits_per_vc;
+  credit_capacity_ = std::move(credits_per_vc);
+}
+
+void OutputPort::take_credits(VcId vc, int phits) {
+  auto& c = credits_[static_cast<std::size_t>(vc)];
+  c -= phits;
+  if (c < 0) throw std::logic_error("OutputPort: negative credits");
+}
+
+void OutputPort::return_credits(VcId vc, int phits) {
+  auto& c = credits_[static_cast<std::size_t>(vc)];
+  c += phits;
+  if (c > credit_capacity_[static_cast<std::size_t>(vc)]) {
+    throw std::logic_error("OutputPort: credit overflow");
+  }
+}
+
+int OutputPort::reserved_phits() const {
+  int reserved = 0;
+  for (std::size_t i = 0; i < credits_.size(); ++i) {
+    reserved += credit_capacity_[i] - credits_[i];
+  }
+  return reserved;
+}
+
+double OutputPort::occupancy_fraction() const {
+  if (kind_ == PortKind::kEjection) return 0.0;
+  const int cap =
+      std::accumulate(credit_capacity_.begin(), credit_capacity_.end(), 0);
+  if (cap == 0 || queue_capacity_ == 0) return 0.0;
+  // Two congestion signatures, whichever is stronger:
+  //  - backlog in this router's output queue (serialization-bound link:
+  //    grants outpace the 1 phit/cycle drain);
+  //  - downstream buffer reservation (credit loop: the next router is not
+  //    draining its input VC buffers).
+  const double queue_frac =
+      static_cast<double>(queue_occupancy_) / static_cast<double>(queue_capacity_);
+  const double reserved_frac =
+      static_cast<double>(reserved_phits()) / static_cast<double>(cap);
+  return std::max(queue_frac, reserved_frac);
+}
+
+double OutputPort::vc_occupancy_fraction(VcId vc) const {
+  if (kind_ == PortKind::kEjection) return 0.0;
+  const int cap = credit_capacity_[static_cast<std::size_t>(vc)];
+  if (cap == 0) return 0.0;
+  return static_cast<double>(cap - credits_[static_cast<std::size_t>(vc)]) /
+         static_cast<double>(cap);
+}
+
+void OutputPort::enqueue(PacketRef pkt, VcId out_vc, Cycle ready,
+                         int size_phits) {
+  if (!queue_has_space(size_phits)) {
+    throw std::logic_error("OutputPort queue overflow: allocator must check");
+  }
+  queue_occupancy_ += size_phits;
+  queue_.push_back(PendingTx{pkt, out_vc, ready});
+}
+
+bool OutputPort::can_transmit(Cycle now) const {
+  return !queue_.empty() && queue_.front().ready <= now && link_free_ <= now;
+}
+
+PendingTx OutputPort::begin_transmission(Cycle now, int size_phits) {
+  PendingTx tx = queue_.front();
+  queue_.pop_front();
+  queue_occupancy_ -= size_phits;
+  link_free_ = now + size_phits;  // serialization: 1 phit/cycle
+  return tx;
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,119 @@
+// Input-port VC buffers, output-port queues and credit bookkeeping.
+//
+// Flow control is virtual cut-through at packet granularity: a grant
+// reserves the whole packet in the downstream input VC buffer (credits
+// decrement at grant time); the credit returns when the packet is in turn
+// granted out of that buffer, delayed by the upstream link latency.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/packet.hpp"
+
+namespace dragonfly {
+
+/// FIFO of arrived packets for one virtual channel of an input port.
+class VcFifo {
+ public:
+  explicit VcFifo(int capacity_phits) : capacity_(capacity_phits) {}
+
+  int capacity() const { return capacity_; }
+  int occupancy() const { return occupancy_; }
+  int free_space() const { return capacity_ - occupancy_; }
+  bool empty() const { return fifo_.empty(); }
+  std::size_t packets() const { return fifo_.size(); }
+
+  PacketRef head() const { return fifo_.empty() ? kNoPacket : fifo_.front(); }
+
+  void push(PacketRef pkt, int size_phits);
+  /// Pop the head; returns the freed phit count.
+  int pop(int size_phits);
+
+ private:
+  int capacity_;
+  int occupancy_ = 0;
+  std::deque<PacketRef> fifo_;
+};
+
+/// One input port: per-VC FIFOs plus the upstream endpoint needed to
+/// return credits (invalid for injection ports, where the node observes
+/// buffer space directly).
+struct InputPort {
+  PortKind kind = PortKind::kLocal;
+  RouterId upstream_router = kInvalidRouter;
+  PortId upstream_port = kInvalidPort;
+  Cycle credit_latency = 0;
+  std::vector<VcFifo> vcs;
+
+  int total_occupancy() const;
+};
+
+/// A packet sitting in an output queue, not yet on the wire. `ready`
+/// models the router pipeline: the packet may start transmission only
+/// pipeline_latency cycles after its grant.
+struct PendingTx {
+  PacketRef pkt = kNoPacket;
+  VcId out_vc = 0;
+  Cycle ready = 0;
+};
+
+/// One output port: downstream credit counters, the post-crossbar output
+/// queue and link serialization state.
+class OutputPort {
+ public:
+  void configure(PortKind kind, RouterId peer, PortId peer_port,
+                 Cycle link_latency, int queue_capacity,
+                 std::vector<int> credits_per_vc);
+
+  PortKind kind() const { return kind_; }
+  RouterId peer() const { return peer_; }
+  PortId peer_port() const { return peer_port_; }
+  Cycle link_latency() const { return link_latency_; }
+
+  int num_vcs() const { return static_cast<int>(credits_.size()); }
+  int credits(VcId vc) const { return credits_[static_cast<std::size_t>(vc)]; }
+  int credit_capacity(VcId vc) const {
+    return credit_capacity_[static_cast<std::size_t>(vc)];
+  }
+  void take_credits(VcId vc, int phits);
+  void return_credits(VcId vc, int phits);
+
+  /// Fraction of downstream buffering already reserved, over all VCs,
+  /// combined with this router's output-queue backlog. Used by
+  /// PiggyBack's link-state broadcast (ejection ports report 0).
+  double occupancy_fraction() const;
+  /// Reserved fraction of one downstream VC buffer — the credit count the
+  /// in-transit adaptive mechanisms consult (Table I's 43% threshold).
+  double vc_occupancy_fraction(VcId vc) const;
+  /// Reserved phits (capacity - credits) summed over VCs.
+  int reserved_phits() const;
+
+  bool queue_has_space(int phits) const {
+    return queue_occupancy_ + phits <= queue_capacity_;
+  }
+  int queue_occupancy() const { return queue_occupancy_; }
+  void enqueue(PacketRef pkt, VcId out_vc, Cycle ready, int size_phits);
+
+  bool can_transmit(Cycle now) const;
+  /// Pop the head for transmission at `now`; marks the link busy for
+  /// `size_phits` cycles (serialization at 1 phit/cycle).
+  PendingTx begin_transmission(Cycle now, int size_phits);
+  Cycle link_free_at() const { return link_free_; }
+  const PendingTx& queue_head() const { return queue_.front(); }
+
+ private:
+  PortKind kind_ = PortKind::kLocal;
+  RouterId peer_ = kInvalidRouter;
+  PortId peer_port_ = kInvalidPort;
+  Cycle link_latency_ = 0;
+  int queue_capacity_ = 0;
+  int queue_occupancy_ = 0;
+  Cycle link_free_ = 0;
+  std::deque<PendingTx> queue_;
+  std::vector<int> credits_;
+  std::vector<int> credit_capacity_;
+};
+
+}  // namespace dragonfly

@@ -1,0 +1,18 @@
+#include "router/packet.hpp"
+
+namespace dragonfly {
+
+PacketRef PacketStore::create() {
+  if (!free_.empty()) {
+    const PacketRef ref = free_.back();
+    free_.pop_back();
+    slots_[static_cast<std::size_t>(ref)] = Packet{};
+    return ref;
+  }
+  slots_.emplace_back();
+  return static_cast<PacketRef>(slots_.size() - 1);
+}
+
+void PacketStore::destroy(PacketRef ref) { free_.push_back(ref); }
+
+}  // namespace dragonfly

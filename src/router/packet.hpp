@@ -1,0 +1,100 @@
+// Packet state: routing progress, VC bookkeeping and the timestamps that
+// feed the latency-component breakdown of Figure 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dragonfly {
+
+/// Routing phase of a packet. Transitions:
+///   kSourceFlex --(commit global misroute)--> kToIntermediate
+///   kSourceFlex --(traverse minimal global link)--> kCommitted
+///   kToIntermediate --(arrive intermediate group)--> kCommitted
+/// Oblivious/source-adaptive mechanisms decide at injection and start
+/// directly in kToIntermediate (Valiant) or kCommitted (minimal).
+enum class Phase : std::uint8_t {
+  kSourceFlex,      ///< in source group; in-transit mechanisms may still misroute globally
+  kToIntermediate,  ///< committed to a non-minimal path, heading to the intermediate group
+  kCommitted,       ///< routing minimally to the destination
+};
+
+struct Packet {
+  PacketId id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::int32_t size_phits = 8;
+
+  // --- routing state ----------------------------------------------------
+  Phase phase = Phase::kSourceFlex;
+  /// Intermediate group of a committed non-minimal path.
+  GroupId intermediate_group = kInvalidGroup;
+  /// Chosen exit global link for the non-minimal path (router owning it
+  /// and its global port); used while still in the source group.
+  RouterId nm_exit_router = kInvalidRouter;
+  PortId nm_exit_port = kInvalidPort;
+  /// One opportunistic local misroute allowed per group (OLM). The
+  /// detour is a single hop, so no target needs to be remembered:
+  /// minimal routing resumes from the misroute router.
+  bool local_misrouted_this_group = false;
+
+  // --- hop / VC bookkeeping ----------------------------------------------
+  std::uint8_t local_hops = 0;
+  std::uint8_t global_hops = 0;
+  /// Consecutive allocation denials at the current router head-of-queue.
+  /// In-transit adaptive routing alternates minimal/candidate requests on
+  /// this counter (opportunistic misrouting: try minimal first, divert
+  /// after observing a block). Reset on every grant.
+  std::uint16_t denied_cycles = 0;
+
+  // --- position -----------------------------------------------------------
+  RouterId current_router = kInvalidRouter;
+  PortId in_port = kInvalidPort;
+  VcId in_vc = kInvalidVc;
+
+  // --- latency accounting --------------------------------------------------
+  Cycle t_gen = 0;             ///< generated at the node (age arbitration)
+  /// Entered the injection queue at the source router — the paper's
+  /// latency clock start (Sec. IV-B). Waiting in the node's finite source
+  /// queue before this point is generation backpressure, not latency.
+  Cycle t_net = 0;
+  Cycle t_arrival = 0;         ///< head arrival at the current router
+  Cycle wait_injection = 0;    ///< cycles spent waiting in injection queues
+  Cycle wait_local = 0;        ///< cycles waiting in local transit queues
+  Cycle wait_global = 0;       ///< cycles waiting in global transit queues
+  /// Structural delay accumulated so far: router pipelines + link
+  /// traversals (+ final serialization, added at delivery). The delivery
+  /// identity `latency == structural + waits` is asserted in tests.
+  Cycle structural = 0;
+
+  void reset_group_state() { local_misrouted_this_group = false; }
+};
+
+/// Index-based packet arena with a free list. Queues hold `PacketRef`
+/// (int32) indices; the arena keeps packets contiguous and recycles slots
+/// so steady-state simulation does no allocation.
+using PacketRef = std::int32_t;
+inline constexpr PacketRef kNoPacket = -1;
+
+class PacketStore {
+ public:
+  PacketRef create();
+  void destroy(PacketRef ref);
+
+  Packet& operator[](PacketRef ref) { return slots_[static_cast<std::size_t>(ref)]; }
+  const Packet& operator[](PacketRef ref) const {
+    return slots_[static_cast<std::size_t>(ref)];
+  }
+
+  /// Number of live (created, not destroyed) packets.
+  std::size_t live() const { return slots_.size() - free_.size(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<PacketRef> free_;
+};
+
+}  // namespace dragonfly

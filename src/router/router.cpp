@@ -1,0 +1,300 @@
+#include "router/router.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dragonfly {
+
+namespace {
+AllocatorConfig allocator_config(const SimConfig& cfg) {
+  AllocatorConfig a;
+  a.iterations = cfg.allocator_iterations;
+  a.max_grants_per_input = cfg.max_grants_per_input;
+  a.max_grants_per_output = cfg.max_grants_per_output;
+  a.transit_priority = cfg.transit_priority;
+  a.age_arbitration = cfg.age_arbitration;
+  return a;
+}
+}  // namespace
+
+Router::Router(const DragonflyTopology& topo, const SimConfig& cfg,
+               RouterId id, RoutingAlgorithm* routing, PacketStore* store,
+               EventSink* sink, Rng rng)
+    : topo_(topo),
+      cfg_(cfg),
+      id_(id),
+      routing_(routing),
+      store_(store),
+      sink_(sink),
+      rng_(rng),
+      inputs_(static_cast<std::size_t>(topo.ports_per_router())),
+      outputs_(static_cast<std::size_t>(topo.ports_per_router())),
+      allocator_(topo.ports_per_router(), topo.ports_per_router(),
+                 allocator_config(cfg)) {
+  requests_.reserve(64);
+  decisions_.reserve(64);
+}
+
+int Router::input_buffer_capacity(PortKind kind) const {
+  return kind == PortKind::kGlobal ? cfg_.global_input_buffer
+                                   : cfg_.local_input_buffer;
+}
+
+int Router::num_vcs_for_input(PortKind kind) const {
+  switch (kind) {
+    case PortKind::kInjection: return cfg_.injection_vcs;
+    case PortKind::kLocal: return cfg_.local_vcs;
+    case PortKind::kGlobal: return cfg_.global_vcs;
+    case PortKind::kEjection: break;
+  }
+  throw std::logic_error("ejection is not an input kind");
+}
+
+int Router::num_vcs_for_output(PortKind kind) const {
+  switch (kind) {
+    case PortKind::kEjection: return 1;
+    case PortKind::kLocal: return cfg_.local_vcs;
+    case PortKind::kGlobal: return cfg_.global_vcs;
+    case PortKind::kInjection: break;
+  }
+  throw std::logic_error("injection is not an output kind");
+}
+
+void Router::wire_output(PortId port, PortKind kind, RouterId peer,
+                         PortId peer_port, Cycle link_latency) {
+  const int vcs = num_vcs_for_output(kind);
+  std::vector<int> credits(static_cast<std::size_t>(vcs));
+  for (auto& c : credits) {
+    // Ejection consumes at link rate with no backpressure: model as an
+    // effectively unbounded credit pool.
+    c = kind == PortKind::kEjection ? 1 << 28 : input_buffer_capacity(kind);
+  }
+  outputs_[static_cast<std::size_t>(port)].configure(
+      kind, peer, peer_port, link_latency, cfg_.output_queue_size,
+      std::move(credits));
+}
+
+void Router::wire_input(PortId port, PortKind kind, RouterId upstream,
+                        PortId upstream_port, Cycle credit_latency) {
+  InputPort& in = inputs_[static_cast<std::size_t>(port)];
+  in.kind = kind;
+  in.upstream_router = upstream;
+  in.upstream_port = upstream_port;
+  in.credit_latency = credit_latency;
+  const int vcs = num_vcs_for_input(kind);
+  in.vcs.clear();
+  in.vcs.reserve(static_cast<std::size_t>(vcs));
+  for (int v = 0; v < vcs; ++v) {
+    in.vcs.emplace_back(input_buffer_capacity(kind));
+  }
+}
+
+void Router::packet_arrival(PortId in_port, VcId vc, PacketRef ref,
+                            Cycle now) {
+  Packet& pkt = (*store_)[ref];
+  const GroupId prev_group = topo_.group_of_router(pkt.current_router);
+  pkt.current_router = id_;
+  pkt.in_port = in_port;
+  pkt.in_vc = vc;
+  pkt.t_arrival = now;
+  routing_->on_arrival(*this, pkt, prev_group);
+  inputs_[static_cast<std::size_t>(in_port)].vcs[static_cast<std::size_t>(vc)]
+      .push(ref, pkt.size_phits);
+}
+
+void Router::credit_arrival(PortId out_port, VcId vc, int phits) {
+  outputs_[static_cast<std::size_t>(out_port)].return_credits(vc, phits);
+}
+
+bool Router::can_accept_injection(PortId inj_port, VcId vc, int phits) const {
+  const InputPort& in = inputs_[static_cast<std::size_t>(inj_port)];
+  return in.vcs[static_cast<std::size_t>(vc)].free_space() >= phits;
+}
+
+void Router::inject(PortId inj_port, VcId vc, PacketRef ref, Cycle now) {
+  Packet& pkt = (*store_)[ref];
+  pkt.current_router = id_;
+  pkt.in_port = inj_port;
+  pkt.in_vc = vc;
+  // Sec. IV-B: the latency clock starts "the moment a flit is inserted
+  // into the injection queue at the source router".
+  pkt.t_net = now;
+  pkt.t_arrival = now;
+  inputs_[static_cast<std::size_t>(inj_port)].vcs[static_cast<std::size_t>(vc)]
+      .push(ref, pkt.size_phits);
+}
+
+void Router::allocate(Cycle now) {
+  requests_.clear();
+  decisions_.clear();
+  considered_.clear();
+
+  const int ports = topo_.ports_per_router();
+  for (PortId in_port = 0; in_port < ports; ++in_port) {
+    InputPort& in = inputs_[static_cast<std::size_t>(in_port)];
+    for (VcId vc = 0; vc < static_cast<VcId>(in.vcs.size()); ++vc) {
+      const PacketRef head = in.vcs[static_cast<std::size_t>(vc)].head();
+      if (head == kNoPacket) continue;
+      Packet& pkt = (*store_)[head];
+      considered_.push_back(head);
+      const RoutingDecision d = routing_->route(*this, pkt);
+      if (!d.valid()) continue;
+      const OutputPort& out = outputs_[static_cast<std::size_t>(d.out_port)];
+      if (out.credits(d.out_vc) < pkt.size_phits) continue;
+      if (!out.queue_has_space(pkt.size_phits)) continue;
+      AllocRequest req;
+      req.in_port = in_port;
+      req.in_vc = vc;
+      req.out_port = d.out_port;
+      req.out_vc = d.out_vc;
+      req.is_injection = in.kind == PortKind::kInjection;
+      req.age = pkt.t_gen;
+      requests_.push_back(req);
+      decisions_.push_back(d);
+    }
+  }
+  if (considered_.empty()) return;
+
+  allocator_.allocate(requests_);
+
+#ifdef DRAGONFLY_DEBUG_ALLOC
+  if (id_ == 0) {
+    int g = 0;
+    for (const auto& r : requests_) g += r.granted ? 1 : 0;
+    std::fprintf(stderr, "[r0 @%lld] req=%zu granted=%d\n", (long long)now,
+                 requests_.size(), g);
+    for (const auto& r : requests_) {
+      std::fprintf(stderr, "   in=%d vc=%d -> out=%d ovc=%d inj=%d g=%d\n",
+                   r.in_port, r.in_vc, r.out_port, r.out_vc,
+                   (int)r.is_injection, (int)r.granted);
+    }
+  }
+#endif
+
+  // Denial feedback for opportunistic misrouting: every considered head
+  // that did not move this cycle accumulates a denial; granted packets
+  // were reset inside execute_grant *after* this pass would have run, so
+  // increment first, then execute grants (which zero the counter).
+  for (const PacketRef ref : considered_) ++(*store_)[ref].denied_cycles;
+
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    if (requests_[i].granted) execute_grant(requests_[i], decisions_[i], now);
+  }
+}
+
+void Router::execute_grant(const AllocRequest& req, const RoutingDecision& d,
+                           Cycle now) {
+  InputPort& in = inputs_[static_cast<std::size_t>(req.in_port)];
+  VcFifo& fifo = in.vcs[static_cast<std::size_t>(req.in_vc)];
+  const PacketRef ref = fifo.head();
+  Packet& pkt = (*store_)[ref];
+
+  // Requests are feasibility-checked when built, but two same-cycle grants
+  // can race for the last credits / queue slot of one output. The loser
+  // bounces and retries next cycle (speculative allocation).
+  {
+    const OutputPort& out = outputs_[static_cast<std::size_t>(d.out_port)];
+    if (out.credits(d.out_vc) < pkt.size_phits ||
+        !out.queue_has_space(pkt.size_phits)) {
+      return;
+    }
+  }
+  fifo.pop(pkt.size_phits);
+  pkt.denied_cycles = 0;
+
+  // Waiting time at this router's input, bucketed by queue class.
+  const Cycle waited = now - pkt.t_arrival;
+  switch (in.kind) {
+    case PortKind::kInjection: pkt.wait_injection += waited; break;
+    case PortKind::kLocal: pkt.wait_local += waited; break;
+    case PortKind::kGlobal: pkt.wait_global += waited; break;
+    case PortKind::kEjection: break;
+  }
+
+  // Return the freed buffer space upstream (injection has no credit loop:
+  // the node observes free space directly).
+  if (in.kind != PortKind::kInjection) {
+    sink_->schedule_credit(in.upstream_router, in.upstream_port, req.in_vc,
+                           pkt.size_phits, now + in.credit_latency);
+  } else {
+    ++injected_total_;
+    if (measuring_) ++injected_measured_;
+  }
+  ++forwarded_total_;
+
+  routing_->on_grant(*this, pkt, d);
+
+  OutputPort& out = outputs_[static_cast<std::size_t>(d.out_port)];
+  pkt.structural += cfg_.pipeline_latency;
+  switch (out.kind()) {
+    case PortKind::kLocal:
+      ++pkt.local_hops;
+      pkt.structural += out.link_latency();
+      break;
+    case PortKind::kGlobal:
+      ++pkt.global_hops;
+      pkt.structural += out.link_latency();
+      break;
+    case PortKind::kEjection:
+      break;
+    case PortKind::kInjection:
+      throw std::logic_error("granted to an injection output");
+  }
+
+  out.take_credits(d.out_vc, pkt.size_phits);
+  out.enqueue(ref, d.out_vc, now + cfg_.pipeline_latency, pkt.size_phits);
+}
+
+void Router::transmit(Cycle now) {
+  const int ports = topo_.ports_per_router();
+  for (PortId port = 0; port < ports; ++port) {
+    OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+    if (!out.can_transmit(now)) continue;
+    const PendingTx head = out.queue_head();
+    Packet& pkt = (*store_)[head.pkt];
+    const PendingTx tx = out.begin_transmission(now, pkt.size_phits);
+
+    // Waiting in the output queue for the link (serialization backlog):
+    // congestion attributed to the link class being traversed.
+    const Cycle qwait = now - tx.ready;
+    switch (out.kind()) {
+      case PortKind::kGlobal: pkt.wait_global += qwait; break;
+      case PortKind::kLocal:
+      case PortKind::kEjection: pkt.wait_local += qwait; break;
+      case PortKind::kInjection: break;
+    }
+
+    if (out.kind() == PortKind::kEjection) {
+      sink_->schedule_delivery(tx.pkt, now + pkt.size_phits);
+    } else {
+      sink_->schedule_packet(out.peer(), out.peer_port(), tx.out_vc, tx.pkt,
+                             now + out.link_latency());
+    }
+  }
+}
+
+double Router::mean_local_occupancy() const {
+  const int first = topo_.first_local_port();
+  const int last = topo_.first_global_port();
+  if (first == last) return 0.0;
+  double sum = 0.0;
+  for (PortId p = first; p < last; ++p) {
+    sum += outputs_[static_cast<std::size_t>(p)].occupancy_fraction();
+  }
+  return sum / static_cast<double>(last - first);
+}
+
+double Router::mean_global_occupancy() const {
+  const int first = topo_.first_global_port();
+  const int last = topo_.ports_per_router();
+  if (first == last) return 0.0;
+  double sum = 0.0;
+  for (PortId p = first; p < last; ++p) {
+    sum += outputs_[static_cast<std::size_t>(p)].occupancy_fraction();
+  }
+  return sum / static_cast<double>(last - first);
+}
+
+void Router::reset_measured_counters() { injected_measured_ = 0; }
+
+}  // namespace dragonfly

@@ -1,0 +1,137 @@
+// Input-output-buffered high-radix router model (paper Sec. IV-A):
+// 5-cycle pipeline, iterative separable batch allocator, 2x internal
+// speedup, virtual cut-through, credit-based flow control.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "router/allocator.hpp"
+#include "router/buffer.hpp"
+#include "router/packet.hpp"
+#include "routing/routing.hpp"
+#include "sim/config.hpp"
+#include "topology/dragonfly.hpp"
+
+namespace dragonfly {
+
+/// Where routers push cross-router events; implemented by Network.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Packet head reaches `router`'s input (port, vc) at `when`.
+  virtual void schedule_packet(RouterId router, PortId port, VcId vc,
+                               PacketRef pkt, Cycle when) = 0;
+  /// Credit for (out_port, vc) returns to `router` at `when`.
+  virtual void schedule_credit(RouterId router, PortId out_port, VcId vc,
+                               int phits, Cycle when) = 0;
+  /// Packet tail reaches its destination node at `when`.
+  virtual void schedule_delivery(PacketRef pkt, Cycle when) = 0;
+};
+
+class Router {
+ public:
+  Router(const DragonflyTopology& topo, const SimConfig& cfg, RouterId id,
+         RoutingAlgorithm* routing, PacketStore* store, EventSink* sink,
+         Rng rng);
+
+  RouterId id() const { return id_; }
+  GroupId group() const { return topo_.group_of_router(id_); }
+  const DragonflyTopology& topology() const { return topo_; }
+  const SimConfig& config() const { return cfg_; }
+  Rng& rng() { return rng_; }
+  PacketStore& packets() { return *store_; }
+
+  // --- wiring (done once by Network) -------------------------------------
+  void wire_output(PortId port, PortKind kind, RouterId peer, PortId peer_port,
+                   Cycle link_latency);
+  void wire_input(PortId port, PortKind kind, RouterId upstream,
+                  PortId upstream_port, Cycle credit_latency);
+
+  // --- event handlers ------------------------------------------------------
+  void packet_arrival(PortId in_port, VcId vc, PacketRef pkt, Cycle now);
+  void credit_arrival(PortId out_port, VcId vc, int phits);
+
+  // --- node-side injection ---------------------------------------------------
+  bool can_accept_injection(PortId inj_port, VcId vc, int phits) const;
+  void inject(PortId inj_port, VcId vc, PacketRef pkt, Cycle now);
+
+  // --- per-cycle steps (called by Network) -----------------------------------
+  void allocate(Cycle now);
+  void transmit(Cycle now);
+
+  // --- congestion queries (used by adaptive routing) ---------------------------
+  /// Combined (queue backlog + downstream reservation) congestion signal,
+  /// used by PiggyBack's in-group link-state broadcast.
+  double output_occupancy(PortId port) const {
+    return outputs_[static_cast<std::size_t>(port)].occupancy_fraction();
+  }
+  /// Credit-count signal the in-transit adaptive mechanisms consult: the
+  /// reserved fraction of the downstream buffer of one VC.
+  double output_vc_occupancy(PortId port, VcId vc) const {
+    return outputs_[static_cast<std::size_t>(port)].vc_occupancy_fraction(vc);
+  }
+  bool output_congested(PortId port, VcId vc) const {
+    return output_vc_occupancy(port, vc) > cfg_.intransit_threshold;
+  }
+  /// True when the downstream VC buffer cannot take one more packet — the
+  /// opportunistic misrouting trigger (the packet literally cannot
+  /// advance minimally).
+  bool credits_exhausted(PortId port, VcId vc, int phits) const {
+    return outputs_[static_cast<std::size_t>(port)].credits(vc) < phits;
+  }
+  /// True when the downstream VC buffer is completely unreserved — the
+  /// safety condition for opportunistic local misrouting.
+  bool vc_buffer_free(PortId port, VcId vc) const {
+    const OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+    return out.credits(vc) == out.credit_capacity(vc);
+  }
+  /// Mean reserved fraction over this router's local output ports.
+  double mean_local_occupancy() const;
+  /// Mean reserved fraction over this router's global output ports.
+  double mean_global_occupancy() const;
+  const OutputPort& output(PortId port) const {
+    return outputs_[static_cast<std::size_t>(port)];
+  }
+  const InputPort& input(PortId port) const {
+    return inputs_[static_cast<std::size_t>(port)];
+  }
+
+  // --- statistics ---------------------------------------------------------------
+  void set_measuring(bool on) { measuring_ = on; }
+  void reset_measured_counters();
+  std::int64_t injected_packets_measured() const { return injected_measured_; }
+  std::int64_t injected_packets_total() const { return injected_total_; }
+  std::int64_t forwarded_packets_total() const { return forwarded_total_; }
+
+ private:
+  void execute_grant(const AllocRequest& req, const RoutingDecision& d,
+                     Cycle now);
+  int input_buffer_capacity(PortKind kind) const;
+  int num_vcs_for_input(PortKind kind) const;
+  int num_vcs_for_output(PortKind kind) const;
+
+  const DragonflyTopology& topo_;
+  const SimConfig& cfg_;
+  RouterId id_;
+  RoutingAlgorithm* routing_;
+  PacketStore* store_;
+  EventSink* sink_;
+  Rng rng_;
+
+  std::vector<InputPort> inputs_;
+  std::vector<OutputPort> outputs_;
+  SeparableAllocator allocator_;
+  std::vector<AllocRequest> requests_;
+  std::vector<RoutingDecision> decisions_;
+  std::vector<PacketRef> considered_;
+
+  bool measuring_ = false;
+  std::int64_t injected_measured_ = 0;
+  std::int64_t injected_total_ = 0;
+  std::int64_t forwarded_total_ = 0;
+};
+
+}  // namespace dragonfly

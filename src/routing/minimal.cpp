@@ -1,0 +1,17 @@
+#include "routing/minimal.hpp"
+
+#include "router/router.hpp"
+
+namespace dragonfly {
+
+void MinimalRouting::on_inject(Router& source, Packet& pkt, Rng& rng) {
+  (void)source;
+  (void)rng;
+  pkt.phase = Phase::kCommitted;
+}
+
+RoutingDecision MinimalRouting::route(Router& at, Packet& pkt) {
+  return minimal_decision(at, pkt);
+}
+
+}  // namespace dragonfly

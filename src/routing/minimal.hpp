@@ -1,0 +1,18 @@
+// MIN: oblivious shortest-path routing (reference for UN traffic).
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace dragonfly {
+
+class MinimalRouting final : public RoutingAlgorithm {
+ public:
+  using RoutingAlgorithm::RoutingAlgorithm;
+
+  std::string name() const override { return "MIN"; }
+
+  void on_inject(Router& source, Packet& pkt, Rng& rng) override;
+  RoutingDecision route(Router& at, Packet& pkt) override;
+};
+
+}  // namespace dragonfly

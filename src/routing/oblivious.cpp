@@ -1,0 +1,56 @@
+#include "routing/oblivious.hpp"
+
+#include <stdexcept>
+
+#include "router/router.hpp"
+
+namespace dragonfly {
+
+void ObliviousValiantRouting::on_inject(Router& source, Packet& pkt,
+                                        Rng& rng) {
+  const GroupId src_group = topo_.group_of_node(pkt.src);
+  const GroupId dst_group = topo_.group_of_node(pkt.dst);
+
+  if (dst_group == src_group) {
+    // Intra-group traffic takes the (single-hop) minimal path.
+    pkt.phase = Phase::kCommitted;
+    return;
+  }
+
+  if (policy_ == MisroutePolicy::kRrg) {
+    // Classic Valiant: uniform intermediate group across the whole
+    // network (the original scheme picks a random *node*; at group level
+    // the distribution over intermediate groups is identical).
+    const auto g = static_cast<GroupId>(
+        rng.below(static_cast<std::uint64_t>(topo_.num_groups())));
+    if (g == src_group) {
+      pkt.phase = Phase::kCommitted;  // degenerate: minimal
+      return;
+    }
+    pkt.phase = Phase::kToIntermediate;
+    pkt.intermediate_group = g;
+    const RouterId exit = topo_.exit_router(src_group, g);
+    pkt.nm_exit_router = exit;
+    pkt.nm_exit_port = topo_.exit_port(src_group, g);
+    return;
+  }
+
+  // CRG / NRG: pick uniformly among the policy's candidate links.
+  const auto picked =
+      pick_candidate(topo_, source.id(), policy_, rng, kInvalidGroup,
+                     [](const GlobalLinkRef&) { return true; });
+  if (!picked) throw std::logic_error("oblivious: no misroute candidate");
+  pkt.phase = Phase::kToIntermediate;
+  pkt.intermediate_group = picked->target;
+  pkt.nm_exit_router = picked->router;
+  pkt.nm_exit_port = picked->port;
+}
+
+RoutingDecision ObliviousValiantRouting::route(Router& at, Packet& pkt) {
+  if (pkt.phase == Phase::kToIntermediate) {
+    return toward_link(at, pkt, pkt.nm_exit_router, pkt.nm_exit_port);
+  }
+  return minimal_decision(at, pkt);
+}
+
+}  // namespace dragonfly

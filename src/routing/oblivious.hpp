@@ -1,0 +1,36 @@
+// Non-minimal oblivious (Valiant-style) routing, Sec. II-C.
+//
+// At injection the packet picks a random intermediate group according to
+// the global misrouting policy and commits to it:
+//   Oblivious-RRG — any group (classic Valiant at group granularity);
+//   Oblivious-CRG — a group directly connected to the source router
+//                   (saves the frequent first local hop);
+//   Oblivious-NRG — a group connected to a *different* router of the
+//                   source group (extension, for completeness).
+// The packet routes minimally to the intermediate group, then minimally
+// to the destination.
+#pragma once
+
+#include "routing/policy.hpp"
+#include "routing/routing.hpp"
+
+namespace dragonfly {
+
+class ObliviousValiantRouting final : public RoutingAlgorithm {
+ public:
+  ObliviousValiantRouting(const DragonflyTopology& topo, const SimConfig& cfg,
+                          MisroutePolicy policy)
+      : RoutingAlgorithm(topo, cfg), policy_(policy) {}
+
+  std::string name() const override {
+    return std::string("Obl-") + to_string(policy_);
+  }
+
+  void on_inject(Router& source, Packet& pkt, Rng& rng) override;
+  RoutingDecision route(Router& at, Packet& pkt) override;
+
+ private:
+  MisroutePolicy policy_;
+};
+
+}  // namespace dragonfly

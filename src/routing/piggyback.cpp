@@ -1,0 +1,141 @@
+#include "routing/piggyback.hpp"
+
+#include "router/router.hpp"
+
+namespace dragonfly {
+
+PiggybackRouting::PiggybackRouting(const DragonflyTopology& topo,
+                                   const SimConfig& cfg,
+                                   MisroutePolicy policy)
+    : RoutingAlgorithm(topo, cfg),
+      policy_(policy),
+      saturated_(static_cast<std::size_t>(topo.num_routers()) *
+                     static_cast<std::size_t>(topo.params().h),
+                 0) {}
+
+void PiggybackRouting::refresh(
+    std::span<const std::unique_ptr<Router>> routers) {
+  const int h = topo_.params().h;
+  const int a = topo_.params().a;
+  occupancy_.resize(routers.size() * static_cast<std::size_t>(h));
+  // Pass 1: per-link occupancy, accumulated into per-group means (the
+  // piggybacked state is shared group-wide).
+  std::vector<double> group_mean(static_cast<std::size_t>(topo_.num_groups()),
+                                 0.0);
+  for (const auto& router : routers) {
+    const std::size_t base = static_cast<std::size_t>(router->id()) *
+                             static_cast<std::size_t>(h);
+    for (int k = 0; k < h; ++k) {
+      const double occ = router->output_occupancy(topo_.global_port(k));
+      occupancy_[base + static_cast<std::size_t>(k)] = occ;
+      group_mean[static_cast<std::size_t>(router->group())] += occ;
+    }
+  }
+  for (auto& mean : group_mean) mean /= static_cast<double>(a * h);
+  // Pass 2: a link is saturated when it exceeds T times its group's mean.
+  // This is self-balancing (partial diversion raises the mean back), which
+  // reproduces the paper's partial-failure behaviour under ADVc.
+  for (const auto& router : routers) {
+    const std::size_t base = static_cast<std::size_t>(router->id()) *
+                             static_cast<std::size_t>(h);
+    const double mean = group_mean[static_cast<std::size_t>(router->group())];
+    for (int k = 0; k < h; ++k) {
+      saturated_[base + static_cast<std::size_t>(k)] =
+          occupancy_[base + static_cast<std::size_t>(k)] >
+                  cfg_.pb_threshold_global * mean
+              ? 1
+              : 0;
+    }
+  }
+}
+
+void PiggybackRouting::on_inject(Router& source, Packet& pkt, Rng& rng) {
+  (void)source;
+  (void)rng;
+  // The MIN/VAL choice is made while the packet heads the injection
+  // queue (route()), with up-to-date congestion state.
+  pkt.phase = Phase::kSourceFlex;
+}
+
+bool PiggybackRouting::minimal_path_saturated(const Router& at,
+                                              const Packet& pkt) const {
+  const GroupId src_group = at.group();
+  const GroupId dst_group = topo_.group_of_node(pkt.dst);
+  const RouterId exit = topo_.exit_router(src_group, dst_group);
+  const PortId exit_global = topo_.exit_port(src_group, dst_group);
+  const int k = topo_.global_index_of_port(exit_global);
+
+  // Saturation bit of the minimal global link (piggybacked in-group state).
+  if (saturated_[static_cast<std::size_t>(exit) *
+                     static_cast<std::size_t>(topo_.params().h) +
+                 static_cast<std::size_t>(k)] != 0) {
+    return true;
+  }
+
+  // Local leg towards the exit router, judged against this router's own
+  // local outputs (T = pb_threshold_local).
+  if (exit != at.id()) {
+    const PortId local = topo_.local_port_to(at.id(), exit);
+    const double mean = at.mean_local_occupancy();
+    if (at.output_occupancy(local) > cfg_.pb_threshold_local * mean &&
+        at.output_occupancy(local) > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RoutingDecision PiggybackRouting::valiant_decision(Router& at, Packet& pkt) {
+  const GroupId src_group = at.group();
+  const GroupId dst_group = topo_.group_of_node(pkt.dst);
+
+  GlobalLinkRef chosen;
+  if (policy_ == MisroutePolicy::kRrg) {
+    // Random intermediate group anywhere (excluding source and
+    // destination: those degenerate to the minimal path PB just rejected).
+    GroupId g = dst_group;
+    while (g == dst_group || g == src_group) {
+      g = static_cast<GroupId>(
+          at.rng().below(static_cast<std::uint64_t>(topo_.num_groups())));
+    }
+    chosen.target = g;
+    chosen.router = topo_.exit_router(src_group, g);
+    chosen.port = topo_.exit_port(src_group, g);
+  } else {
+    const auto picked =
+        pick_candidate(topo_, at.id(), policy_, at.rng(), dst_group,
+                       [](const GlobalLinkRef&) { return true; });
+    if (!picked) return minimal_decision(at, pkt);  // h==1 corner case
+    chosen = *picked;
+  }
+
+  RoutingDecision d = toward_link(at, pkt, chosen.router, chosen.port);
+  d.commit_nonminimal = true;
+  d.intermediate_group = chosen.target;
+  d.nm_exit_router = chosen.router;
+  d.nm_exit_port = chosen.port;
+  return d;
+}
+
+RoutingDecision PiggybackRouting::route(Router& at, Packet& pkt) {
+  switch (pkt.phase) {
+    case Phase::kToIntermediate:
+      return toward_link(at, pkt, pkt.nm_exit_router, pkt.nm_exit_port);
+    case Phase::kCommitted:
+      return minimal_decision(at, pkt);
+    case Phase::kSourceFlex:
+      break;
+  }
+
+  // Source-adaptive decision, taken at the injection port of the source
+  // router (re-evaluated until granted; committed at grant).
+  const GroupId dst_group = topo_.group_of_node(pkt.dst);
+  if (dst_group == at.group() || !minimal_path_saturated(at, pkt)) {
+    RoutingDecision d = minimal_decision(at, pkt);
+    d.commit_minimal = true;
+    return d;
+  }
+  return valiant_decision(at, pkt);
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,60 @@
+// PiggyBack (PB) source-based adaptive routing (Jiang et al., ISCA 2009;
+// paper Sec. II-C).
+//
+// At injection the source router chooses between MIN and a Valiant-style
+// non-minimal path, based on the saturation state of the minimal path:
+//  * the minimal *global* link's saturation bit, shared by all routers of
+//    the group through an in-group broadcast (the "piggybacked" ECN);
+//  * the occupancy of the local output towards the exit router, when the
+//    minimal path starts with a local hop.
+//
+// Saturation rule (see DESIGN.md): a link is saturated iff its reserved
+// occupancy exceeds T times the mean occupancy of the links of the SAME
+// router (T = pb_threshold_global for global links, pb_threshold_local
+// for local ones). The relative-to-own-router form is what reproduces the
+// paper's observed ADVc failure: at the bottleneck router all h global
+// links carry the same load, the ratio stays ~1, and PB keeps sending
+// minimally.
+#pragma once
+
+#include <vector>
+
+#include "routing/policy.hpp"
+#include "routing/routing.hpp"
+
+namespace dragonfly {
+
+class PiggybackRouting final : public RoutingAlgorithm {
+ public:
+  PiggybackRouting(const DragonflyTopology& topo, const SimConfig& cfg,
+                   MisroutePolicy policy);
+
+  std::string name() const override {
+    return std::string("Src-") + to_string(policy_);
+  }
+
+  void on_inject(Router& source, Packet& pkt, Rng& rng) override;
+  RoutingDecision route(Router& at, Packet& pkt) override;
+  void refresh(std::span<const std::unique_ptr<Router>> routers) override;
+
+  /// Saturation bit of global link k of router `r` (for tests).
+  bool global_link_saturated(RouterId r, int k) const {
+    return saturated_[static_cast<std::size_t>(r) *
+                          static_cast<std::size_t>(topo_.params().h) +
+                      static_cast<std::size_t>(k)] != 0;
+  }
+
+ private:
+  bool minimal_path_saturated(const Router& at, const Packet& pkt) const;
+  RoutingDecision valiant_decision(Router& at, Packet& pkt);
+
+  MisroutePolicy policy_;
+  /// Saturation bits, indexed [router * h + k]; rebuilt every cycle by
+  /// refresh() (we model the in-group broadcast as instantaneous; the
+  /// real mechanism piggybacks the bits on regular traffic).
+  std::vector<char> saturated_;
+  /// Scratch: per-link occupancy, same indexing.
+  std::vector<double> occupancy_;
+};
+
+}  // namespace dragonfly

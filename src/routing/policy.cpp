@@ -1,0 +1,59 @@
+#include "routing/policy.hpp"
+
+#include <stdexcept>
+
+namespace dragonfly {
+
+const char* to_string(MisroutePolicy policy) {
+  switch (policy) {
+    case MisroutePolicy::kRrg: return "RRG";
+    case MisroutePolicy::kCrg: return "CRG";
+    case MisroutePolicy::kNrg: return "NRG";
+  }
+  return "?";
+}
+
+int candidate_count(const DragonflyTopology& topo, MisroutePolicy policy) {
+  const auto& p = topo.params();
+  switch (policy) {
+    case MisroutePolicy::kRrg: return p.a * p.h;
+    case MisroutePolicy::kCrg: return p.h;
+    case MisroutePolicy::kNrg: return (p.a - 1) * p.h;
+  }
+  return 0;
+}
+
+GlobalLinkRef candidate_at(const DragonflyTopology& topo, RouterId at,
+                           MisroutePolicy policy, int index) {
+  const auto& p = topo.params();
+  const GroupId g = topo.group_of_router(at);
+  const int r_at = topo.router_in_group(at);
+
+  int r_in_group = 0;
+  int k = 0;
+  switch (policy) {
+    case MisroutePolicy::kRrg:
+      r_in_group = index / p.h;
+      k = index % p.h;
+      break;
+    case MisroutePolicy::kCrg:
+      r_in_group = r_at;
+      k = index;
+      break;
+    case MisroutePolicy::kNrg: {
+      // Enumerate the (a-1)*h links owned by the other routers, skipping
+      // the current router in the router enumeration.
+      const int r_skip = index / p.h;
+      r_in_group = r_skip < r_at ? r_skip : r_skip + 1;
+      k = index % p.h;
+      break;
+    }
+  }
+  GlobalLinkRef ref;
+  ref.router = topo.router_id(g, r_in_group);
+  ref.port = topo.global_port(k);
+  ref.target = topo.arrangement().target_group(p, g, r_in_group, k);
+  return ref;
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,63 @@
+// Global misrouting policies (Garcia et al., INA-OCMC 2013; paper Sec.
+// II-B): which global links are permitted as the first leg of a
+// non-minimal path, evaluated at a given router.
+//
+//   RRG — any global link of the current group (random router, global);
+//   CRG — only the current router's own global links;
+//   NRG — only links owned by *other* routers of the group (neighbor).
+//
+// Mixed-mode (MM) is not a candidate set of its own: it applies CRG at the
+// source router and NRG in transit, and is composed in the in-transit
+// routing mechanism.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "topology/dragonfly.hpp"
+
+namespace dragonfly {
+
+enum class MisroutePolicy : std::uint8_t { kRrg, kCrg, kNrg };
+
+const char* to_string(MisroutePolicy policy);
+
+/// One global link of a group, as a misroute candidate: the router that
+/// owns it, the (router-level) global port, and the group it reaches.
+struct GlobalLinkRef {
+  RouterId router = kInvalidRouter;
+  PortId port = kInvalidPort;
+  GroupId target = kInvalidGroup;
+};
+
+/// Number of candidate links the policy offers at router `at`.
+int candidate_count(const DragonflyTopology& topo, MisroutePolicy policy);
+
+/// The i-th candidate (i in [0, candidate_count)) at router `at`.
+GlobalLinkRef candidate_at(const DragonflyTopology& topo, RouterId at,
+                           MisroutePolicy policy, int index);
+
+/// Scan the candidates in pseudo-random order (random start, cyclic scan)
+/// and return the first one accepted by `eligible`. Candidates whose
+/// target group equals `exclude_target` are skipped (used to avoid
+/// "misrouting" onto the minimal global link).
+template <typename Pred>
+std::optional<GlobalLinkRef> pick_candidate(const DragonflyTopology& topo,
+                                            RouterId at,
+                                            MisroutePolicy policy, Rng& rng,
+                                            GroupId exclude_target,
+                                            Pred eligible) {
+  const int n = candidate_count(topo, policy);
+  if (n <= 0) return std::nullopt;
+  const auto start = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  for (int step = 0; step < n; ++step) {
+    const GlobalLinkRef ref =
+        candidate_at(topo, at, policy, (start + step) % n);
+    if (ref.target == exclude_target) continue;
+    if (eligible(ref)) return ref;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dragonfly

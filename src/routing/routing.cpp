@@ -1,0 +1,137 @@
+#include "routing/routing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "router/router.hpp"
+#include "routing/in_transit.hpp"
+#include "routing/minimal.hpp"
+#include "routing/oblivious.hpp"
+#include "routing/piggyback.hpp"
+#include "routing/ugal.hpp"
+
+namespace dragonfly {
+
+VcId RoutingAlgorithm::vc_for_output(const Router& at, const Packet& pkt,
+                                     PortKind kind) const {
+  // Deadlock-avoidance ladder (Kim et al. / FOGSim style): the VC index
+  // is a function of the packet's *position* along its path, so the
+  // channel-dependency graph l0 < g0 < l1 < g1 < l2 is acyclic.
+  //  - global hops: first hop VC0, second VC1;
+  //  - local hops: source group VC0, intermediate group VC1, destination
+  //    group VC2. Both local hops of an opportunistic in-group misroute
+  //    share the group's VC (see DESIGN.md for the residual-risk note).
+  switch (kind) {
+    case PortKind::kGlobal:
+      return std::min<int>(pkt.global_hops, cfg_.global_vcs - 1);
+    case PortKind::kLocal: {
+      const GroupId here = at.group();
+      if (here == topo_.group_of_node(pkt.src) && pkt.global_hops == 0) {
+        return 0;
+      }
+      if (here == topo_.group_of_node(pkt.dst)) {
+        return std::min(2, cfg_.local_vcs - 1);
+      }
+      return std::min(1, cfg_.local_vcs - 1);
+    }
+    case PortKind::kEjection:
+      return 0;
+    case PortKind::kInjection:
+      break;
+  }
+  throw std::logic_error("vc_for_output: injection is not an output");
+}
+
+RoutingDecision RoutingAlgorithm::minimal_decision(const Router& at,
+                                                   const Packet& pkt) const {
+  RoutingDecision d;
+  d.out_port = topo_.minimal_output(at.id(), pkt.dst);
+  d.out_vc = vc_for_output(at, pkt, topo_.output_port_kind(d.out_port));
+  return d;
+}
+
+RoutingDecision RoutingAlgorithm::toward_link(const Router& at,
+                                              const Packet& pkt,
+                                              RouterId exit_router,
+                                              PortId exit_port) const {
+  RoutingDecision d;
+  if (at.id() == exit_router) {
+    d.out_port = exit_port;
+  } else {
+    d.out_port = topo_.local_port_to(at.id(), exit_router);
+  }
+  d.out_vc = vc_for_output(at, pkt, topo_.output_port_kind(d.out_port));
+  return d;
+}
+
+void RoutingAlgorithm::on_grant(Router& at, Packet& pkt,
+                                const RoutingDecision& d) {
+  (void)at;
+  if (d.commit_nonminimal) {
+    pkt.phase = Phase::kToIntermediate;
+    pkt.intermediate_group = d.intermediate_group;
+    pkt.nm_exit_router = d.nm_exit_router;
+    pkt.nm_exit_port = d.nm_exit_port;
+  } else if (d.commit_minimal) {
+    pkt.phase = Phase::kCommitted;
+  }
+  if (d.local_misroute) pkt.local_misrouted_this_group = true;
+}
+
+void RoutingAlgorithm::on_arrival(Router& at, Packet& pkt,
+                                  GroupId previous_group) {
+  const GroupId here = at.group();
+  if (here != previous_group) pkt.reset_group_state();
+  if (pkt.phase == Phase::kToIntermediate && here == pkt.intermediate_group) {
+    pkt.phase = Phase::kCommitted;
+  } else if (pkt.phase == Phase::kSourceFlex &&
+             here != topo_.group_of_node(pkt.src)) {
+    // Crossed a global link on the minimal path: no more global
+    // misrouting opportunities.
+    pkt.phase = Phase::kCommitted;
+  }
+}
+
+void RoutingAlgorithm::refresh(
+    std::span<const std::unique_ptr<Router>> routers) {
+  (void)routers;
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing(const DragonflyTopology& topo,
+                                               const SimConfig& cfg) {
+  switch (cfg.routing) {
+    case RoutingKind::kMinimal:
+      return std::make_unique<MinimalRouting>(topo, cfg);
+    case RoutingKind::kObliviousRrg:
+      return std::make_unique<ObliviousValiantRouting>(topo, cfg,
+                                                       MisroutePolicy::kRrg);
+    case RoutingKind::kObliviousCrg:
+      return std::make_unique<ObliviousValiantRouting>(topo, cfg,
+                                                       MisroutePolicy::kCrg);
+    case RoutingKind::kObliviousNrg:
+      return std::make_unique<ObliviousValiantRouting>(topo, cfg,
+                                                       MisroutePolicy::kNrg);
+    case RoutingKind::kSourceRrg:
+      return std::make_unique<PiggybackRouting>(topo, cfg,
+                                                MisroutePolicy::kRrg);
+    case RoutingKind::kSourceCrg:
+      return std::make_unique<PiggybackRouting>(topo, cfg,
+                                                MisroutePolicy::kCrg);
+    case RoutingKind::kInTransitRrg:
+      return std::make_unique<InTransitRouting>(topo, cfg,
+                                                InTransitVariant::kRrg);
+    case RoutingKind::kInTransitCrg:
+      return std::make_unique<InTransitRouting>(topo, cfg,
+                                                InTransitVariant::kCrg);
+    case RoutingKind::kInTransitMm:
+      return std::make_unique<InTransitRouting>(topo, cfg,
+                                                InTransitVariant::kMm);
+    case RoutingKind::kUgalRrg:
+      return std::make_unique<UgalRouting>(topo, cfg, MisroutePolicy::kRrg);
+    case RoutingKind::kUgalCrg:
+      return std::make_unique<UgalRouting>(topo, cfg, MisroutePolicy::kCrg);
+  }
+  throw std::invalid_argument("make_routing: unknown routing kind");
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,73 @@
+#include "routing/ugal.hpp"
+
+#include "router/router.hpp"
+
+namespace dragonfly {
+
+void UgalRouting::on_inject(Router& source, Packet& pkt, Rng& rng) {
+  (void)source;
+  (void)rng;
+  // Decision deferred to route() at the head of the injection queue, with
+  // fresh queue estimates; committed at grant like PiggyBack.
+  pkt.phase = Phase::kSourceFlex;
+}
+
+RoutingDecision UgalRouting::route(Router& at, Packet& pkt) {
+  switch (pkt.phase) {
+    case Phase::kToIntermediate:
+      return toward_link(at, pkt, pkt.nm_exit_router, pkt.nm_exit_port);
+    case Phase::kCommitted:
+      return minimal_decision(at, pkt);
+    case Phase::kSourceFlex:
+      break;
+  }
+
+  const GroupId src_group = at.group();
+  const GroupId dst_group = topo_.group_of_node(pkt.dst);
+  RoutingDecision min_d = minimal_decision(at, pkt);
+  min_d.commit_minimal = true;
+  if (dst_group == src_group) return min_d;
+
+  // One random Valiant candidate per evaluation (classic UGAL considers a
+  // small random sample; one is the common hardware choice).
+  const auto cand =
+      pick_candidate(topo_, at.id(), policy_, at.rng(), dst_group,
+                     [](const GlobalLinkRef&) { return true; });
+  if (!cand) return min_d;
+
+  // First-hop queue estimates at this router, in reserved phits.
+  const PortId val_out = cand->router == at.id()
+                             ? cand->port
+                             : topo_.local_port_to(at.id(), cand->router);
+  // UGAL-L uses *local* queue information: the output-queue backlog at
+  // this router. (Downstream credit reservation would count benign
+  // in-flight phits on long links and bias towards Valiant at low load.)
+  const auto queue_phits = [&](PortId port) {
+    return at.output(port).queue_occupancy();
+  };
+  const int q_min = queue_phits(min_d.out_port);
+  const int q_val = queue_phits(val_out);
+
+  // Path lengths in links: minimal vs via the intermediate group.
+  const int h_min = topo_.minimal_lengths_router(at.id(), topo_.router_of_node(pkt.dst))
+                        .total() + 1;
+  const RouterId entry =
+      topo_.global_peer(cand->router, cand->port);  // intermediate entry
+  const int h_val = (cand->router == at.id() ? 1 : 2) +
+                    topo_.minimal_lengths_router(entry,
+                                                 topo_.router_of_node(pkt.dst))
+                        .total() + 1;
+
+  // UGAL threshold with a small offset biasing towards minimal paths.
+  constexpr int kOffsetPhits = 8;
+  if (q_min * h_min <= q_val * h_val + kOffsetPhits) return min_d;
+
+  RoutingDecision d = toward_link(at, pkt, cand->router, cand->port);
+  d.commit_nonminimal = true;
+  d.intermediate_group = cand->target;
+  d.nm_exit_router = cand->router;
+  d.nm_exit_port = cand->port;
+  return d;
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,37 @@
+// UGAL-L: Universal Globally-Adaptive Load-balanced routing with local
+// congestion information (Singh; used as the source-adaptive baseline in
+// Kim et al.'s Dragonfly paper). Provided as an extension beyond the
+// paper's mechanisms: PiggyBack was proposed precisely to improve on
+// UGAL-L's stale local estimates, so having both allows the comparison.
+//
+// Decision at injection only: pick a random Valiant candidate (per the
+// misrouting policy), then compare queue depths weighted by path length:
+//     q_min * H_min  <=  q_val * H_val + offset   ->  MIN
+// where q is the reserved occupancy (phits) of the first-hop output the
+// packet would use at the source router and H the minimal/non-minimal
+// path lengths in links.
+#pragma once
+
+#include "routing/policy.hpp"
+#include "routing/routing.hpp"
+
+namespace dragonfly {
+
+class UgalRouting final : public RoutingAlgorithm {
+ public:
+  UgalRouting(const DragonflyTopology& topo, const SimConfig& cfg,
+              MisroutePolicy policy)
+      : RoutingAlgorithm(topo, cfg), policy_(policy) {}
+
+  std::string name() const override {
+    return std::string("UGAL-") + to_string(policy_);
+  }
+
+  void on_inject(Router& source, Packet& pkt, Rng& rng) override;
+  RoutingDecision route(Router& at, Packet& pkt) override;
+
+ private:
+  MisroutePolicy policy_;
+};
+
+}  // namespace dragonfly

@@ -1,0 +1,141 @@
+#include "sim/config.hpp"
+
+#include <stdexcept>
+
+namespace dragonfly {
+
+const char* to_string(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kMinimal: return "MIN";
+    case RoutingKind::kObliviousRrg: return "Obl-RRG";
+    case RoutingKind::kObliviousCrg: return "Obl-CRG";
+    case RoutingKind::kObliviousNrg: return "Obl-NRG";
+    case RoutingKind::kSourceRrg: return "Src-RRG";
+    case RoutingKind::kSourceCrg: return "Src-CRG";
+    case RoutingKind::kInTransitRrg: return "In-Trns-RRG";
+    case RoutingKind::kInTransitCrg: return "In-Trns-CRG";
+    case RoutingKind::kInTransitMm: return "In-Trns-MM";
+    case RoutingKind::kUgalRrg: return "UGAL-RRG";
+    case RoutingKind::kUgalCrg: return "UGAL-CRG";
+  }
+  return "?";
+}
+
+RoutingKind routing_kind_from_string(const std::string& name) {
+  if (name == "MIN") return RoutingKind::kMinimal;
+  if (name == "Obl-RRG") return RoutingKind::kObliviousRrg;
+  if (name == "Obl-CRG") return RoutingKind::kObliviousCrg;
+  if (name == "Obl-NRG") return RoutingKind::kObliviousNrg;
+  if (name == "Src-RRG") return RoutingKind::kSourceRrg;
+  if (name == "Src-CRG") return RoutingKind::kSourceCrg;
+  if (name == "In-Trns-RRG") return RoutingKind::kInTransitRrg;
+  if (name == "In-Trns-CRG") return RoutingKind::kInTransitCrg;
+  if (name == "In-Trns-MM") return RoutingKind::kInTransitMm;
+  if (name == "UGAL-RRG") return RoutingKind::kUgalRrg;
+  if (name == "UGAL-CRG") return RoutingKind::kUgalCrg;
+  throw std::invalid_argument("unknown routing kind: " + name);
+}
+
+bool is_oblivious(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kMinimal:
+    case RoutingKind::kObliviousRrg:
+    case RoutingKind::kObliviousCrg:
+    case RoutingKind::kObliviousNrg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_source_adaptive(RoutingKind kind) {
+  return kind == RoutingKind::kSourceRrg || kind == RoutingKind::kSourceCrg ||
+         kind == RoutingKind::kUgalRrg || kind == RoutingKind::kUgalCrg;
+}
+
+bool is_in_transit(RoutingKind kind) {
+  return kind == RoutingKind::kInTransitRrg ||
+         kind == RoutingKind::kInTransitCrg ||
+         kind == RoutingKind::kInTransitMm;
+}
+
+const char* to_string(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::kUniform: return "UN";
+    case TrafficKind::kAdversarial: return "ADV";
+    case TrafficKind::kAdvConsecutive: return "ADVc";
+    case TrafficKind::kPlacement: return "placement";
+    case TrafficKind::kShift: return "shift";
+    case TrafficKind::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+TrafficKind traffic_kind_from_string(const std::string& name) {
+  if (name == "UN") return TrafficKind::kUniform;
+  if (name == "ADV") return TrafficKind::kAdversarial;
+  if (name == "ADVc") return TrafficKind::kAdvConsecutive;
+  if (name == "placement") return TrafficKind::kPlacement;
+  if (name == "shift") return TrafficKind::kShift;
+  if (name == "hotspot") return TrafficKind::kHotspot;
+  throw std::invalid_argument("unknown traffic kind: " + name);
+}
+
+void SimConfig::apply_vc_defaults() {
+  local_vcs = is_in_transit(routing) ? 3 : 4;
+  global_vcs = 2;
+  injection_vcs = 3;
+}
+
+SimConfig SimConfig::small(int h) {
+  SimConfig cfg;
+  cfg.topo = DragonflyParams::balanced(h);
+  cfg.warmup_cycles = 4'000;
+  cfg.measure_cycles = 8'000;
+  return cfg;
+}
+
+SimConfig SimConfig::paper() {
+  SimConfig cfg;
+  cfg.topo = DragonflyParams::balanced(6);
+  cfg.warmup_cycles = 10'000;
+  cfg.measure_cycles = 15'000;
+  return cfg;
+}
+
+void SimConfig::validate() const {
+  if (!topo.valid()) throw std::invalid_argument("invalid topology parameters");
+  if (packet_size <= 0) throw std::invalid_argument("packet_size must be > 0");
+  if (local_input_buffer < packet_size || global_input_buffer < packet_size ||
+      output_queue_size < packet_size) {
+    throw std::invalid_argument("buffers must hold at least one packet");
+  }
+  if (global_vcs < 2) {
+    throw std::invalid_argument("deadlock avoidance needs >= 2 global VCs");
+  }
+  if (local_vcs < 3) {
+    throw std::invalid_argument("deadlock avoidance needs >= 3 local VCs");
+  }
+  if (injection_vcs < 1) throw std::invalid_argument("need >= 1 injection VC");
+  if (load < 0.0 || load > static_cast<double>(packet_size)) {
+    throw std::invalid_argument("load out of range");
+  }
+  if (allocator_iterations < 1 || max_grants_per_output < 1 ||
+      max_grants_per_input < 1) {
+    throw std::invalid_argument("allocator parameters must be >= 1");
+  }
+  if (intransit_threshold <= 0.0 || intransit_threshold > 1.0) {
+    throw std::invalid_argument("in-transit threshold must be in (0,1]");
+  }
+  if (warmup_cycles < 0 || measure_cycles <= 0) {
+    throw std::invalid_argument("bad warmup/measure window");
+  }
+  if (node_queue_capacity < 1) {
+    throw std::invalid_argument("node queue capacity must be >= 1");
+  }
+  if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
+    throw std::invalid_argument("hotspot fraction must be in [0,1]");
+  }
+}
+
+}  // namespace dragonfly

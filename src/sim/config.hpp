@@ -1,0 +1,116 @@
+// Simulation configuration. Defaults mirror Table I of the paper; the
+// scaled-down preset used by the bench harness shrinks only the topology
+// and the measurement window, never the router microarchitecture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "topology/arrangement.hpp"
+
+namespace dragonfly {
+
+/// Which routing mechanism/policy combination to run — the seven
+/// configurations evaluated in the paper plus the minimal baseline.
+enum class RoutingKind : std::uint8_t {
+  kMinimal,        ///< MIN: oblivious shortest path
+  kObliviousRrg,   ///< Valiant, intermediate group anywhere
+  kObliviousCrg,   ///< Valiant restricted to groups on the source router
+  kObliviousNrg,   ///< Valiant restricted to groups on *other* routers (extension)
+  kSourceRrg,      ///< PiggyBack source-adaptive, RRG non-minimal paths
+  kSourceCrg,      ///< PiggyBack source-adaptive, CRG non-minimal paths
+  kInTransitRrg,   ///< in-transit adaptive (PAR/OLM), RRG policy
+  kInTransitCrg,   ///< in-transit adaptive (PAR/OLM), CRG policy
+  kInTransitMm,    ///< in-transit adaptive, Mixed-mode (CRG@source, NRG in transit)
+  kUgalRrg,        ///< UGAL-L source-adaptive, RRG paths (extension)
+  kUgalCrg,        ///< UGAL-L source-adaptive, CRG paths (extension)
+};
+
+const char* to_string(RoutingKind kind);
+RoutingKind routing_kind_from_string(const std::string& name);
+bool is_oblivious(RoutingKind kind);
+bool is_source_adaptive(RoutingKind kind);
+bool is_in_transit(RoutingKind kind);
+
+/// Traffic pattern selector (see src/traffic).
+enum class TrafficKind : std::uint8_t {
+  kUniform,      ///< UN: uniform random over all nodes
+  kAdversarial,  ///< ADV+k: every node targets group (own + offset)
+  kAdvConsecutive,  ///< ADVc: random among the next h consecutive groups
+  kPlacement,    ///< uniform traffic inside a consecutive-group job (Sec. III)
+  kShift,        ///< node-level shift permutation: dst = src + k nodes (extension)
+  kHotspot,      ///< UN with a fraction of traffic aimed at one hot node (extension)
+};
+
+const char* to_string(TrafficKind kind);
+TrafficKind traffic_kind_from_string(const std::string& name);
+
+struct SimConfig {
+  // --- topology (Table I: h=6, a=12, p=6, 73 groups, 5256 nodes) ---------
+  DragonflyParams topo = DragonflyParams::balanced(6);
+  std::string arrangement = "palmtree";
+
+  // --- timing --------------------------------------------------------------
+  Cycle local_latency = 10;   ///< cycles; 2 m wires @10 bytes/cycle
+  Cycle global_latency = 100; ///< cycles; 20 m wires
+  int pipeline_latency = 5;   ///< router pipeline depth (cycles)
+  int packet_size = 8;        ///< phits per packet
+
+  // --- buffering (phits) -----------------------------------------------------
+  int output_queue_size = 32;
+  int local_input_buffer = 32;   ///< per VC (also injection inputs)
+  int global_input_buffer = 256; ///< per VC
+
+  // --- virtual channels ------------------------------------------------------
+  int global_vcs = 2;
+  int local_vcs = 3;      ///< 4 for oblivious/source-adaptive (Table I)
+  int injection_vcs = 3;
+
+  // --- allocator ("iterative separable batch", 2x internal speedup) -------
+  int allocator_iterations = 3;
+  int max_grants_per_output = 2;
+  int max_grants_per_input = 2;
+  bool transit_priority = true;   ///< transit-over-injection priority (Sec. V-A vs V-C)
+  bool age_arbitration = false;   ///< explicit fairness mechanism (paper Sec. VI future work)
+
+  // --- adaptive routing -------------------------------------------------------
+  double intransit_threshold = 0.43;  ///< Table I congestion threshold
+  double pb_threshold_local = 5.0;    ///< PiggyBack T, local links
+  double pb_threshold_global = 3.0;   ///< PiggyBack T, global links
+
+  // --- routing / traffic -------------------------------------------------------
+  RoutingKind routing = RoutingKind::kMinimal;
+  TrafficKind traffic = TrafficKind::kUniform;
+  int adversarial_offset = 1;  ///< k of ADV+k
+  int placement_first_group = 0;
+  int placement_num_groups = 0;  ///< 0 => h+1 groups
+  int shift_offset_nodes = 0;    ///< 0 => one full group of nodes
+  double hotspot_fraction = 0.1; ///< share of traffic sent to the hot node
+  NodeId hotspot_node = 0;
+
+  // --- injection ---------------------------------------------------------------
+  double load = 0.1;          ///< offered phits/(node*cycle), Bernoulli
+  int node_queue_capacity = 64;  ///< packets; source stalls when full
+
+  // --- run control ---------------------------------------------------------------
+  Cycle warmup_cycles = 10'000;
+  Cycle measure_cycles = 15'000;
+  std::uint64_t seed = 1;
+
+  /// Apply the per-mechanism VC counts of Table I (4 local VCs for
+  /// oblivious and source-adaptive mechanisms, 3 for in-transit).
+  void apply_vc_defaults();
+
+  /// Scaled-down preset for tests/benches: balanced dragonfly of radix h,
+  /// shorter windows. Keeps every microarchitectural parameter.
+  static SimConfig small(int h);
+
+  /// Paper-scale preset (Table I).
+  static SimConfig paper();
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+};
+
+}  // namespace dragonfly

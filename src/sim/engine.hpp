@@ -1,0 +1,58 @@
+// Simulation engine: warmup + measurement windows (Sec. IV-A), result
+// extraction and a deadlock watchdog.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/fairness.hpp"
+#include "metrics/latency.hpp"
+#include "sim/config.hpp"
+#include "sim/network.hpp"
+
+namespace dragonfly {
+
+/// Results of one simulation run at one offered load.
+struct SimResult {
+  double offered_load = 0.0;   ///< configured phits/(node*cycle)
+  double accepted_load = 0.0;  ///< delivered phits/(node*cycle), window
+  double avg_latency = 0.0;    ///< cycles, packets delivered in window
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  double max_latency = 0.0;
+  LatencyComponents components;
+  double avg_local_hops = 0.0;
+  double avg_global_hops = 0.0;
+  std::int64_t delivered_packets = 0;
+  std::int64_t generated_packets = 0;
+  /// Injected packets per router during the window (all routers).
+  std::vector<std::int64_t> injections_per_router;
+  FairnessReport fairness;  ///< over all routers with generating nodes
+};
+
+class Engine {
+ public:
+  explicit Engine(const SimConfig& cfg);
+
+  /// Run warmup + measurement and return the collected results.
+  SimResult run();
+
+  /// Step-by-step access for tests and custom loops.
+  Network& network() { return net_; }
+  void run_cycles(Cycle cycles);
+  SimResult collect() const;
+
+ private:
+  void check_progress();
+
+  SimConfig cfg_;
+  Network net_;
+  Cycle last_watchdog_check_ = 0;
+  std::int64_t last_progress_ = -1;
+  std::size_t last_live_ = 0;
+};
+
+/// Convenience: configure, run, return (used by the experiment runner).
+SimResult run_simulation(const SimConfig& cfg);
+
+}  // namespace dragonfly

@@ -1,0 +1,186 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace dragonfly {
+
+Network::Network(const SimConfig& cfg)
+    : cfg_(cfg),
+      topo_(cfg.topo, make_arrangement(cfg.arrangement)),
+      routing_(make_routing(topo_, cfg_)),
+      traffic_(make_traffic(topo_, cfg_)),
+      collector_(topo_, cfg_) {
+  cfg_.validate();
+  build();
+}
+
+void Network::build() {
+  const Rng root(cfg_.seed);
+  const int R = topo_.num_routers();
+  const int N = topo_.num_nodes();
+  const int p = topo_.params().p;
+
+  routers_.reserve(static_cast<std::size_t>(R));
+  for (RouterId r = 0; r < R; ++r) {
+    routers_.push_back(std::make_unique<Router>(
+        topo_, cfg_, r, routing_.get(), &store_, this,
+        root.child(0x1000000ull + static_cast<std::uint64_t>(r))));
+  }
+
+  // Wiring. Input port X of a router mirrors output port X of its peer.
+  for (RouterId r = 0; r < R; ++r) {
+    Router& router = *routers_[static_cast<std::size_t>(r)];
+    // Injection inputs / ejection outputs (one per attached node).
+    for (int i = 0; i < p; ++i) {
+      router.wire_input(topo_.injection_port(i), PortKind::kInjection,
+                        kInvalidRouter, kInvalidPort, 0);
+      router.wire_output(topo_.ejection_port(i), PortKind::kEjection,
+                         kInvalidRouter, kInvalidPort, 0);
+    }
+    // Local links.
+    for (PortId port = topo_.first_local_port();
+         port < topo_.first_global_port(); ++port) {
+      const RouterId peer = topo_.local_peer(r, port);
+      const PortId peer_port = topo_.local_port_to(peer, r);
+      router.wire_output(port, PortKind::kLocal, peer, peer_port,
+                         cfg_.local_latency);
+      router.wire_input(port, PortKind::kLocal, peer, peer_port,
+                        cfg_.local_latency);
+    }
+    // Global links.
+    for (PortId port = topo_.first_global_port();
+         port < topo_.ports_per_router(); ++port) {
+      const RouterId peer = topo_.global_peer(r, port);
+      const PortId peer_port = topo_.global_peer_port(r, port);
+      router.wire_output(port, PortKind::kGlobal, peer, peer_port,
+                         cfg_.global_latency);
+      router.wire_input(port, PortKind::kGlobal, peer, peer_port,
+                        cfg_.global_latency);
+    }
+  }
+
+  nodes_.reserve(static_cast<std::size_t>(N));
+  for (NodeId n = 0; n < N; ++n) {
+    nodes_.emplace_back(n, routers_[static_cast<std::size_t>(
+                               topo_.router_of_node(n))].get(),
+                        traffic_.get(), routing_.get(), &store_, &cfg_,
+                        root.child(static_cast<std::uint64_t>(n)));
+    if (nodes_.back().generates()) ++generating_nodes_;
+  }
+}
+
+void Network::step() {
+  // 1. Dispatch all events due this cycle.
+  while (!events_.empty() && events_.top().when <= now_) {
+    const Event ev = events_.top();
+    events_.pop();
+    dispatch(ev);
+  }
+  // 2. Global routing state (PiggyBack's in-group broadcast).
+  routing_->refresh(std::span<const std::unique_ptr<Router>>(routers_));
+  // 3. Traffic generation and injection.
+  const bool measuring = collector_.measuring();
+  for (auto& node : nodes_) node.step(now_, measuring);
+  // 4. Switch allocation in every router.
+  for (auto& router : routers_) router->allocate(now_);
+  // 5. Link transmission.
+  for (auto& router : routers_) router->transmit(now_);
+  ++now_;
+}
+
+void Network::dispatch(const Event& ev) {
+  switch (ev.type) {
+    case Event::Type::kPacket:
+      routers_[static_cast<std::size_t>(ev.router)]->packet_arrival(
+          ev.port, ev.vc, ev.pkt, ev.when);
+      break;
+    case Event::Type::kCredit:
+      routers_[static_cast<std::size_t>(ev.router)]->credit_arrival(
+          ev.port, ev.vc, ev.phits);
+      break;
+    case Event::Type::kDelivery: {
+      const Packet& pkt = store_[ev.pkt];
+      collector_.on_delivered(pkt, ev.when);
+      store_.destroy(ev.pkt);
+      break;
+    }
+  }
+}
+
+void Network::begin_measurement() {
+  collector_.begin_measurement(now_);
+  for (auto& router : routers_) {
+    router->reset_measured_counters();
+    router->set_measuring(true);
+  }
+  for (auto& node : nodes_) node.reset_measured_counters();
+}
+
+void Network::end_measurement() {
+  collector_.end_measurement(now_);
+  for (auto& router : routers_) router->set_measuring(false);
+}
+
+void Network::schedule_packet(RouterId router, PortId port, VcId vc,
+                              PacketRef pkt, Cycle when) {
+  Event ev;
+  ev.when = when;
+  ev.seq = event_seq_++;
+  ev.type = Event::Type::kPacket;
+  ev.router = router;
+  ev.port = port;
+  ev.vc = vc;
+  ev.pkt = pkt;
+  events_.push(ev);
+}
+
+void Network::schedule_credit(RouterId router, PortId out_port, VcId vc,
+                              int phits, Cycle when) {
+  Event ev;
+  ev.when = when;
+  ev.seq = event_seq_++;
+  ev.type = Event::Type::kCredit;
+  ev.router = router;
+  ev.port = out_port;
+  ev.vc = vc;
+  ev.phits = phits;
+  events_.push(ev);
+}
+
+void Network::schedule_delivery(PacketRef pkt, Cycle when) {
+  Event ev;
+  ev.when = when;
+  ev.seq = event_seq_++;
+  ev.type = Event::Type::kDelivery;
+  ev.pkt = pkt;
+  events_.push(ev);
+}
+
+std::int64_t Network::generated_packets_total() const {
+  std::int64_t sum = 0;
+  for (const auto& node : nodes_) sum += node.generated_total();
+  return sum;
+}
+
+std::int64_t Network::generated_packets_measured() const {
+  std::int64_t sum = 0;
+  for (const auto& node : nodes_) sum += node.generated_measured();
+  return sum;
+}
+
+std::vector<std::int64_t> Network::injections_per_router() const {
+  std::vector<std::int64_t> out;
+  out.reserve(routers_.size());
+  for (const auto& router : routers_) {
+    out.push_back(router->injected_packets_measured());
+  }
+  return out;
+}
+
+std::int64_t Network::total_forward_progress() const {
+  std::int64_t sum = 0;
+  for (const auto& router : routers_) sum += router->forwarded_packets_total();
+  return sum;
+}
+
+}  // namespace dragonfly

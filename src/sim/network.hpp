@@ -1,0 +1,102 @@
+// Network: builds the full dragonfly (topology, routers, nodes, wiring),
+// owns the event queue and advances the simulation cycle by cycle.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metrics/collector.hpp"
+#include "router/packet.hpp"
+#include "router/router.hpp"
+#include "routing/routing.hpp"
+#include "sim/config.hpp"
+#include "sim/node.hpp"
+#include "topology/dragonfly.hpp"
+#include "traffic/pattern.hpp"
+
+namespace dragonfly {
+
+class Network final : public EventSink {
+ public:
+  explicit Network(const SimConfig& cfg);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Advance one link-clock cycle: dispatch due events, refresh global
+  /// routing state, step nodes, allocate and transmit in every router.
+  void step();
+  Cycle now() const { return now_; }
+
+  void begin_measurement();
+  void end_measurement();
+
+  // --- EventSink -----------------------------------------------------------
+  void schedule_packet(RouterId router, PortId port, VcId vc, PacketRef pkt,
+                       Cycle when) override;
+  void schedule_credit(RouterId router, PortId out_port, VcId vc, int phits,
+                       Cycle when) override;
+  void schedule_delivery(PacketRef pkt, Cycle when) override;
+
+  // --- accessors -------------------------------------------------------------
+  const SimConfig& config() const { return cfg_; }
+  const DragonflyTopology& topology() const { return topo_; }
+  RoutingAlgorithm& routing() { return *routing_; }
+  const TrafficPattern& traffic() const { return *traffic_; }
+  MetricsCollector& collector() { return collector_; }
+  const MetricsCollector& collector() const { return collector_; }
+  PacketStore& packets() { return store_; }
+  Router& router(RouterId id) { return *routers_[static_cast<std::size_t>(id)]; }
+  const Router& router(RouterId id) const {
+    return *routers_[static_cast<std::size_t>(id)];
+  }
+  Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+  int num_routers() const { return topo_.num_routers(); }
+  int num_nodes() const { return topo_.num_nodes(); }
+  /// Nodes that generate traffic under the configured pattern.
+  int generating_nodes() const { return generating_nodes_; }
+
+  std::int64_t generated_packets_total() const;
+  std::int64_t generated_packets_measured() const;
+  /// Per-router injected packets during the measured window.
+  std::vector<std::int64_t> injections_per_router() const;
+  /// Sum of forwarded-packet counters, for deadlock detection.
+  std::int64_t total_forward_progress() const;
+
+ private:
+  struct Event {
+    Cycle when = 0;
+    std::int64_t seq = 0;  ///< insertion order: deterministic tie-break
+    enum class Type : std::uint8_t { kPacket, kCredit, kDelivery } type =
+        Type::kPacket;
+    RouterId router = kInvalidRouter;
+    PortId port = kInvalidPort;
+    VcId vc = kInvalidVc;
+    int phits = 0;
+    PacketRef pkt = kNoPacket;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  void build();
+  void dispatch(const Event& ev);
+
+  SimConfig cfg_;
+  DragonflyTopology topo_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  std::unique_ptr<TrafficPattern> traffic_;
+  PacketStore store_;
+  MetricsCollector collector_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<Node> nodes_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  Cycle now_ = 0;
+  std::int64_t event_seq_ = 0;
+  int generating_nodes_ = 0;
+};
+
+}  // namespace dragonfly

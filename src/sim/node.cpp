@@ -1,0 +1,67 @@
+#include "sim/node.hpp"
+
+namespace dragonfly {
+
+Node::Node(NodeId id, Router* router, const TrafficPattern* pattern,
+           RoutingAlgorithm* routing, PacketStore* store, const SimConfig* cfg,
+           Rng rng)
+    : id_(id),
+      router_(router),
+      pattern_(pattern),
+      routing_(routing),
+      store_(store),
+      cfg_(cfg),
+      rng_(rng),
+      generates_(pattern->generates(id)),
+      inj_port_(router->topology().injection_port(
+          router->topology().node_index_in_router(id))) {}
+
+void Node::step(Cycle now, bool measuring) {
+  // --- generation (Bernoulli process in packets) -------------------------
+  if (generates_ &&
+      queue_.size() < static_cast<std::size_t>(cfg_->node_queue_capacity) &&
+      rng_.bernoulli(cfg_->load / static_cast<double>(cfg_->packet_size))) {
+    const NodeId dst = pattern_->destination(id_, rng_);
+    if (dst != kInvalidNode) {
+      const PacketRef ref = store_->create();
+      Packet& pkt = (*store_)[ref];
+      pkt.id = (static_cast<PacketId>(id_) << 32) | generated_total_;
+      pkt.src = id_;
+      pkt.dst = dst;
+      pkt.size_phits = cfg_->packet_size;
+      pkt.t_gen = now;
+      pkt.current_router = router_->id();
+      routing_->on_inject(*router_, pkt, rng_);
+      queue_.push_back(ref);
+      ++generated_total_;
+      if (measuring) ++generated_measured_;
+    }
+  }
+
+  // --- injection into the router (1 phit/cycle node link) -----------------
+  if (queue_.empty() || now < next_inject_allowed_) return;
+  const PacketRef head = queue_.front();
+  const int size = (*store_)[head].size_phits;
+  // The injection port's VC buffers act as one logical injection queue:
+  // keep the standing in-router backlog bounded to one buffer's worth so
+  // saturation shows up as source backpressure, not as an ever-deeper
+  // injection queue (FOGSim behaves the same way; see DESIGN.md).
+  if (router_->input(inj_port_).total_occupancy() + size >
+      cfg_->local_input_buffer) {
+    return;
+  }
+  // Spread packets over the injection VCs round-robin; take the first one
+  // with room, starting from the rotating pointer.
+  for (int probe = 0; probe < cfg_->injection_vcs; ++probe) {
+    const VcId vc = static_cast<VcId>((next_vc_ + probe) % cfg_->injection_vcs);
+    if (router_->can_accept_injection(inj_port_, vc, size)) {
+      router_->inject(inj_port_, vc, head, now);
+      queue_.pop_front();
+      next_vc_ = static_cast<VcId>((vc + 1) % cfg_->injection_vcs);
+      next_inject_allowed_ = now + size;
+      return;
+    }
+  }
+}
+
+}  // namespace dragonfly

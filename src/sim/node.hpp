@@ -1,0 +1,54 @@
+// Compute node model: Bernoulli packet generation (Sec. IV-A) feeding a
+// finite source queue, injected into the router at link rate.
+#pragma once
+
+#include <deque>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "router/packet.hpp"
+#include "router/router.hpp"
+#include "sim/config.hpp"
+#include "traffic/pattern.hpp"
+
+namespace dragonfly {
+
+class Node {
+ public:
+  Node(NodeId id, Router* router, const TrafficPattern* pattern,
+       RoutingAlgorithm* routing, PacketStore* store, const SimConfig* cfg,
+       Rng rng);
+
+  NodeId id() const { return id_; }
+  bool generates() const { return generates_; }
+
+  /// One simulation cycle: possibly generate a packet (Bernoulli with
+  /// probability load/packet_size, stalled while the source queue is
+  /// full), then move the queue head into an injection VC buffer of the
+  /// router (at most one packet every packet_size cycles: the node link
+  /// carries one phit per cycle).
+  void step(Cycle now, bool measuring);
+
+  std::int64_t generated_total() const { return generated_total_; }
+  std::int64_t generated_measured() const { return generated_measured_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  void reset_measured_counters() { generated_measured_ = 0; }
+
+ private:
+  NodeId id_;
+  Router* router_;
+  const TrafficPattern* pattern_;
+  RoutingAlgorithm* routing_;
+  PacketStore* store_;
+  const SimConfig* cfg_;
+  Rng rng_;
+  bool generates_;
+  PortId inj_port_;
+  std::deque<PacketRef> queue_;
+  VcId next_vc_ = 0;
+  Cycle next_inject_allowed_ = 0;
+  std::int64_t generated_total_ = 0;
+  std::int64_t generated_measured_ = 0;
+};
+
+}  // namespace dragonfly

@@ -1,0 +1,95 @@
+#include "topology/arrangement.hpp"
+
+#include <stdexcept>
+
+namespace dragonfly {
+
+namespace {
+
+int positive_mod(long long x, int m) {
+  const long long r = x % m;
+  return static_cast<int>(r < 0 ? r + m : r);
+}
+
+class Palmtree final : public Arrangement {
+ public:
+  std::string name() const override { return "palmtree"; }
+
+  GroupId target_group(const DragonflyParams& params, GroupId g, int r,
+                       int k) const override {
+    const int j = r * params.h + k;
+    return positive_mod(static_cast<long long>(g) - j - 1,
+                        params.num_groups());
+  }
+
+  GlobalEndpoint peer_of(const DragonflyParams& params, GroupId g, int r,
+                         int k) const override {
+    // Link index j of group g reaches g' = g - j - 1. Seen from g', our
+    // group sits at link index j' with j + j' = a*h - 1 (the wiring is an
+    // involution on link indices).
+    const int j = r * params.h + k;
+    const GroupId gp = target_group(params, g, r, k);
+    const int jp = params.global_links_per_group() - 1 - j;
+    return {gp, jp / params.h, jp % params.h};
+  }
+
+  GlobalEndpoint exit_towards(const DragonflyParams& params, GroupId g,
+                              GroupId target) const override {
+    // Offset d = target - g (mod G) in [1, a*h] maps to link index
+    // j = a*h - d.
+    const int G = params.num_groups();
+    const int d = positive_mod(static_cast<long long>(target) - g, G);
+    if (d == 0) throw std::invalid_argument("exit_towards: same group");
+    const int j = params.global_links_per_group() - d;
+    return {g, j / params.h, j % params.h};
+  }
+};
+
+class Consecutive final : public Arrangement {
+ public:
+  std::string name() const override { return "consecutive"; }
+
+  GroupId target_group(const DragonflyParams& params, GroupId g, int r,
+                       int k) const override {
+    const int j = r * params.h + k;
+    return positive_mod(static_cast<long long>(g) + j + 1,
+                        params.num_groups());
+  }
+
+  GlobalEndpoint peer_of(const DragonflyParams& params, GroupId g, int r,
+                         int k) const override {
+    // Link j reaches g' = g + j + 1; from g', g is at offset
+    // G - (j+1), i.e. link index j' = G - j - 2 = a*h - j - 1.
+    const int j = r * params.h + k;
+    const GroupId gp = target_group(params, g, r, k);
+    const int jp = params.global_links_per_group() - 1 - j;
+    return {gp, jp / params.h, jp % params.h};
+  }
+
+  GlobalEndpoint exit_towards(const DragonflyParams& params, GroupId g,
+                              GroupId target) const override {
+    const int G = params.num_groups();
+    const int d = positive_mod(static_cast<long long>(target) - g, G);
+    if (d == 0) throw std::invalid_argument("exit_towards: same group");
+    const int j = d - 1;
+    return {g, j / params.h, j % params.h};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Arrangement> make_palmtree() {
+  return std::make_unique<Palmtree>();
+}
+
+std::unique_ptr<Arrangement> make_consecutive() {
+  return std::make_unique<Consecutive>();
+}
+
+std::unique_ptr<Arrangement> make_arrangement(const std::string& name) {
+  if (name == "palmtree") return make_palmtree();
+  if (name == "consecutive") return make_consecutive();
+  throw std::invalid_argument("unknown arrangement: " + name);
+}
+
+}  // namespace dragonfly

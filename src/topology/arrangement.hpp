@@ -1,0 +1,82 @@
+// Global link arrangements: how the a*h global links of each group are
+// distributed among routers and wired to the other groups.
+//
+// The paper uses the *palmtree* arrangement [Camarero et al., TACO 2014].
+// Under palmtree, the minimal route to the next h consecutive groups
+// (+1..+h) leaves through the LAST router of the group (R11 in the
+// paper's 12-router groups) — the ADVc "bottleneck router" — while
+// traffic arriving from groups -1..-h enters through router 0. We also
+// provide the naive *consecutive* arrangement for ablation studies.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dragonfly {
+
+/// Parameters of a canonical dragonfly (complete graphs at both levels).
+struct DragonflyParams {
+  int p = 0;  ///< nodes per router
+  int a = 0;  ///< routers per group
+  int h = 0;  ///< global links per router
+
+  /// Balanced canonical dragonfly of the paper: a = 2h, p = h,
+  /// G = a*h + 1 groups.
+  static DragonflyParams balanced(int h) { return {h, 2 * h, h}; }
+
+  int num_groups() const { return a * h + 1; }
+  int num_routers() const { return num_groups() * a; }
+  int num_nodes() const { return num_routers() * p; }
+  int global_links_per_group() const { return a * h; }
+  bool valid() const { return p >= 1 && a >= 1 && h >= 1; }
+};
+
+/// One endpoint of a global link, identified from inside a group.
+struct GlobalEndpoint {
+  GroupId group = kInvalidGroup;
+  int router_in_group = -1;  ///< r in [0, a)
+  int global_port = -1;      ///< k in [0, h), the router's k-th global port
+};
+
+/// Abstract global-link arrangement. Implementations must describe a
+/// consistent bidirectional wiring: if (g,r,k) connects to group g', then
+/// some port of g' connects back to g, and `peer_of` returns exactly that
+/// port. Canonical dragonflies have exactly one link between each pair of
+/// distinct groups.
+class Arrangement {
+ public:
+  virtual ~Arrangement() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Group reached by global port k of router r in group g.
+  virtual GroupId target_group(const DragonflyParams& params, GroupId g,
+                               int r, int k) const = 0;
+
+  /// The endpoint on the other side of (g, r, k)'s link.
+  virtual GlobalEndpoint peer_of(const DragonflyParams& params, GroupId g,
+                                 int r, int k) const = 0;
+
+  /// The local endpoint inside group g whose global link reaches `target`.
+  /// Exactly one exists in a canonical dragonfly.
+  virtual GlobalEndpoint exit_towards(const DragonflyParams& params,
+                                      GroupId g, GroupId target) const = 0;
+};
+
+/// Palmtree arrangement: group g, router r, global port k connects to
+/// group (g - (r*h + k) - 1) mod G. The link to offset +d (d in [1, a*h])
+/// uses link index j = a*h - d, i.e. router floor(j/h). Offsets +1..+h
+/// all exit via router a-1 (the ADVc bottleneck).
+std::unique_ptr<Arrangement> make_palmtree();
+
+/// Consecutive arrangement: link index j = r*h + k of group g connects to
+/// group offset +(j+1), so offsets +1..+h exit via router 0. Used by the
+/// arrangement-sensitivity ablation.
+std::unique_ptr<Arrangement> make_consecutive();
+
+/// Factory by name ("palmtree" | "consecutive").
+std::unique_ptr<Arrangement> make_arrangement(const std::string& name);
+
+}  // namespace dragonfly

@@ -1,0 +1,160 @@
+#include "topology/dragonfly.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dragonfly {
+
+DragonflyTopology::DragonflyTopology(DragonflyParams params,
+                                     std::unique_ptr<Arrangement> arrangement)
+    : params_(params), arrangement_(std::move(arrangement)) {
+  if (!params_.valid()) {
+    throw std::invalid_argument("DragonflyTopology: invalid parameters");
+  }
+  if (!arrangement_) {
+    throw std::invalid_argument("DragonflyTopology: null arrangement");
+  }
+}
+
+DragonflyTopology DragonflyTopology::balanced_palmtree(int h) {
+  return DragonflyTopology(DragonflyParams::balanced(h), make_palmtree());
+}
+
+PortKind DragonflyTopology::input_port_kind(PortId port) const {
+  if (port < params_.p) return PortKind::kInjection;
+  if (port < first_global_port()) return PortKind::kLocal;
+  return PortKind::kGlobal;
+}
+
+PortKind DragonflyTopology::output_port_kind(PortId port) const {
+  if (port < params_.p) return PortKind::kEjection;
+  if (port < first_global_port()) return PortKind::kLocal;
+  return PortKind::kGlobal;
+}
+
+PortId DragonflyTopology::local_port_to(RouterId from, RouterId to) const {
+  if (group_of_router(from) != group_of_router(to) || from == to) {
+    throw std::invalid_argument("local_port_to: not a local pair");
+  }
+  const int rf = router_in_group(from);
+  const int rt = router_in_group(to);
+  // Local port l in [0, a-1) of router rf connects to router (l < rf ? l
+  // : l + 1): every router skips itself in the enumeration.
+  const int l = rt < rf ? rt : rt - 1;
+  return first_local_port() + l;
+}
+
+RouterId DragonflyTopology::local_peer(RouterId r, PortId port) const {
+  const int l = port - first_local_port();
+  if (l < 0 || l >= params_.a - 1) {
+    throw std::invalid_argument("local_peer: not a local port");
+  }
+  const int rf = router_in_group(r);
+  const int rt = l < rf ? l : l + 1;
+  return router_id(group_of_router(r), rt);
+}
+
+RouterId DragonflyTopology::global_peer(RouterId r, PortId port) const {
+  const int k = global_index_of_port(port);
+  const GlobalEndpoint peer = arrangement_->peer_of(
+      params_, group_of_router(r), router_in_group(r), k);
+  return router_id(peer.group, peer.router_in_group);
+}
+
+PortId DragonflyTopology::global_peer_port(RouterId r, PortId port) const {
+  const int k = global_index_of_port(port);
+  const GlobalEndpoint peer = arrangement_->peer_of(
+      params_, group_of_router(r), router_in_group(r), k);
+  return global_port(peer.global_port);
+}
+
+GroupId DragonflyTopology::global_target_group(RouterId r, PortId port) const {
+  const int k = global_index_of_port(port);
+  return arrangement_->target_group(params_, group_of_router(r),
+                                    router_in_group(r), k);
+}
+
+RouterId DragonflyTopology::exit_router(GroupId from, GroupId to) const {
+  const GlobalEndpoint e = arrangement_->exit_towards(params_, from, to);
+  return router_id(e.group, e.router_in_group);
+}
+
+PortId DragonflyTopology::exit_port(GroupId from, GroupId to) const {
+  const GlobalEndpoint e = arrangement_->exit_towards(params_, from, to);
+  return global_port(e.global_port);
+}
+
+PortId DragonflyTopology::minimal_output(RouterId at, NodeId dst) const {
+  const RouterId dst_router = router_of_node(dst);
+  if (at == dst_router) return ejection_port(node_index_in_router(dst));
+  const GroupId gat = group_of_router(at);
+  const GroupId gdst = group_of_router(dst_router);
+  if (gat == gdst) return local_port_to(at, dst_router);
+  const GlobalEndpoint e = arrangement_->exit_towards(params_, gat, gdst);
+  const RouterId exit = router_id(e.group, e.router_in_group);
+  if (exit == at) return global_port(e.global_port);
+  return local_port_to(at, exit);
+}
+
+PathLengths DragonflyTopology::minimal_lengths_router(RouterId src,
+                                                      RouterId dst) const {
+  PathLengths len;
+  if (src == dst) return len;
+  const GroupId gs = group_of_router(src);
+  const GroupId gd = group_of_router(dst);
+  if (gs == gd) {
+    len.local = 1;
+    return len;
+  }
+  const RouterId exit = exit_router(gs, gd);
+  const RouterId entry = global_peer(exit, exit_port(gs, gd));
+  len.global = 1;
+  if (exit != src) len.local += 1;
+  if (entry != dst) len.local += 1;
+  return len;
+}
+
+PathLengths DragonflyTopology::minimal_lengths(NodeId src, NodeId dst) const {
+  return minimal_lengths_router(router_of_node(src), router_of_node(dst));
+}
+
+void DragonflyTopology::validate() const {
+  const int G = num_groups();
+  // Each ordered pair of distinct groups must be covered by exactly one
+  // link endpoint, and peer_of must be an involution.
+  std::vector<int> seen(static_cast<std::size_t>(G) * G, 0);
+  for (GroupId g = 0; g < G; ++g) {
+    for (int r = 0; r < params_.a; ++r) {
+      for (int k = 0; k < params_.h; ++k) {
+        const GroupId tgt = arrangement_->target_group(params_, g, r, k);
+        if (tgt == g) throw std::logic_error("arrangement: self link");
+        ++seen[static_cast<std::size_t>(g) * G + tgt];
+        const GlobalEndpoint peer = arrangement_->peer_of(params_, g, r, k);
+        if (peer.group != tgt) {
+          throw std::logic_error("arrangement: peer group mismatch");
+        }
+        const GlobalEndpoint back = arrangement_->peer_of(
+            params_, peer.group, peer.router_in_group, peer.global_port);
+        if (back.group != g || back.router_in_group != r ||
+            back.global_port != k) {
+          throw std::logic_error("arrangement: peer_of not involutive");
+        }
+        const GlobalEndpoint exit = arrangement_->exit_towards(params_, g, tgt);
+        if (exit.router_in_group != r || exit.global_port != k) {
+          throw std::logic_error("arrangement: exit_towards inconsistent");
+        }
+      }
+    }
+  }
+  for (GroupId g = 0; g < G; ++g) {
+    for (GroupId t = 0; t < G; ++t) {
+      const int expect = g == t ? 0 : 1;
+      if (seen[static_cast<std::size_t>(g) * G + t] != expect) {
+        throw std::logic_error("arrangement: group pair coverage != 1");
+      }
+    }
+  }
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,245 @@
+#include "traffic/pattern.hpp"
+
+#include <stdexcept>
+
+namespace dragonfly {
+
+namespace {
+
+class Uniform final : public TrafficPattern {
+ public:
+  explicit Uniform(const DragonflyTopology& topo) : topo_(topo) {}
+
+  std::string name() const override { return "UN"; }
+
+  NodeId destination(NodeId src, Rng& rng) const override {
+    // Uniform over all nodes except the source itself.
+    auto dst = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(topo_.num_nodes() - 1)));
+    if (dst >= src) ++dst;
+    return dst;
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+};
+
+class Adversarial final : public TrafficPattern {
+ public:
+  Adversarial(const DragonflyTopology& topo, int offset)
+      : topo_(topo), offset_(offset) {
+    if (offset_ <= 0 || offset_ >= topo.num_groups()) {
+      throw std::invalid_argument("ADV offset out of range");
+    }
+  }
+
+  std::string name() const override {
+    return "ADV+" + std::to_string(offset_);
+  }
+
+  NodeId destination(NodeId src, Rng& rng) const override {
+    const GroupId g =
+        (topo_.group_of_node(src) + offset_) % topo_.num_groups();
+    return random_node_in_group(topo_, g, rng);
+  }
+
+  static NodeId random_node_in_group(const DragonflyTopology& topo, GroupId g,
+                                     Rng& rng) {
+    const int per_group = topo.params().a * topo.params().p;
+    const auto idx =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(per_group)));
+    const RouterId router = topo.router_id(g, idx / topo.params().p);
+    return topo.node_id(router, idx % topo.params().p);
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+  int offset_;
+};
+
+class AdvConsecutive final : public TrafficPattern {
+ public:
+  AdvConsecutive(const DragonflyTopology& topo, int spread)
+      : topo_(topo), spread_(spread == 0 ? topo.params().h : spread) {
+    if (spread_ <= 0 || spread_ >= topo.num_groups()) {
+      throw std::invalid_argument("ADVc spread out of range");
+    }
+  }
+
+  std::string name() const override { return "ADVc"; }
+
+  NodeId destination(NodeId src, Rng& rng) const override {
+    const auto d =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(spread_)));
+    const GroupId g = (topo_.group_of_node(src) + d) % topo_.num_groups();
+    return Adversarial::random_node_in_group(topo_, g, rng);
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+  int spread_;
+};
+
+class Placement final : public TrafficPattern {
+ public:
+  Placement(const DragonflyTopology& topo, GroupId first, int num_groups)
+      : topo_(topo),
+        first_(first),
+        num_groups_(num_groups == 0 ? topo.params().h + 1 : num_groups) {
+    if (num_groups_ < 1 || num_groups_ > topo.num_groups()) {
+      throw std::invalid_argument("placement size out of range");
+    }
+    if (first_ < 0 || first_ >= topo.num_groups()) {
+      throw std::invalid_argument("placement first group out of range");
+    }
+  }
+
+  std::string name() const override {
+    return "placement[" + std::to_string(first_) + "+" +
+           std::to_string(num_groups_) + "]";
+  }
+
+  bool generates(NodeId src) const override {
+    return group_index(src) >= 0;
+  }
+
+  NodeId destination(NodeId src, Rng& rng) const override {
+    if (!generates(src)) return kInvalidNode;
+    // Uniform among all job nodes except the source.
+    const int per_group = topo_.params().a * topo_.params().p;
+    const long long job_nodes =
+        static_cast<long long>(per_group) * num_groups_;
+    auto pick = static_cast<long long>(
+        rng.below(static_cast<std::uint64_t>(job_nodes - 1)));
+    const long long src_flat =
+        static_cast<long long>(group_index(src)) * per_group +
+        topo_.router_in_group(topo_.router_of_node(src)) * topo_.params().p +
+        topo_.node_index_in_router(src);
+    if (pick >= src_flat) ++pick;
+    const GroupId g = static_cast<GroupId>(
+        (first_ + pick / per_group) % topo_.num_groups());
+    const int in_group = static_cast<int>(pick % per_group);
+    const RouterId router = topo_.router_id(g, in_group / topo_.params().p);
+    return topo_.node_id(router, in_group % topo_.params().p);
+  }
+
+ private:
+  /// Index of the node's group inside the placement, or -1.
+  int group_index(NodeId src) const {
+    const GroupId g = topo_.group_of_node(src);
+    const int rel = (g - first_ + topo_.num_groups()) % topo_.num_groups();
+    return rel < num_groups_ ? rel : -1;
+  }
+
+  const DragonflyTopology& topo_;
+  GroupId first_;
+  int num_groups_;
+};
+
+class Shift final : public TrafficPattern {
+ public:
+  Shift(const DragonflyTopology& topo, int offset)
+      : topo_(topo),
+        offset_(offset == 0 ? topo.params().a * topo.params().p : offset) {
+    if (offset_ <= 0 || offset_ >= topo.num_nodes()) {
+      throw std::invalid_argument("shift offset out of range");
+    }
+  }
+
+  std::string name() const override {
+    return "shift+" + std::to_string(offset_);
+  }
+
+  NodeId destination(NodeId src, Rng& rng) const override {
+    (void)rng;  // a permutation: deterministic per source
+    return static_cast<NodeId>((src + offset_) % topo_.num_nodes());
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+  int offset_;
+};
+
+class Hotspot final : public TrafficPattern {
+ public:
+  Hotspot(const DragonflyTopology& topo, NodeId hot, double fraction)
+      : topo_(topo), hot_(hot), fraction_(fraction) {
+    if (hot < 0 || hot >= topo.num_nodes()) {
+      throw std::invalid_argument("hotspot node out of range");
+    }
+    if (fraction < 0.0 || fraction > 1.0) {
+      throw std::invalid_argument("hotspot fraction out of range");
+    }
+  }
+
+  std::string name() const override {
+    return "hotspot[" + std::to_string(hot_) + "]";
+  }
+
+  NodeId destination(NodeId src, Rng& rng) const override {
+    if (src != hot_ && rng.bernoulli(fraction_)) return hot_;
+    auto dst = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(topo_.num_nodes() - 1)));
+    if (dst >= src) ++dst;
+    return dst;
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+  NodeId hot_;
+  double fraction_;
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficPattern> make_uniform(const DragonflyTopology& topo) {
+  return std::make_unique<Uniform>(topo);
+}
+
+std::unique_ptr<TrafficPattern> make_adversarial(const DragonflyTopology& topo,
+                                                 int offset) {
+  return std::make_unique<Adversarial>(topo, offset);
+}
+
+std::unique_ptr<TrafficPattern> make_adv_consecutive(
+    const DragonflyTopology& topo, int spread) {
+  return std::make_unique<AdvConsecutive>(topo, spread);
+}
+
+std::unique_ptr<TrafficPattern> make_placement(const DragonflyTopology& topo,
+                                               GroupId first_group,
+                                               int num_groups) {
+  return std::make_unique<Placement>(topo, first_group, num_groups);
+}
+
+std::unique_ptr<TrafficPattern> make_shift(const DragonflyTopology& topo,
+                                           int offset_nodes) {
+  return std::make_unique<Shift>(topo, offset_nodes);
+}
+
+std::unique_ptr<TrafficPattern> make_hotspot(const DragonflyTopology& topo,
+                                             NodeId hot, double fraction) {
+  return std::make_unique<Hotspot>(topo, hot, fraction);
+}
+
+std::unique_ptr<TrafficPattern> make_traffic(const DragonflyTopology& topo,
+                                             const SimConfig& cfg) {
+  switch (cfg.traffic) {
+    case TrafficKind::kUniform:
+      return make_uniform(topo);
+    case TrafficKind::kAdversarial:
+      return make_adversarial(topo, cfg.adversarial_offset);
+    case TrafficKind::kAdvConsecutive:
+      return make_adv_consecutive(topo);
+    case TrafficKind::kPlacement:
+      return make_placement(topo, cfg.placement_first_group,
+                            cfg.placement_num_groups);
+    case TrafficKind::kShift:
+      return make_shift(topo, cfg.shift_offset_nodes);
+    case TrafficKind::kHotspot:
+      return make_hotspot(topo, cfg.hotspot_node, cfg.hotspot_fraction);
+  }
+  throw std::invalid_argument("make_traffic: unknown traffic kind");
+}
+
+}  // namespace dragonfly

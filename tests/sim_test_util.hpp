@@ -1,0 +1,40 @@
+// Shared helpers for simulation-level tests: small configurations and
+// common invariant checks. Kept header-only for test-target simplicity.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+
+namespace dragonfly::testutil {
+
+/// Small, fast configuration: h=2 (72 nodes), short windows.
+inline SimConfig quick(RoutingKind routing, TrafficKind traffic, double load,
+                       int h = 2) {
+  SimConfig cfg = SimConfig::small(h);
+  cfg.routing = routing;
+  cfg.traffic = traffic;
+  cfg.load = load;
+  cfg.warmup_cycles = 1'500;
+  cfg.measure_cycles = 3'000;
+  cfg.apply_vc_defaults();
+  return cfg;
+}
+
+/// Packet conservation: everything generated is either delivered or still
+/// alive in the network (no loss, no duplication).
+inline void expect_conservation(Network& net) {
+  EXPECT_EQ(net.generated_packets_total(),
+            net.collector().delivered_packets_total() +
+                static_cast<std::int64_t>(net.packets().live()));
+}
+
+/// Run a full simulation and also check conservation on the way out.
+inline SimResult run_checked(const SimConfig& cfg) {
+  Engine engine(cfg);
+  const SimResult result = engine.run();
+  expect_conservation(engine.network());
+  return result;
+}
+
+}  // namespace dragonfly::testutil

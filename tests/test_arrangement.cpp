@@ -1,0 +1,146 @@
+#include "topology/arrangement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dragonfly {
+namespace {
+
+class ArrangementParam
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
+ protected:
+  std::unique_ptr<Arrangement> arr_ = make_arrangement(std::get<0>(GetParam()));
+  DragonflyParams params_ = DragonflyParams::balanced(std::get<1>(GetParam()));
+};
+
+TEST_P(ArrangementParam, NoSelfLinks) {
+  for (GroupId g = 0; g < params_.num_groups(); ++g) {
+    for (int r = 0; r < params_.a; ++r) {
+      for (int k = 0; k < params_.h; ++k) {
+        EXPECT_NE(arr_->target_group(params_, g, r, k), g);
+      }
+    }
+  }
+}
+
+TEST_P(ArrangementParam, EveryGroupPairConnectedExactlyOnce) {
+  const int G = params_.num_groups();
+  for (GroupId g = 0; g < G; ++g) {
+    std::set<GroupId> targets;
+    for (int r = 0; r < params_.a; ++r) {
+      for (int k = 0; k < params_.h; ++k) {
+        targets.insert(arr_->target_group(params_, g, r, k));
+      }
+    }
+    EXPECT_EQ(static_cast<int>(targets.size()), G - 1)
+        << "group " << g << " must reach every other group exactly once";
+  }
+}
+
+TEST_P(ArrangementParam, PeerOfIsInvolutive) {
+  for (GroupId g = 0; g < params_.num_groups(); ++g) {
+    for (int r = 0; r < params_.a; ++r) {
+      for (int k = 0; k < params_.h; ++k) {
+        const GlobalEndpoint peer = arr_->peer_of(params_, g, r, k);
+        const GlobalEndpoint back = arr_->peer_of(
+            params_, peer.group, peer.router_in_group, peer.global_port);
+        EXPECT_EQ(back.group, g);
+        EXPECT_EQ(back.router_in_group, r);
+        EXPECT_EQ(back.global_port, k);
+      }
+    }
+  }
+}
+
+TEST_P(ArrangementParam, ExitTowardsMatchesTargetGroup) {
+  const int G = params_.num_groups();
+  for (GroupId g = 0; g < G; ++g) {
+    for (GroupId t = 0; t < G; ++t) {
+      if (g == t) continue;
+      const GlobalEndpoint e = arr_->exit_towards(params_, g, t);
+      EXPECT_EQ(e.group, g);
+      EXPECT_EQ(
+          arr_->target_group(params_, g, e.router_in_group, e.global_port), t);
+    }
+  }
+}
+
+TEST_P(ArrangementParam, ExitTowardsSameGroupThrows) {
+  EXPECT_THROW(arr_->exit_towards(params_, 0, 0), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArrangements, ArrangementParam,
+    ::testing::Combine(::testing::Values("palmtree", "consecutive"),
+                       ::testing::Values(1, 2, 3, 4, 6)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_h" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Palmtree, BottleneckRouterIsLastRouter) {
+  // The defining ADVc property (paper Fig. 1 / Sec. III): the minimal
+  // routes to the next h consecutive groups all leave through router a-1.
+  for (int h : {2, 3, 6}) {
+    const DragonflyParams p = DragonflyParams::balanced(h);
+    const auto arr = make_palmtree();
+    for (GroupId g = 0; g < p.num_groups(); ++g) {
+      for (int d = 1; d <= h; ++d) {
+        const GroupId target = (g + d) % p.num_groups();
+        const GlobalEndpoint e = arr->exit_towards(p, g, target);
+        EXPECT_EQ(e.router_in_group, p.a - 1)
+            << "h=" << h << " g=" << g << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(Palmtree, IncomingConsecutiveTrafficEntersRouterZero) {
+  // Paper Sec. V-B: "R0 is the router that receives the traffic sent
+  // minimally from other groups" — ADVc flows from groups -1..-h enter
+  // through router 0.
+  const int h = 3;
+  const DragonflyParams p = DragonflyParams::balanced(h);
+  const auto arr = make_palmtree();
+  const GroupId g = 5;
+  for (int d = 1; d <= h; ++d) {
+    const GroupId source = (g - d + p.num_groups()) % p.num_groups();
+    const GlobalEndpoint exit = arr->exit_towards(p, source, g);
+    const GlobalEndpoint entry = arr->peer_of(
+        p, source, exit.router_in_group, exit.global_port);
+    EXPECT_EQ(entry.group, g);
+    EXPECT_EQ(entry.router_in_group, 0) << "d=" << d;
+  }
+}
+
+TEST(Consecutive, BottleneckRouterIsFirstRouter) {
+  // Under the consecutive arrangement the +1..+h targets hang off router
+  // 0 instead (used by the arrangement ablation).
+  const int h = 3;
+  const DragonflyParams p = DragonflyParams::balanced(h);
+  const auto arr = make_consecutive();
+  for (int d = 1; d <= h; ++d) {
+    const GlobalEndpoint e = arr->exit_towards(p, 0, d);
+    EXPECT_EQ(e.router_in_group, 0);
+  }
+}
+
+TEST(Arrangement, FactoryRejectsUnknown) {
+  EXPECT_THROW(make_arrangement("ring"), std::invalid_argument);
+}
+
+TEST(DragonflyParams, BalancedSizes) {
+  const DragonflyParams p = DragonflyParams::balanced(6);
+  EXPECT_EQ(p.p, 6);
+  EXPECT_EQ(p.a, 12);
+  EXPECT_EQ(p.h, 6);
+  EXPECT_EQ(p.num_groups(), 73);
+  EXPECT_EQ(p.num_routers(), 876);
+  EXPECT_EQ(p.num_nodes(), 5256);  // Table I system size
+  EXPECT_EQ(p.global_links_per_group(), 72);
+}
+
+}  // namespace
+}  // namespace dragonfly

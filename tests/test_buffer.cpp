@@ -1,0 +1,139 @@
+#include "router/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dragonfly {
+namespace {
+
+TEST(VcFifo, PushPopTracksOccupancy) {
+  VcFifo fifo(32);
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_EQ(fifo.free_space(), 32);
+  fifo.push(1, 8);
+  fifo.push(2, 8);
+  EXPECT_EQ(fifo.occupancy(), 16);
+  EXPECT_EQ(fifo.packets(), 2u);
+  EXPECT_EQ(fifo.head(), 1);
+  fifo.pop(8);
+  EXPECT_EQ(fifo.head(), 2);
+  EXPECT_EQ(fifo.occupancy(), 8);
+}
+
+TEST(VcFifo, OverflowThrows) {
+  VcFifo fifo(16);
+  fifo.push(1, 8);
+  fifo.push(2, 8);
+  EXPECT_THROW(fifo.push(3, 8), std::logic_error);
+}
+
+TEST(VcFifo, PopEmptyThrows) {
+  VcFifo fifo(16);
+  EXPECT_THROW(fifo.pop(8), std::logic_error);
+}
+
+TEST(VcFifo, HeadOfEmptyIsNoPacket) {
+  VcFifo fifo(16);
+  EXPECT_EQ(fifo.head(), kNoPacket);
+}
+
+class OutputPortFixture : public ::testing::Test {
+ protected:
+  OutputPortFixture() {
+    port_.configure(PortKind::kLocal, 3, 7, 10, 32, {32, 32, 32});
+  }
+  OutputPort port_;
+};
+
+TEST_F(OutputPortFixture, ConfigureExposesWiring) {
+  EXPECT_EQ(port_.kind(), PortKind::kLocal);
+  EXPECT_EQ(port_.peer(), 3);
+  EXPECT_EQ(port_.peer_port(), 7);
+  EXPECT_EQ(port_.link_latency(), 10);
+  EXPECT_EQ(port_.num_vcs(), 3);
+  EXPECT_EQ(port_.credits(0), 32);
+  EXPECT_EQ(port_.credit_capacity(0), 32);
+}
+
+TEST_F(OutputPortFixture, CreditLifecycle) {
+  port_.take_credits(0, 8);
+  EXPECT_EQ(port_.credits(0), 24);
+  EXPECT_EQ(port_.reserved_phits(), 8);
+  port_.return_credits(0, 8);
+  EXPECT_EQ(port_.credits(0), 32);
+  EXPECT_THROW(port_.return_credits(0, 8), std::logic_error);  // overflow
+}
+
+TEST_F(OutputPortFixture, NegativeCreditsThrow) {
+  port_.take_credits(1, 32);
+  EXPECT_THROW(port_.take_credits(1, 1), std::logic_error);
+}
+
+TEST_F(OutputPortFixture, VcOccupancyFraction) {
+  EXPECT_DOUBLE_EQ(port_.vc_occupancy_fraction(0), 0.0);
+  port_.take_credits(0, 16);
+  EXPECT_DOUBLE_EQ(port_.vc_occupancy_fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(port_.vc_occupancy_fraction(1), 0.0);
+}
+
+TEST_F(OutputPortFixture, OccupancyCombinesQueueAndReservation) {
+  EXPECT_DOUBLE_EQ(port_.occupancy_fraction(), 0.0);
+  // Reservation only: 24 of 96 reserved = 0.25.
+  port_.take_credits(0, 24);
+  EXPECT_DOUBLE_EQ(port_.occupancy_fraction(), 0.25);
+  // Queue backlog dominates: 16 of 32 queued = 0.5.
+  port_.enqueue(1, 0, 5, 8);
+  port_.enqueue(2, 0, 5, 8);
+  EXPECT_DOUBLE_EQ(port_.occupancy_fraction(), 0.5);
+}
+
+TEST_F(OutputPortFixture, EjectionReportsZeroOccupancy) {
+  OutputPort ej;
+  ej.configure(PortKind::kEjection, kInvalidRouter, kInvalidPort, 0, 32,
+               {1 << 20});
+  ej.take_credits(0, 8);
+  EXPECT_DOUBLE_EQ(ej.occupancy_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(ej.vc_occupancy_fraction(0), 0.0);
+}
+
+TEST_F(OutputPortFixture, QueueSpaceAccounting) {
+  EXPECT_TRUE(port_.queue_has_space(32));
+  port_.enqueue(1, 0, 0, 24);
+  EXPECT_TRUE(port_.queue_has_space(8));
+  EXPECT_FALSE(port_.queue_has_space(9));
+  EXPECT_THROW(port_.enqueue(2, 0, 0, 9), std::logic_error);
+}
+
+TEST_F(OutputPortFixture, TransmissionWaitsForPipelineReadiness) {
+  port_.enqueue(1, 0, /*ready=*/5, 8);
+  EXPECT_FALSE(port_.can_transmit(4));
+  EXPECT_TRUE(port_.can_transmit(5));
+}
+
+TEST_F(OutputPortFixture, SerializationSpacesTransmissions) {
+  port_.enqueue(1, 0, 0, 8);
+  port_.enqueue(2, 1, 0, 8);
+  ASSERT_TRUE(port_.can_transmit(0));
+  const PendingTx tx = port_.begin_transmission(0, 8);
+  EXPECT_EQ(tx.pkt, 1);
+  EXPECT_EQ(tx.out_vc, 0);
+  EXPECT_EQ(port_.link_free_at(), 8);  // 8 phits at 1 phit/cycle
+  // Second packet is ready but the link is busy until cycle 8.
+  EXPECT_FALSE(port_.can_transmit(7));
+  EXPECT_TRUE(port_.can_transmit(8));
+  const PendingTx tx2 = port_.begin_transmission(8, 8);
+  EXPECT_EQ(tx2.pkt, 2);
+  EXPECT_EQ(port_.queue_occupancy(), 0);
+}
+
+TEST(InputPort, TotalOccupancySumsVcs) {
+  InputPort in;
+  in.vcs.emplace_back(32);
+  in.vcs.emplace_back(32);
+  in.vcs[0].push(1, 8);
+  in.vcs[1].push(2, 8);
+  in.vcs[1].push(3, 8);
+  EXPECT_EQ(in.total_occupancy(), 24);
+}
+
+}  // namespace
+}  // namespace dragonfly

@@ -1,0 +1,121 @@
+#include "sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dragonfly {
+namespace {
+
+TEST(Config, DefaultsMatchTableI) {
+  const SimConfig cfg = SimConfig::paper();
+  EXPECT_EQ(cfg.topo.num_nodes(), 5256);
+  EXPECT_EQ(cfg.local_latency, 10);
+  EXPECT_EQ(cfg.global_latency, 100);
+  EXPECT_EQ(cfg.pipeline_latency, 5);
+  EXPECT_EQ(cfg.packet_size, 8);
+  EXPECT_EQ(cfg.output_queue_size, 32);
+  EXPECT_EQ(cfg.local_input_buffer, 32);
+  EXPECT_EQ(cfg.global_input_buffer, 256);
+  EXPECT_EQ(cfg.global_vcs, 2);
+  EXPECT_DOUBLE_EQ(cfg.intransit_threshold, 0.43);
+  EXPECT_DOUBLE_EQ(cfg.pb_threshold_local, 5.0);
+  EXPECT_DOUBLE_EQ(cfg.pb_threshold_global, 3.0);
+  EXPECT_TRUE(cfg.transit_priority);
+  EXPECT_EQ(cfg.measure_cycles, 15'000);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, VcDefaultsPerMechanism) {
+  SimConfig cfg;
+  cfg.routing = RoutingKind::kObliviousRrg;
+  cfg.apply_vc_defaults();
+  EXPECT_EQ(cfg.local_vcs, 4);  // Table I: oblivious/source-adaptive
+  cfg.routing = RoutingKind::kSourceCrg;
+  cfg.apply_vc_defaults();
+  EXPECT_EQ(cfg.local_vcs, 4);
+  cfg.routing = RoutingKind::kInTransitMm;
+  cfg.apply_vc_defaults();
+  EXPECT_EQ(cfg.local_vcs, 3);  // Table I: in-transit
+  EXPECT_EQ(cfg.global_vcs, 2);
+  EXPECT_EQ(cfg.injection_vcs, 3);
+}
+
+TEST(Config, SmallPresetKeepsMicroarchitecture) {
+  const SimConfig cfg = SimConfig::small(3);
+  EXPECT_EQ(cfg.topo.h, 3);
+  EXPECT_EQ(cfg.local_latency, 10);
+  EXPECT_EQ(cfg.global_latency, 100);
+  EXPECT_EQ(cfg.global_input_buffer, 256);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, ValidateRejectsBadSettings) {
+  SimConfig cfg = SimConfig::small(2);
+  cfg.packet_size = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.local_input_buffer = 4;  // smaller than a packet
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.global_vcs = 1;  // deadlock avoidance needs 2
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.local_vcs = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.load = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.intransit_threshold = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.measure_cycles = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.node_queue_capacity = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.allocator_iterations = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, RoutingKindStringsRoundTrip) {
+  for (RoutingKind kind :
+       {RoutingKind::kMinimal, RoutingKind::kObliviousRrg,
+        RoutingKind::kObliviousCrg, RoutingKind::kObliviousNrg,
+        RoutingKind::kSourceRrg, RoutingKind::kSourceCrg,
+        RoutingKind::kInTransitRrg, RoutingKind::kInTransitCrg,
+        RoutingKind::kInTransitMm}) {
+    EXPECT_EQ(routing_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(routing_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Config, TrafficKindStringsRoundTrip) {
+  for (TrafficKind kind :
+       {TrafficKind::kUniform, TrafficKind::kAdversarial,
+        TrafficKind::kAdvConsecutive, TrafficKind::kPlacement}) {
+    EXPECT_EQ(traffic_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(traffic_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Config, MechanismClassPredicates) {
+  EXPECT_TRUE(is_oblivious(RoutingKind::kMinimal));
+  EXPECT_TRUE(is_oblivious(RoutingKind::kObliviousNrg));
+  EXPECT_FALSE(is_oblivious(RoutingKind::kSourceRrg));
+  EXPECT_TRUE(is_source_adaptive(RoutingKind::kSourceCrg));
+  EXPECT_FALSE(is_source_adaptive(RoutingKind::kInTransitMm));
+  EXPECT_TRUE(is_in_transit(RoutingKind::kInTransitRrg));
+  EXPECT_FALSE(is_in_transit(RoutingKind::kMinimal));
+}
+
+}  // namespace
+}  // namespace dragonfly

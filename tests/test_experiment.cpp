@@ -1,0 +1,120 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim_test_util.hpp"
+
+namespace dragonfly {
+namespace {
+
+using testutil::quick;
+
+TEST(Experiment, RunAveragedMatchesSingleRun) {
+  const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                              0.15);
+  const SimResult single = run_simulation(cfg);
+  const AveragedResult avg = run_averaged(cfg, 1);
+  EXPECT_DOUBLE_EQ(avg.accepted_load, single.accepted_load);
+  EXPECT_DOUBLE_EQ(avg.avg_latency, single.avg_latency);
+  EXPECT_EQ(avg.seeds, 1);
+  ASSERT_EQ(avg.injections_per_router.size(),
+            single.injections_per_router.size());
+  for (std::size_t i = 0; i < avg.injections_per_router.size(); ++i) {
+    EXPECT_DOUBLE_EQ(avg.injections_per_router[i],
+                     static_cast<double>(single.injections_per_router[i]));
+  }
+}
+
+TEST(Experiment, SeedAveragingReducesToMean) {
+  const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                              0.15);
+  SimConfig s1 = cfg;
+  s1.seed = cfg.seed;
+  SimConfig s2 = cfg;
+  s2.seed = cfg.seed + 1;
+  const SimResult r1 = run_simulation(s1);
+  const SimResult r2 = run_simulation(s2);
+  const AveragedResult avg = run_averaged(cfg, 2);
+  EXPECT_NEAR(avg.avg_latency, (r1.avg_latency + r2.avg_latency) / 2, 1e-9);
+  EXPECT_NEAR(avg.accepted_load,
+              (r1.accepted_load + r2.accepted_load) / 2, 1e-9);
+  EXPECT_EQ(avg.seeds, 2);
+}
+
+TEST(Experiment, SweepPreservesLoadOrder) {
+  const SimConfig base = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                               0.0);
+  const std::vector<double> loads{0.05, 0.15, 0.25};
+  const auto results = run_sweep(base, loads, /*seeds=*/1, /*threads=*/2);
+  ASSERT_EQ(results.size(), loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].offered_load, loads[i]);
+    EXPECT_NEAR(results[i].accepted_load, loads[i], 0.02);
+  }
+}
+
+TEST(Experiment, ParallelSweepEqualsSerialSweep) {
+  const SimConfig base = quick(RoutingKind::kObliviousCrg,
+                               TrafficKind::kAdvConsecutive, 0.0);
+  const std::vector<double> loads{0.1, 0.2};
+  const auto serial = run_sweep(base, loads, 1, /*threads=*/1);
+  const auto parallel = run_sweep(base, loads, 1, /*threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].avg_latency, parallel[i].avg_latency);
+    EXPECT_DOUBLE_EQ(serial[i].accepted_load, parallel[i].accepted_load);
+  }
+}
+
+TEST(Experiment, RunConfigsPropagatesErrors) {
+  SimConfig bad = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.1);
+  bad.global_vcs = 1;  // fails validation inside the worker
+  std::vector<SimConfig> configs{bad};
+  EXPECT_THROW(run_configs(configs, 1, 2), std::invalid_argument);
+}
+
+TEST(Experiment, PaperRoutingsAreTheSevenConfigs) {
+  const auto kinds = paper_routings();
+  ASSERT_EQ(kinds.size(), 7u);
+  EXPECT_EQ(kinds[0], RoutingKind::kObliviousRrg);
+  EXPECT_EQ(kinds[6], RoutingKind::kInTransitMm);
+}
+
+TEST(Experiment, BenchSetupEnvOverrides) {
+  setenv("REPRO_H", "2", 1);
+  setenv("REPRO_SEEDS", "5", 1);
+  setenv("REPRO_LOADS", "4", 1);
+  const BenchSetup setup = bench_setup();
+  EXPECT_EQ(setup.base.topo.h, 2);
+  EXPECT_EQ(setup.seeds, 5);
+  EXPECT_EQ(setup.loads.size(), 4u);
+  // Thinning keeps the endpoints.
+  EXPECT_DOUBLE_EQ(setup.loads.front(), default_loads().front());
+  EXPECT_DOUBLE_EQ(setup.loads.back(), default_loads().back());
+  unsetenv("REPRO_H");
+  unsetenv("REPRO_SEEDS");
+  unsetenv("REPRO_LOADS");
+}
+
+TEST(Experiment, BenchSetupFullScale) {
+  setenv("REPRO_FULL", "1", 1);
+  const BenchSetup setup = bench_setup();
+  EXPECT_TRUE(setup.full_scale);
+  EXPECT_EQ(setup.base.topo.h, 6);
+  EXPECT_EQ(setup.base.topo.num_nodes(), 5256);
+  EXPECT_EQ(setup.base.measure_cycles, 15'000);
+  EXPECT_EQ(setup.seeds, 3);
+  unsetenv("REPRO_FULL");
+}
+
+TEST(Experiment, BenchSetupDefaultsSmall) {
+  const BenchSetup setup = bench_setup();
+  EXPECT_FALSE(setup.full_scale);
+  EXPECT_EQ(setup.base.topo.h, 3);
+  EXPECT_GE(static_cast<int>(setup.loads.size()), 10);
+}
+
+}  // namespace
+}  // namespace dragonfly

@@ -1,0 +1,60 @@
+#include "metrics/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dragonfly {
+namespace {
+
+TEST(Fairness, PerfectlyFair) {
+  const std::vector<double> counts{100, 100, 100, 100};
+  const FairnessReport r = fairness_report(counts);
+  EXPECT_DOUBLE_EQ(r.min_injections, 100.0);
+  EXPECT_DOUBLE_EQ(r.max_injections, 100.0);
+  EXPECT_DOUBLE_EQ(r.max_over_min, 1.0);
+  EXPECT_DOUBLE_EQ(r.cov, 0.0);
+  EXPECT_DOUBLE_EQ(r.jain, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean, 100.0);
+}
+
+TEST(Fairness, StarvedRouter) {
+  // One starved router out of four: the paper's in-transit signature.
+  const std::vector<double> counts{10, 1000, 1000, 1000};
+  const FairnessReport r = fairness_report(counts);
+  EXPECT_DOUBLE_EQ(r.min_injections, 10.0);
+  EXPECT_DOUBLE_EQ(r.max_over_min, 100.0);
+  EXPECT_GT(r.cov, 0.5);
+  EXPECT_LT(r.jain, 0.8);
+}
+
+TEST(Fairness, CovDiscriminatesIsolatedVsWidespread) {
+  // Paper Sec. IV-B: CoV separates "one starved, one favored" from "half
+  // starve, half benefit" — the latter has higher CoV at the same
+  // Max/Min.
+  const std::vector<double> isolated{10, 500, 500, 500, 500, 1000};
+  std::vector<double> widespread;
+  for (int i = 0; i < 3; ++i) widespread.push_back(10);
+  for (int i = 0; i < 3; ++i) widespread.push_back(1000);
+  const FairnessReport a = fairness_report(isolated);
+  const FairnessReport b = fairness_report(widespread);
+  EXPECT_DOUBLE_EQ(a.max_over_min, b.max_over_min);
+  EXPECT_GT(b.cov, a.cov);
+}
+
+TEST(Fairness, Int64Overload) {
+  const std::vector<std::int64_t> counts{5, 10, 15};
+  const FairnessReport r = fairness_report(counts);
+  EXPECT_DOUBLE_EQ(r.min_injections, 5.0);
+  EXPECT_DOUBLE_EQ(r.max_over_min, 3.0);
+  EXPECT_DOUBLE_EQ(r.mean, 10.0);
+}
+
+TEST(Fairness, EmptyInput) {
+  const FairnessReport r = fairness_report(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(r.min_injections, 0.0);
+  EXPECT_DOUBLE_EQ(r.cov, 0.0);
+}
+
+}  // namespace
+}  // namespace dragonfly

@@ -1,0 +1,116 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace dragonfly {
+namespace {
+
+using testutil::quick;
+
+TEST(Network, BuildsConfiguredTopology) {
+  const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                              0.1);
+  Network net(cfg);
+  EXPECT_EQ(net.num_routers(), cfg.topo.num_routers());
+  EXPECT_EQ(net.num_nodes(), cfg.topo.num_nodes());
+  EXPECT_EQ(net.generating_nodes(), cfg.topo.num_nodes());
+  EXPECT_EQ(net.now(), 0);
+}
+
+TEST(Network, PlacementLimitsGeneratingNodes) {
+  SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kPlacement, 0.1);
+  cfg.placement_first_group = 0;
+  cfg.placement_num_groups = 2;
+  Network net(cfg);
+  EXPECT_EQ(net.generating_nodes(), 2 * cfg.topo.a * cfg.topo.p);
+}
+
+TEST(Network, StepAdvancesTime) {
+  Network net(quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.1));
+  for (int i = 0; i < 10; ++i) net.step();
+  EXPECT_EQ(net.now(), 10);
+}
+
+TEST(Network, DeterministicAcrossIdenticalRuns) {
+  const SimConfig cfg =
+      quick(RoutingKind::kInTransitMm, TrafficKind::kAdvConsecutive, 0.3);
+  Network a(cfg);
+  Network b(cfg);
+  for (int i = 0; i < 2'000; ++i) {
+    a.step();
+    b.step();
+  }
+  EXPECT_EQ(a.generated_packets_total(), b.generated_packets_total());
+  EXPECT_EQ(a.collector().delivered_packets_total(),
+            b.collector().delivered_packets_total());
+  EXPECT_EQ(a.total_forward_progress(), b.total_forward_progress());
+  for (RouterId r = 0; r < a.num_routers(); ++r) {
+    EXPECT_EQ(a.router(r).injected_packets_total(),
+              b.router(r).injected_packets_total());
+  }
+}
+
+TEST(Network, DifferentSeedsProduceDifferentTraffic) {
+  SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.3);
+  Network a(cfg);
+  cfg.seed = 999;
+  Network b(cfg);
+  for (int i = 0; i < 500; ++i) {
+    a.step();
+    b.step();
+  }
+  EXPECT_NE(a.total_forward_progress(), b.total_forward_progress());
+}
+
+TEST(Network, ConservationHoldsDuringAndAfterRun) {
+  const SimConfig cfg =
+      quick(RoutingKind::kObliviousRrg, TrafficKind::kAdvConsecutive, 0.4);
+  Network net(cfg);
+  for (int chunk = 0; chunk < 5; ++chunk) {
+    for (int i = 0; i < 600; ++i) net.step();
+    testutil::expect_conservation(net);
+  }
+  EXPECT_GT(net.collector().delivered_packets_total(), 0);
+}
+
+TEST(Network, MeasurementWindowGatesCounters) {
+  const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                              0.2);
+  Network net(cfg);
+  for (int i = 0; i < 500; ++i) net.step();
+  EXPECT_EQ(net.generated_packets_measured(), 0);
+  const auto before = net.injections_per_router();
+  for (const auto count : before) EXPECT_EQ(count, 0);
+
+  net.begin_measurement();
+  for (int i = 0; i < 500; ++i) net.step();
+  net.end_measurement();
+  EXPECT_GT(net.generated_packets_measured(), 0);
+  std::int64_t injected = 0;
+  for (const auto count : net.injections_per_router()) injected += count;
+  EXPECT_GT(injected, 0);
+
+  // After the window closes, measured counters freeze.
+  const auto frozen = net.generated_packets_measured();
+  for (int i = 0; i < 300; ++i) net.step();
+  EXPECT_EQ(net.generated_packets_measured(), frozen);
+}
+
+TEST(Network, ZeroLoadStaysIdle) {
+  SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.0);
+  Network net(cfg);
+  for (int i = 0; i < 300; ++i) net.step();
+  EXPECT_EQ(net.generated_packets_total(), 0);
+  EXPECT_EQ(net.packets().live(), 0u);
+}
+
+TEST(Network, RejectsInvalidConfig) {
+  SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.1);
+  cfg.global_vcs = 1;
+  EXPECT_THROW(Network net(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dragonfly

@@ -1,0 +1,62 @@
+#include "router/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dragonfly {
+namespace {
+
+TEST(PacketStore, CreateReturnsFreshPacket) {
+  PacketStore store;
+  const PacketRef a = store.create();
+  store[a].src = 7;
+  store[a].local_hops = 3;
+  const PacketRef b = store.create();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store[b].src, kInvalidNode);
+  EXPECT_EQ(store.live(), 2u);
+}
+
+TEST(PacketStore, DestroyRecyclesSlot) {
+  PacketStore store;
+  const PacketRef a = store.create();
+  store[a].src = 42;
+  store.destroy(a);
+  EXPECT_EQ(store.live(), 0u);
+  const PacketRef b = store.create();
+  EXPECT_EQ(b, a);  // slot reused
+  EXPECT_EQ(store[b].src, kInvalidNode);  // and reset
+  EXPECT_EQ(store.live(), 1u);
+}
+
+TEST(PacketStore, CapacityGrowsOnlyWhenNeeded) {
+  PacketStore store;
+  std::vector<PacketRef> refs;
+  for (int i = 0; i < 10; ++i) refs.push_back(store.create());
+  EXPECT_EQ(store.capacity(), 10u);
+  for (const PacketRef r : refs) store.destroy(r);
+  for (int i = 0; i < 10; ++i) store.create();
+  EXPECT_EQ(store.capacity(), 10u);  // all recycled
+}
+
+TEST(Packet, ResetGroupStateClearsLocalMisrouteFlag) {
+  Packet pkt;
+  pkt.local_misrouted_this_group = true;
+  pkt.reset_group_state();
+  EXPECT_FALSE(pkt.local_misrouted_this_group);
+}
+
+TEST(Packet, DefaultsAreSane) {
+  const Packet pkt;
+  EXPECT_EQ(pkt.phase, Phase::kSourceFlex);
+  EXPECT_EQ(pkt.intermediate_group, kInvalidGroup);
+  EXPECT_EQ(pkt.local_hops, 0);
+  EXPECT_EQ(pkt.global_hops, 0);
+  EXPECT_EQ(pkt.denied_cycles, 0);
+  EXPECT_EQ(pkt.wait_injection, 0);
+  EXPECT_EQ(pkt.wait_local, 0);
+  EXPECT_EQ(pkt.wait_global, 0);
+  EXPECT_EQ(pkt.structural, 0);
+}
+
+}  // namespace
+}  // namespace dragonfly

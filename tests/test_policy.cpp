@@ -1,0 +1,115 @@
+#include "routing/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace dragonfly {
+namespace {
+
+class PolicyFixture : public ::testing::Test {
+ protected:
+  DragonflyTopology topo_ = DragonflyTopology::balanced_palmtree(3);
+  Rng rng_{77};
+};
+
+TEST_F(PolicyFixture, CandidateCounts) {
+  const auto& p = topo_.params();
+  EXPECT_EQ(candidate_count(topo_, MisroutePolicy::kRrg), p.a * p.h);
+  EXPECT_EQ(candidate_count(topo_, MisroutePolicy::kCrg), p.h);
+  EXPECT_EQ(candidate_count(topo_, MisroutePolicy::kNrg), (p.a - 1) * p.h);
+}
+
+TEST_F(PolicyFixture, CrgCandidatesAreOwnLinks) {
+  const RouterId at = topo_.router_id(2, 3);
+  for (int i = 0; i < candidate_count(topo_, MisroutePolicy::kCrg); ++i) {
+    const GlobalLinkRef ref = candidate_at(topo_, at, MisroutePolicy::kCrg, i);
+    EXPECT_EQ(ref.router, at);
+    EXPECT_EQ(topo_.global_target_group(ref.router, ref.port), ref.target);
+  }
+}
+
+TEST_F(PolicyFixture, NrgCandidatesExcludeOwnRouter) {
+  const RouterId at = topo_.router_id(2, 3);
+  std::set<RouterId> owners;
+  for (int i = 0; i < candidate_count(topo_, MisroutePolicy::kNrg); ++i) {
+    const GlobalLinkRef ref = candidate_at(topo_, at, MisroutePolicy::kNrg, i);
+    EXPECT_NE(ref.router, at);
+    EXPECT_EQ(topo_.group_of_router(ref.router), topo_.group_of_router(at));
+    owners.insert(ref.router);
+  }
+  EXPECT_EQ(static_cast<int>(owners.size()), topo_.params().a - 1);
+}
+
+TEST_F(PolicyFixture, RrgCandidatesCoverEveryGroupLink) {
+  const RouterId at = topo_.router_id(2, 3);
+  std::set<std::pair<RouterId, PortId>> links;
+  std::set<GroupId> targets;
+  for (int i = 0; i < candidate_count(topo_, MisroutePolicy::kRrg); ++i) {
+    const GlobalLinkRef ref = candidate_at(topo_, at, MisroutePolicy::kRrg, i);
+    links.insert({ref.router, ref.port});
+    targets.insert(ref.target);
+  }
+  EXPECT_EQ(static_cast<int>(links.size()),
+            topo_.params().a * topo_.params().h);
+  // Canonical dragonfly: the group's links reach every other group.
+  EXPECT_EQ(static_cast<int>(targets.size()), topo_.num_groups() - 1);
+}
+
+TEST_F(PolicyFixture, PickCandidateHonorsExclusion) {
+  const RouterId at = topo_.router_id(0, 0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto picked =
+        pick_candidate(topo_, at, MisroutePolicy::kRrg, rng_, /*exclude=*/5,
+                       [](const GlobalLinkRef&) { return true; });
+    ASSERT_TRUE(picked.has_value());
+    EXPECT_NE(picked->target, 5);
+  }
+}
+
+TEST_F(PolicyFixture, PickCandidateHonorsEligibility) {
+  const RouterId at = topo_.router_id(0, 0);
+  // Only links owned by router 2 of the group are eligible.
+  const RouterId wanted = topo_.router_id(0, 2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto picked = pick_candidate(
+        topo_, at, MisroutePolicy::kRrg, rng_, kInvalidGroup,
+        [&](const GlobalLinkRef& ref) { return ref.router == wanted; });
+    ASSERT_TRUE(picked.has_value());
+    EXPECT_EQ(picked->router, wanted);
+  }
+}
+
+TEST_F(PolicyFixture, PickCandidateReturnsNulloptWhenNoneEligible) {
+  const RouterId at = topo_.router_id(0, 0);
+  const auto picked =
+      pick_candidate(topo_, at, MisroutePolicy::kCrg, rng_, kInvalidGroup,
+                     [](const GlobalLinkRef&) { return false; });
+  EXPECT_FALSE(picked.has_value());
+}
+
+TEST_F(PolicyFixture, PickCandidateIsApproximatelyUniform) {
+  const RouterId at = topo_.router_id(0, 0);
+  std::map<GroupId, int> hits;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const auto picked =
+        pick_candidate(topo_, at, MisroutePolicy::kCrg, rng_, kInvalidGroup,
+                       [](const GlobalLinkRef&) { return true; });
+    ++hits[picked->target];
+  }
+  EXPECT_EQ(static_cast<int>(hits.size()), topo_.params().h);
+  for (const auto& [g, count] : hits) {
+    EXPECT_NEAR(count, n / topo_.params().h, n / topo_.params().h * 0.15);
+  }
+}
+
+TEST(PolicyNames, ToString) {
+  EXPECT_STREQ(to_string(MisroutePolicy::kRrg), "RRG");
+  EXPECT_STREQ(to_string(MisroutePolicy::kCrg), "CRG");
+  EXPECT_STREQ(to_string(MisroutePolicy::kNrg), "NRG");
+}
+
+}  // namespace
+}  // namespace dragonfly

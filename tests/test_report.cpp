@@ -1,0 +1,113 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dragonfly {
+namespace {
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setenv("REPRO_OUT", "test_report_out", 1);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all("test_report_out");
+    unsetenv("REPRO_OUT");
+  }
+
+  static AveragedResult make_point(double load, double latency,
+                                   double accepted) {
+    AveragedResult r;
+    r.offered_load = load;
+    r.avg_latency = latency;
+    r.accepted_load = accepted;
+    r.components.base = latency * 0.6;
+    r.components.misroute = latency * 0.2;
+    r.components.local_queue = latency * 0.1;
+    r.components.global_queue = latency * 0.05;
+    r.components.injection_queue = latency * 0.05;
+    r.injections_per_router = {100.0, 90.0, 10.0};
+    r.fairness.min_injections = 10.0;
+    r.fairness.max_over_min = 10.0;
+    r.fairness.cov = 0.5;
+    r.fairness.jain = 0.7;
+    r.seeds = 1;
+    return r;
+  }
+};
+
+TEST_F(ReportFixture, LatencyThroughputPrintsAndWritesCsv) {
+  std::vector<Curve> curves{
+      {"MIN", {make_point(0.1, 150, 0.1), make_point(0.2, 160, 0.2)}},
+      {"In-Trns-MM", {make_point(0.1, 155, 0.1), make_point(0.2, 165, 0.2)}},
+  };
+  std::ostringstream os;
+  report_latency_throughput(os, "demo", "demo_fig", curves);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("MIN lat"), std::string::npos);
+  EXPECT_NE(out.find("In-Trns-MM acc"), std::string::npos);
+  EXPECT_NE(out.find("150"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists("test_report_out/demo_fig_latency.csv"));
+  EXPECT_TRUE(
+      std::filesystem::exists("test_report_out/demo_fig_throughput.csv"));
+  std::ifstream csv("test_report_out/demo_fig_latency.csv");
+  std::string line;
+  std::getline(csv, line);
+  EXPECT_EQ(line, "offered,MIN lat,In-Trns-MM lat");
+}
+
+TEST_F(ReportFixture, BreakdownListsAllComponents) {
+  Curve curve{"In-Trns-MM", {make_point(0.1, 200, 0.1)}};
+  std::ostringstream os;
+  report_latency_breakdown(os, "fig3", "demo_breakdown", curve);
+  const std::string out = os.str();
+  for (const char* header :
+       {"base", "misrouting", "congestion_local", "congestion_global",
+        "injection_queues", "total"}) {
+    EXPECT_NE(out.find(header), std::string::npos) << header;
+  }
+  EXPECT_TRUE(std::filesystem::exists("test_report_out/demo_breakdown.csv"));
+}
+
+TEST_F(ReportFixture, InjectionsPerRouterSelectsGroup) {
+  std::vector<Curve> curves{{"A", {make_point(0.3, 100, 0.3)}}};
+  std::ostringstream os;
+  report_injections_per_router(os, "fig4", "demo_inj", curves, /*group=*/0,
+                               /*routers_per_group=*/3);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("R0"), std::string::npos);
+  EXPECT_NE(out.find("R2"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST_F(ReportFixture, FairnessTableHasPaperColumns) {
+  std::vector<Curve> curves{{"Obl-RRG", {make_point(0.3, 100, 0.3)}}};
+  std::ostringstream os;
+  report_fairness_table(os, "table2", "demo_fairness", curves);
+  const std::string out = os.str();
+  for (const char* header : {"Min inj", "Max/Min", "COV", "Jain"}) {
+    EXPECT_NE(out.find(header), std::string::npos) << header;
+  }
+}
+
+TEST_F(ReportFixture, PreambleDescribesConfiguration) {
+  SimConfig cfg = SimConfig::small(2);
+  std::ostringstream os;
+  report_preamble(os, "Experiment X", cfg, 3, "expected shape");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Experiment X"), std::string::npos);
+  EXPECT_NE(out.find("p=2 a=4 h=2"), std::string::npos);
+  EXPECT_NE(out.find("72 nodes"), std::string::npos);
+  EXPECT_NE(out.find("3 seed(s)"), std::string::npos);
+  EXPECT_NE(out.find("priority: ON"), std::string::npos);
+  EXPECT_NE(out.find("expected shape"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dragonfly

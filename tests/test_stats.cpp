@@ -1,0 +1,161 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dragonfly {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cov(), 0.0);
+}
+
+TEST(RunningStats, MatchesBruteForce) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_NEAR(s.cov(), std::sqrt(var) / mean, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.sum(), 31.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0 + i;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(5.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> xs{4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.cov, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_over_min, 1.0);
+  EXPECT_DOUBLE_EQ(s.jain, 1.0);
+}
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, MaxOverMinHandlesZeroMin) {
+  const std::vector<double> xs{0.0, 2.0};
+  const Summary s = summarize(xs);
+  EXPECT_TRUE(std::isinf(s.max_over_min));
+}
+
+TEST(Summarize, AllZeros) {
+  const std::vector<double> xs{0.0, 0.0, 0.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.max_over_min, 0.0);
+  EXPECT_DOUBLE_EQ(s.jain, 1.0);
+}
+
+TEST(Summarize, JainIndex) {
+  // Perfectly fair: jain = 1.
+  EXPECT_NEAR(summarize(std::vector<double>{3, 3, 3, 3}).jain, 1.0, 1e-12);
+  // One user hogging everything of n: jain = 1/n.
+  EXPECT_NEAR(summarize(std::vector<double>{8, 0, 0, 0}).jain, 0.25, 1e-12);
+}
+
+TEST(Summarize, CovMatchesPaperDefinition) {
+  // CoV = sigma / mu with population sigma.
+  const std::vector<double> xs{2.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.cov, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(9), 10.0);
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.0);
+  b.add(1.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bin_count(1), 2u);
+  EXPECT_EQ(a.bin_count(9), 1u);
+  Histogram c(0.0, 5.0, 10);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileOfEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace dragonfly

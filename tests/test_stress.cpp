@@ -1,0 +1,125 @@
+// Stress / failure-injection tests: extreme loads, tiny networks and
+// pathological configurations must neither deadlock (watchdog) nor
+// collapse into livelock (delivery keeps pace in steady state).
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace dragonfly {
+namespace {
+
+using testutil::quick;
+
+class StressParam
+    : public ::testing::TestWithParam<std::tuple<RoutingKind, TrafficKind>> {};
+
+TEST_P(StressParam, FullLoadRunsWithoutDeadlockOrCollapse) {
+  const auto [routing, traffic] = GetParam();
+  SimConfig cfg = quick(routing, traffic, 1.0);
+  cfg.warmup_cycles = 3'000;
+  cfg.measure_cycles = 3'000;
+  SimResult r;
+  ASSERT_NO_THROW(r = run_simulation(cfg)) << to_string(routing);
+  // Sustained delivery: at least the MIN/ADV worst-case capacity.
+  EXPECT_GT(r.accepted_load, 0.04) << to_string(routing);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExtremeLoad, StressParam,
+    ::testing::Combine(::testing::Values(RoutingKind::kMinimal,
+                                         RoutingKind::kObliviousRrg,
+                                         RoutingKind::kSourceCrg,
+                                         RoutingKind::kInTransitRrg,
+                                         RoutingKind::kInTransitCrg,
+                                         RoutingKind::kInTransitMm),
+                       ::testing::Values(TrafficKind::kUniform,
+                                         TrafficKind::kAdversarial,
+                                         TrafficKind::kAdvConsecutive)),
+    [](const auto& info) {
+      std::string name = std::string(to_string(std::get<0>(info.param))) +
+                         "_" + to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(Stress, SmallestDragonflyFullMatrix) {
+  // h=1: 2 routers/group, 3 groups, 6 nodes — degenerate corner sizes.
+  for (RoutingKind routing :
+       {RoutingKind::kMinimal, RoutingKind::kObliviousRrg,
+        RoutingKind::kObliviousCrg, RoutingKind::kSourceRrg,
+        RoutingKind::kInTransitMm}) {
+    SimConfig cfg = quick(routing, TrafficKind::kUniform, 0.6, /*h=*/1);
+    cfg.warmup_cycles = 1'000;
+    cfg.measure_cycles = 2'000;
+    SimResult r;
+    ASSERT_NO_THROW(r = run_simulation(cfg)) << to_string(routing);
+    EXPECT_GT(r.delivered_packets, 50) << to_string(routing);
+  }
+}
+
+TEST(Stress, MinimumBufferConfiguration) {
+  // Buffers of exactly one packet everywhere: the credit loop degrades
+  // to stop-and-wait but must stay live.
+  SimConfig cfg = quick(RoutingKind::kInTransitMm, TrafficKind::kUniform,
+                        0.3);
+  cfg.local_input_buffer = 8;
+  cfg.global_input_buffer = 8;
+  cfg.output_queue_size = 8;
+  cfg.warmup_cycles = 2'000;
+  cfg.measure_cycles = 3'000;
+  SimResult r;
+  ASSERT_NO_THROW(r = run_simulation(cfg));
+  EXPECT_GT(r.accepted_load, 0.02);
+}
+
+TEST(Stress, SingleIterationAllocator) {
+  SimConfig cfg = quick(RoutingKind::kInTransitMm,
+                        TrafficKind::kAdvConsecutive, 0.4);
+  cfg.allocator_iterations = 1;
+  cfg.max_grants_per_input = 1;
+  cfg.max_grants_per_output = 1;
+  SimResult r;
+  ASSERT_NO_THROW(r = run_simulation(cfg));
+  EXPECT_GT(r.accepted_load, 0.1);
+}
+
+TEST(Stress, LongLatencyLinks) {
+  // 10x link latencies stress the credit round-trip (in-flight windows
+  // larger than buffers).
+  SimConfig cfg = quick(RoutingKind::kInTransitMm, TrafficKind::kUniform,
+                        0.2);
+  cfg.local_latency = 100;
+  cfg.global_latency = 1000;
+  cfg.warmup_cycles = 5'000;
+  cfg.measure_cycles = 5'000;
+  SimResult r;
+  ASSERT_NO_THROW(r = run_simulation(cfg));
+  EXPECT_GT(r.delivered_packets, 100);
+  // Zero-load-ish latency scales with the links.
+  EXPECT_GT(r.avg_latency, 1000.0);
+}
+
+TEST(Stress, BigPackets) {
+  SimConfig cfg = quick(RoutingKind::kObliviousCrg,
+                        TrafficKind::kAdvConsecutive, 0.3);
+  cfg.packet_size = 32;  // one packet fills a whole local VC buffer
+  SimResult r;
+  ASSERT_NO_THROW(r = run_simulation(cfg));
+  EXPECT_GT(r.accepted_load, 0.1);
+}
+
+TEST(Stress, AgeArbitrationUnderExtremeLoad) {
+  SimConfig cfg = quick(RoutingKind::kInTransitMm,
+                        TrafficKind::kAdvConsecutive, 1.0);
+  cfg.age_arbitration = true;
+  cfg.warmup_cycles = 2'000;
+  cfg.measure_cycles = 3'000;
+  SimResult r;
+  ASSERT_NO_THROW(r = run_simulation(cfg));
+  EXPECT_GT(r.accepted_load, 0.1);
+}
+
+}  // namespace
+}  // namespace dragonfly

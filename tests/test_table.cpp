@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dragonfly {
+namespace {
+
+TEST(Table, RejectsColumnMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Table, FormatsCells) {
+  EXPECT_EQ(Table::format(Table::Cell{std::string("x")}), "x");
+  EXPECT_EQ(Table::format(Table::Cell{std::int64_t{42}}), "42");
+  EXPECT_EQ(Table::format(Table::Cell{1.5}), "1.5");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.set_title("demo");
+  t.add_row({std::string("longer-name"), 1.0});
+  t.add_row({std::string("x"), 123.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# demo"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("123.25"), std::string::npos);
+  // Header row plus separator plus two data rows plus title.
+  int lines = 0;
+  for (char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 5);
+}
+
+TEST(Table, WritesCsv) {
+  Table t({"a", "b"});
+  t.add_row({std::int64_t{1}, 2.5});
+  t.add_row({std::int64_t{3}, 4.0});
+  const std::string path = "test_table_out.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  in.close();
+  std::filesystem::remove(path);
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({1.0, 2.0, 3.0});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(ResultsDir, CreatesDirectory) {
+  setenv("REPRO_OUT", "test_results_dir", 1);
+  const std::string dir = results_dir();
+  EXPECT_EQ(dir, "test_results_dir");
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  std::filesystem::remove_all(dir);
+  unsetenv("REPRO_OUT");
+}
+
+}  // namespace
+}  // namespace dragonfly

@@ -1,0 +1,159 @@
+#include "topology/dragonfly.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dragonfly {
+namespace {
+
+class TopologyParam : public ::testing::TestWithParam<int> {
+ protected:
+  DragonflyTopology topo_ = DragonflyTopology::balanced_palmtree(GetParam());
+};
+
+TEST_P(TopologyParam, ValidatePasses) { EXPECT_NO_THROW(topo_.validate()); }
+
+TEST_P(TopologyParam, IdentifierRoundTrips) {
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const RouterId r = topo_.router_of_node(n);
+    const int idx = topo_.node_index_in_router(n);
+    EXPECT_EQ(topo_.node_id(r, idx), n);
+    const GroupId g = topo_.group_of_router(r);
+    const int rig = topo_.router_in_group(r);
+    EXPECT_EQ(topo_.router_id(g, rig), r);
+    EXPECT_EQ(topo_.group_of_node(n), g);
+  }
+}
+
+TEST_P(TopologyParam, PortLayout) {
+  const auto& p = topo_.params();
+  EXPECT_EQ(topo_.ports_per_router(), p.p + p.a - 1 + p.h);
+  for (PortId port = 0; port < topo_.ports_per_router(); ++port) {
+    if (port < p.p) {
+      EXPECT_EQ(topo_.input_port_kind(port), PortKind::kInjection);
+      EXPECT_EQ(topo_.output_port_kind(port), PortKind::kEjection);
+    } else if (port < p.p + p.a - 1) {
+      EXPECT_EQ(topo_.input_port_kind(port), PortKind::kLocal);
+      EXPECT_EQ(topo_.output_port_kind(port), PortKind::kLocal);
+    } else {
+      EXPECT_EQ(topo_.input_port_kind(port), PortKind::kGlobal);
+      EXPECT_EQ(topo_.output_port_kind(port), PortKind::kGlobal);
+    }
+  }
+}
+
+TEST_P(TopologyParam, LocalPortsAreSymmetric) {
+  const auto& p = topo_.params();
+  if (p.a < 2) return;
+  for (GroupId g = 0; g < std::min(3, topo_.num_groups()); ++g) {
+    for (int i = 0; i < p.a; ++i) {
+      for (int j = 0; j < p.a; ++j) {
+        if (i == j) continue;
+        const RouterId ri = topo_.router_id(g, i);
+        const RouterId rj = topo_.router_id(g, j);
+        const PortId port = topo_.local_port_to(ri, rj);
+        EXPECT_EQ(topo_.local_peer(ri, port), rj);
+        // The reverse port must map back.
+        EXPECT_EQ(topo_.local_peer(rj, topo_.local_port_to(rj, ri)), ri);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyParam, GlobalPeersAreMutual) {
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    for (PortId port = topo_.first_global_port();
+         port < topo_.ports_per_router(); ++port) {
+      const RouterId peer = topo_.global_peer(r, port);
+      const PortId peer_port = topo_.global_peer_port(r, port);
+      EXPECT_EQ(topo_.global_peer(peer, peer_port), r);
+      EXPECT_EQ(topo_.global_peer_port(peer, peer_port), port);
+      EXPECT_EQ(topo_.global_target_group(r, port),
+                topo_.group_of_router(peer));
+    }
+  }
+}
+
+TEST_P(TopologyParam, MinimalPathsHaveAtMostThreeLinks) {
+  // Canonical dragonfly: worst case lgl (local + global + local).
+  const int stride = std::max(1, topo_.num_nodes() / 64);
+  for (NodeId s = 0; s < topo_.num_nodes(); s += stride) {
+    for (NodeId d = 0; d < topo_.num_nodes(); d += stride) {
+      const PathLengths len = topo_.minimal_lengths(s, d);
+      EXPECT_LE(len.local, 2);
+      EXPECT_LE(len.global, 1);
+      if (topo_.group_of_node(s) != topo_.group_of_node(d)) {
+        EXPECT_EQ(len.global, 1);
+      } else {
+        EXPECT_EQ(len.global, 0);
+        EXPECT_LE(len.local, 1);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyParam, MinimalOutputWalkReachesDestination) {
+  // Follow minimal_output hop by hop from every sampled source; the walk
+  // must terminate at the destination within 3 link hops.
+  const int stride = std::max(1, topo_.num_nodes() / 32);
+  for (NodeId s = 0; s < topo_.num_nodes(); s += stride) {
+    for (NodeId d = 0; d < topo_.num_nodes(); d += stride + 1) {
+      RouterId at = topo_.router_of_node(s);
+      int hops = 0;
+      while (true) {
+        const PortId out = topo_.minimal_output(at, d);
+        if (topo_.output_port_kind(out) == PortKind::kEjection) {
+          EXPECT_EQ(at, topo_.router_of_node(d));
+          EXPECT_EQ(out, topo_.ejection_port(topo_.node_index_in_router(d)));
+          break;
+        }
+        at = topo_.output_port_kind(out) == PortKind::kLocal
+                 ? topo_.local_peer(at, out)
+                 : topo_.global_peer(at, out);
+        ASSERT_LE(++hops, 3) << "minimal walk too long";
+      }
+      EXPECT_EQ(hops, topo_.minimal_lengths(s, d).total());
+    }
+  }
+}
+
+TEST_P(TopologyParam, ExitRouterOwnsTheLink) {
+  const int G = topo_.num_groups();
+  for (GroupId g = 0; g < std::min(G, 8); ++g) {
+    for (GroupId t = 0; t < G; ++t) {
+      if (g == t) continue;
+      const RouterId exit = topo_.exit_router(g, t);
+      const PortId port = topo_.exit_port(g, t);
+      EXPECT_EQ(topo_.group_of_router(exit), g);
+      EXPECT_EQ(topo_.global_target_group(exit, port), t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radix, TopologyParam, ::testing::Values(1, 2, 3, 4),
+                         [](const auto& info) {
+                           return "h" + std::to_string(info.param);
+                         });
+
+TEST(Topology, RejectsInvalidParams) {
+  EXPECT_THROW(DragonflyTopology({0, 1, 1}, make_palmtree()),
+               std::invalid_argument);
+  EXPECT_THROW(DragonflyTopology({1, 1, 1}, nullptr), std::invalid_argument);
+}
+
+TEST(Topology, LocalPortToRejectsNonLocalPairs) {
+  const DragonflyTopology topo = DragonflyTopology::balanced_palmtree(2);
+  EXPECT_THROW(topo.local_port_to(0, 0), std::invalid_argument);
+  // Routers in different groups.
+  EXPECT_THROW(topo.local_port_to(0, topo.params().a), std::invalid_argument);
+}
+
+TEST(Topology, PaperScaleTableI) {
+  const DragonflyTopology topo = DragonflyTopology::balanced_palmtree(6);
+  EXPECT_EQ(topo.ports_per_router(), 23);  // Table I: 23-port routers
+  EXPECT_EQ(topo.num_nodes(), 5256);
+  EXPECT_EQ(topo.num_routers(), 876);
+  EXPECT_EQ(topo.num_groups(), 73);
+}
+
+}  // namespace
+}  // namespace dragonfly
