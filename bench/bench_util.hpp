@@ -8,6 +8,7 @@
 //   REPRO_H=<n>   — override the dragonfly radix (default 3 small, 6 full)
 //   REPRO_SEEDS   — seeds averaged per point (default 2 small, 3 full)
 //   REPRO_LOADS   — thin the offered-load sweep to this many points
+//   REPRO_CYCLES  — override the measured window (warmup = half of it)
 //   REPRO_OUT     — CSV output directory (default "results")
 #pragma once
 

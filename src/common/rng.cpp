@@ -9,6 +9,12 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+  if (index == 0) return base_seed;
+  std::uint64_t state = base_seed ^ (index * 0xd1342543de82ef95ull);
+  return splitmix64(state);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

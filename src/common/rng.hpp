@@ -15,6 +15,15 @@ namespace dragonfly {
 /// xoshiro state and to derive independent child seeds.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Seed of the `index`-th replica of a multi-seed experiment: a pure
+/// function of (base_seed, index), so a (config, seed) job produces the
+/// same stream no matter which worker thread runs it. Index 0 maps to the
+/// base seed itself (a single-replica experiment equals a plain run);
+/// higher indices are decorrelated through splitmix64 rather than being
+/// consecutive, so replica streams never overlap with each other or with
+/// the per-node child streams of a neighbouring base seed.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index);
+
 /// xoshiro256** by Blackman & Vigna (public domain algorithm),
 /// re-implemented here so the simulator has zero external dependencies.
 class Rng {

@@ -84,6 +84,11 @@ Summary summarize(std::span<const double> values) {
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), bins_(bins == 0 ? 1 : bins, 0) {}
 
+void Histogram::reset() {
+  std::fill(bins_.begin(), bins_.end(), std::size_t{0});
+  total_ = 0;
+}
+
 void Histogram::add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
   auto idx = static_cast<std::int64_t>((x - lo_) / width);

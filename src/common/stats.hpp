@@ -55,6 +55,8 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Zero all counts, keeping the bin storage (no reallocation).
+  void reset();
   void add(double x);
   /// Merge another histogram with identical bounds and bin count.
   void merge(const Histogram& other);

@@ -1,0 +1,58 @@
+// Work-sharing thread pool used by the experiment runner (and any future
+// parallel subsystem): a FIFO task queue drained by a bounded set of
+// workers, with exception propagation through futures.
+//
+// Determinism contract: the pool schedules *execution*, never *results*.
+// Callers hand out independent jobs that each write their own result slot,
+// so the outcome is bit-identical for any worker count (see DESIGN.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dragonfly {
+
+class ThreadPool {
+ public:
+  /// Spawns `resolve(threads)` workers.
+  explicit ThreadPool(int threads = 0);
+  /// Drains the remaining queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// threads <= 0 selects std::thread::hardware_concurrency(), minimum 1.
+  static int resolve(int threads);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task. The returned future carries the task's exception,
+  /// if it throws.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run body(i) for every i in [0, n), shared across the workers, and
+  /// block until done. If any invocation throws, the exception of the
+  /// *lowest failing index* is rethrown (a deterministic choice: the same
+  /// error surfaces regardless of execution order); indices above an
+  /// observed failure are cancelled rather than run, since their outcome
+  /// cannot change the rethrown error.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace dragonfly

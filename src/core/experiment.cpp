@@ -1,11 +1,11 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dragonfly {
 
@@ -51,63 +51,34 @@ int env_int(const char* name, int fallback) {
 
 }  // namespace
 
-AveragedResult run_averaged(const SimConfig& base, int num_seeds) {
-  std::vector<SimResult> runs;
-  runs.reserve(static_cast<std::size_t>(num_seeds));
-  for (int s = 0; s < num_seeds; ++s) {
-    SimConfig cfg = base;
-    cfg.seed = base.seed + static_cast<std::uint64_t>(s);
-    runs.push_back(run_simulation(cfg));
-  }
-  return average(runs);
+AveragedResult run_averaged(const SimConfig& base, int num_seeds,
+                            int threads) {
+  return run_configs(std::span<const SimConfig>(&base, 1), num_seeds, threads)
+      .front();
 }
 
 std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
                                         int num_seeds, int threads) {
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 4;
-  }
-  // Flatten (config, seed) pairs so seeds also run in parallel.
-  struct Job {
-    std::size_t config_index;
-    int seed_index;
-  };
-  std::vector<Job> jobs;
-  jobs.reserve(configs.size() * static_cast<std::size_t>(num_seeds));
-  for (std::size_t c = 0; c < configs.size(); ++c) {
-    for (int s = 0; s < num_seeds; ++s) jobs.push_back({c, s});
-  }
-  std::vector<std::vector<SimResult>> results(configs.size());
-  for (auto& r : results) r.resize(static_cast<std::size_t>(num_seeds));
+  if (configs.empty()) return {};
+  if (num_seeds < 1) throw std::invalid_argument("run_configs: num_seeds < 1");
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) return;
-      try {
-        const Job& job = jobs[i];
-        SimConfig cfg = configs[job.config_index];
-        cfg.seed += static_cast<std::uint64_t>(job.seed_index);
-        results[job.config_index][static_cast<std::size_t>(job.seed_index)] =
-            run_simulation(cfg);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  const int n_workers =
-      std::min<int>(threads, static_cast<int>(jobs.size()));
-  pool.reserve(static_cast<std::size_t>(n_workers));
-  for (int t = 0; t < n_workers; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  // Flatten (config, seed) jobs so seeds also run in parallel. Each job is
+  // independent and writes its own result slot; the replica seed is a pure
+  // function of (config, seed index), so the outcome is bit-identical for
+  // any worker count.
+  const std::size_t seeds = static_cast<std::size_t>(num_seeds);
+  std::vector<std::vector<SimResult>> results(
+      configs.size(), std::vector<SimResult>(seeds));
+  const std::size_t jobs = configs.size() * seeds;
+  ThreadPool pool(static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(ThreadPool::resolve(threads)), jobs)));
+  pool.run_indexed(jobs, [&](std::size_t i) {
+    const std::size_t c = i / seeds;
+    const std::size_t s = i % seeds;
+    SimConfig cfg = configs[c];
+    cfg.seed = derive_seed(cfg.seed, s);
+    results[c][s] = run_simulation(cfg);
+  });
 
   std::vector<AveragedResult> out;
   out.reserve(configs.size());
@@ -151,6 +122,13 @@ BenchSetup bench_setup() {
   // The paper averages 3 simulations; the small-scale default favours a
   // fast harness pass (set REPRO_SEEDS=3 to average like the paper).
   setup.seeds = env_int("REPRO_SEEDS", setup.full_scale ? 3 : 1);
+  // REPRO_CYCLES overrides the measurement window (warmup stays at half
+  // of it) — the knob the bench-smoke ctest label uses to stay fast.
+  const int measure = env_int("REPRO_CYCLES", 0);
+  if (measure > 0) {
+    setup.base.measure_cycles = measure;
+    setup.base.warmup_cycles = std::max(measure / 2, 1);
+  }
   setup.loads = default_loads();
   const int max_loads = env_int("REPRO_LOADS", 0);
   if (max_loads >= 2 && max_loads < static_cast<int>(setup.loads.size())) {

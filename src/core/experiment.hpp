@@ -33,16 +33,21 @@ struct AveragedResult {
   int seeds = 0;
 };
 
-/// Run `base` once per seed (seed = base.seed + i) and average.
-AveragedResult run_averaged(const SimConfig& base, int num_seeds);
+/// Run `base` once per replica (seed = derive_seed(base.seed, i)) on
+/// `threads` workers and average. Results are bit-identical for any
+/// thread count.
+AveragedResult run_averaged(const SimConfig& base, int num_seeds,
+                            int threads = 0);
 
-/// Run a load sweep; points execute in parallel on `threads` workers
-/// (threads <= 0 selects the hardware concurrency).
+/// Run a load sweep; (point, seed) jobs execute in parallel on `threads`
+/// workers (threads <= 0 selects the hardware concurrency). Bit-identical
+/// for any thread count.
 std::vector<AveragedResult> run_sweep(const SimConfig& base,
                                       std::span<const double> loads,
                                       int num_seeds, int threads = 0);
 
-/// Run arbitrary configs in parallel (ablation grids).
+/// Run arbitrary configs in parallel (ablation grids). Bit-identical for
+/// any thread count.
 std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
                                         int num_seeds, int threads = 0);
 

@@ -20,7 +20,7 @@ class MetricsCollector {
   void begin_measurement(Cycle now) {
     measuring_ = true;
     measure_start_ = now;
-    latency_ = LatencyAccumulator{};
+    latency_.reset();  // keeps the histogram storage
     delivered_packets_measured_ = 0;
     delivered_phits_measured_ = 0;
   }

@@ -12,6 +12,18 @@ Cycle base_latency(const DragonflyTopology& topo, const SimConfig& cfg,
 
 LatencyAccumulator::LatencyAccumulator() : histogram_(0.0, 16'384.0, 2'048) {}
 
+void LatencyAccumulator::reset() {
+  histogram_.reset();
+  total_.reset();
+  base_.reset();
+  misroute_.reset();
+  local_q_.reset();
+  global_q_.reset();
+  injection_q_.reset();
+  local_hops_.reset();
+  global_hops_.reset();
+}
+
 void LatencyAccumulator::add(const Packet& pkt, Cycle delivered, Cycle base) {
   const auto latency = static_cast<double>(delivered - pkt.t_net);
   histogram_.add(latency);

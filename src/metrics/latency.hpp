@@ -44,6 +44,10 @@ class LatencyAccumulator {
  public:
   LatencyAccumulator();
 
+  /// Clear all samples while keeping the histogram storage, so starting a
+  /// measurement window reallocates nothing.
+  void reset();
+
   /// `delivered` is the cycle the packet tail reached the destination
   /// node; `base` from base_latency().
   void add(const Packet& pkt, Cycle delivered, Cycle base);

@@ -100,6 +100,7 @@ void Router::packet_arrival(PortId in_port, VcId vc, PacketRef ref,
   routing_->on_arrival(*this, pkt, prev_group);
   inputs_[static_cast<std::size_t>(in_port)].vcs[static_cast<std::size_t>(vc)]
       .push(ref, pkt.size_phits);
+  ++buffered_packets_;
 }
 
 void Router::credit_arrival(PortId out_port, VcId vc, int phits) {
@@ -122,9 +123,11 @@ void Router::inject(PortId inj_port, VcId vc, PacketRef ref, Cycle now) {
   pkt.t_arrival = now;
   inputs_[static_cast<std::size_t>(inj_port)].vcs[static_cast<std::size_t>(vc)]
       .push(ref, pkt.size_phits);
+  ++buffered_packets_;
 }
 
 void Router::allocate(Cycle now) {
+  if (buffered_packets_ == 0) return;  // nothing to arbitrate
   requests_.clear();
   decisions_.clear();
   considered_.clear();
@@ -200,6 +203,7 @@ void Router::execute_grant(const AllocRequest& req, const RoutingDecision& d,
     }
   }
   fifo.pop(pkt.size_phits);
+  --buffered_packets_;
   pkt.denied_cycles = 0;
 
   // Waiting time at this router's input, bucketed by queue class.
@@ -243,9 +247,11 @@ void Router::execute_grant(const AllocRequest& req, const RoutingDecision& d,
 
   out.take_credits(d.out_vc, pkt.size_phits);
   out.enqueue(ref, d.out_vc, now + cfg_.pipeline_latency, pkt.size_phits);
+  ++pending_tx_;
 }
 
 void Router::transmit(Cycle now) {
+  if (pending_tx_ == 0) return;  // all output queues empty
   const int ports = topo_.ports_per_router();
   for (PortId port = 0; port < ports; ++port) {
     OutputPort& out = outputs_[static_cast<std::size_t>(port)];
@@ -253,6 +259,7 @@ void Router::transmit(Cycle now) {
     const PendingTx head = out.queue_head();
     Packet& pkt = (*store_)[head.pkt];
     const PendingTx tx = out.begin_transmission(now, pkt.size_phits);
+    --pending_tx_;
 
     // Waiting in the output queue for the link (serialization backlog):
     // congestion attributed to the link class being traversed.

@@ -129,6 +129,12 @@ class Router {
   std::vector<PacketRef> considered_;
 
   bool measuring_ = false;
+  /// Packets currently sitting in this router's input VC buffers; lets
+  /// allocate() skip the whole port/VC scan on idle routers.
+  int buffered_packets_ = 0;
+  /// Packets in output queues not yet put on the wire; lets transmit()
+  /// return immediately on idle routers.
+  int pending_tx_ = 0;
   std::int64_t injected_measured_ = 0;
   std::int64_t injected_total_ = 0;
   std::int64_t forwarded_total_ = 0;

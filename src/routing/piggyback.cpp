@@ -20,25 +20,24 @@ void PiggybackRouting::refresh(
   occupancy_.resize(routers.size() * static_cast<std::size_t>(h));
   // Pass 1: per-link occupancy, accumulated into per-group means (the
   // piggybacked state is shared group-wide).
-  std::vector<double> group_mean(static_cast<std::size_t>(topo_.num_groups()),
-                                 0.0);
+  group_mean_.assign(static_cast<std::size_t>(topo_.num_groups()), 0.0);
   for (const auto& router : routers) {
     const std::size_t base = static_cast<std::size_t>(router->id()) *
                              static_cast<std::size_t>(h);
     for (int k = 0; k < h; ++k) {
       const double occ = router->output_occupancy(topo_.global_port(k));
       occupancy_[base + static_cast<std::size_t>(k)] = occ;
-      group_mean[static_cast<std::size_t>(router->group())] += occ;
+      group_mean_[static_cast<std::size_t>(router->group())] += occ;
     }
   }
-  for (auto& mean : group_mean) mean /= static_cast<double>(a * h);
+  for (auto& mean : group_mean_) mean /= static_cast<double>(a * h);
   // Pass 2: a link is saturated when it exceeds T times its group's mean.
   // This is self-balancing (partial diversion raises the mean back), which
   // reproduces the paper's partial-failure behaviour under ADVc.
   for (const auto& router : routers) {
     const std::size_t base = static_cast<std::size_t>(router->id()) *
                              static_cast<std::size_t>(h);
-    const double mean = group_mean[static_cast<std::size_t>(router->group())];
+    const double mean = group_mean_[static_cast<std::size_t>(router->group())];
     for (int k = 0; k < h; ++k) {
       saturated_[base + static_cast<std::size_t>(k)] =
           occupancy_[base + static_cast<std::size_t>(k)] >

@@ -55,6 +55,9 @@ class PiggybackRouting final : public RoutingAlgorithm {
   std::vector<char> saturated_;
   /// Scratch: per-link occupancy, same indexing.
   std::vector<double> occupancy_;
+  /// Scratch: per-group mean occupancy, reused across refresh() calls so
+  /// the per-cycle broadcast does no allocation.
+  std::vector<double> group_mean_;
 };
 
 }  // namespace dragonfly

@@ -106,6 +106,12 @@ SimConfig SimConfig::paper() {
 void SimConfig::validate() const {
   if (!topo.valid()) throw std::invalid_argument("invalid topology parameters");
   if (packet_size <= 0) throw std::invalid_argument("packet_size must be > 0");
+  if (local_latency < 1 || global_latency < 1) {
+    // Links serialize at 1 phit/cycle, so a 0-cycle link is unphysical;
+    // the event ring also relies on every event being booked in the
+    // future (same-cycle ordering would differ from the event seq order).
+    throw std::invalid_argument("link latencies must be >= 1 cycle");
+  }
   if (local_input_buffer < packet_size || global_input_buffer < packet_size ||
       output_queue_size < packet_size) {
     throw std::invalid_argument("buffers must hold at least one packet");

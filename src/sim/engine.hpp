@@ -48,6 +48,7 @@ class Engine {
   SimConfig cfg_;
   Network net_;
   Cycle last_watchdog_check_ = 0;
+  std::int64_t last_events_ = -1;
   std::int64_t last_progress_ = -1;
   std::size_t last_live_ = 0;
 };

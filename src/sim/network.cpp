@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dragonfly {
@@ -11,6 +12,14 @@ Network::Network(const SimConfig& cfg)
       traffic_(make_traffic(topo_, cfg_)),
       collector_(topo_, cfg_) {
   cfg_.validate();
+  // Size the event ring past the largest scheduling delay (packet/credit
+  // link latencies and delivery serialization) so it never grows in
+  // steady state.
+  const Cycle horizon =
+      std::max({cfg_.local_latency, cfg_.global_latency,
+                static_cast<Cycle>(cfg_.packet_size),
+                static_cast<Cycle>(cfg_.pipeline_latency), Cycle{1}});
+  grow_ring(horizon);
   build();
 }
 
@@ -70,12 +79,15 @@ void Network::build() {
 }
 
 void Network::step() {
-  // 1. Dispatch all events due this cycle.
-  while (!events_.empty() && events_.top().when <= now_) {
-    const Event ev = events_.top();
-    events_.pop();
-    dispatch(ev);
-  }
+  // 1. Dispatch the events due this cycle, in insertion order (the
+  // deterministic tie-break). The bucket is swapped out before
+  // dispatching so a handler that schedules an event (and possibly grows
+  // the ring, invalidating bucket references) can never dangle this
+  // iteration; swapping back next cycle recycles the bucket's storage.
+  due_scratch_.clear();
+  due_scratch_.swap(ring_[static_cast<std::size_t>(now_) & ring_mask_]);
+  for (const Event& ev : due_scratch_) dispatch(ev);
+  dispatched_events_ += static_cast<std::int64_t>(due_scratch_.size());
   // 2. Global routing state (PiggyBack's in-group broadcast).
   routing_->refresh(std::span<const std::unique_ptr<Router>>(routers_));
   // 3. Traffic generation and injection.
@@ -121,39 +133,62 @@ void Network::end_measurement() {
   for (auto& router : routers_) router->set_measuring(false);
 }
 
+void Network::push_event(Cycle when, const Event& ev) {
+  // Valid configs (link latencies and packet sizes >= 1, enforced by
+  // SimConfig::validate) always book events in the future, making bucket
+  // order identical to the old (when, seq) priority-queue order. The
+  // defensive clamp keeps a stray past event from landing in a stale
+  // bucket; its stored `when` is preserved for the handlers.
+  const Cycle due = when <= now_ ? now_ + 1 : when;
+  if (due - now_ >= static_cast<Cycle>(ring_.size())) grow_ring(due - now_);
+  ring_[static_cast<std::size_t>(due) & ring_mask_].push_back(ev);
+}
+
+void Network::grow_ring(Cycle min_horizon) {
+  std::size_t size = ring_.empty() ? 2 : ring_.size();
+  while (static_cast<Cycle>(size) <= min_horizon) size *= 2;
+  std::vector<std::vector<Event>> fresh(size);
+  if (!ring_.empty()) {
+    const std::size_t old_mask = ring_mask_;
+    for (std::size_t k = 1; k <= ring_.size(); ++k) {
+      const auto t = static_cast<std::size_t>(now_) + k;
+      fresh[t & (size - 1)] = std::move(ring_[t & old_mask]);
+    }
+  }
+  ring_ = std::move(fresh);
+  ring_mask_ = size - 1;
+}
+
 void Network::schedule_packet(RouterId router, PortId port, VcId vc,
                               PacketRef pkt, Cycle when) {
   Event ev;
   ev.when = when;
-  ev.seq = event_seq_++;
   ev.type = Event::Type::kPacket;
   ev.router = router;
   ev.port = port;
   ev.vc = vc;
   ev.pkt = pkt;
-  events_.push(ev);
+  push_event(when, ev);
 }
 
 void Network::schedule_credit(RouterId router, PortId out_port, VcId vc,
                               int phits, Cycle when) {
   Event ev;
   ev.when = when;
-  ev.seq = event_seq_++;
   ev.type = Event::Type::kCredit;
   ev.router = router;
   ev.port = out_port;
   ev.vc = vc;
   ev.phits = phits;
-  events_.push(ev);
+  push_event(when, ev);
 }
 
 void Network::schedule_delivery(PacketRef pkt, Cycle when) {
   Event ev;
   ev.when = when;
-  ev.seq = event_seq_++;
   ev.type = Event::Type::kDelivery;
   ev.pkt = pkt;
-  events_.push(ev);
+  push_event(when, ev);
 }
 
 std::int64_t Network::generated_packets_total() const {

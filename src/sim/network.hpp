@@ -3,7 +3,6 @@
 #pragma once
 
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -63,11 +62,13 @@ class Network final : public EventSink {
   std::vector<std::int64_t> injections_per_router() const;
   /// Sum of forwarded-packet counters, for deadlock detection.
   std::int64_t total_forward_progress() const;
+  /// Monotone count of dispatched link events: an O(1) progress signal the
+  /// watchdog consults before falling back to the exact per-router sum.
+  std::int64_t dispatched_events() const { return dispatched_events_; }
 
  private:
   struct Event {
     Cycle when = 0;
-    std::int64_t seq = 0;  ///< insertion order: deterministic tie-break
     enum class Type : std::uint8_t { kPacket, kCredit, kDelivery } type =
         Type::kPacket;
     RouterId router = kInvalidRouter;
@@ -76,14 +77,11 @@ class Network final : public EventSink {
     int phits = 0;
     PacketRef pkt = kNoPacket;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-    }
-  };
 
   void build();
   void dispatch(const Event& ev);
+  void push_event(Cycle when, const Event& ev);
+  void grow_ring(Cycle min_horizon);
 
   SimConfig cfg_;
   DragonflyTopology topo_;
@@ -93,9 +91,20 @@ class Network final : public EventSink {
   MetricsCollector collector_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<Node> nodes_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  /// Calendar event queue: bucket `t & ring_mask_` holds the events due at
+  /// cycle t in insertion order — the same (when, insertion seq) dispatch
+  /// order the old priority queue produced, without the heap churn. Link,
+  /// credit and delivery delays are small and bounded, so a power-of-two
+  /// ring sized past the largest delay covers all pending events; the ring
+  /// grows if a longer delay ever appears. Buckets are reused, so
+  /// steady-state scheduling does no allocation.
+  std::vector<std::vector<Event>> ring_;
+  /// The bucket being dispatched, swapped out of the ring for the
+  /// duration of the drain (see step()).
+  std::vector<Event> due_scratch_;
+  std::size_t ring_mask_ = 0;
+  std::int64_t dispatched_events_ = 0;
   Cycle now_ = 0;
-  std::int64_t event_seq_ = 0;
   int generating_nodes_ = 0;
 };
 

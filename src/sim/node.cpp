@@ -13,6 +13,7 @@ Node::Node(NodeId id, Router* router, const TrafficPattern* pattern,
       cfg_(cfg),
       rng_(rng),
       generates_(pattern->generates(id)),
+      gen_prob_(cfg->load / static_cast<double>(cfg->packet_size)),
       inj_port_(router->topology().injection_port(
           router->topology().node_index_in_router(id))) {}
 
@@ -20,7 +21,7 @@ void Node::step(Cycle now, bool measuring) {
   // --- generation (Bernoulli process in packets) -------------------------
   if (generates_ &&
       queue_.size() < static_cast<std::size_t>(cfg_->node_queue_capacity) &&
-      rng_.bernoulli(cfg_->load / static_cast<double>(cfg_->packet_size))) {
+      rng_.bernoulli(gen_prob_)) {
     const NodeId dst = pattern_->destination(id_, rng_);
     if (dst != kInvalidNode) {
       const PacketRef ref = store_->create();

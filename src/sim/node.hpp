@@ -43,6 +43,9 @@ class Node {
   const SimConfig* cfg_;
   Rng rng_;
   bool generates_;
+  /// Per-cycle Bernoulli generation probability load/packet_size, hoisted
+  /// out of the hot step() loop.
+  double gen_prob_;
   PortId inj_port_;
   std::deque<PacketRef> queue_;
   VcId next_vc_ = 0;

@@ -15,6 +15,43 @@ DragonflyTopology::DragonflyTopology(DragonflyParams params,
   if (!arrangement_) {
     throw std::invalid_argument("DragonflyTopology: null arrangement");
   }
+  build_oracle_tables();
+}
+
+void DragonflyTopology::build_oracle_tables() {
+  const int G = num_groups();
+  const int R = num_routers();
+  exit_.resize(static_cast<std::size_t>(G) * static_cast<std::size_t>(G));
+  for (GroupId from = 0; from < G; ++from) {
+    for (GroupId to = 0; to < G; ++to) {
+      if (from == to) continue;
+      exit_[static_cast<std::size_t>(from) * static_cast<std::size_t>(G) +
+            static_cast<std::size_t>(to)] =
+          arrangement_->exit_towards(params_, from, to);
+    }
+  }
+  min_out_.resize(static_cast<std::size_t>(R) * static_cast<std::size_t>(R),
+                  kInvalidPort);
+  for (RouterId at = 0; at < R; ++at) {
+    const GroupId gat = group_of_router(at);
+    for (RouterId dst = 0; dst < R; ++dst) {
+      if (at == dst) continue;
+      PortId out;
+      const GroupId gdst = group_of_router(dst);
+      if (gat == gdst) {
+        out = local_port_to(at, dst);
+      } else {
+        const GlobalEndpoint& e =
+            exit_[static_cast<std::size_t>(gat) * static_cast<std::size_t>(G) +
+                  static_cast<std::size_t>(gdst)];
+        const RouterId exit = router_id(e.group, e.router_in_group);
+        out = exit == at ? global_port(e.global_port)
+                         : local_port_to(at, exit);
+      }
+      min_out_[static_cast<std::size_t>(at) * static_cast<std::size_t>(R) +
+               static_cast<std::size_t>(dst)] = out;
+    }
+  }
 }
 
 DragonflyTopology DragonflyTopology::balanced_palmtree(int h) {
@@ -76,25 +113,29 @@ GroupId DragonflyTopology::global_target_group(RouterId r, PortId port) const {
 }
 
 RouterId DragonflyTopology::exit_router(GroupId from, GroupId to) const {
-  const GlobalEndpoint e = arrangement_->exit_towards(params_, from, to);
+  if (from == to) throw std::invalid_argument("exit_router: same group");
+  const GlobalEndpoint& e =
+      exit_[static_cast<std::size_t>(from) *
+                static_cast<std::size_t>(num_groups()) +
+            static_cast<std::size_t>(to)];
   return router_id(e.group, e.router_in_group);
 }
 
 PortId DragonflyTopology::exit_port(GroupId from, GroupId to) const {
-  const GlobalEndpoint e = arrangement_->exit_towards(params_, from, to);
+  if (from == to) throw std::invalid_argument("exit_port: same group");
+  const GlobalEndpoint& e =
+      exit_[static_cast<std::size_t>(from) *
+                static_cast<std::size_t>(num_groups()) +
+            static_cast<std::size_t>(to)];
   return global_port(e.global_port);
 }
 
 PortId DragonflyTopology::minimal_output(RouterId at, NodeId dst) const {
   const RouterId dst_router = router_of_node(dst);
   if (at == dst_router) return ejection_port(node_index_in_router(dst));
-  const GroupId gat = group_of_router(at);
-  const GroupId gdst = group_of_router(dst_router);
-  if (gat == gdst) return local_port_to(at, dst_router);
-  const GlobalEndpoint e = arrangement_->exit_towards(params_, gat, gdst);
-  const RouterId exit = router_id(e.group, e.router_in_group);
-  if (exit == at) return global_port(e.global_port);
-  return local_port_to(at, exit);
+  return min_out_[static_cast<std::size_t>(at) *
+                      static_cast<std::size_t>(num_routers()) +
+                  static_cast<std::size_t>(dst_router)];
 }
 
 PathLengths DragonflyTopology::minimal_lengths_router(RouterId src,

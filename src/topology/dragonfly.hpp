@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "topology/arrangement.hpp"
@@ -100,8 +101,18 @@ class DragonflyTopology {
   void validate() const;
 
  private:
+  void build_oracle_tables();
+
   DragonflyParams params_;
   std::unique_ptr<Arrangement> arrangement_;
+  /// Minimal-path oracle tables, precomputed at construction: routing
+  /// queries run once per buffered packet per cycle, so the arrangement's
+  /// arithmetic (a virtual call per query) is hoisted into plain lookups.
+  /// exit_[from * G + to]: group-level exit endpoint (self pairs unused).
+  std::vector<GlobalEndpoint> exit_;
+  /// min_out_[at * R + dst_router]: output port of the minimal route
+  /// (self pairs unused — ejection needs the node index).
+  std::vector<PortId> min_out_;
 };
 
 }  // namespace dragonfly

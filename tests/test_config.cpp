@@ -62,6 +62,14 @@ TEST(Config, ValidateRejectsBadSettings) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 
   cfg = SimConfig::small(2);
+  cfg.local_latency = 0;  // links serialize at 1 phit/cycle
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.global_latency = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
   cfg.local_vcs = 2;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "common/rng.hpp"
 #include "sim_test_util.hpp"
 
 namespace dragonfly {
@@ -31,9 +32,9 @@ TEST(Experiment, SeedAveragingReducesToMean) {
   const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
                               0.15);
   SimConfig s1 = cfg;
-  s1.seed = cfg.seed;
+  s1.seed = derive_seed(cfg.seed, 0);
   SimConfig s2 = cfg;
-  s2.seed = cfg.seed + 1;
+  s2.seed = derive_seed(cfg.seed, 1);
   const SimResult r1 = run_simulation(s1);
   const SimResult r2 = run_simulation(s2);
   const AveragedResult avg = run_averaged(cfg, 2);
@@ -68,6 +69,52 @@ TEST(Experiment, ParallelSweepEqualsSerialSweep) {
   }
 }
 
+// Thread-count determinism: every field of every sweep point must be
+// bit-identical between a serial and a heavily oversubscribed run (this
+// box may have fewer than 8 cores — oversubscription exercises arbitrary
+// job interleavings all the same).
+TEST(Experiment, SweepIsBitIdenticalAcrossThreadCounts) {
+  const SimConfig base = quick(RoutingKind::kInTransitMm,
+                               TrafficKind::kAdvConsecutive, 0.0);
+  const std::vector<double> loads{0.1, 0.25, 0.4};
+  const auto serial = run_sweep(base, loads, /*seeds=*/2, /*threads=*/1);
+  const auto parallel = run_sweep(base, loads, /*seeds=*/2, /*threads=*/8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const AveragedResult& a = serial[i];
+    const AveragedResult& b = parallel[i];
+    EXPECT_EQ(a.offered_load, b.offered_load);
+    EXPECT_EQ(a.accepted_load, b.accepted_load);
+    EXPECT_EQ(a.avg_latency, b.avg_latency);
+    EXPECT_EQ(a.components.base, b.components.base);
+    EXPECT_EQ(a.components.misroute, b.components.misroute);
+    EXPECT_EQ(a.components.local_queue, b.components.local_queue);
+    EXPECT_EQ(a.components.global_queue, b.components.global_queue);
+    EXPECT_EQ(a.components.injection_queue, b.components.injection_queue);
+    EXPECT_EQ(a.avg_local_hops, b.avg_local_hops);
+    EXPECT_EQ(a.avg_global_hops, b.avg_global_hops);
+    EXPECT_EQ(a.fairness.min_injections, b.fairness.min_injections);
+    EXPECT_EQ(a.fairness.max_injections, b.fairness.max_injections);
+    EXPECT_EQ(a.fairness.max_over_min, b.fairness.max_over_min);
+    EXPECT_EQ(a.fairness.cov, b.fairness.cov);
+    EXPECT_EQ(a.fairness.jain, b.fairness.jain);
+    EXPECT_EQ(a.fairness.mean, b.fairness.mean);
+    EXPECT_EQ(a.seeds, b.seeds);
+    ASSERT_EQ(a.injections_per_router.size(), b.injections_per_router.size());
+    for (std::size_t r = 0; r < a.injections_per_router.size(); ++r) {
+      EXPECT_EQ(a.injections_per_router[r], b.injections_per_router[r]);
+    }
+  }
+}
+
+TEST(Experiment, DeriveSeedIsStableAndDecorrelated) {
+  EXPECT_EQ(derive_seed(42, 0), 42u);  // replica 0 is the base run
+  EXPECT_NE(derive_seed(42, 1), derive_seed(42, 2));
+  EXPECT_NE(derive_seed(42, 1), derive_seed(43, 1));
+  // Pure function: same inputs, same stream.
+  EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+}
+
 TEST(Experiment, RunConfigsPropagatesErrors) {
   SimConfig bad = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.1);
   bad.global_vcs = 1;  // fails validation inside the worker
@@ -86,6 +133,7 @@ TEST(Experiment, BenchSetupEnvOverrides) {
   setenv("REPRO_H", "2", 1);
   setenv("REPRO_SEEDS", "5", 1);
   setenv("REPRO_LOADS", "4", 1);
+  setenv("REPRO_CYCLES", "2000", 1);
   const BenchSetup setup = bench_setup();
   EXPECT_EQ(setup.base.topo.h, 2);
   EXPECT_EQ(setup.seeds, 5);
@@ -93,9 +141,12 @@ TEST(Experiment, BenchSetupEnvOverrides) {
   // Thinning keeps the endpoints.
   EXPECT_DOUBLE_EQ(setup.loads.front(), default_loads().front());
   EXPECT_DOUBLE_EQ(setup.loads.back(), default_loads().back());
+  EXPECT_EQ(setup.base.measure_cycles, 2000);
+  EXPECT_EQ(setup.base.warmup_cycles, 1000);
   unsetenv("REPRO_H");
   unsetenv("REPRO_SEEDS");
   unsetenv("REPRO_LOADS");
+  unsetenv("REPRO_CYCLES");
 }
 
 TEST(Experiment, BenchSetupFullScale) {
