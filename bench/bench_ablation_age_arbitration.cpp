@@ -10,27 +10,25 @@ int main() {
   report_preamble(
       std::cout,
       "Ablation A — age arbitration (explicit fairness mechanism)",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "the paper concludes explicit fairness mechanisms are required and "
       "points to age arbitration [Abts & Weisser]; expectation: age "
       "arbitration recovers most of the bottleneck router's injection "
       "share that the priority+overlap starves away");
 
   std::vector<Curve> curves;
-  for (RoutingKind kind :
-       {RoutingKind::kInTransitRrg, RoutingKind::kInTransitCrg,
-        RoutingKind::kInTransitMm}) {
+  for (const std::string routing : {"par-rrg", "par-crg", "par-mm"}) {
     for (bool age : {false, true}) {
-      SimConfig cfg = setup.base;
-      cfg.routing = kind;
-      cfg.traffic = TrafficKind::kAdvConsecutive;
+      SimConfig cfg = setup.spec.base;
+      cfg.routing_name = routing;
+      cfg.traffic_name = "advc";
       cfg.load = fairness_load(setup);
       cfg.transit_priority = true;
       cfg.age_arbitration = age;
       cfg.apply_vc_defaults();
       Curve curve;
-      curve.label = std::string(to_string(kind)) + (age ? "+age" : "");
-      curve.points = {run_averaged(cfg, setup.seeds)};
+      curve.label = display_name(routing) + (age ? "+age" : "");
+      curve.points = {run_averaged(cfg, setup.spec.seeds)};
       curves.push_back(std::move(curve));
     }
   }
@@ -41,19 +39,19 @@ int main() {
                         "ablation_age_arbitration", curves);
   report_injections_per_router(
       std::cout, "Ablation A (injected packets per router, group 0)",
-      "ablation_age_injection", curves, /*group=*/0, setup.base.topo.a);
+      "ablation_age_injection", curves, /*group=*/0, setup.spec.base.topo.a);
 
   // Cost check: throughput/latency under UN must not regress.
   std::vector<Curve> un;
   for (bool age : {false, true}) {
-    SimConfig cfg = setup.base;
-    cfg.routing = RoutingKind::kInTransitMm;
-    cfg.traffic = TrafficKind::kUniform;
+    SimConfig cfg = setup.spec.base;
+    cfg.routing_name = "par-mm";
+    cfg.traffic_name = "uniform";
     cfg.load = 0.7;
     cfg.age_arbitration = age;
     cfg.apply_vc_defaults();
     un.push_back(Curve{age ? "In-Trns-MM+age" : "In-Trns-MM",
-                       {run_averaged(cfg, setup.seeds)}});
+                       {run_averaged(cfg, setup.spec.seeds)}});
   }
   Table cost({"config", "UN accepted @0.7", "UN latency"});
   cost.set_title("Ablation A — uniform-traffic cost of age arbitration");

@@ -11,7 +11,7 @@ int main() {
   report_preamble(
       std::cout, "Ablation B — global link arrangement (palmtree vs "
       "consecutive)",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "the ADVc bottleneck is an arrangement property, not a palmtree "
       "quirk: under the consecutive arrangement the starved router is R0");
 
@@ -19,13 +19,13 @@ int main() {
                "accepted"});
   table.set_title("Ablation B — In-Trns-MM under ADVc @ fairness load");
   for (const std::string arrangement : {"palmtree", "consecutive"}) {
-    SimConfig cfg = setup.base;
+    SimConfig cfg = setup.spec.base;
     cfg.arrangement = arrangement;
-    cfg.routing = RoutingKind::kInTransitMm;
-    cfg.traffic = TrafficKind::kAdvConsecutive;
+    cfg.routing_name = "par-mm";
+    cfg.traffic_name = "advc";
     cfg.load = fairness_load(setup);
     cfg.apply_vc_defaults();
-    const AveragedResult r = run_averaged(cfg, setup.seeds);
+    const AveragedResult r = run_averaged(cfg, setup.spec.seeds);
     // Identify the starved router inside group 0.
     int argmin = 0;
     for (int i = 1; i < cfg.topo.a; ++i) {
@@ -39,6 +39,6 @@ int main() {
                    r.fairness.cov, r.accepted_load});
   }
   table.print(std::cout);
-  table.write_csv(results_dir() + "/ablation_arrangement.csv");
+  mirror_table(table, "ablation_arrangement");
   return 0;
 }

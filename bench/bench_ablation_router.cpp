@@ -8,7 +8,7 @@ int main() {
   const BenchSetup setup = bench_setup();
   report_preamble(
       std::cout, "Ablation C — router speedup and buffer sizing",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "the 2x speedup exists to hide HoL blocking and allocator "
       "suboptimality (Sec. IV-A): expect a visible UN throughput drop at "
       "1x; halving the global input buffers mainly hurts adversarial "
@@ -38,23 +38,23 @@ int main() {
     double advc_acc = 0;
     double advc_lat = 0;
     for (int pass = 0; pass < 2; ++pass) {
-      SimConfig cfg = setup.base;
-      cfg.routing = RoutingKind::kInTransitMm;
+      SimConfig cfg = setup.spec.base;
+      cfg.routing_name = "par-mm";
       cfg.max_grants_per_output = v.grants;
       cfg.max_grants_per_input = v.grants;
       cfg.global_input_buffer = v.global_buf;
       cfg.output_queue_size = v.out_queue;
-      cfg.traffic = pass == 0 ? TrafficKind::kUniform
-                              : TrafficKind::kAdvConsecutive;
+      cfg.traffic_name = pass == 0 ? "uniform"
+                              : "advc";
       cfg.load = pass == 0 ? 0.8 : 0.4;
       cfg.apply_vc_defaults();
-      const AveragedResult r = run_averaged(cfg, setup.seeds);
+      const AveragedResult r = run_averaged(cfg, setup.spec.seeds);
       (pass == 0 ? un_acc : advc_acc) = r.accepted_load;
       (pass == 0 ? un_lat : advc_lat) = r.avg_latency;
     }
     table.add_row({v.label, un_acc, un_lat, advc_acc, advc_lat});
   }
   table.print(std::cout);
-  table.write_csv(results_dir() + "/ablation_router.csv");
+  mirror_table(table, "ablation_router");
   return 0;
 }

@@ -11,7 +11,7 @@ int main() {
   const BenchSetup setup = bench_setup();
   report_preamble(
       std::cout, "Ablation D — adaptive-routing threshold sensitivity",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "the paper's operating point (T=3 global, 43% in-transit) balances "
       "diversion eagerness; extremes either refuse to divert (throughput "
       "collapse towards MIN under ADVc) or divert onto busy candidates");
@@ -25,38 +25,38 @@ int main() {
     double un_acc = 0;
     double un_lat = 0;
     for (int pass = 0; pass < 2; ++pass) {
-      SimConfig cfg = setup.base;
-      cfg.routing = RoutingKind::kSourceRrg;
+      SimConfig cfg = setup.spec.base;
+      cfg.routing_name = "pb-rrg";
       cfg.pb_threshold_global = t;
-      cfg.traffic = pass == 0 ? TrafficKind::kAdvConsecutive
-                              : TrafficKind::kUniform;
+      cfg.traffic_name = pass == 0 ? "advc"
+                              : "uniform";
       cfg.load = pass == 0 ? fairness_load(setup) : 0.6;
       cfg.apply_vc_defaults();
-      const AveragedResult r = run_averaged(cfg, setup.seeds);
+      const AveragedResult r = run_averaged(cfg, setup.spec.seeds);
       (pass == 0 ? advc_acc : un_acc) = r.accepted_load;
       (pass == 0 ? advc_lat : un_lat) = r.avg_latency;
     }
     pb.add_row({t, advc_acc, advc_lat, un_acc, un_lat});
   }
   pb.print(std::cout);
-  pb.write_csv(results_dir() + "/ablation_pb_threshold.csv");
+  mirror_table(pb, "ablation_pb_threshold");
   std::cout << "\n";
 
   Table it({"in-transit threshold", "ADVc accepted", "ADVc latency",
             "ADVc CoV", "min inj"});
   it.set_title("in-transit (MM) candidate-eligibility threshold sweep");
   for (double t : {0.1, 0.25, 0.43, 0.7, 1.0}) {
-    SimConfig cfg = setup.base;
-    cfg.routing = RoutingKind::kInTransitMm;
+    SimConfig cfg = setup.spec.base;
+    cfg.routing_name = "par-mm";
     cfg.intransit_threshold = t;
-    cfg.traffic = TrafficKind::kAdvConsecutive;
+    cfg.traffic_name = "advc";
     cfg.load = fairness_load(setup);
     cfg.apply_vc_defaults();
-    const AveragedResult r = run_averaged(cfg, setup.seeds);
+    const AveragedResult r = run_averaged(cfg, setup.spec.seeds);
     it.add_row({t, r.accepted_load, r.avg_latency, r.fairness.cov,
                 r.fairness.min_injections});
   }
   it.print(std::cout);
-  it.write_csv(results_dir() + "/ablation_intransit_threshold.csv");
+  mirror_table(it, "ablation_intransit_threshold");
   return 0;
 }

@@ -9,7 +9,7 @@ int main() {
   const BenchSetup setup = bench_setup();
   report_preamble(
       std::cout, "Extension — UGAL-L vs PiggyBack source-adaptive routing",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "both divert under adversarial patterns; PB's in-group link-state "
       "broadcast reacts to remote congestion UGAL-L cannot see, while "
       "UGAL's local queues respond faster at the source router");
@@ -17,27 +17,23 @@ int main() {
   Table table({"routing", "traffic", "accepted", "avg latency",
                "p99 latency", "global hops", "CoV"});
   table.set_title("source-adaptive comparison @ load 0.3");
-  for (TrafficKind traffic :
-       {TrafficKind::kUniform, TrafficKind::kAdversarial,
-        TrafficKind::kAdvConsecutive, TrafficKind::kShift,
-        TrafficKind::kHotspot}) {
-    for (RoutingKind kind :
-         {RoutingKind::kSourceRrg, RoutingKind::kUgalRrg,
-          RoutingKind::kSourceCrg, RoutingKind::kUgalCrg}) {
-      SimConfig cfg = setup.base;
-      cfg.routing = kind;
-      cfg.traffic = traffic;
+  for (const std::string traffic :
+       {"uniform", "adv", "advc", "shift", "hotspot"}) {
+    for (const std::string routing :
+         {"pb-rrg", "ugal-rrg", "pb-crg", "ugal-crg"}) {
+      SimConfig cfg = setup.spec.base;
+      cfg.routing_name = routing;
+      cfg.traffic_name = traffic;
       cfg.load = 0.3;
       cfg.hotspot_fraction = 0.05;
       cfg.apply_vc_defaults();
       const SimResult r = run_simulation(cfg);
-      table.add_row({std::string(to_string(kind)),
-                     std::string(to_string(traffic)), r.accepted_load,
+      table.add_row({display_name(routing), traffic, r.accepted_load,
                      r.avg_latency, r.p99_latency, r.avg_global_hops,
                      r.fairness.cov});
     }
   }
   table.print(std::cout);
-  table.write_csv(results_dir() + "/ext_ugal_vs_pb.csv");
+  mirror_table(table, "ext_ugal_vs_pb");
   return 0;
 }

@@ -7,11 +7,11 @@ int main() {
   const BenchSetup setup = bench_setup();
   report_preamble(
       std::cout, "Figure 2a — UN traffic, transit-over-injection priority ON",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "all mechanisms competitive; MIN lowest latency; RRG variants pay an "
       "extra local hop (higher latency); oblivious Valiant saturates near "
       "half of MIN's throughput");
-  const auto curves = run_figure(setup, TrafficKind::kUniform,
+  const auto curves = run_figure(setup, "uniform",
                                  /*transit_priority=*/true);
   report_latency_throughput(std::cout, "Figure 2a (UN, priority ON)",
                             "fig2a_un_priority", curves);

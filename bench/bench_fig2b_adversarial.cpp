@@ -8,11 +8,11 @@ int main() {
   report_preamble(
       std::cout,
       "Figure 2b — ADV+1 traffic, transit-over-injection priority ON",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "MIN collapses at 1/(a*p); CRG beats RRG; in-transit adaptive best "
       "throughput; latency peaks where the bottleneck router starts to "
       "starve (extremely low load for In-Trns-CRG)");
-  const auto curves = run_figure(setup, TrafficKind::kAdversarial,
+  const auto curves = run_figure(setup, "adv",
                                  /*transit_priority=*/true);
   report_latency_throughput(std::cout, "Figure 2b (ADV+1, priority ON)",
                             "fig2b_adv_priority", curves);

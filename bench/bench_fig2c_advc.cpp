@@ -9,12 +9,12 @@ int main() {
   report_preamble(
       std::cout,
       "Figure 2c — ADVc traffic, transit-over-injection priority ON",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "MIN caps at h/(a*p); oblivious/source mechanisms have modest "
       "throughput; in-transit adaptive leads at saturation but its "
       "pre-saturation accepted load drops below oblivious and latency "
       "peaks near the starvation onset (~0.15 at paper scale)");
-  const auto curves = run_figure(setup, TrafficKind::kAdvConsecutive,
+  const auto curves = run_figure(setup, "advc",
                                  /*transit_priority=*/true);
   report_latency_throughput(std::cout, "Figure 2c (ADVc, priority ON)",
                             "fig2c_advc_priority", curves);

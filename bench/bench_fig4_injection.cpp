@@ -8,7 +8,7 @@ int main() {
   report_preamble(
       std::cout,
       "Figure 4 — injected packets per router (group 0), ADVc, priority ON",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "oblivious flat across routers; source-adaptive skews at R0/R(a-1); "
       "in-transit starves the bottleneck router R(a-1) by orders of "
       "magnitude, regardless of the global misrouting policy");
@@ -17,6 +17,6 @@ int main() {
             << " phits/(node*cycle)\n\n";
   report_injections_per_router(
       std::cout, "Figure 4 (injected packets per router, group 0)",
-      "fig4_injection_priority", curves, /*group=*/0, setup.base.topo.a);
+      "fig4_injection_priority", curves, /*group=*/0, setup.spec.base.topo.a);
   return 0;
 }

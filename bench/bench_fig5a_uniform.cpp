@@ -5,11 +5,11 @@ int main() {
   using namespace benchutil;
   const BenchSetup setup = bench_setup();
   report_preamble(
-      std::cout, "Figure 5a — UN traffic, priority OFF", setup.base,
-      setup.seeds,
+      std::cout, "Figure 5a — UN traffic, priority OFF", setup.spec.base,
+      setup.spec.seeds,
       "removing the priority slightly increases congestion: MIN throughput "
       "drops ~1.2% under UN; otherwise shapes match Figure 2a");
-  const auto curves = run_figure(setup, TrafficKind::kUniform,
+  const auto curves = run_figure(setup, "uniform",
                                  /*transit_priority=*/false);
   report_latency_throughput(std::cout, "Figure 5a (UN, priority OFF)",
                             "fig5a_un_nopriority", curves);

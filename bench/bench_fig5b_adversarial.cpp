@@ -5,11 +5,11 @@ int main() {
   using namespace benchutil;
   const BenchSetup setup = bench_setup();
   report_preamble(
-      std::cout, "Figure 5b — ADV+1 traffic, priority OFF", setup.base,
-      setup.seeds,
+      std::cout, "Figure 5b — ADV+1 traffic, priority OFF", setup.spec.base,
+      setup.spec.seeds,
       "without the priority, in-transit CRG/MM lose their starvation "
       "latency peak; RRG's peak moves to a much higher load");
-  const auto curves = run_figure(setup, TrafficKind::kAdversarial,
+  const auto curves = run_figure(setup, "adv",
                                  /*transit_priority=*/false);
   report_latency_throughput(std::cout, "Figure 5b (ADV+1, priority OFF)",
                             "fig5b_adv_nopriority", curves);

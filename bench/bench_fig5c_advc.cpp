@@ -5,11 +5,11 @@ int main() {
   using namespace benchutil;
   const BenchSetup setup = bench_setup();
   report_preamble(
-      std::cout, "Figure 5c — ADVc traffic, priority OFF", setup.base,
-      setup.seeds,
+      std::cout, "Figure 5c — ADVc traffic, priority OFF", setup.spec.base,
+      setup.spec.seeds,
       "the unfairness-driven latency anomaly shrinks markedly but is not "
       "eliminated; in-transit throughput recovers towards the offered load");
-  const auto curves = run_figure(setup, TrafficKind::kAdvConsecutive,
+  const auto curves = run_figure(setup, "advc",
                                  /*transit_priority=*/false);
   report_latency_throughput(std::cout, "Figure 5c (ADVc, priority OFF)",
                             "fig5c_advc_nopriority", curves);

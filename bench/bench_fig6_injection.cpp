@@ -8,7 +8,7 @@ int main() {
   report_preamble(
       std::cout,
       "Figure 6 — injected packets per router (group 0), ADVc, priority OFF",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "oblivious unchanged; Src-CRG's bottleneck router now *over*-injects "
       "(>2x the others); in-transit fairness vastly improved and identical "
       "across RRG/CRG/MM — but still not as flat as oblivious");
@@ -17,6 +17,6 @@ int main() {
             << " phits/(node*cycle)\n\n";
   report_injections_per_router(
       std::cout, "Figure 6 (injected packets per router, group 0)",
-      "fig6_injection_nopriority", curves, /*group=*/0, setup.base.topo.a);
+      "fig6_injection_nopriority", curves, /*group=*/0, setup.spec.base.topo.a);
   return 0;
 }

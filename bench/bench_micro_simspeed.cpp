@@ -40,8 +40,8 @@ BENCHMARK(BM_SeparableAllocator)->Arg(11)->Arg(23);
 void BM_NetworkStepUniform(benchmark::State& state) {
   const int h = static_cast<int>(state.range(0));
   SimConfig cfg = SimConfig::small(h);
-  cfg.routing = RoutingKind::kInTransitMm;
-  cfg.traffic = TrafficKind::kUniform;
+  cfg.routing_name = "par-mm";
+  cfg.traffic_name = "uniform";
   cfg.load = 0.5;
   cfg.apply_vc_defaults();
   Network net(cfg);
@@ -55,8 +55,8 @@ BENCHMARK(BM_NetworkStepUniform)->Arg(2)->Arg(3)->Arg(4);
 void BM_NetworkStepAdvc(benchmark::State& state) {
   const int h = static_cast<int>(state.range(0));
   SimConfig cfg = SimConfig::small(h);
-  cfg.routing = RoutingKind::kInTransitMm;
-  cfg.traffic = TrafficKind::kAdvConsecutive;
+  cfg.routing_name = "par-mm";
+  cfg.traffic_name = "advc";
   cfg.load = 0.4;
   cfg.apply_vc_defaults();
   Network net(cfg);

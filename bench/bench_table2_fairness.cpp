@@ -7,7 +7,7 @@ int main() {
   const BenchSetup setup = bench_setup();
   report_preamble(
       std::cout, "Table II — fairness metrics, ADVc, priority ON",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "paper (h=6, load 0.4): Obl CoV~0.015-0.018, Max/Min~1.1; Src "
       "CoV~0.10-0.12, Max/Min~2.2-2.7; In-Trns Min inj collapses (37-69) "
       "with CoV~0.29 for all three policies");

@@ -7,7 +7,7 @@ int main() {
   const BenchSetup setup = bench_setup();
   report_preamble(
       std::cout, "Table III — fairness metrics, ADVc, priority OFF",
-      setup.base, setup.seeds,
+      setup.spec.base, setup.spec.seeds,
       "paper (h=6, load 0.4): Obl unchanged; Src-CRG degrades (CoV~0.56, "
       "Max/Min~6.7 — the bottleneck router exploits its faster view of "
       "the links); In-Trns recovers to Max/Min~1.85, CoV~0.11 for all "

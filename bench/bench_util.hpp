@@ -2,14 +2,18 @@
 //
 // Every bench binary reproduces one table or figure of the paper:
 // it prints a configuration preamble, the measured rows/series, and the
-// paper's expected shape, and mirrors the series to CSV under
-// results_dir(). Environment knobs (see DESIGN.md):
+// paper's expected shape, and mirrors the series through the unified
+// ResultWriter under results_dir(). Scenarios are selected by registry
+// name (routing_registry()/traffic_registry()); the declarative
+// ExperimentSpec in bench_setup() carries the sweep. Environment knobs
+// (see DESIGN.md):
 //   REPRO_FULL=1  — paper-scale run (h=6, 5,256 nodes, Table I windows)
 //   REPRO_H=<n>   — override the dragonfly radix (default 3 small, 6 full)
 //   REPRO_SEEDS   — seeds averaged per point (default 2 small, 3 full)
 //   REPRO_LOADS   — thin the offered-load sweep to this many points
 //   REPRO_CYCLES  — override the measured window (warmup = half of it)
-//   REPRO_OUT     — CSV output directory (default "results")
+//   REPRO_OUT     — result output directory (default "results")
+//   REPRO_FORMAT  — result file format, csv (default) or json
 #pragma once
 
 #include <iostream>
@@ -27,47 +31,55 @@ using namespace dragonfly;
 /// mechanisms saturate earlier, so the equivalent below-oblivious-
 /// saturation point is 0.3 (see EXPERIMENTS.md).
 inline double fairness_load(const BenchSetup& setup) {
-  return setup.full_scale || setup.base.topo.h >= 6 ? 0.4 : 0.3;
+  return setup.full_scale || setup.spec.base.topo.h >= 6 ? 0.4 : 0.3;
 }
 
-/// Paper legend label: the "MIN/Obl-RRG" reference line is MIN under UN
-/// and non-minimal oblivious RRG under the adversarial patterns.
-inline RoutingKind reference_routing(TrafficKind traffic) {
-  return traffic == TrafficKind::kUniform ? RoutingKind::kMinimal
-                                          : RoutingKind::kObliviousRrg;
+/// Paper legend label for a registry key ("par-mm" -> "In-Trns-MM");
+/// custom keys label as themselves.
+inline std::string display_name(const std::string& routing_key) {
+  const auto kind = try_routing_kind(routing_key);
+  return kind ? to_string(*kind) : routing_key;
 }
 
-/// The seven curves of Figures 2/5 for one traffic pattern.
-inline std::vector<RoutingKind> figure_routings(TrafficKind traffic) {
-  std::vector<RoutingKind> kinds{reference_routing(traffic)};
-  for (RoutingKind kind : paper_routings()) {
-    if (kind != kinds.front()) kinds.push_back(kind);
+/// Paper legend: the "MIN/Obl-RRG" reference line is MIN under uniform
+/// traffic and non-minimal oblivious RRG under the adversarial patterns.
+inline std::string reference_routing(const std::string& traffic_key) {
+  return traffic_key == "uniform" ? "min" : "val-rrg";
+}
+
+/// The seven curves of Figures 2/5 for one traffic pattern, by name.
+inline std::vector<std::string> figure_routings(
+    const std::string& traffic_key) {
+  std::vector<std::string> keys{reference_routing(traffic_key)};
+  for (const std::string& key : paper_routing_names()) {
+    if (key != keys.front()) keys.push_back(key);
   }
-  return kinds;
+  return keys;
 }
 
-inline std::string curve_label(RoutingKind kind, TrafficKind traffic) {
-  if (kind == reference_routing(traffic) &&
-      (kind == RoutingKind::kMinimal || kind == RoutingKind::kObliviousRrg)) {
+inline std::string curve_label(const std::string& routing_key,
+                               const std::string& traffic_key) {
+  if (routing_key == reference_routing(traffic_key) &&
+      (routing_key == "min" || routing_key == "val-rrg")) {
     return "MIN/Obl-RRG";
   }
-  return to_string(kind);
+  return display_name(routing_key);
 }
 
 /// Run the full latency/throughput figure for one traffic pattern.
 inline std::vector<Curve> run_figure(const BenchSetup& setup,
-                                     TrafficKind traffic,
+                                     const std::string& traffic_key,
                                      bool transit_priority) {
   std::vector<Curve> curves;
-  for (RoutingKind kind : figure_routings(traffic)) {
-    SimConfig base = setup.base;
-    base.routing = kind;
-    base.traffic = traffic;
-    base.transit_priority = transit_priority;
-    base.apply_vc_defaults();
+  for (const std::string& key : figure_routings(traffic_key)) {
+    ExperimentSpec spec = setup.spec;
+    spec.base.routing_name = key;
+    spec.base.traffic_name = traffic_key;
+    spec.base.transit_priority = transit_priority;
+    spec.base.apply_vc_defaults();
     Curve curve;
-    curve.label = curve_label(kind, traffic);
-    curve.points = run_sweep(base, setup.loads, setup.seeds);
+    curve.label = curve_label(key, traffic_key);
+    curve.points = run_spec(spec);
     curves.push_back(std::move(curve));
   }
   return curves;
@@ -78,18 +90,18 @@ inline std::vector<Curve> run_fairness(const BenchSetup& setup,
                                        bool transit_priority) {
   std::vector<SimConfig> configs;
   std::vector<std::string> labels;
-  for (RoutingKind kind : paper_routings()) {
-    SimConfig cfg = setup.base;
-    cfg.routing = kind;
-    cfg.traffic = TrafficKind::kAdvConsecutive;
+  for (const std::string& key : paper_routing_names()) {
+    SimConfig cfg = setup.spec.base;
+    cfg.routing_name = key;
+    cfg.traffic_name = "advc";
     cfg.load = fairness_load(setup);
     cfg.transit_priority = transit_priority;
     cfg.apply_vc_defaults();
     configs.push_back(cfg);
-    labels.push_back(to_string(kind));
+    labels.push_back(display_name(key));
   }
   const std::vector<AveragedResult> results =
-      run_configs(configs, setup.seeds);
+      run_configs(configs, setup.spec.seeds);
   std::vector<Curve> curves;
   for (std::size_t i = 0; i < results.size(); ++i) {
     curves.push_back(Curve{labels[i], {results[i]}});

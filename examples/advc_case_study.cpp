@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
   }
 
   SimConfig cfg = SimConfig::small(h);
-  cfg.routing = RoutingKind::kInTransitMm;
-  cfg.traffic = TrafficKind::kAdvConsecutive;
+  cfg.routing_name = "par-mm";
+  cfg.traffic_name = "advc";
   cfg.load = load;
   cfg.transit_priority = priority;
   cfg.age_arbitration = age;

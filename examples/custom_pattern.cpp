@@ -1,17 +1,54 @@
-// Extending the library: plug a custom TrafficPattern into the simulator.
+// Extending the simulator from user code: register a custom
+// TrafficPattern under a name and run it through the stock engine — no
+// file under src/ changes.
 //
-// Implements a "tornado-of-groups" pattern (every group sends to the
-// group halfway across the network — classic worst case for rings, mild
-// for dragonflies) and runs it against MIN and adaptive routing through
-// the same Network/Engine machinery the built-in patterns use.
+// The pattern is *bit-reversal* (a classic permutation stressor: the
+// destination is the source's node index with its bits reversed), plus
+// the "group-tornado" pattern (every group sends halfway across). Both
+// are registered into traffic_registry() right here and selected via
+// SimConfig::traffic_name exactly like the built-ins — the same
+// mechanism a --set traffic=bit-reversal spec line would use.
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "core/api.hpp"
 
 namespace {
 
 using namespace dragonfly;
+
+/// dst = bit-reverse(src) over ceil(log2(N)) bits, folded into [0, N)
+/// by modulo. An exact permutation only when N is a power of two; for
+/// other node counts the fold introduces a few collisions, which is
+/// fine for a traffic stressor (and keeps the example short).
+class BitReversal final : public TrafficPattern {
+ public:
+  explicit BitReversal(const DragonflyTopology& topo) : topo_(topo) {
+    bits_ = 1;
+    while ((1 << bits_) < topo.num_nodes()) ++bits_;
+  }
+
+  std::string name() const override { return "bit-reversal"; }
+
+  NodeId destination(NodeId src, Rng& rng) const override {
+    (void)rng;  // deterministic per source
+    std::uint32_t v = static_cast<std::uint32_t>(src);
+    std::uint32_t rev = 0;
+    for (int b = 0; b < bits_; ++b) {
+      rev = (rev << 1) | (v & 1);
+      v >>= 1;
+    }
+    const auto dst =
+        static_cast<NodeId>(rev % static_cast<std::uint32_t>(
+                                      topo_.num_nodes()));
+    return dst == src ? (dst + 1) % topo_.num_nodes() : dst;
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+  int bits_ = 0;
+};
 
 /// Every node targets a random node in the group G/2 away.
 class GroupTornado final : public TrafficPattern {
@@ -36,60 +73,49 @@ class GroupTornado final : public TrafficPattern {
   const DragonflyTopology& topo_;
 };
 
-/// Minimal custom driver: the public Network API accepts any pattern via
-/// a thin subclass wrapper around the built-in engine pieces.
-SimResult run_with_pattern(const SimConfig& cfg) {
-  // Engine owns a Network built from cfg; we re-run its loop manually so
-  // the custom pattern can be injected by swapping the traffic selector.
-  Engine engine(cfg);
-  engine.run_cycles(cfg.warmup_cycles);
-  engine.network().begin_measurement();
-  engine.run_cycles(cfg.measure_cycles);
-  engine.network().end_measurement();
-  return engine.collect();
-}
-
 }  // namespace
 
 int main() {
-  // The built-in TrafficKind covers the paper's patterns; for a custom
-  // one, the cleanest route is the pattern interface itself. Here we
-  // check the pattern's distribution directly, then approximate it with
-  // the closest built-in (ADV at offset G/2) for a full simulation so the
-  // example stays a pure consumer of the public API.
+  // Plug both patterns into the registry. The factory receives the
+  // Network's topology, so the pattern needs no global state; from this
+  // point "bit-reversal" and "group-tornado" are first-class scenario
+  // names (visible in simulate_cli --list, usable in spec files).
+  traffic_registry().add(
+      "bit-reversal", [](const DragonflyTopology& topo, const SimConfig&) {
+        return std::make_unique<BitReversal>(topo);
+      });
+  traffic_registry().add(
+      "group-tornado", [](const DragonflyTopology& topo, const SimConfig&) {
+        return std::make_unique<GroupTornado>(topo);
+      });
+
   SimConfig cfg = SimConfig::small(3);
-  const DragonflyTopology topo(cfg.topo, make_arrangement(cfg.arrangement));
-  GroupTornado tornado(topo);
-  Rng rng(1);
+  cfg.load = 0.35;
 
-  std::cout << "custom pattern \"" << tornado.name() << "\": group g -> g+"
-            << topo.num_groups() / 2 << " (of " << topo.num_groups()
-            << " groups)\n";
-  int ok = 0;
-  for (int i = 0; i < 1'000; ++i) {
-    const NodeId dst = tornado.destination(0, rng);
-    ok += topo.group_of_node(dst) == topo.num_groups() / 2 ? 1 : 0;
+  std::cout << "registered custom patterns:";
+  for (const std::string& key : traffic_registry().keys()) {
+    std::cout << " " << key;
   }
-  std::cout << "distribution check: " << ok << "/1000 destinations in the "
-            << "tornado group\n\n";
+  std::cout << "\n\n";
 
-  Table table({"routing", "accepted", "avg latency", "global hops"});
-  table.set_title("group-tornado (ADV+G/2) across mechanisms, load 0.35");
-  for (RoutingKind kind :
-       {RoutingKind::kMinimal, RoutingKind::kObliviousRrg,
-        RoutingKind::kSourceRrg, RoutingKind::kInTransitMm}) {
-    cfg.routing = kind;
-    cfg.traffic = TrafficKind::kAdversarial;
-    cfg.adversarial_offset = topo.num_groups() / 2;
-    cfg.load = 0.35;
-    cfg.apply_vc_defaults();
-    const SimResult r = run_with_pattern(cfg);
-    table.add_row({std::string(to_string(kind)), r.accepted_load,
-                   r.avg_latency, r.avg_global_hops});
+  Table table({"traffic", "routing", "accepted", "avg latency",
+               "global hops"});
+  table.set_title("custom registered patterns across mechanisms, load 0.35");
+  for (const std::string traffic : {"bit-reversal", "group-tornado"}) {
+    for (const std::string routing : {"min", "val-rrg", "pb-rrg", "par-mm"}) {
+      cfg.traffic_name = traffic;
+      cfg.routing_name = routing;
+      cfg.apply_vc_defaults();
+      // The stock entry point: Network resolves the pattern by name.
+      const SimResult r = run_simulation(cfg);
+      table.add_row({traffic, routing, r.accepted_load, r.avg_latency,
+                     r.avg_global_hops});
+    }
   }
   table.print(std::cout);
-  std::cout << "\nLike ADV+1, a half-network offset concentrates each "
-               "group's traffic on one\nglobal link: minimal routing "
-               "collapses, adaptive routing restores throughput.\n";
+  std::cout << "\nBoth permutations concentrate traffic (bit-reversal on "
+               "node pairs, tornado on one\nglobal link per group): minimal "
+               "routing suffers, adaptive routing restores\nthroughput — "
+               "without a single change under src/.\n";
   return 0;
 }

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const double load = argc > 2 ? std::atof(argv[2]) : 0.35;
 
   SimConfig base = SimConfig::small(h);
-  base.routing = RoutingKind::kInTransitMm;
+  base.routing_name = "par-mm";
   base.load = load;
   base.apply_vc_defaults();
 
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   for (int k = 2; k <= std::min(base.topo.h + 2, base.topo.num_groups());
        ++k) {
     SimConfig cfg = base;
-    cfg.traffic = TrafficKind::kPlacement;
+    cfg.traffic_name = "placement";
     cfg.placement_first_group = 0;
     cfg.placement_num_groups = k;
     const SimResult r = run_simulation(cfg);
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   // Reference: the synthetic ADVc pattern (the paper's abstraction of the
   // same phenomenon, network-wide).
   SimConfig advc = base;
-  advc.traffic = TrafficKind::kAdvConsecutive;
+  advc.traffic_name = "advc";
   const SimResult r = run_simulation(advc);
   std::cout << "\nreference, synthetic ADVc network-wide: accepted "
             << r.accepted_load << ", min inj " << r.fairness.min_injections

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const double load = argc > 2 ? std::atof(argv[2]) : 0.4;
 
   SimConfig base = SimConfig::small(h);
-  base.traffic = TrafficKind::kAdvConsecutive;
+  base.traffic_name = "advc";
   base.load = load;
 
   std::cout << "Dragonfly h=" << h << ": " << base.topo.num_groups()
@@ -27,18 +27,16 @@ int main(int argc, char** argv) {
 
   Table table({"routing", "accepted", "avg latency", "min inj", "max/min",
                "CoV"});
-  for (RoutingKind kind :
-       {RoutingKind::kMinimal, RoutingKind::kObliviousRrg,
-        RoutingKind::kObliviousCrg, RoutingKind::kSourceRrg,
-        RoutingKind::kSourceCrg, RoutingKind::kInTransitRrg,
-        RoutingKind::kInTransitCrg, RoutingKind::kInTransitMm}) {
+  for (const std::string routing :
+       {"min", "val-rrg", "val-crg", "pb-rrg", "pb-crg", "par-rrg",
+        "par-crg", "par-mm"}) {
     SimConfig cfg = base;
-    cfg.routing = kind;
+    cfg.routing_name = routing;
     cfg.apply_vc_defaults();
     const SimResult r = run_simulation(cfg);
-    table.add_row({std::string(to_string(kind)), r.accepted_load,
-                   r.avg_latency, r.fairness.min_injections,
-                   r.fairness.max_over_min, r.fairness.cov});
+    table.add_row({routing, r.accepted_load, r.avg_latency,
+                   r.fairness.min_injections, r.fairness.max_over_min,
+                   r.fairness.cov});
   }
   table.print(std::cout);
 

@@ -1,11 +1,25 @@
-// General-purpose simulation CLI: run one configuration and print the full
-// result record. Useful for scripting custom sweeps around the library.
+// simulate — declarative front-end to the simulator: drive any
+// registered routing/traffic/arrangement scenario, sweep loads and
+// seeds in parallel, and emit results through the unified writer.
 //
-//   ./examples/simulate_cli --routing In-Trns-MM --traffic ADVc
-//       --load 0.3 --h 3 [--no-priority] [--age] [--arrangement consecutive]
-//       [--seed N] [--warmup N] [--measure N] [--adv-offset K]
-//       [--placement-first G --placement-groups K] [--csv]
+//   # one point, human-readable
+//   ./simulate_cli --routing par-mm --traffic advc --load 0.3
+//
+//   # the paper's Figure-2c style sweep, as machine-readable CSV
+//   ./simulate_cli --routing par-mm --traffic advc \
+//       --load 0.1:1.0:0.1 --seeds 3 --out csv
+//
+//   # everything from a spec file, overriding one knob
+//   ./simulate_cli --config examples/specs/smoke.spec --set seeds=2
+//
+//   # what scenarios are available?
+//   ./simulate_cli --list
+//
+// Every option is sugar over the same `key = value` grammar the spec
+// files use (see DESIGN.md); --set reaches any knob without a
+// dedicated flag.
 #include <cstring>
+#include <exception>
 #include <iostream>
 #include <string>
 
@@ -13,123 +27,147 @@
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::cerr
-      << "usage: " << argv0 << " [options]\n"
-      << "  --routing NAME      MIN | Obl-RRG | Obl-CRG | Obl-NRG |\n"
-      << "                      Src-RRG | Src-CRG | UGAL-RRG | UGAL-CRG |\n"
-      << "                      In-Trns-RRG | In-Trns-CRG | In-Trns-MM\n"
-      << "                      (default In-Trns-MM)\n"
-      << "  --traffic NAME      UN | ADV | ADVc | placement | shift |\n"
-      << "                      hotspot (default ADVc)\n"
-      << "  --load X            offered phits/(node*cycle) (default 0.3)\n"
-      << "  --h N               dragonfly radix (default 3)\n"
-      << "  --arrangement NAME  palmtree | consecutive\n"
-      << "  --no-priority       disable transit-over-injection priority\n"
-      << "  --age               enable age arbitration\n"
-      << "  --seed N --warmup N --measure N\n"
-      << "  --adv-offset K      ADV+K (default 1)\n"
-      << "  --placement-first G --placement-groups K\n"
-      << "  --csv               emit one CSV row instead of the report\n";
-  std::exit(2);
+using namespace dragonfly;
+
+int usage(std::ostream& os, int exit_code) {
+  os << "usage: simulate_cli [options]\n"
+        "scenario (names per --list; any registered plugin works):\n"
+        "  --routing NAME        routing mechanism (default min)\n"
+        "  --traffic NAME        traffic pattern (default uniform)\n"
+        "  --arrangement NAME    global-link arrangement (default palmtree)\n"
+        "sweep:\n"
+        "  --load X | A:B:STEP | X,Y,Z   offered load(s) (default 0.3)\n"
+        "  --seeds N             replicas averaged per point (default 1)\n"
+        "  --threads N           worker threads (default: hardware)\n"
+        "topology & run control:\n"
+        "  --h N                 balanced dragonfly radix (default 3)\n"
+        "  --seed N --warmup N --measure N\n"
+        "  --no-priority         disable transit-over-injection priority\n"
+        "  --age                 enable age arbitration\n"
+        "declarative:\n"
+        "  --config FILE         read `key = value` spec lines (applied\n"
+        "                        first; other flags override the file)\n"
+        "  --set KEY=VALUE       apply any spec/config key (repeatable)\n"
+        "output:\n"
+        "  --out FORMAT          table | csv | json (default table)\n"
+        "  --out-file PATH       also write the results to PATH\n"
+        "  --label NAME          experiment label in the output\n"
+        "  --quiet               no progress on stderr\n"
+        "  --list                print registered scenario names and keys\n";
+  return exit_code;
+}
+
+void list_registries() {
+  auto print = [](const char* title, const std::vector<std::string>& keys) {
+    std::cout << title << ":";
+    for (const std::string& key : keys) std::cout << " " << key;
+    std::cout << "\n";
+  };
+  print("routings", routing_registry().keys());
+  print("traffic patterns", traffic_registry().keys());
+  print("arrangements", arrangement_registry().keys());
+  print("config keys", ExperimentSpec::kv_keys());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace dragonfly;
-
-  SimConfig cfg = SimConfig::small(3);
-  cfg.routing = RoutingKind::kInTransitMm;
-  cfg.traffic = TrafficKind::kAdvConsecutive;
-  cfg.load = 0.3;
-  bool csv = false;
+  ExperimentSpec spec;
+  spec.base = SimConfig::small(3);
+  spec.base.load = 0.3;
+  spec.label = "simulate_cli";
+  bool quiet = false;
 
   auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage(argv[0]);
+    if (i + 1 >= argc) {
+      usage(std::cerr, 2);
+      std::exit(2);
+    }
     return argv[++i];
   };
-  int h = 3;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    try {
-      if (!std::strcmp(arg, "--routing")) {
-        cfg.routing = routing_kind_from_string(need_value(i));
-      } else if (!std::strcmp(arg, "--traffic")) {
-        cfg.traffic = traffic_kind_from_string(need_value(i));
-      } else if (!std::strcmp(arg, "--load")) {
-        cfg.load = std::atof(need_value(i));
-      } else if (!std::strcmp(arg, "--h")) {
-        h = std::atoi(need_value(i));
-      } else if (!std::strcmp(arg, "--arrangement")) {
-        cfg.arrangement = need_value(i);
-      } else if (!std::strcmp(arg, "--no-priority")) {
-        cfg.transit_priority = false;
-      } else if (!std::strcmp(arg, "--age")) {
-        cfg.age_arbitration = true;
-      } else if (!std::strcmp(arg, "--seed")) {
-        cfg.seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
-      } else if (!std::strcmp(arg, "--warmup")) {
-        cfg.warmup_cycles = std::atoll(need_value(i));
-      } else if (!std::strcmp(arg, "--measure")) {
-        cfg.measure_cycles = std::atoll(need_value(i));
-      } else if (!std::strcmp(arg, "--adv-offset")) {
-        cfg.adversarial_offset = std::atoi(need_value(i));
-      } else if (!std::strcmp(arg, "--placement-first")) {
-        cfg.placement_first_group = std::atoi(need_value(i));
-      } else if (!std::strcmp(arg, "--placement-groups")) {
-        cfg.placement_num_groups = std::atoi(need_value(i));
-      } else if (!std::strcmp(arg, "--csv")) {
-        csv = true;
-      } else {
-        usage(argv[0]);
-      }
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      return 2;
-    }
-  }
-  cfg.topo = DragonflyParams::balanced(h);
-  cfg.apply_vc_defaults();
+
   try {
-    cfg.validate();
+    // --config is applied first regardless of its position, so every
+    // other flag overrides the file (a spec starts from the paper-scale
+    // SimConfig defaults, not the CLI's small(3)).
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--config")) {
+        spec = ExperimentSpec::parse_file(need_value(i));
+      }
+    }
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+        return usage(std::cout, 0);
+      } else if (!std::strcmp(arg, "--list")) {
+        list_registries();
+        return 0;
+      } else if (!std::strcmp(arg, "--config")) {
+        ++i;  // handled in the first pass
+      } else if (!std::strcmp(arg, "--set")) {
+        spec.apply_kv_line(need_value(i));
+      } else if (!std::strcmp(arg, "--routing")) {
+        spec.apply_kv("routing", need_value(i));
+      } else if (!std::strcmp(arg, "--traffic")) {
+        spec.apply_kv("traffic", need_value(i));
+      } else if (!std::strcmp(arg, "--arrangement")) {
+        spec.apply_kv("arrangement", need_value(i));
+      } else if (!std::strcmp(arg, "--load")) {
+        spec.apply_kv("load", need_value(i));
+      } else if (!std::strcmp(arg, "--seeds")) {
+        spec.apply_kv("seeds", need_value(i));
+      } else if (!std::strcmp(arg, "--threads")) {
+        spec.apply_kv("threads", need_value(i));
+      } else if (!std::strcmp(arg, "--h")) {
+        spec.apply_kv("h", need_value(i));
+      } else if (!std::strcmp(arg, "--seed")) {
+        spec.apply_kv("seed", need_value(i));
+      } else if (!std::strcmp(arg, "--warmup")) {
+        spec.apply_kv("warmup_cycles", need_value(i));
+      } else if (!std::strcmp(arg, "--measure")) {
+        spec.apply_kv("measure_cycles", need_value(i));
+      } else if (!std::strcmp(arg, "--no-priority")) {
+        spec.apply_kv("transit_priority", "off");
+      } else if (!std::strcmp(arg, "--age")) {
+        spec.apply_kv("age_arbitration", "on");
+      } else if (!std::strcmp(arg, "--out")) {
+        spec.apply_kv("out", need_value(i));
+      } else if (!std::strcmp(arg, "--out-file")) {
+        spec.apply_kv("out_path", need_value(i));
+      } else if (!std::strcmp(arg, "--label")) {
+        spec.apply_kv("label", need_value(i));
+      } else if (!std::strcmp(arg, "--quiet")) {
+        quiet = true;
+      } else {
+        std::cerr << "unknown option " << arg << "\n";
+        return usage(std::cerr, 2);
+      }
+    }
+    spec.finalize();
   } catch (const std::exception& e) {
-    std::cerr << "invalid configuration: " << e.what() << "\n";
+    std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
 
-  const SimResult r = run_simulation(cfg);
+  try {
+    ProgressPrinter progress(std::cerr);
+    const std::vector<AveragedResult> results =
+        run_spec(spec, quiet ? nullptr : &progress);
 
-  if (csv) {
-    std::cout << to_string(cfg.routing) << "," << to_string(cfg.traffic)
-              << "," << cfg.load << "," << (cfg.transit_priority ? 1 : 0)
-              << "," << (cfg.age_arbitration ? 1 : 0) << ","
-              << r.accepted_load << "," << r.avg_latency << ","
-              << r.fairness.min_injections << "," << r.fairness.max_over_min
-              << "," << r.fairness.cov << "," << r.fairness.jain << "\n";
-    return 0;
+    ResultWriter writer(spec.label);
+    const std::string label =
+        spec.base.routing_key() + "/" + spec.base.traffic_key();
+    for (const AveragedResult& r : results) writer.add(label, r);
+    writer.write(std::cout, spec.format);
+    if (!spec.out_path.empty()) {
+      writer.write_file(spec.out_path, spec.format);
+      if (!quiet) {
+        std::cerr << "results written to " << spec.out_path << "\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-
-  std::cout << "routing " << to_string(cfg.routing) << ", traffic "
-            << to_string(cfg.traffic) << ", load " << cfg.load
-            << ", priority " << (cfg.transit_priority ? "ON" : "OFF")
-            << (cfg.age_arbitration ? ", age arbitration" : "") << "\n"
-            << "dragonfly h=" << h << " (" << cfg.topo.num_nodes()
-            << " nodes, " << cfg.arrangement << ")\n\n"
-            << "accepted load  " << r.accepted_load << " phits/node/cycle\n"
-            << "avg latency    " << r.avg_latency << " cycles (max "
-            << r.max_latency << ")\n"
-            << "  base " << r.components.base << " | misroute "
-            << r.components.misroute << " | local q "
-            << r.components.local_queue << " | global q "
-            << r.components.global_queue << " | injection q "
-            << r.components.injection_queue << "\n"
-            << "hops           " << r.avg_local_hops << " local, "
-            << r.avg_global_hops << " global\n"
-            << "fairness       min inj " << r.fairness.min_injections
-            << ", Max/Min " << r.fairness.max_over_min << ", CoV "
-            << r.fairness.cov << ", Jain " << r.fairness.jain << "\n"
-            << "packets        " << r.delivered_packets << " delivered / "
-            << r.generated_packets << " generated (window)\n";
   return 0;
 }

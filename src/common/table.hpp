@@ -24,6 +24,9 @@ class Table {
   void add_row(std::vector<Cell> row);
   std::size_t rows() const { return rows_.size(); }
   std::size_t columns() const { return headers_.size(); }
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<Cell>>& data() const { return rows_; }
 
   /// Render aligned, human-readable output.
   void print(std::ostream& os) const;

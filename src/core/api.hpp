@@ -4,11 +4,15 @@
 //   #include "core/api.hpp"
 //
 //   dragonfly::SimConfig cfg = dragonfly::SimConfig::small(3);
-//   cfg.routing = dragonfly::RoutingKind::kInTransitMm;
-//   cfg.traffic = dragonfly::TrafficKind::kAdvConsecutive;
+//   cfg.routing_name = "par-mm";   // any routing_registry() name
+//   cfg.traffic_name = "advc";     // any traffic_registry() name
 //   cfg.load = 0.4;
 //   cfg.apply_vc_defaults();
 //   dragonfly::SimResult r = dragonfly::run_simulation(cfg);
+//
+// Scenarios are extensible without core edits: register new routings /
+// traffic patterns / arrangements by name (core/registry.hpp), or drive
+// whole sweeps declaratively from key=value specs (core/spec.hpp).
 #pragma once
 
 #include "common/rng.hpp"          // IWYU pragma: export
@@ -16,7 +20,9 @@
 #include "common/table.hpp"        // IWYU pragma: export
 #include "common/types.hpp"        // IWYU pragma: export
 #include "core/experiment.hpp"     // IWYU pragma: export
+#include "core/registry.hpp"       // IWYU pragma: export
 #include "core/report.hpp"         // IWYU pragma: export
+#include "core/spec.hpp"           // IWYU pragma: export
 #include "metrics/fairness.hpp"    // IWYU pragma: export
 #include "metrics/latency.hpp"     // IWYU pragma: export
 #include "routing/routing.hpp"     // IWYU pragma: export

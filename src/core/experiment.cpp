@@ -1,7 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <atomic>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -43,33 +43,32 @@ AveragedResult average(std::span<const SimResult> runs) {
   return avg;
 }
 
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atoi(v);
-}
-
 }  // namespace
 
 AveragedResult run_averaged(const SimConfig& base, int num_seeds,
-                            int threads) {
-  return run_configs(std::span<const SimConfig>(&base, 1), num_seeds, threads)
+                            int threads, RunObserver* observer) {
+  return run_configs(std::span<const SimConfig>(&base, 1), num_seeds, threads,
+                     observer)
       .front();
 }
 
 std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
-                                        int num_seeds, int threads) {
+                                        int num_seeds, int threads,
+                                        RunObserver* observer) {
   if (configs.empty()) return {};
   if (num_seeds < 1) throw std::invalid_argument("run_configs: num_seeds < 1");
 
   // Flatten (config, seed) jobs so seeds also run in parallel. Each job is
   // independent and writes its own result slot; the replica seed is a pure
   // function of (config, seed index), so the outcome is bit-identical for
-  // any worker count.
+  // any worker count. The observer sees completions as they happen but
+  // cannot influence the results.
   const std::size_t seeds = static_cast<std::size_t>(num_seeds);
   std::vector<std::vector<SimResult>> results(
       configs.size(), std::vector<SimResult>(seeds));
   const std::size_t jobs = configs.size() * seeds;
+  if (observer != nullptr) observer->on_start(jobs, configs.size());
+  std::atomic<std::size_t> finished{0};
   ThreadPool pool(static_cast<int>(std::min<std::size_t>(
       static_cast<std::size_t>(ThreadPool::resolve(threads)), jobs)));
   pool.run_indexed(jobs, [&](std::size_t i) {
@@ -78,17 +77,26 @@ std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
     SimConfig cfg = configs[c];
     cfg.seed = derive_seed(cfg.seed, s);
     results[c][s] = run_simulation(cfg);
+    if (observer != nullptr) {
+      observer->on_job_done(finished.fetch_add(1) + 1, jobs);
+    }
   });
 
   std::vector<AveragedResult> out;
   out.reserve(configs.size());
   for (auto& r : results) out.push_back(average(r));
+  if (observer != nullptr) {
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      observer->on_config_done(c, out[c]);
+    }
+  }
   return out;
 }
 
 std::vector<AveragedResult> run_sweep(const SimConfig& base,
                                       std::span<const double> loads,
-                                      int num_seeds, int threads) {
+                                      int num_seeds, int threads,
+                                      RunObserver* observer) {
   std::vector<SimConfig> configs;
   configs.reserve(loads.size());
   for (double load : loads) {
@@ -96,7 +104,7 @@ std::vector<AveragedResult> run_sweep(const SimConfig& base,
     cfg.load = load;
     configs.push_back(cfg);
   }
-  return run_configs(configs, num_seeds, threads);
+  return run_configs(configs, num_seeds, threads, observer);
 }
 
 std::span<const RoutingKind> paper_routings() {
@@ -109,40 +117,19 @@ std::span<const RoutingKind> paper_routings() {
   return kinds;
 }
 
-std::vector<double> default_loads() {
-  return {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+std::span<const std::string> paper_routing_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const RoutingKind kind : paper_routings()) {
+      out.emplace_back(registry_key(kind));
+    }
+    return out;
+  }();
+  return names;
 }
 
-BenchSetup bench_setup() {
-  BenchSetup setup;
-  setup.full_scale = env_int("REPRO_FULL", 0) != 0;
-  const int h = env_int("REPRO_H", setup.full_scale ? 6 : 3);
-  setup.base = setup.full_scale ? SimConfig::paper() : SimConfig::small(h);
-  setup.base.topo = DragonflyParams::balanced(h);
-  // The paper averages 3 simulations; the small-scale default favours a
-  // fast harness pass (set REPRO_SEEDS=3 to average like the paper).
-  setup.seeds = env_int("REPRO_SEEDS", setup.full_scale ? 3 : 1);
-  // REPRO_CYCLES overrides the measurement window (warmup stays at half
-  // of it) — the knob the bench-smoke ctest label uses to stay fast.
-  const int measure = env_int("REPRO_CYCLES", 0);
-  if (measure > 0) {
-    setup.base.measure_cycles = measure;
-    setup.base.warmup_cycles = std::max(measure / 2, 1);
-  }
-  setup.loads = default_loads();
-  const int max_loads = env_int("REPRO_LOADS", 0);
-  if (max_loads >= 2 && max_loads < static_cast<int>(setup.loads.size())) {
-    // Thin the sweep while keeping the first and last point.
-    std::vector<double> thin;
-    const double stride = static_cast<double>(setup.loads.size() - 1) /
-                          static_cast<double>(max_loads - 1);
-    for (int i = 0; i < max_loads; ++i) {
-      thin.push_back(
-          setup.loads[static_cast<std::size_t>(i * stride + 0.5)]);
-    }
-    setup.loads = thin;
-  }
-  return setup;
+std::vector<double> default_loads() {
+  return {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
 }
 
 }  // namespace dragonfly

@@ -33,43 +33,70 @@ struct AveragedResult {
   int seeds = 0;
 };
 
+/// Progress hook for run_sweep/run_configs: long sweeps report job
+/// completions as they happen (CLI progress bars, logging, dashboards).
+/// on_job_done fires from worker threads — overrides must be
+/// thread-safe; the config-level callbacks fire from the calling thread
+/// after the parallel phase, in config order. The default
+/// implementations do nothing, so observers override only what they
+/// need.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  /// Before the parallel phase: total (config, seed) jobs and configs.
+  virtual void on_start(std::size_t total_jobs, std::size_t num_configs) {
+    (void)total_jobs;
+    (void)num_configs;
+  }
+
+  /// After each job, from a worker thread. `finished` counts completed
+  /// jobs (1-based, monotone across concurrent callers).
+  virtual void on_job_done(std::size_t finished, std::size_t total_jobs) {
+    (void)finished;
+    (void)total_jobs;
+  }
+
+  /// After averaging, once per config in submission order.
+  virtual void on_config_done(std::size_t config_index,
+                              const AveragedResult& result) {
+    (void)config_index;
+    (void)result;
+  }
+};
+
 /// Run `base` once per replica (seed = derive_seed(base.seed, i)) on
 /// `threads` workers and average. Results are bit-identical for any
 /// thread count.
 AveragedResult run_averaged(const SimConfig& base, int num_seeds,
-                            int threads = 0);
+                            int threads = 0, RunObserver* observer = nullptr);
 
 /// Run a load sweep; (point, seed) jobs execute in parallel on `threads`
 /// workers (threads <= 0 selects the hardware concurrency). Bit-identical
 /// for any thread count.
 std::vector<AveragedResult> run_sweep(const SimConfig& base,
                                       std::span<const double> loads,
-                                      int num_seeds, int threads = 0);
+                                      int num_seeds, int threads = 0,
+                                      RunObserver* observer = nullptr);
 
 /// Run arbitrary configs in parallel (ablation grids). Bit-identical for
 /// any thread count.
 std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
-                                        int num_seeds, int threads = 0);
+                                        int num_seeds, int threads = 0,
+                                        RunObserver* observer = nullptr);
 
-// --- bench-harness defaults -----------------------------------------------
+// --- paper defaults ---------------------------------------------------------
 
 /// The seven routing configurations of the paper's evaluation, in the
-/// legend order of Figures 2/4/5/6.
+/// legend order of Figures 2/4/5/6. DEPRECATED enum shim of
+/// paper_routing_names().
 std::span<const RoutingKind> paper_routings();
+
+/// The same seven configurations as registry names ("val-rrg", ...,
+/// "par-mm").
+std::span<const std::string> paper_routing_names();
 
 /// Offered-load sweep used for the latency/throughput figures.
 std::vector<double> default_loads();
-
-/// Base configuration for benches: SimConfig::small(REPRO_H or 3), or the
-/// paper-scale Table I setup when REPRO_FULL=1. REPRO_SEEDS overrides the
-/// number of averaged seeds (default 1 small / 3 full), REPRO_LOADS the
-/// number of sweep points.
-struct BenchSetup {
-  SimConfig base;
-  int seeds = 2;
-  std::vector<double> loads;
-  bool full_scale = false;
-};
-BenchSetup bench_setup();
 
 }  // namespace dragonfly

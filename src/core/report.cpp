@@ -1,8 +1,227 @@
 #include "core/report.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <ostream>
+#include <stdexcept>
+#include <utility>
 
 namespace dragonfly {
+
+// --- unified result writer --------------------------------------------------
+
+const char* to_string(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kTable: return "table";
+    case OutputFormat::kCsv: return "csv";
+    case OutputFormat::kJson: return "json";
+  }
+  return "?";
+}
+
+OutputFormat output_format_from_string(const std::string& name) {
+  if (name == "table") return OutputFormat::kTable;
+  if (name == "csv") return OutputFormat::kCsv;
+  if (name == "json") return OutputFormat::kJson;
+  throw std::invalid_argument("unknown output format \"" + name +
+                              "\"; valid names: table | csv | json");
+}
+
+OutputFormat results_format() {
+  const char* env = std::getenv("REPRO_FORMAT");
+  if (env == nullptr || *env == '\0') return OutputFormat::kCsv;
+  const OutputFormat format = output_format_from_string(env);
+  if (format == OutputFormat::kTable) {
+    throw std::invalid_argument("REPRO_FORMAT must be csv or json");
+  }
+  return format;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A JSON/CSV cell: strings quoted/escaped per format, numbers via the
+/// Table formatter so both encodings print identically. Non-finite
+/// doubles (a starved router makes max_over_min infinite) become JSON
+/// null — bare `inf`/`nan` is not valid JSON.
+std::string encode_cell(const Table::Cell& cell, OutputFormat format) {
+  if (const auto* d = std::get_if<double>(&cell);
+      d != nullptr && !std::isfinite(*d) && format == OutputFormat::kJson) {
+    return "null";
+  }
+  const std::string text = Table::format(cell);
+  if (std::holds_alternative<std::string>(cell)) {
+    if (format == OutputFormat::kJson) return "\"" + json_escape(text) + "\"";
+    if (format == OutputFormat::kCsv &&
+        text.find_first_of(",\"\n") != std::string::npos) {
+      // RFC 4180 quoting for labels containing separators.
+      std::string quoted = "\"";
+      for (const char c : text) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+      }
+      return quoted + "\"";
+    }
+  }
+  return text;
+}
+
+std::string mirror_path(const std::string& stem, OutputFormat format) {
+  return results_dir() + "/" + stem +
+         (format == OutputFormat::kJson ? ".json" : ".csv");
+}
+
+void write_json_table(std::ostream& os, const std::string& name,
+                      const std::vector<std::string>& columns,
+                      const std::vector<std::vector<Table::Cell>>& rows) {
+  os << "{\n  \"experiment\": \"" << json_escape(name) << "\",\n"
+     << "  \"columns\": [";
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    os << (c ? ", " : "") << "\"" << json_escape(columns[c]) << "\"";
+  }
+  os << "],\n  \"rows\": [\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << "    {";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      os << (c ? ", " : "") << "\"" << json_escape(columns[c])
+         << "\": " << encode_cell(rows[r][c], OutputFormat::kJson);
+    }
+    os << "}" << (r + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+void write_csv_table(std::ostream& os,
+                     const std::vector<std::string>& columns,
+                     const std::vector<std::vector<Table::Cell>>& rows) {
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    os << (c ? "," : "") << columns[c];
+  }
+  os << "\n";
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << encode_cell(row[c], OutputFormat::kCsv);
+    }
+    os << "\n";
+  }
+}
+
+std::ofstream open_for_write(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+ResultWriter::ResultWriter(std::string experiment)
+    : experiment_(std::move(experiment)) {}
+
+void ResultWriter::add(std::string label, const AveragedResult& result) {
+  rows_.push_back(Row{std::move(label), result});
+}
+
+void ResultWriter::add_curve(const Curve& curve) {
+  for (const AveragedResult& point : curve.points) add(curve.label, point);
+}
+
+void ResultWriter::add_curves(std::span<const Curve> curves) {
+  for (const Curve& curve : curves) add_curve(curve);
+}
+
+std::vector<std::string> ResultWriter::columns() {
+  return {"label",        "offered",       "accepted",   "latency",
+          "lat_base",     "lat_misroute",  "lat_local_q", "lat_global_q",
+          "lat_inj_q",    "local_hops",    "global_hops", "min_inj",
+          "max_inj",      "max_over_min",  "cov",         "jain",
+          "seeds"};
+}
+
+void ResultWriter::write(std::ostream& os, OutputFormat format) const {
+  const std::vector<std::string> cols = columns();
+  std::vector<std::vector<Table::Cell>> cells;
+  cells.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    const AveragedResult& r = row.result;
+    cells.push_back({row.label, r.offered_load, r.accepted_load,
+                     r.avg_latency, r.components.base, r.components.misroute,
+                     r.components.local_queue, r.components.global_queue,
+                     r.components.injection_queue, r.avg_local_hops,
+                     r.avg_global_hops, r.fairness.min_injections,
+                     r.fairness.max_injections, r.fairness.max_over_min,
+                     r.fairness.cov, r.fairness.jain,
+                     static_cast<std::int64_t>(r.seeds)});
+  }
+  switch (format) {
+    case OutputFormat::kTable: {
+      Table table(cols);
+      table.set_title(experiment_);
+      for (auto& row : cells) table.add_row(std::move(row));
+      table.print(os);
+      break;
+    }
+    case OutputFormat::kCsv:
+      write_csv_table(os, cols, cells);
+      break;
+    case OutputFormat::kJson:
+      write_json_table(os, experiment_, cols, cells);
+      break;
+  }
+}
+
+void ResultWriter::write_file(const std::string& path,
+                              OutputFormat format) const {
+  std::ofstream out = open_for_write(path);
+  write(out, format);
+}
+
+std::string ResultWriter::mirror(const std::string& stem) const {
+  const OutputFormat format = results_format();
+  const std::string path = mirror_path(stem, format);
+  write_file(path, format);
+  return path;
+}
+
+std::string mirror_table(const Table& table, const std::string& stem) {
+  const OutputFormat format = results_format();
+  const std::string path = mirror_path(stem, format);
+  if (format == OutputFormat::kCsv) {
+    table.write_csv(path);
+  } else {
+    std::ofstream out = open_for_write(path);
+    write_json_table(out, table.title(), table.headers(), table.data());
+  }
+  return path;
+}
+
+// --- figure/table reports ---------------------------------------------------
 
 void report_preamble(std::ostream& os, const std::string& experiment,
                      const SimConfig& base, int seeds,
@@ -13,6 +232,8 @@ void report_preamble(std::ostream& os, const std::string& experiment,
      << " (" << t.num_groups() << " groups, " << t.num_routers()
      << " routers, " << t.num_nodes() << " nodes, " << base.arrangement
      << ")\n"
+     << "scenario: routing " << base.routing_key() << ", traffic "
+     << base.traffic_key() << "\n"
      << "window: " << base.warmup_cycles << " warmup + " << base.measure_cycles
      << " measured cycles, " << seeds << " seed(s) averaged\n"
      << "transit-over-injection priority: "
@@ -50,8 +271,9 @@ void report_latency_throughput(std::ostream& os, const std::string& title,
   os << "\n";
   throughput.print(os);
   os << "\n";
-  latency.write_csv(results_dir() + "/" + stem + "_latency.csv");
-  throughput.write_csv(results_dir() + "/" + stem + "_throughput.csv");
+  ResultWriter writer(title);
+  writer.add_curves(curves);
+  writer.mirror(stem);
 }
 
 void report_latency_breakdown(std::ostream& os, const std::string& title,
@@ -66,7 +288,9 @@ void report_latency_breakdown(std::ostream& os, const std::string& title,
   }
   table.print(os);
   os << "\n";
-  table.write_csv(results_dir() + "/" + stem + ".csv");
+  ResultWriter writer(title);
+  writer.add_curve(curve);
+  writer.mirror(stem);
 }
 
 void report_injections_per_router(std::ostream& os, const std::string& title,
@@ -88,7 +312,7 @@ void report_injections_per_router(std::ostream& os, const std::string& title,
   }
   table.print(os);
   os << "\n";
-  table.write_csv(results_dir() + "/" + stem + ".csv");
+  mirror_table(table, stem);
 }
 
 void report_fairness_table(std::ostream& os, const std::string& title,
@@ -102,7 +326,9 @@ void report_fairness_table(std::ostream& os, const std::string& title,
   }
   table.print(os);
   os << "\n";
-  table.write_csv(results_dir() + "/" + stem + ".csv");
+  ResultWriter writer(title);
+  writer.add_curves(curves);
+  writer.mirror(stem);
 }
 
 }  // namespace dragonfly

@@ -19,9 +19,62 @@ struct Curve {
   std::vector<AveragedResult> points;
 };
 
+// --- unified result writer --------------------------------------------------
+
+/// Output encodings of the unified writer (and the CLI --out option).
+enum class OutputFormat { kTable, kCsv, kJson };
+
+const char* to_string(OutputFormat format);
+/// "table" | "csv" | "json"; unknown names throw, listing the valid ones.
+OutputFormat output_format_from_string(const std::string& name);
+
+/// Format result files mirror to under results_dir(): the REPRO_FORMAT
+/// environment knob ("csv" default, or "json").
+OutputFormat results_format();
+
+/// The one writer every bench, example and the CLI emit scalar results
+/// through: one row per (label, averaged point), fixed column schema
+/// (label, offered, accepted, latency, the five latency components,
+/// hops, fairness, seeds), encoded as an aligned console table, CSV, or
+/// JSON. Converging on this schema keeps every artifact under
+/// results_dir() machine-readable by the same scripts.
+class ResultWriter {
+ public:
+  explicit ResultWriter(std::string experiment);
+
+  void add(std::string label, const AveragedResult& result);
+  void add_curve(const Curve& curve);
+  void add_curves(std::span<const Curve> curves);
+  std::size_t rows() const { return rows_.size(); }
+
+  void write(std::ostream& os, OutputFormat format) const;
+  void write_file(const std::string& path, OutputFormat format) const;
+
+  /// Mirror under results_dir() as `<stem>.csv` / `<stem>.json` per
+  /// results_format(); returns the path written.
+  std::string mirror(const std::string& stem) const;
+
+  /// The fixed column schema, in emission order.
+  static std::vector<std::string> columns();
+
+ private:
+  struct Row {
+    std::string label;
+    AveragedResult result;
+  };
+
+  std::string experiment_;
+  std::vector<Row> rows_;
+};
+
+/// Mirror an arbitrary pivot table (per-router injection figures and
+/// other non-scalar shapes) under results_dir(), honoring REPRO_FORMAT
+/// like ResultWriter::mirror; returns the path written.
+std::string mirror_table(const Table& table, const std::string& stem);
+
 /// Figures 2/5: for each routing, the latency-vs-load and accepted-vs-
-/// offered series. Prints one combined table; CSV mirrors to
-/// `<stem>_latency.csv` and `<stem>_throughput.csv`.
+/// offered series. Prints one combined table; mirrors one unified
+/// ResultWriter file to `<stem>.csv` / `<stem>.json`.
 void report_latency_throughput(std::ostream& os, const std::string& title,
                                const std::string& stem,
                                std::span<const Curve> curves);

@@ -136,4 +136,26 @@ RoutingDecision InTransitRouting::route(Router& at, Packet& pkt) {
   return minimal_decision(at, pkt);
 }
 
+namespace {
+RoutingRegistry::Factory in_transit_factory(InTransitVariant variant) {
+  return [variant](const DragonflyTopology& topo, const SimConfig& cfg)
+             -> std::unique_ptr<RoutingAlgorithm> {
+    return std::make_unique<InTransitRouting>(topo, cfg, variant);
+  };
+}
+const RoutingRegistry::Registrar kRegisterParRrg{
+    routing_registry(), "par-rrg", in_transit_factory(InTransitVariant::kRrg),
+    {"In-Trns-RRG"}};
+const RoutingRegistry::Registrar kRegisterParCrg{
+    routing_registry(), "par-crg", in_transit_factory(InTransitVariant::kCrg),
+    {"In-Trns-CRG"}};
+const RoutingRegistry::Registrar kRegisterParMm{
+    routing_registry(), "par-mm", in_transit_factory(InTransitVariant::kMm),
+    {"In-Trns-MM"}};
+}  // namespace
+
+namespace detail {
+void link_in_transit_routing() {}
+}  // namespace detail
+
 }  // namespace dragonfly

@@ -14,4 +14,18 @@ RoutingDecision MinimalRouting::route(Router& at, Packet& pkt) {
   return minimal_decision(at, pkt);
 }
 
+namespace {
+const RoutingRegistry::Registrar kRegisterMin{
+    routing_registry(), "min",
+    [](const DragonflyTopology& topo, const SimConfig& cfg)
+        -> std::unique_ptr<RoutingAlgorithm> {
+      return std::make_unique<MinimalRouting>(topo, cfg);
+    },
+    {"MIN"}};
+}  // namespace
+
+namespace detail {
+void link_minimal_routing() {}
+}  // namespace detail
+
 }  // namespace dragonfly

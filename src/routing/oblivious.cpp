@@ -53,4 +53,26 @@ RoutingDecision ObliviousValiantRouting::route(Router& at, Packet& pkt) {
   return minimal_decision(at, pkt);
 }
 
+namespace {
+RoutingRegistry::Factory valiant_factory(MisroutePolicy policy) {
+  return [policy](const DragonflyTopology& topo, const SimConfig& cfg)
+             -> std::unique_ptr<RoutingAlgorithm> {
+    return std::make_unique<ObliviousValiantRouting>(topo, cfg, policy);
+  };
+}
+const RoutingRegistry::Registrar kRegisterValRrg{
+    routing_registry(), "val-rrg", valiant_factory(MisroutePolicy::kRrg),
+    {"Obl-RRG"}};
+const RoutingRegistry::Registrar kRegisterValCrg{
+    routing_registry(), "val-crg", valiant_factory(MisroutePolicy::kCrg),
+    {"Obl-CRG"}};
+const RoutingRegistry::Registrar kRegisterValNrg{
+    routing_registry(), "val-nrg", valiant_factory(MisroutePolicy::kNrg),
+    {"Obl-NRG"}};
+}  // namespace
+
+namespace detail {
+void link_oblivious_routing() {}
+}  // namespace detail
+
 }  // namespace dragonfly

@@ -137,4 +137,23 @@ RoutingDecision PiggybackRouting::route(Router& at, Packet& pkt) {
   return valiant_decision(at, pkt);
 }
 
+namespace {
+RoutingRegistry::Factory piggyback_factory(MisroutePolicy policy) {
+  return [policy](const DragonflyTopology& topo, const SimConfig& cfg)
+             -> std::unique_ptr<RoutingAlgorithm> {
+    return std::make_unique<PiggybackRouting>(topo, cfg, policy);
+  };
+}
+const RoutingRegistry::Registrar kRegisterPbRrg{
+    routing_registry(), "pb-rrg", piggyback_factory(MisroutePolicy::kRrg),
+    {"Src-RRG"}};
+const RoutingRegistry::Registrar kRegisterPbCrg{
+    routing_registry(), "pb-crg", piggyback_factory(MisroutePolicy::kCrg),
+    {"Src-CRG"}};
+}  // namespace
+
+namespace detail {
+void link_piggyback_routing() {}
+}  // namespace detail
+
 }  // namespace dragonfly

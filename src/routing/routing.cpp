@@ -4,11 +4,6 @@
 #include <stdexcept>
 
 #include "router/router.hpp"
-#include "routing/in_transit.hpp"
-#include "routing/minimal.hpp"
-#include "routing/oblivious.hpp"
-#include "routing/piggyback.hpp"
-#include "routing/ugal.hpp"
 
 namespace dragonfly {
 
@@ -97,41 +92,35 @@ void RoutingAlgorithm::refresh(
   (void)routers;
 }
 
+namespace detail {
+// Link anchors, one per built-in translation unit (defined next to each
+// mechanism's self-registration). Calling them here makes every binary
+// that constructs routing by name pull those units out of the static
+// archive, so their registration objects always run.
+void link_minimal_routing();
+void link_oblivious_routing();
+void link_piggyback_routing();
+void link_in_transit_routing();
+void link_ugal_routing();
+}  // namespace detail
+
+RoutingRegistry& routing_registry() {
+  static RoutingRegistry registry("routing");
+  static const bool anchored = [] {
+    detail::link_minimal_routing();
+    detail::link_oblivious_routing();
+    detail::link_piggyback_routing();
+    detail::link_in_transit_routing();
+    detail::link_ugal_routing();
+    return true;
+  }();
+  (void)anchored;
+  return registry;
+}
+
 std::unique_ptr<RoutingAlgorithm> make_routing(const DragonflyTopology& topo,
                                                const SimConfig& cfg) {
-  switch (cfg.routing) {
-    case RoutingKind::kMinimal:
-      return std::make_unique<MinimalRouting>(topo, cfg);
-    case RoutingKind::kObliviousRrg:
-      return std::make_unique<ObliviousValiantRouting>(topo, cfg,
-                                                       MisroutePolicy::kRrg);
-    case RoutingKind::kObliviousCrg:
-      return std::make_unique<ObliviousValiantRouting>(topo, cfg,
-                                                       MisroutePolicy::kCrg);
-    case RoutingKind::kObliviousNrg:
-      return std::make_unique<ObliviousValiantRouting>(topo, cfg,
-                                                       MisroutePolicy::kNrg);
-    case RoutingKind::kSourceRrg:
-      return std::make_unique<PiggybackRouting>(topo, cfg,
-                                                MisroutePolicy::kRrg);
-    case RoutingKind::kSourceCrg:
-      return std::make_unique<PiggybackRouting>(topo, cfg,
-                                                MisroutePolicy::kCrg);
-    case RoutingKind::kInTransitRrg:
-      return std::make_unique<InTransitRouting>(topo, cfg,
-                                                InTransitVariant::kRrg);
-    case RoutingKind::kInTransitCrg:
-      return std::make_unique<InTransitRouting>(topo, cfg,
-                                                InTransitVariant::kCrg);
-    case RoutingKind::kInTransitMm:
-      return std::make_unique<InTransitRouting>(topo, cfg,
-                                                InTransitVariant::kMm);
-    case RoutingKind::kUgalRrg:
-      return std::make_unique<UgalRouting>(topo, cfg, MisroutePolicy::kRrg);
-    case RoutingKind::kUgalCrg:
-      return std::make_unique<UgalRouting>(topo, cfg, MisroutePolicy::kCrg);
-  }
-  throw std::invalid_argument("make_routing: unknown routing kind");
+  return routing_registry().create(cfg.routing_key(), topo, cfg);
 }
 
 }  // namespace dragonfly

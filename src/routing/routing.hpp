@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "core/registry.hpp"
 #include "router/packet.hpp"
 #include "sim/config.hpp"
 #include "topology/dragonfly.hpp"
@@ -82,7 +83,18 @@ class RoutingAlgorithm {
   const SimConfig& cfg_;
 };
 
-/// Build the routing mechanism selected by cfg.routing.
+/// The open set of routing mechanisms, keyed by registry name. The
+/// built-ins self-register from their own translation units under the
+/// paper's names ("min", "val-rrg|crg|nrg", "pb-rrg|crg",
+/// "par-rrg|crg|mm", "ugal-rrg|crg"; the legacy enum spellings "MIN",
+/// "In-Trns-MM", ... resolve as aliases). User code registers new
+/// policies here and selects them through SimConfig::routing_name — no
+/// core edits needed.
+using RoutingRegistry =
+    Registry<RoutingAlgorithm, const DragonflyTopology&, const SimConfig&>;
+RoutingRegistry& routing_registry();
+
+/// Build the mechanism selected by cfg.routing_key() (registry shim).
 std::unique_ptr<RoutingAlgorithm> make_routing(const DragonflyTopology& topo,
                                                const SimConfig& cfg);
 

@@ -70,4 +70,23 @@ RoutingDecision UgalRouting::route(Router& at, Packet& pkt) {
   return d;
 }
 
+namespace {
+RoutingRegistry::Factory ugal_factory(MisroutePolicy policy) {
+  return [policy](const DragonflyTopology& topo, const SimConfig& cfg)
+             -> std::unique_ptr<RoutingAlgorithm> {
+    return std::make_unique<UgalRouting>(topo, cfg, policy);
+  };
+}
+const RoutingRegistry::Registrar kRegisterUgalRrg{
+    routing_registry(), "ugal-rrg", ugal_factory(MisroutePolicy::kRrg),
+    {"UGAL-RRG"}};
+const RoutingRegistry::Registrar kRegisterUgalCrg{
+    routing_registry(), "ugal-crg", ugal_factory(MisroutePolicy::kCrg),
+    {"UGAL-CRG"}};
+}  // namespace
+
+namespace detail {
+void link_ugal_routing() {}
+}  // namespace detail
+
 }  // namespace dragonfly

@@ -1,39 +1,94 @@
 #include "sim/config.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "routing/routing.hpp"
+#include "traffic/pattern.hpp"
 
 namespace dragonfly {
 
+namespace {
+
+/// One built-in routing: enum value, canonical registry key, legacy
+/// display spelling (what to_string has always printed).
+struct RoutingName {
+  RoutingKind kind;
+  const char* key;
+  const char* legacy;
+};
+
+constexpr RoutingName kRoutingNames[] = {
+    {RoutingKind::kMinimal, "min", "MIN"},
+    {RoutingKind::kObliviousRrg, "val-rrg", "Obl-RRG"},
+    {RoutingKind::kObliviousCrg, "val-crg", "Obl-CRG"},
+    {RoutingKind::kObliviousNrg, "val-nrg", "Obl-NRG"},
+    {RoutingKind::kSourceRrg, "pb-rrg", "Src-RRG"},
+    {RoutingKind::kSourceCrg, "pb-crg", "Src-CRG"},
+    {RoutingKind::kInTransitRrg, "par-rrg", "In-Trns-RRG"},
+    {RoutingKind::kInTransitCrg, "par-crg", "In-Trns-CRG"},
+    {RoutingKind::kInTransitMm, "par-mm", "In-Trns-MM"},
+    {RoutingKind::kUgalRrg, "ugal-rrg", "UGAL-RRG"},
+    {RoutingKind::kUgalCrg, "ugal-crg", "UGAL-CRG"},
+};
+
+struct TrafficName {
+  TrafficKind kind;
+  const char* key;
+  const char* legacy;
+};
+
+constexpr TrafficName kTrafficNames[] = {
+    {TrafficKind::kUniform, "uniform", "UN"},
+    {TrafficKind::kAdversarial, "adv", "ADV"},
+    {TrafficKind::kAdvConsecutive, "advc", "ADVc"},
+    {TrafficKind::kPlacement, "placement", "placement"},
+    {TrafficKind::kShift, "shift", "shift"},
+    {TrafficKind::kHotspot, "hotspot", "hotspot"},
+};
+
+template <class Names>
+std::string spelling_list(const Names& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += " | ";
+    out += n.key;
+    if (std::string(n.key) != n.legacy) {
+      out += std::string(" (") + n.legacy + ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 const char* to_string(RoutingKind kind) {
-  switch (kind) {
-    case RoutingKind::kMinimal: return "MIN";
-    case RoutingKind::kObliviousRrg: return "Obl-RRG";
-    case RoutingKind::kObliviousCrg: return "Obl-CRG";
-    case RoutingKind::kObliviousNrg: return "Obl-NRG";
-    case RoutingKind::kSourceRrg: return "Src-RRG";
-    case RoutingKind::kSourceCrg: return "Src-CRG";
-    case RoutingKind::kInTransitRrg: return "In-Trns-RRG";
-    case RoutingKind::kInTransitCrg: return "In-Trns-CRG";
-    case RoutingKind::kInTransitMm: return "In-Trns-MM";
-    case RoutingKind::kUgalRrg: return "UGAL-RRG";
-    case RoutingKind::kUgalCrg: return "UGAL-CRG";
+  for (const RoutingName& n : kRoutingNames) {
+    if (n.kind == kind) return n.legacy;
   }
   return "?";
 }
 
+const char* registry_key(RoutingKind kind) {
+  for (const RoutingName& n : kRoutingNames) {
+    if (n.kind == kind) return n.key;
+  }
+  return "?";
+}
+
+std::optional<RoutingKind> try_routing_kind(const std::string& name) {
+  for (const RoutingName& n : kRoutingNames) {
+    if (name == n.key || name == n.legacy) return n.kind;
+  }
+  return std::nullopt;
+}
+
 RoutingKind routing_kind_from_string(const std::string& name) {
-  if (name == "MIN") return RoutingKind::kMinimal;
-  if (name == "Obl-RRG") return RoutingKind::kObliviousRrg;
-  if (name == "Obl-CRG") return RoutingKind::kObliviousCrg;
-  if (name == "Obl-NRG") return RoutingKind::kObliviousNrg;
-  if (name == "Src-RRG") return RoutingKind::kSourceRrg;
-  if (name == "Src-CRG") return RoutingKind::kSourceCrg;
-  if (name == "In-Trns-RRG") return RoutingKind::kInTransitRrg;
-  if (name == "In-Trns-CRG") return RoutingKind::kInTransitCrg;
-  if (name == "In-Trns-MM") return RoutingKind::kInTransitMm;
-  if (name == "UGAL-RRG") return RoutingKind::kUgalRrg;
-  if (name == "UGAL-CRG") return RoutingKind::kUgalCrg;
-  throw std::invalid_argument("unknown routing kind: " + name);
+  if (const auto kind = try_routing_kind(name)) return *kind;
+  throw std::invalid_argument("unknown routing kind \"" + name +
+                              "\"; valid names: " +
+                              spelling_list(kRoutingNames));
 }
 
 bool is_oblivious(RoutingKind kind) {
@@ -60,29 +115,46 @@ bool is_in_transit(RoutingKind kind) {
 }
 
 const char* to_string(TrafficKind kind) {
-  switch (kind) {
-    case TrafficKind::kUniform: return "UN";
-    case TrafficKind::kAdversarial: return "ADV";
-    case TrafficKind::kAdvConsecutive: return "ADVc";
-    case TrafficKind::kPlacement: return "placement";
-    case TrafficKind::kShift: return "shift";
-    case TrafficKind::kHotspot: return "hotspot";
+  for (const TrafficName& n : kTrafficNames) {
+    if (n.kind == kind) return n.legacy;
   }
   return "?";
 }
 
+const char* registry_key(TrafficKind kind) {
+  for (const TrafficName& n : kTrafficNames) {
+    if (n.kind == kind) return n.key;
+  }
+  return "?";
+}
+
+std::optional<TrafficKind> try_traffic_kind(const std::string& name) {
+  for (const TrafficName& n : kTrafficNames) {
+    if (name == n.key || name == n.legacy) return n.kind;
+  }
+  return std::nullopt;
+}
+
 TrafficKind traffic_kind_from_string(const std::string& name) {
-  if (name == "UN") return TrafficKind::kUniform;
-  if (name == "ADV") return TrafficKind::kAdversarial;
-  if (name == "ADVc") return TrafficKind::kAdvConsecutive;
-  if (name == "placement") return TrafficKind::kPlacement;
-  if (name == "shift") return TrafficKind::kShift;
-  if (name == "hotspot") return TrafficKind::kHotspot;
-  throw std::invalid_argument("unknown traffic kind: " + name);
+  if (const auto kind = try_traffic_kind(name)) return *kind;
+  throw std::invalid_argument("unknown traffic kind \"" + name +
+                              "\"; valid names: " +
+                              spelling_list(kTrafficNames));
+}
+
+std::string SimConfig::routing_key() const {
+  return routing_name.empty() ? registry_key(routing) : routing_name;
+}
+
+std::string SimConfig::traffic_key() const {
+  return traffic_name.empty() ? registry_key(traffic) : traffic_name;
 }
 
 void SimConfig::apply_vc_defaults() {
-  local_vcs = is_in_transit(routing) ? 3 : 4;
+  // Custom registered routings (no enum mapping) get the conservative
+  // oblivious/source-adaptive count of 4 local VCs.
+  const auto kind = try_routing_kind(routing_key());
+  local_vcs = kind && is_in_transit(*kind) ? 3 : 4;
   global_vcs = 2;
   injection_vcs = 3;
 }
@@ -139,9 +211,331 @@ void SimConfig::validate() const {
   if (node_queue_capacity < 1) {
     throw std::invalid_argument("node queue capacity must be >= 1");
   }
+  // --- extension-pattern knobs --------------------------------------------
   if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
     throw std::invalid_argument("hotspot fraction must be in [0,1]");
   }
+  if (hotspot_node < 0 || hotspot_node >= topo.num_nodes()) {
+    throw std::invalid_argument(
+        "hotspot_node out of range [0, " + std::to_string(topo.num_nodes()) +
+        ")");
+  }
+  if (shift_offset_nodes < 0 || shift_offset_nodes >= topo.num_nodes()) {
+    // 0 is the "one full group" sentinel; negative shifts are never valid.
+    throw std::invalid_argument("shift_offset_nodes out of range [0, " +
+                                std::to_string(topo.num_nodes()) + ")");
+  }
+  if (placement_first_group < 0 ||
+      placement_first_group >= topo.num_groups()) {
+    throw std::invalid_argument("placement_first_group out of range [0, " +
+                                std::to_string(topo.num_groups()) + ")");
+  }
+  if (placement_num_groups < 0 ||
+      placement_num_groups > topo.num_groups()) {
+    // 0 is the "h+1 groups" sentinel.
+    throw std::invalid_argument("placement_num_groups out of range [0, " +
+                                std::to_string(topo.num_groups()) + "]");
+  }
+  if (adversarial_offset < 1 || adversarial_offset >= topo.num_groups()) {
+    throw std::invalid_argument("adversarial_offset out of range [1, " +
+                                std::to_string(topo.num_groups()) + ")");
+  }
+  // --- registry names ------------------------------------------------------
+  // Resolve now so an unknown name fails with the full valid-name list
+  // before a simulation (or a whole sweep) starts.
+  routing_registry().resolve(routing_key());
+  traffic_registry().resolve(traffic_key());
+  arrangement_registry().resolve(arrangement);
+}
+
+// --- key=value interface ----------------------------------------------------
+
+namespace {
+
+int parse_int(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  int out = 0;
+  try {
+    out = std::stoi(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty()) {
+    throw std::invalid_argument(key + ": expected an integer, got \"" +
+                                value + "\"");
+  }
+  return out;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty()) {
+    throw std::invalid_argument(key + ": expected a number, got \"" + value +
+                                "\"");
+  }
+  return out;
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "1" || value == "true" || value == "on" || value == "yes") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "off" || value == "no") {
+    return false;
+  }
+  throw std::invalid_argument(key + ": expected a boolean (1|0|true|false|" +
+                              "on|off), got \"" + value + "\"");
+}
+
+/// The declarative override table: every SimConfig knob reachable from
+/// config files, --set options and ExperimentSpec.
+struct KvEntry {
+  const char* key;
+  void (*apply)(SimConfig&, const std::string& key, const std::string& value);
+};
+
+const KvEntry kKvEntries[] = {
+    // topology: "h" selects the balanced canonical dragonfly, but never
+    // clobbers a p/a the user set explicitly — key order must not
+    // silently change the requested topology.
+    {"h",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       const DragonflyParams balanced =
+           DragonflyParams::balanced(parse_int(k, v));
+       const DragonflyParams prev = c.topo;
+       c.topo = balanced;
+       if (c.topo_p_explicit) c.topo.p = prev.p;
+       if (c.topo_a_explicit) c.topo.a = prev.a;
+     }},
+    {"p",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.topo.p = parse_int(k, v);
+       c.topo_p_explicit = true;
+     }},
+    {"a",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.topo.a = parse_int(k, v);
+       c.topo_a_explicit = true;
+     }},
+    {"arrangement",
+     [](SimConfig& c, const std::string&, const std::string& v) {
+       c.arrangement = arrangement_registry().resolve(v);
+     }},
+    // scenario selection by registry name
+    {"routing",
+     [](SimConfig& c, const std::string&, const std::string& v) {
+       c.routing_name = routing_registry().resolve(v);
+     }},
+    {"traffic",
+     [](SimConfig& c, const std::string&, const std::string& v) {
+       c.traffic_name = traffic_registry().resolve(v);
+     }},
+    // timing
+    {"local_latency",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.local_latency = parse_int(k, v);
+     }},
+    {"global_latency",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.global_latency = parse_int(k, v);
+     }},
+    {"pipeline_latency",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.pipeline_latency = parse_int(k, v);
+     }},
+    {"packet_size",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.packet_size = parse_int(k, v);
+     }},
+    // buffering
+    {"output_queue_size",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.output_queue_size = parse_int(k, v);
+     }},
+    {"local_input_buffer",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.local_input_buffer = parse_int(k, v);
+     }},
+    {"global_input_buffer",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.global_input_buffer = parse_int(k, v);
+     }},
+    // virtual channels
+    {"global_vcs",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.global_vcs = parse_int(k, v);
+       c.vcs_explicit = true;
+     }},
+    {"local_vcs",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.local_vcs = parse_int(k, v);
+       c.vcs_explicit = true;
+     }},
+    {"injection_vcs",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.injection_vcs = parse_int(k, v);
+       c.vcs_explicit = true;
+     }},
+    // allocator
+    {"allocator_iterations",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.allocator_iterations = parse_int(k, v);
+     }},
+    {"max_grants_per_output",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.max_grants_per_output = parse_int(k, v);
+     }},
+    {"max_grants_per_input",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.max_grants_per_input = parse_int(k, v);
+     }},
+    {"transit_priority",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.transit_priority = parse_bool(k, v);
+     }},
+    {"age_arbitration",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.age_arbitration = parse_bool(k, v);
+     }},
+    // adaptive routing thresholds
+    {"intransit_threshold",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.intransit_threshold = parse_double(k, v);
+     }},
+    {"pb_threshold_local",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.pb_threshold_local = parse_double(k, v);
+     }},
+    {"pb_threshold_global",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.pb_threshold_global = parse_double(k, v);
+     }},
+    // traffic knobs
+    {"adversarial_offset",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.adversarial_offset = parse_int(k, v);
+     }},
+    {"placement_first_group",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.placement_first_group = parse_int(k, v);
+     }},
+    {"placement_num_groups",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.placement_num_groups = parse_int(k, v);
+     }},
+    {"shift_offset_nodes",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.shift_offset_nodes = parse_int(k, v);
+     }},
+    {"hotspot_fraction",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.hotspot_fraction = parse_double(k, v);
+     }},
+    {"hotspot_node",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.hotspot_node = parse_int(k, v);
+     }},
+    // injection
+    {"load",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.load = parse_double(k, v);
+     }},
+    {"node_queue_capacity",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.node_queue_capacity = parse_int(k, v);
+     }},
+    // run control
+    {"warmup_cycles",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.warmup_cycles = parse_int(k, v);
+     }},
+    {"measure_cycles",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.measure_cycles = parse_int(k, v);
+     }},
+    {"seed",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       std::size_t pos = 0;
+       unsigned long long out = 0;
+       try {
+         out = std::stoull(v, &pos);  // throws out_of_range past 2^64
+       } catch (const std::exception&) {
+         pos = 0;
+       }
+       if (pos != v.size() || v.empty() ||
+           v.find_first_not_of("0123456789") != std::string::npos) {
+         throw std::invalid_argument(k + ": expected an unsigned 64-bit " +
+                                     "integer, got \"" + v + "\"");
+       }
+       c.seed = static_cast<std::uint64_t>(out);
+     }},
+};
+
+std::string joined_kv_keys() {
+  std::string out;
+  for (const std::string& key : SimConfig::kv_keys()) {
+    if (!out.empty()) out += " ";
+    out += key;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool SimConfig::try_apply_kv(const std::string& key,
+                             const std::string& value) {
+  for (const KvEntry& entry : kKvEntries) {
+    if (key == entry.key) {
+      entry.apply(*this, key, value);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimConfig::apply_kv(const std::string& key, const std::string& value) {
+  if (!try_apply_kv(key, value)) {
+    throw std::invalid_argument("unknown config key \"" + key +
+                                "\"; valid keys: " + joined_kv_keys());
+  }
+}
+
+SimConfig SimConfig::from_kv(std::span<const std::string> overrides) {
+  SimConfig cfg;
+  for (const std::string& item : overrides) {
+    const auto [key, value] = split_kv(item);
+    cfg.apply_kv(key, value);
+  }
+  if (!cfg.vcs_explicit) cfg.apply_vc_defaults();
+  return cfg;
+}
+
+std::vector<std::string> SimConfig::kv_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(std::size(kKvEntries));
+  for (const KvEntry& entry : kKvEntries) keys.emplace_back(entry.key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::pair<std::string, std::string> split_kv(const std::string& item) {
+  const std::size_t eq = item.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("expected key=value, got \"" + item + "\"");
+  }
+  auto trim = [](std::string s) {
+    const auto from = s.find_first_not_of(" \t");
+    const auto to = s.find_last_not_of(" \t");
+    return from == std::string::npos ? std::string()
+                                     : s.substr(from, to - from + 1);
+  };
+  return {trim(item.substr(0, eq)), trim(item.substr(eq + 1))};
 }
 
 }  // namespace dragonfly

@@ -4,7 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/types.hpp"
 #include "topology/arrangement.hpp"
@@ -13,6 +17,12 @@ namespace dragonfly {
 
 /// Which routing mechanism/policy combination to run — the seven
 /// configurations evaluated in the paper plus the minimal baseline.
+///
+/// DEPRECATED as the extension surface: the enum is a closed shim kept
+/// for source compatibility. New code selects scenarios by *registry
+/// name* (SimConfig::routing_name / routing_registry(), see
+/// core/registry.hpp); each enumerator maps onto a registry key via
+/// registry_key().
 enum class RoutingKind : std::uint8_t {
   kMinimal,        ///< MIN: oblivious shortest path
   kObliviousRrg,   ///< Valiant, intermediate group anywhere
@@ -28,12 +38,21 @@ enum class RoutingKind : std::uint8_t {
 };
 
 const char* to_string(RoutingKind kind);
+/// Accepts both the legacy display spelling ("In-Trns-MM") and the
+/// registry key ("par-mm"); unknown names throw std::invalid_argument
+/// listing every valid spelling.
 RoutingKind routing_kind_from_string(const std::string& name);
+/// Non-throwing variant: nullopt for names that are not built-ins
+/// (custom registry entries resolve to no enum value).
+std::optional<RoutingKind> try_routing_kind(const std::string& name);
+/// Canonical registry key of a built-in ("min", "pb-crg", "par-mm", ...).
+const char* registry_key(RoutingKind kind);
 bool is_oblivious(RoutingKind kind);
 bool is_source_adaptive(RoutingKind kind);
 bool is_in_transit(RoutingKind kind);
 
-/// Traffic pattern selector (see src/traffic).
+/// Traffic pattern selector (see src/traffic). DEPRECATED shim like
+/// RoutingKind: new code selects patterns by registry name.
 enum class TrafficKind : std::uint8_t {
   kUniform,      ///< UN: uniform random over all nodes
   kAdversarial,  ///< ADV+k: every node targets group (own + offset)
@@ -45,6 +64,9 @@ enum class TrafficKind : std::uint8_t {
 
 const char* to_string(TrafficKind kind);
 TrafficKind traffic_kind_from_string(const std::string& name);
+std::optional<TrafficKind> try_traffic_kind(const std::string& name);
+/// Canonical registry key of a built-in ("uniform", "advc", ...).
+const char* registry_key(TrafficKind kind);
 
 struct SimConfig {
   // --- topology (Table I: h=6, a=12, p=6, 73 groups, 5256 nodes) ---------
@@ -80,6 +102,11 @@ struct SimConfig {
   double pb_threshold_global = 3.0;   ///< PiggyBack T, global links
 
   // --- routing / traffic -------------------------------------------------------
+  /// Registry names (core/registry.hpp) — the open extension surface.
+  /// When non-empty they select the scenario; the enum fields below are
+  /// deprecated shims consulted only when the name is empty.
+  std::string routing_name;
+  std::string traffic_name;
   RoutingKind routing = RoutingKind::kMinimal;
   TrafficKind traffic = TrafficKind::kUniform;
   int adversarial_offset = 1;  ///< k of ADV+k
@@ -98,8 +125,22 @@ struct SimConfig {
   Cycle measure_cycles = 15'000;
   std::uint64_t seed = 1;
 
+  /// Set when a key=value override touched the VC counts, so spec
+  /// finalization knows not to clobber them with apply_vc_defaults().
+  bool vcs_explicit = false;
+  /// Set when a key=value override pinned p / a, so a later "h" key
+  /// (which selects the balanced dragonfly) preserves them.
+  bool topo_p_explicit = false;
+  bool topo_a_explicit = false;
+
+  /// Effective registry key of the selected routing/traffic: the
+  /// *_name field when set, else the key of the deprecated enum.
+  std::string routing_key() const;
+  std::string traffic_key() const;
+
   /// Apply the per-mechanism VC counts of Table I (4 local VCs for
-  /// oblivious and source-adaptive mechanisms, 3 for in-transit).
+  /// oblivious and source-adaptive mechanisms, 3 for in-transit; custom
+  /// registered routings get the conservative 4).
   void apply_vc_defaults();
 
   /// Scaled-down preset for tests/benches: balanced dragonfly of radix h,
@@ -109,8 +150,30 @@ struct SimConfig {
   /// Paper-scale preset (Table I).
   static SimConfig paper();
 
-  /// Throws std::invalid_argument on inconsistent settings.
+  /// Throws std::invalid_argument on inconsistent settings, including
+  /// extension-pattern knobs out of range and routing/traffic names
+  /// that resolve in no registry.
   void validate() const;
+
+  // --- declarative key=value interface ------------------------------------
+  /// Apply one override, e.g. ("routing", "par-mm") or ("load", "0.4").
+  /// Returns false when the key is unknown (value untouched); throws
+  /// std::invalid_argument on a malformed value or unregistered
+  /// routing/traffic/arrangement name (the message lists valid names).
+  bool try_apply_kv(const std::string& key, const std::string& value);
+
+  /// Like try_apply_kv but an unknown key throws, listing kv_keys().
+  void apply_kv(const std::string& key, const std::string& value);
+
+  /// Build a config from "key=value" items applied over the defaults.
+  static SimConfig from_kv(std::span<const std::string> overrides);
+
+  /// Every key apply_kv understands, sorted (for diagnostics and docs).
+  static std::vector<std::string> kv_keys();
 };
+
+/// Split "key=value" (first '='); throws std::invalid_argument when
+/// there is no '='.
+std::pair<std::string, std::string> split_kv(const std::string& item);
 
 }  // namespace dragonfly

@@ -31,8 +31,7 @@ void Engine::check_progress() {
   if (live > 0 && progress == last_progress_ && live == last_live_) {
     throw std::runtime_error(
         "deadlock watchdog: no forward progress with live packets (router " +
-        std::string(to_string(cfg_.routing)) + ", traffic " +
-        std::string(to_string(cfg_.traffic)) + ")");
+        cfg_.routing_key() + ", traffic " + cfg_.traffic_key() + ")");
   }
   last_progress_ = progress;
   last_live_ = live;

@@ -86,10 +86,23 @@ std::unique_ptr<Arrangement> make_consecutive() {
   return std::make_unique<Consecutive>();
 }
 
+ArrangementRegistry& arrangement_registry() {
+  static ArrangementRegistry registry("arrangement");
+  return registry;
+}
+
+namespace {
+// Both built-in wirings live in this translation unit, which every
+// consumer reaches through arrangement_registry()/make_arrangement, so
+// plain static self-registration is link-safe here.
+const ArrangementRegistry::Registrar kRegisterPalmtree{
+    arrangement_registry(), "palmtree", make_palmtree};
+const ArrangementRegistry::Registrar kRegisterConsecutive{
+    arrangement_registry(), "consecutive", make_consecutive};
+}  // namespace
+
 std::unique_ptr<Arrangement> make_arrangement(const std::string& name) {
-  if (name == "palmtree") return make_palmtree();
-  if (name == "consecutive") return make_consecutive();
-  throw std::invalid_argument("unknown arrangement: " + name);
+  return arrangement_registry().create(name);
 }
 
 }  // namespace dragonfly

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "core/registry.hpp"
 
 namespace dragonfly {
 
@@ -76,7 +77,13 @@ std::unique_ptr<Arrangement> make_palmtree();
 /// arrangement-sensitivity ablation.
 std::unique_ptr<Arrangement> make_consecutive();
 
-/// Factory by name ("palmtree" | "consecutive").
+/// The open set of global-link arrangements, keyed by name. Built-ins
+/// ("palmtree", "consecutive") self-register; user code registers its
+/// own wirings and selects them through SimConfig::arrangement.
+using ArrangementRegistry = Registry<Arrangement>;
+ArrangementRegistry& arrangement_registry();
+
+/// Build the arrangement registered under `name` (registry shim).
 std::unique_ptr<Arrangement> make_arrangement(const std::string& name);
 
 }  // namespace dragonfly

@@ -222,24 +222,56 @@ std::unique_ptr<TrafficPattern> make_hotspot(const DragonflyTopology& topo,
   return std::make_unique<Hotspot>(topo, hot, fraction);
 }
 
-std::unique_ptr<TrafficPattern> make_traffic(const DragonflyTopology& topo,
-                                             const SimConfig& cfg) {
-  switch (cfg.traffic) {
-    case TrafficKind::kUniform:
+TrafficRegistry& traffic_registry() {
+  static TrafficRegistry registry("traffic pattern");
+  return registry;
+}
+
+namespace {
+// All built-in patterns live in this translation unit, which every
+// consumer reaches through traffic_registry()/make_traffic, so plain
+// static self-registration is link-safe here. Factories pull their
+// knobs (offsets, placement window, hotspot node) from the SimConfig.
+using Reg = TrafficRegistry::Registrar;
+const Reg kRegUniform{
+    traffic_registry(), "uniform",
+    [](const DragonflyTopology& topo, const SimConfig&) {
       return make_uniform(topo);
-    case TrafficKind::kAdversarial:
+    },
+    {"UN", "un"}};
+const Reg kRegAdversarial{
+    traffic_registry(), "adv",
+    [](const DragonflyTopology& topo, const SimConfig& cfg) {
       return make_adversarial(topo, cfg.adversarial_offset);
-    case TrafficKind::kAdvConsecutive:
+    },
+    {"ADV"}};
+const Reg kRegAdvConsecutive{
+    traffic_registry(), "advc",
+    [](const DragonflyTopology& topo, const SimConfig&) {
       return make_adv_consecutive(topo);
-    case TrafficKind::kPlacement:
+    },
+    {"ADVc"}};
+const Reg kRegPlacement{
+    traffic_registry(), "placement",
+    [](const DragonflyTopology& topo, const SimConfig& cfg) {
       return make_placement(topo, cfg.placement_first_group,
                             cfg.placement_num_groups);
-    case TrafficKind::kShift:
+    }};
+const Reg kRegShift{
+    traffic_registry(), "shift",
+    [](const DragonflyTopology& topo, const SimConfig& cfg) {
       return make_shift(topo, cfg.shift_offset_nodes);
-    case TrafficKind::kHotspot:
+    }};
+const Reg kRegHotspot{
+    traffic_registry(), "hotspot",
+    [](const DragonflyTopology& topo, const SimConfig& cfg) {
       return make_hotspot(topo, cfg.hotspot_node, cfg.hotspot_fraction);
-  }
-  throw std::invalid_argument("make_traffic: unknown traffic kind");
+    }};
+}  // namespace
+
+std::unique_ptr<TrafficPattern> make_traffic(const DragonflyTopology& topo,
+                                             const SimConfig& cfg) {
+  return traffic_registry().create(cfg.traffic_key(), topo, cfg);
 }
 
 }  // namespace dragonfly

@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "core/registry.hpp"
 #include "sim/config.hpp"
 #include "topology/dragonfly.hpp"
 
@@ -61,7 +62,18 @@ std::unique_ptr<TrafficPattern> make_shift(const DragonflyTopology& topo,
 std::unique_ptr<TrafficPattern> make_hotspot(const DragonflyTopology& topo,
                                              NodeId hot, double fraction);
 
-/// Build the pattern selected by cfg.traffic.
+/// The open set of traffic patterns, keyed by registry name. Built-ins
+/// self-register under the paper's names ("uniform", "adv", "advc",
+/// "placement", "shift", "hotspot"; legacy spellings "UN"/"ADV"/"ADVc"
+/// resolve as aliases). User code registers new patterns here and
+/// selects them through SimConfig::traffic_name — no core edits needed.
+/// Factories receive the topology and the full SimConfig (for knobs
+/// like adversarial_offset).
+using TrafficRegistry =
+    Registry<TrafficPattern, const DragonflyTopology&, const SimConfig&>;
+TrafficRegistry& traffic_registry();
+
+/// Build the pattern selected by cfg.traffic_key() (registry shim).
 std::unique_ptr<TrafficPattern> make_traffic(const DragonflyTopology& topo,
                                              const SimConfig& cfg);
 

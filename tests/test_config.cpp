@@ -94,25 +94,123 @@ TEST(Config, ValidateRejectsBadSettings) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
-TEST(Config, RoutingKindStringsRoundTrip) {
-  for (RoutingKind kind :
-       {RoutingKind::kMinimal, RoutingKind::kObliviousRrg,
-        RoutingKind::kObliviousCrg, RoutingKind::kObliviousNrg,
-        RoutingKind::kSourceRrg, RoutingKind::kSourceCrg,
-        RoutingKind::kInTransitRrg, RoutingKind::kInTransitCrg,
-        RoutingKind::kInTransitMm}) {
+constexpr RoutingKind kAllRoutingKinds[] = {
+    RoutingKind::kMinimal,      RoutingKind::kObliviousRrg,
+    RoutingKind::kObliviousCrg, RoutingKind::kObliviousNrg,
+    RoutingKind::kSourceRrg,    RoutingKind::kSourceCrg,
+    RoutingKind::kInTransitRrg, RoutingKind::kInTransitCrg,
+    RoutingKind::kInTransitMm,  RoutingKind::kUgalRrg,
+    RoutingKind::kUgalCrg};
+
+constexpr TrafficKind kAllTrafficKinds[] = {
+    TrafficKind::kUniform,  TrafficKind::kAdversarial,
+    TrafficKind::kAdvConsecutive, TrafficKind::kPlacement,
+    TrafficKind::kShift,    TrafficKind::kHotspot};
+
+TEST(Config, RoutingKindStringsRoundTripExhaustively) {
+  for (RoutingKind kind : kAllRoutingKinds) {
+    // Legacy display spelling and canonical registry key both resolve.
     EXPECT_EQ(routing_kind_from_string(to_string(kind)), kind);
+    EXPECT_EQ(routing_kind_from_string(registry_key(kind)), kind);
+    EXPECT_NE(std::string(to_string(kind)), "?");
+    EXPECT_NE(std::string(registry_key(kind)), "?");
   }
   EXPECT_THROW(routing_kind_from_string("bogus"), std::invalid_argument);
+  try {
+    routing_kind_from_string("bogus");
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("par-mm"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("In-Trns-MM"), std::string::npos) << msg;
+  }
 }
 
-TEST(Config, TrafficKindStringsRoundTrip) {
-  for (TrafficKind kind :
-       {TrafficKind::kUniform, TrafficKind::kAdversarial,
-        TrafficKind::kAdvConsecutive, TrafficKind::kPlacement}) {
+TEST(Config, TrafficKindStringsRoundTripExhaustively) {
+  for (TrafficKind kind : kAllTrafficKinds) {
     EXPECT_EQ(traffic_kind_from_string(to_string(kind)), kind);
+    EXPECT_EQ(traffic_kind_from_string(registry_key(kind)), kind);
+    EXPECT_NE(std::string(registry_key(kind)), "?");
   }
   EXPECT_THROW(traffic_kind_from_string("bogus"), std::invalid_argument);
+  try {
+    traffic_kind_from_string("bogus");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("advc"), std::string::npos);
+  }
+}
+
+TEST(Config, TryKindLookupsAreNonThrowing) {
+  EXPECT_EQ(try_routing_kind("par-mm"), RoutingKind::kInTransitMm);
+  EXPECT_EQ(try_routing_kind("UGAL-CRG"), RoutingKind::kUgalCrg);
+  EXPECT_EQ(try_routing_kind("custom-thing"), std::nullopt);
+  EXPECT_EQ(try_traffic_kind("UN"), TrafficKind::kUniform);
+  EXPECT_EQ(try_traffic_kind("nope"), std::nullopt);
+}
+
+TEST(Config, KeyAccessorsFollowNameOverEnum) {
+  SimConfig cfg;
+  cfg.routing = RoutingKind::kInTransitMm;
+  cfg.traffic = TrafficKind::kAdvConsecutive;
+  EXPECT_EQ(cfg.routing_key(), "par-mm");
+  EXPECT_EQ(cfg.traffic_key(), "advc");
+  cfg.routing_name = "my-plugin";
+  cfg.traffic_name = "my-pattern";
+  EXPECT_EQ(cfg.routing_key(), "my-plugin");
+  EXPECT_EQ(cfg.traffic_key(), "my-pattern");
+}
+
+TEST(Config, ValidateCoversExtensionKnobs) {
+  // h=2: 9 groups, 72 nodes.
+  SimConfig cfg = SimConfig::small(2);
+  cfg.hotspot_fraction = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig::small(2);
+  cfg.hotspot_fraction = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.hotspot_node = 72;  // == node count
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.hotspot_node = 71;
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = SimConfig::small(2);
+  cfg.shift_offset_nodes = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.shift_offset_nodes = 72;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.shift_offset_nodes = 0;  // sentinel: one full group
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = SimConfig::small(2);
+  cfg.placement_first_group = 9;  // == group count
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.placement_first_group = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.placement_first_group = 8;
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = SimConfig::small(2);
+  cfg.placement_num_groups = 10;  // > group count
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.placement_num_groups = 9;
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = SimConfig::small(2);
+  cfg.adversarial_offset = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.adversarial_offset = 9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.routing_name = "not-a-registered-routing";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig::small(2);
+  cfg.traffic_name = "not-a-registered-pattern";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig::small(2);
+  cfg.arrangement = "moebius";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 TEST(Config, MechanismClassPredicates) {

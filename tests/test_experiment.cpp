@@ -127,6 +127,13 @@ TEST(Experiment, PaperRoutingsAreTheSevenConfigs) {
   ASSERT_EQ(kinds.size(), 7u);
   EXPECT_EQ(kinds[0], RoutingKind::kObliviousRrg);
   EXPECT_EQ(kinds[6], RoutingKind::kInTransitMm);
+  // The name-based list mirrors the enum shim one-for-one.
+  const auto names = paper_routing_names();
+  ASSERT_EQ(names.size(), kinds.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], registry_key(kinds[i]));
+  }
+  EXPECT_EQ(names[6], "par-mm");
 }
 
 TEST(Experiment, BenchSetupEnvOverrides) {
@@ -135,14 +142,14 @@ TEST(Experiment, BenchSetupEnvOverrides) {
   setenv("REPRO_LOADS", "4", 1);
   setenv("REPRO_CYCLES", "2000", 1);
   const BenchSetup setup = bench_setup();
-  EXPECT_EQ(setup.base.topo.h, 2);
-  EXPECT_EQ(setup.seeds, 5);
-  EXPECT_EQ(setup.loads.size(), 4u);
+  EXPECT_EQ(setup.spec.base.topo.h, 2);
+  EXPECT_EQ(setup.spec.seeds, 5);
+  EXPECT_EQ(setup.spec.loads.size(), 4u);
   // Thinning keeps the endpoints.
-  EXPECT_DOUBLE_EQ(setup.loads.front(), default_loads().front());
-  EXPECT_DOUBLE_EQ(setup.loads.back(), default_loads().back());
-  EXPECT_EQ(setup.base.measure_cycles, 2000);
-  EXPECT_EQ(setup.base.warmup_cycles, 1000);
+  EXPECT_DOUBLE_EQ(setup.spec.loads.front(), default_loads().front());
+  EXPECT_DOUBLE_EQ(setup.spec.loads.back(), default_loads().back());
+  EXPECT_EQ(setup.spec.base.measure_cycles, 2000);
+  EXPECT_EQ(setup.spec.base.warmup_cycles, 1000);
   unsetenv("REPRO_H");
   unsetenv("REPRO_SEEDS");
   unsetenv("REPRO_LOADS");
@@ -153,18 +160,18 @@ TEST(Experiment, BenchSetupFullScale) {
   setenv("REPRO_FULL", "1", 1);
   const BenchSetup setup = bench_setup();
   EXPECT_TRUE(setup.full_scale);
-  EXPECT_EQ(setup.base.topo.h, 6);
-  EXPECT_EQ(setup.base.topo.num_nodes(), 5256);
-  EXPECT_EQ(setup.base.measure_cycles, 15'000);
-  EXPECT_EQ(setup.seeds, 3);
+  EXPECT_EQ(setup.spec.base.topo.h, 6);
+  EXPECT_EQ(setup.spec.base.topo.num_nodes(), 5256);
+  EXPECT_EQ(setup.spec.base.measure_cycles, 15'000);
+  EXPECT_EQ(setup.spec.seeds, 3);
   unsetenv("REPRO_FULL");
 }
 
 TEST(Experiment, BenchSetupDefaultsSmall) {
   const BenchSetup setup = bench_setup();
   EXPECT_FALSE(setup.full_scale);
-  EXPECT_EQ(setup.base.topo.h, 3);
-  EXPECT_GE(static_cast<int>(setup.loads.size()), 10);
+  EXPECT_EQ(setup.spec.base.topo.h, 3);
+  EXPECT_GE(static_cast<int>(setup.spec.loads.size()), 10);
 }
 
 }  // namespace

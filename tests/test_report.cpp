@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace dragonfly {
@@ -41,7 +43,7 @@ class ReportFixture : public ::testing::Test {
   }
 };
 
-TEST_F(ReportFixture, LatencyThroughputPrintsAndWritesCsv) {
+TEST_F(ReportFixture, LatencyThroughputPrintsAndMirrorsUnifiedCsv) {
   std::vector<Curve> curves{
       {"MIN", {make_point(0.1, 150, 0.1), make_point(0.2, 160, 0.2)}},
       {"In-Trns-MM", {make_point(0.1, 155, 0.1), make_point(0.2, 165, 0.2)}},
@@ -52,13 +54,93 @@ TEST_F(ReportFixture, LatencyThroughputPrintsAndWritesCsv) {
   EXPECT_NE(out.find("MIN lat"), std::string::npos);
   EXPECT_NE(out.find("In-Trns-MM acc"), std::string::npos);
   EXPECT_NE(out.find("150"), std::string::npos);
-  EXPECT_TRUE(std::filesystem::exists("test_report_out/demo_fig_latency.csv"));
-  EXPECT_TRUE(
-      std::filesystem::exists("test_report_out/demo_fig_throughput.csv"));
-  std::ifstream csv("test_report_out/demo_fig_latency.csv");
+  // CSV mirror converges on the unified writer schema: one file, one
+  // row per (label, point).
+  ASSERT_TRUE(std::filesystem::exists("test_report_out/demo_fig.csv"));
+  std::ifstream csv("test_report_out/demo_fig.csv");
   std::string line;
   std::getline(csv, line);
-  EXPECT_EQ(line, "offered,MIN lat,In-Trns-MM lat");
+  EXPECT_EQ(line,
+            "label,offered,accepted,latency,lat_base,lat_misroute,"
+            "lat_local_q,lat_global_q,lat_inj_q,local_hops,global_hops,"
+            "min_inj,max_inj,max_over_min,cov,jain,seeds");
+  int rows = 0;
+  while (std::getline(csv, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 4);  // 2 curves x 2 points
+}
+
+TEST_F(ReportFixture, ResultWriterFormats) {
+  ResultWriter writer("fmt-demo");
+  writer.add("MIN", make_point(0.1, 150, 0.1));
+  writer.add("quo\"ted", make_point(0.2, 160, 0.2));
+
+  std::ostringstream csv;
+  writer.write(csv, OutputFormat::kCsv);
+  EXPECT_NE(csv.str().find("MIN,0.1,0.1,150"), std::string::npos);
+
+  std::ostringstream table;
+  writer.write(table, OutputFormat::kTable);
+  EXPECT_NE(table.str().find("fmt-demo"), std::string::npos);
+  EXPECT_NE(table.str().find("label"), std::string::npos);
+
+  std::ostringstream json;
+  writer.write(json, OutputFormat::kJson);
+  const std::string j = json.str();
+  EXPECT_NE(j.find("\"experiment\": \"fmt-demo\""), std::string::npos);
+  EXPECT_NE(j.find("\"label\": \"MIN\""), std::string::npos);
+  EXPECT_NE(j.find("quo\\\"ted"), std::string::npos);  // escaped quote
+  // Structurally sane: balanced braces/brackets.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+}
+
+TEST_F(ReportFixture, WriterEscapesNonFiniteAndSeparators) {
+  // A fully starved router yields max_over_min = inf (the paper's ADVc
+  // phenomenon) — JSON must emit null, never a bare inf.
+  AveragedResult starved = make_point(0.4, 100, 0.2);
+  starved.fairness.max_over_min =
+      std::numeric_limits<double>::infinity();
+  ResultWriter writer("starved");
+  writer.add("with,comma", starved);
+
+  std::ostringstream json;
+  writer.write(json, OutputFormat::kJson);
+  EXPECT_EQ(json.str().find("inf"), std::string::npos);
+  EXPECT_NE(json.str().find("\"max_over_min\": null"), std::string::npos);
+
+  std::ostringstream csv;
+  writer.write(csv, OutputFormat::kCsv);
+  // RFC 4180: the comma-bearing label arrives quoted, keeping columns.
+  EXPECT_NE(csv.str().find("\"with,comma\""), std::string::npos);
+}
+
+TEST_F(ReportFixture, ResultWriterMirrorHonorsReproFormat) {
+  ResultWriter writer("mirror-demo");
+  writer.add("A", make_point(0.3, 100, 0.3));
+  setenv("REPRO_FORMAT", "json", 1);
+  const std::string path = writer.mirror("mirror_demo");
+  unsetenv("REPRO_FORMAT");
+  EXPECT_EQ(path, "test_report_out/mirror_demo.json");
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(writer.mirror("mirror_demo"),
+            "test_report_out/mirror_demo.csv");  // default csv
+}
+
+TEST_F(ReportFixture, OutputFormatRoundTrip) {
+  for (OutputFormat f :
+       {OutputFormat::kTable, OutputFormat::kCsv, OutputFormat::kJson}) {
+    EXPECT_EQ(output_format_from_string(to_string(f)), f);
+  }
+  EXPECT_THROW(output_format_from_string("xml"), std::invalid_argument);
+  try {
+    output_format_from_string("xml");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("csv"), std::string::npos);
+  }
 }
 
 TEST_F(ReportFixture, BreakdownListsAllComponents) {
