@@ -3,6 +3,8 @@
 // full-scale (h=6, 5,256-node) reproduction runs.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "core/api.hpp"
 
 namespace {
@@ -65,6 +67,46 @@ void BM_NetworkStepAdvc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * net.num_routers());
 }
 BENCHMARK(BM_NetworkStepAdvc)->Arg(3);
+
+void BM_SessionStep(benchmark::State& state) {
+  // Phase-machine overhead over raw Network::step — must stay noise.
+  const int h = static_cast<int>(state.range(0));
+  SimConfig cfg = SimConfig::small(h);
+  cfg.routing_name = "par-mm";
+  cfg.traffic_name = "uniform";
+  cfg.load = 0.5;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 1 << 28;  // never ends inside the benchmark
+  cfg.apply_vc_defaults();
+  Session session(cfg);
+  session.advance_to(SessionPhase::kMeasure);
+  for (auto _ : state) session.step(1);
+  state.SetItemsProcessed(state.iterations() *
+                          session.network().num_routers());
+}
+BENCHMARK(BM_SessionStep)->Arg(2)->Arg(3);
+
+void BM_SessionCheckpoint(benchmark::State& state) {
+  // Serialization cost of a warmed-up session (queues populated).
+  SimConfig cfg = SimConfig::small(static_cast<int>(state.range(0)));
+  cfg.routing_name = "par-mm";
+  cfg.traffic_name = "advc";
+  cfg.load = 0.4;
+  cfg.apply_vc_defaults();
+  Session session(cfg);
+  session.advance_to(SessionPhase::kMeasure);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os;
+    session.checkpoint(os);
+    bytes = os.str().size();
+    benchmark::DoNotOptimize(os);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SessionCheckpoint)->Arg(2)->Arg(3);
 
 void BM_MinimalOutputOracle(benchmark::State& state) {
   const DragonflyTopology topo = DragonflyTopology::balanced_palmtree(6);

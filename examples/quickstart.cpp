@@ -43,5 +43,22 @@ int main(int argc, char** argv) {
   std::cout << "\nUnder ADVc the bottleneck router (last of each group) "
                "starves with in-transit adaptive routing:\nhigh Max/Min and "
                "CoV versus the oblivious mechanisms.\n";
+
+  // Adaptive stopping (Session API): the same point again, but the
+  // Measure phase ends as soon as the batch-means confidence intervals
+  // converge instead of burning the full fixed window.
+  SimConfig ci = base;
+  ci.routing_name = "par-mm";
+  ci.apply_vc_defaults();
+  ci.stop.mode = StopMode::kCi;
+  ci.stop.batches = 5;
+  ci.stop.batch_cycles = 400;
+  Session session(ci);
+  const SimResult adaptive = session.run();
+  std::cout << "\nadaptive stop (stop.mode=ci): accepted "
+            << adaptive.accepted_load << " after " << adaptive.measured_cycles
+            << " measured cycles ("
+            << (adaptive.converged ? "converged" : "hit the cap")
+            << "; fixed window uses " << ci.measure_cycles << ")\n";
   return 0;
 }

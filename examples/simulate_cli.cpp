@@ -12,7 +12,13 @@
 //   # everything from a spec file, overriding one knob
 //   ./simulate_cli --config examples/specs/smoke.spec --set seeds=2
 //
-//   # what scenarios are available?
+//   # watch a run converge: stream per-interval metrics, stop on CI
+//   ./simulate_cli --traffic uniform --load 0.1 --stop-ci --stream -
+//
+//   # checkpoint after warmup; re-running resumes from the file
+//   ./simulate_cli --load 0.3 --checkpoint run.ckpt
+//
+//   # what scenarios and knobs are available?
 //   ./simulate_cli --list
 //
 // Every option is sugar over the same `key = value` grammar the spec
@@ -20,7 +26,10 @@
 // dedicated flag.
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/api.hpp"
@@ -44,6 +53,15 @@ int usage(std::ostream& os, int exit_code) {
         "  --seed N --warmup N --measure N\n"
         "  --no-priority         disable transit-over-injection priority\n"
         "  --age                 enable age arbitration\n"
+        "session lifecycle:\n"
+        "  --stop-ci             adaptive stopping (stop.mode=ci): end the\n"
+        "                        measured window when the batch-means CIs\n"
+        "                        converge; --measure stays the cap\n"
+        "  --stream FILE         stream per-interval metrics as CSV to FILE\n"
+        "                        ('-' = stdout; every stream.interval cycles)\n"
+        "  --checkpoint FILE     single-point runs: resume from FILE if it\n"
+        "                        exists, else checkpoint after warmup and\n"
+        "                        continue (re-run to resume)\n"
         "declarative:\n"
         "  --config FILE         read `key = value` spec lines (applied\n"
         "                        first; other flags override the file)\n"
@@ -53,7 +71,8 @@ int usage(std::ostream& os, int exit_code) {
         "  --out-file PATH       also write the results to PATH\n"
         "  --label NAME          experiment label in the output\n"
         "  --quiet               no progress on stderr\n"
-        "  --list                print registered scenario names and keys\n";
+        "  --list                print registered scenario names and the\n"
+        "                        full config-key table\n";
   return exit_code;
 }
 
@@ -66,8 +85,53 @@ void list_registries() {
   print("routings", routing_registry().keys());
   print("traffic patterns", traffic_registry().keys());
   print("arrangements", arrangement_registry().keys());
-  print("config keys", ExperimentSpec::kv_keys());
+  std::cout << "\nconfig keys (spec files, --set, and the dedicated flags):\n";
+  for (const auto& [key, desc] : ExperimentSpec::kv_key_descriptions()) {
+    std::cout << "  " << key;
+    for (std::size_t pad = key.size(); pad < 24; ++pad) std::cout << ' ';
+    std::cout << desc << "\n";
+  }
 }
+
+/// Progress on stderr plus (optionally) the streamed per-interval CSV.
+class CliObserver final : public RunObserver {
+ public:
+  CliObserver(bool quiet, std::ostream* stream)
+      : progress_(std::cerr), quiet_(quiet), stream_(stream) {
+    if (stream_ != nullptr) {
+      *stream_ << "config,seed,phase,segment,t_begin,t_end,offered,accepted,"
+                  "latency,p50,p99,delivered,live,fairness_cov,fairness_jain"
+               << "\n";
+    }
+  }
+
+  void on_start(std::size_t total_jobs, std::size_t num_configs) override {
+    if (!quiet_) progress_.on_start(total_jobs, num_configs);
+  }
+  void on_job_done(std::size_t finished, std::size_t total_jobs) override {
+    if (!quiet_) progress_.on_job_done(finished, total_jobs);
+  }
+
+  bool wants_stream() const override { return stream_ != nullptr; }
+
+  void on_sample(std::size_t config_index, std::size_t seed_index,
+                 const StreamSample& s) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    *stream_ << config_index << ',' << seed_index << ','
+             << to_string(s.phase) << ',' << s.segment << ',' << s.t_begin
+             << ',' << s.t_end << ',' << s.offered_load << ','
+             << s.accepted_load << ',' << s.avg_latency << ','
+             << s.p50_latency << ',' << s.p99_latency << ','
+             << s.delivered_packets << ',' << s.live_packets << ','
+             << s.fairness_cov << ',' << s.fairness_jain << "\n";
+  }
+
+ private:
+  ProgressPrinter progress_;
+  bool quiet_;
+  std::ostream* stream_;
+  std::mutex mu_;
+};
 
 }  // namespace
 
@@ -77,6 +141,8 @@ int main(int argc, char** argv) {
   spec.base.load = 0.3;
   spec.label = "simulate_cli";
   bool quiet = false;
+  std::string stream_path;
+  std::string checkpoint_path;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -130,6 +196,12 @@ int main(int argc, char** argv) {
         spec.apply_kv("transit_priority", "off");
       } else if (!std::strcmp(arg, "--age")) {
         spec.apply_kv("age_arbitration", "on");
+      } else if (!std::strcmp(arg, "--stop-ci")) {
+        spec.apply_kv("stop.mode", "ci");
+      } else if (!std::strcmp(arg, "--stream")) {
+        stream_path = need_value(i);
+      } else if (!std::strcmp(arg, "--checkpoint")) {
+        checkpoint_path = need_value(i);
       } else if (!std::strcmp(arg, "--out")) {
         spec.apply_kv("out", need_value(i));
       } else if (!std::strcmp(arg, "--out-file")) {
@@ -144,20 +216,82 @@ int main(int argc, char** argv) {
       }
     }
     spec.finalize();
+    if (!checkpoint_path.empty() &&
+        (spec.effective_loads().size() > 1 || spec.seeds > 1)) {
+      throw std::invalid_argument(
+          "--checkpoint needs a single-point run (one load, one seed)");
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
 
   try {
-    ProgressPrinter progress(std::cerr);
-    const std::vector<AveragedResult> results =
-        run_spec(spec, quiet ? nullptr : &progress);
+    std::ofstream stream_file;
+    std::ostream* stream = nullptr;
+    if (!stream_path.empty()) {
+      if (stream_path == "-") {
+        stream = &std::cout;
+      } else {
+        stream_file.open(stream_path);
+        if (!stream_file) {
+          throw std::runtime_error("cannot open stream file " + stream_path);
+        }
+        stream = &stream_file;
+      }
+    }
+    CliObserver observer(quiet, stream);
 
     ResultWriter writer(spec.label);
-    const std::string label =
+    std::string label =
         spec.base.routing_key() + "/" + spec.base.traffic_key();
-    for (const AveragedResult& r : results) writer.add(label, r);
+
+    if (!checkpoint_path.empty()) {
+      // Single-session path: resume from the checkpoint when present,
+      // otherwise run warmup, checkpoint at the Measure boundary, and
+      // continue — re-running the same command resumes from the file.
+      std::unique_ptr<Session> session;
+      if (std::ifstream(checkpoint_path).good()) {
+        session = Session::restore_file(checkpoint_path);
+        // A resumed run is defined by the config embedded in the file:
+        // label (and any warning) must reflect it, not the CLI flags.
+        const SimConfig& restored = session->config();
+        const std::string restored_label =
+            restored.routing_key() + "/" + restored.traffic_key();
+        if (!quiet) {
+          std::cerr << "resumed from " << checkpoint_path << " at cycle "
+                    << session->now() << " (phase "
+                    << to_string(session->phase()) << ", scenario "
+                    << restored_label << ")\n";
+          if (restored_label != label ||
+              restored.load != spec.effective_loads().front()) {
+            std::cerr << "note: scenario flags are ignored on resume — "
+                         "the checkpoint's config wins\n";
+          }
+        }
+        label = restored_label;
+      } else {
+        SimConfig cfg = spec.base;
+        cfg.load = spec.effective_loads().front();
+        session = std::make_unique<Session>(cfg);
+        session->advance_to(SessionPhase::kMeasure);
+        session->checkpoint_file(checkpoint_path);
+        if (!quiet) {
+          std::cerr << "checkpoint written to " << checkpoint_path
+                    << " at cycle " << session->now() << "\n";
+        }
+      }
+      // Same adapter as the sweep path: this single session is job (0, 0).
+      ObserverTap tap(&observer, 0, 0);
+      if (stream != nullptr) session->set_tap(&tap);
+      const SimResult result = session->run();
+      writer.add(label,
+                 average_results(std::span<const SimResult>(&result, 1)));
+    } else {
+      const std::vector<AveragedResult> results = run_spec(spec, &observer);
+      for (const AveragedResult& r : results) writer.add(label, r);
+    }
+
     writer.write(std::cout, spec.format);
     if (!spec.out_path.empty()) {
       writer.write_file(spec.out_path, spec.format);

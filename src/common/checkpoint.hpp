@@ -1,0 +1,82 @@
+// Binary checkpoint streams for Session::checkpoint()/restore().
+//
+// The format is a flat little-endian byte stream: fixed-width integers,
+// IEEE doubles, length-prefixed strings, and section tags. Only *mutable*
+// simulation state is serialized — wiring, topology and capacities are
+// reconstructed deterministically from the SimConfig embedded in the
+// stream, so the format stays small and a version bump invalidates old
+// files loudly instead of misreading them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dragonfly {
+
+/// Writes primitives to an underlying std::ostream. Throws
+/// std::runtime_error when the stream fails.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::ostream& os) : os_(os) {}
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void f64(double v);
+  void str(const std::string& v);
+
+  /// Section tag: a small string marker checked on read, so a drifted
+  /// save/load pair fails at the section boundary, not megabytes later.
+  void tag(const char* name);
+
+  template <class T, class Fn>
+  void vec(const std::vector<T>& v, Fn&& write_one) {
+    u64(v.size());
+    for (const T& item : v) write_one(item);
+  }
+
+ private:
+  void raw(const void* data, std::size_t n);
+  std::ostream& os_;
+};
+
+/// Reads primitives written by CheckpointWriter. Throws
+/// std::runtime_error on EOF, stream failure, or tag mismatch.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::istream& is) : is_(is) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+  double f64();
+  std::string str();
+
+  void tag(const char* name);
+
+  template <class T, class Fn>
+  void vec(std::vector<T>& v, Fn&& read_one) {
+    const std::uint64_t n = u64();
+    v.clear();
+    // Cap the up-front reservation: a corrupt length field must fail as
+    // a truncated-stream error a few reads later, not as an OOM-scale
+    // allocation attempt here. Genuine oversized vectors still grow.
+    v.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 1u << 20)));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_one());
+  }
+
+ private:
+  void raw(void* data, std::size_t n);
+  std::istream& is_;
+};
+
+}  // namespace dragonfly

@@ -6,6 +6,7 @@
 // three and is trivially seedable through splitmix64.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -56,6 +57,15 @@ class Rng {
 
   /// Bernoulli trial with probability p (clamped to [0,1]).
   bool bernoulli(double p);
+
+  /// Raw xoshiro state, for checkpoint/restore: a restored generator
+  /// continues the exact stream of the saved one.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/checkpoint.hpp"
+
 namespace dragonfly {
 
 void RunningStats::add(double x) {
@@ -54,6 +56,22 @@ double RunningStats::cov() const {
 
 double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
 double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+void RunningStats::save(CheckpointWriter& ck) const {
+  ck.u64(n_);
+  ck.f64(mean_);
+  ck.f64(m2_);
+  ck.f64(min_);
+  ck.f64(max_);
+}
+
+void RunningStats::load(CheckpointReader& ck) {
+  n_ = static_cast<std::size_t>(ck.u64());
+  mean_ = ck.f64();
+  m2_ = ck.f64();
+  min_ = ck.f64();
+  max_ = ck.f64();
+}
 
 Summary summarize(std::span<const double> values) {
   Summary s;
@@ -128,6 +146,148 @@ double Histogram::quantile(double q) const {
     seen += in_bin;
   }
   return hi_;
+}
+
+void Histogram::save(CheckpointWriter& ck) const {
+  ck.f64(lo_);
+  ck.f64(hi_);
+  ck.vec(bins_, [&](std::size_t b) { ck.u64(b); });
+  ck.u64(total_);
+}
+
+void Histogram::load(CheckpointReader& ck) {
+  lo_ = ck.f64();
+  hi_ = ck.f64();
+  ck.vec(bins_, [&] { return static_cast<std::size_t>(ck.u64()); });
+  total_ = static_cast<std::size_t>(ck.u64());
+}
+
+// --- P² streaming quantile ---------------------------------------------------
+
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) { reset(); }
+
+void P2Quantile::reset() {
+  count_ = 0;
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  // Locate the cell and clamp the extremes.
+  int k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    for (k = 0; k < 4; ++k) {
+      if (x < heights_[k + 1]) break;
+    }
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust the three interior markers towards their desired positions
+  // with the parabolic (P²) update, falling back to linear when the
+  // parabola would cross a neighbour.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right = positions_[i + 1] - positions_[i];
+    const double left = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      const double hp = (heights_[i + 1] - heights_[i]) / right;
+      const double hm = (heights_[i - 1] - heights_[i]) / left;
+      const double candidate =
+          heights_[i] + sign / (positions_[i + 1] - positions_[i - 1]) *
+                            ((positions_[i] - positions_[i - 1] + sign) * hp +
+                             (positions_[i + 1] - positions_[i] - sign) * hm);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        // Linear fallback towards the neighbour in the move direction.
+        const int j = d >= 0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile over the sorted prefix.
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+void P2Quantile::save(CheckpointWriter& ck) const {
+  ck.f64(q_);
+  ck.u64(count_);
+  for (int i = 0; i < 5; ++i) {
+    ck.f64(heights_[i]);
+    ck.f64(positions_[i]);
+    ck.f64(desired_[i]);
+    ck.f64(increments_[i]);
+  }
+}
+
+void P2Quantile::load(CheckpointReader& ck) {
+  q_ = ck.f64();
+  count_ = static_cast<std::size_t>(ck.u64());
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = ck.f64();
+    positions_[i] = ck.f64();
+    desired_[i] = ck.f64();
+    increments_[i] = ck.f64();
+  }
+}
+
+double student_t_975(std::size_t df) {
+  // Two-sided 95% critical values; the batch counts the stopping rule
+  // sees are small, so the exact low-df entries matter.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return std::numeric_limits<double>::infinity();
+  if (df <= std::size(kTable)) return kTable[df - 1];
+  // Brackets quote the value at their *smallest* df (the largest t), so
+  // the stopping rule stays conservative everywhere inside a bracket.
+  if (df <= 40) return 2.040;   // t_{0.975,31}
+  if (df <= 60) return 2.020;   // t_{0.975,41}
+  if (df <= 120) return 2.000;  // t_{0.975,61}
+  return 1.980;                 // t_{0.975,121}; limit is 1.960
 }
 
 }  // namespace dragonfly

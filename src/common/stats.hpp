@@ -8,12 +8,17 @@
 
 namespace dragonfly {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// Welford online mean/variance accumulator with min/max tracking.
 class RunningStats {
  public:
   void add(double x);
   void merge(const RunningStats& other);
   void reset();
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 
   std::size_t count() const { return n_; }
   double sum() const { return mean_ * static_cast<double>(n_); }
@@ -69,11 +74,47 @@ class Histogram {
   /// (linear interpolation inside the bin).
   double quantile(double q) const;
 
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
+
  private:
   double lo_;
   double hi_;
   std::vector<std::size_t> bins_;
   std::size_t total_ = 0;
 };
+
+/// Streaming quantile estimate without sample storage: the P² algorithm
+/// of Jain & Chlamtac (CACM '85). Five markers track the quantile and
+/// its neighbourhood; each add() is O(1), so a MetricTap can report
+/// rolling p50/p99 latency every interval at negligible cost. Exact for
+/// the first five samples, a few percent of the IQR after that.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate (0 before any sample).
+  double value() const;
+  std::size_t count() const { return count_; }
+  double quantile() const { return q_; }
+  void reset();
+
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};    ///< marker heights
+  double positions_[5] = {1, 2, 3, 4, 5};  ///< actual marker positions
+  double desired_[5] = {0, 0, 0, 0, 0};    ///< desired marker positions
+  double increments_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Two-sided 95% Student-t critical value t_{0.975, df} used by the
+/// batch-means confidence intervals of the adaptive stopping rule.
+/// Exact to three decimals for df <= 30, the normal limit above.
+double student_t_975(std::size_t df);
 
 }  // namespace dragonfly

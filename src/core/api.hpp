@@ -15,6 +15,7 @@
 // whole sweeps declaratively from key=value specs (core/spec.hpp).
 #pragma once
 
+#include "common/checkpoint.hpp"   // IWYU pragma: export
 #include "common/rng.hpp"          // IWYU pragma: export
 #include "common/stats.hpp"        // IWYU pragma: export
 #include "common/table.hpp"        // IWYU pragma: export
@@ -25,9 +26,11 @@
 #include "core/spec.hpp"           // IWYU pragma: export
 #include "metrics/fairness.hpp"    // IWYU pragma: export
 #include "metrics/latency.hpp"     // IWYU pragma: export
+#include "metrics/tap.hpp"         // IWYU pragma: export
 #include "routing/routing.hpp"     // IWYU pragma: export
 #include "sim/config.hpp"          // IWYU pragma: export
 #include "sim/engine.hpp"          // IWYU pragma: export
 #include "sim/network.hpp"         // IWYU pragma: export
+#include "sim/session.hpp"         // IWYU pragma: export
 #include "topology/dragonfly.hpp"  // IWYU pragma: export
 #include "traffic/pattern.hpp"     // IWYU pragma: export

@@ -9,17 +9,20 @@
 
 namespace dragonfly {
 
-namespace {
-
-AveragedResult average(std::span<const SimResult> runs) {
-  if (runs.empty()) throw std::invalid_argument("average: no runs");
+AveragedResult average_results(std::span<const SimResult> runs) {
+  if (runs.empty()) {
+    throw std::invalid_argument("average_results: no runs");
+  }
   AveragedResult avg;
   avg.seeds = static_cast<int>(runs.size());
   avg.offered_load = runs.front().offered_load;
+  avg.converged = true;
   avg.injections_per_router.assign(runs.front().injections_per_router.size(),
                                    0.0);
   const double inv = 1.0 / static_cast<double>(runs.size());
   for (const SimResult& r : runs) {
+    avg.measured_cycles += static_cast<double>(r.measured_cycles) * inv;
+    avg.converged = avg.converged && r.converged;
     avg.accepted_load += r.accepted_load * inv;
     avg.avg_latency += r.avg_latency * inv;
     avg.components.base += r.components.base * inv;
@@ -43,7 +46,6 @@ AveragedResult average(std::span<const SimResult> runs) {
   return avg;
 }
 
-}  // namespace
 
 AveragedResult run_averaged(const SimConfig& base, int num_seeds,
                             int threads, RunObserver* observer) {
@@ -71,12 +73,18 @@ std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
   std::atomic<std::size_t> finished{0};
   ThreadPool pool(static_cast<int>(std::min<std::size_t>(
       static_cast<std::size_t>(ThreadPool::resolve(threads)), jobs)));
+  const bool stream = observer != nullptr && observer->wants_stream();
   pool.run_indexed(jobs, [&](std::size_t i) {
     const std::size_t c = i / seeds;
     const std::size_t s = i % seeds;
     SimConfig cfg = configs[c];
     cfg.seed = derive_seed(cfg.seed, s);
-    results[c][s] = run_simulation(cfg);
+    // Every job is a Session; attaching a tap only reads metrics, so
+    // streamed and silent runs stay bit-identical.
+    Session session(cfg);
+    ObserverTap tap(observer, c, s);
+    if (stream) session.set_tap(&tap);
+    results[c][s] = session.run();
     if (observer != nullptr) {
       observer->on_job_done(finished.fetch_add(1) + 1, jobs);
     }
@@ -84,7 +92,7 @@ std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
 
   std::vector<AveragedResult> out;
   out.reserve(configs.size());
-  for (auto& r : results) out.push_back(average(r));
+  for (auto& r : results) out.push_back(average_results(r));
   if (observer != nullptr) {
     for (std::size_t c = 0; c < out.size(); ++c) {
       observer->on_config_done(c, out[c]);

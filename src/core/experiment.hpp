@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "metrics/fairness.hpp"
+#include "metrics/tap.hpp"
 #include "sim/engine.hpp"
 
 namespace dragonfly {
@@ -31,7 +32,16 @@ struct AveragedResult {
   /// tables do: "curves present the average of 3 different simulations").
   FairnessReport fairness;
   int seeds = 0;
+  /// Seed-averaged measured-window length (= measure_cycles in fixed
+  /// mode; where the CI stop actually landed in stop.mode=ci).
+  double measured_cycles = 0.0;
+  /// True when every seed's CI stop converged before the cap.
+  bool converged = false;
 };
+
+/// Average per-seed results into one curve point (exposed for callers
+/// that run Sessions themselves, e.g. the CLI's checkpoint path).
+AveragedResult average_results(std::span<const SimResult> runs);
 
 /// Progress hook for run_sweep/run_configs: long sweeps report job
 /// completions as they happen (CLI progress bars, logging, dashboards).
@@ -63,6 +73,41 @@ class RunObserver {
     (void)config_index;
     (void)result;
   }
+
+  /// Return true to stream per-interval MetricTap samples from every
+  /// job (sampled every cfg.stream_interval cycles).
+  virtual bool wants_stream() const { return false; }
+
+  /// One interval sample of job (config_index, seed_index). Fires from
+  /// worker threads — overrides must be thread-safe.
+  virtual void on_sample(std::size_t config_index, std::size_t seed_index,
+                         const StreamSample& sample) {
+    (void)config_index;
+    (void)seed_index;
+    (void)sample;
+  }
+};
+
+/// MetricTap adapter forwarding one job's stream samples into a
+/// RunObserver with the job's (config, seed) coordinates attached —
+/// used by run_configs for every streamed job and by single-session
+/// callers (the CLI's checkpoint path runs it as job (0, 0)).
+class ObserverTap final : public MetricTap {
+ public:
+  ObserverTap(RunObserver* observer, std::size_t config_index,
+              std::size_t seed_index)
+      : observer_(observer),
+        config_index_(config_index),
+        seed_index_(seed_index) {}
+
+  void on_sample(const StreamSample& sample) override {
+    observer_->on_sample(config_index_, seed_index_, sample);
+  }
+
+ private:
+  RunObserver* observer_;
+  std::size_t config_index_;
+  std::size_t seed_index_;
 };
 
 /// Run `base` once per replica (seed = derive_seed(base.seed, i)) on

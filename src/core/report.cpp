@@ -161,7 +161,7 @@ std::vector<std::string> ResultWriter::columns() {
           "lat_base",     "lat_misroute",  "lat_local_q", "lat_global_q",
           "lat_inj_q",    "local_hops",    "global_hops", "min_inj",
           "max_inj",      "max_over_min",  "cov",         "jain",
-          "seeds"};
+          "seeds",        "measured_cycles", "converged"};
 }
 
 void ResultWriter::write(std::ostream& os, OutputFormat format) const {
@@ -177,7 +177,9 @@ void ResultWriter::write(std::ostream& os, OutputFormat format) const {
                      r.avg_global_hops, r.fairness.min_injections,
                      r.fairness.max_injections, r.fairness.max_over_min,
                      r.fairness.cov, r.fairness.jain,
-                     static_cast<std::int64_t>(r.seeds)});
+                     static_cast<std::int64_t>(r.seeds),
+                     static_cast<std::int64_t>(r.measured_cycles + 0.5),
+                     static_cast<std::int64_t>(r.converged ? 1 : 0)});
   }
   switch (format) {
     case OutputFormat::kTable: {

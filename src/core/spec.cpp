@@ -65,8 +65,19 @@ int env_int(const char* name, int fallback) {
   return std::atoi(v);
 }
 
-constexpr const char* kSpecKeys[] = {"label",  "loads",    "out",
-                                     "out_path", "seeds", "threads"};
+struct SpecKeyDesc {
+  const char* key;
+  const char* desc;
+};
+
+constexpr SpecKeyDesc kSpecKeys[] = {
+    {"label", "experiment label printed in the output"},
+    {"loads", "offered-load sweep: a:b:step (inclusive) or x,y,z"},
+    {"out", "output encoding: table | csv | json"},
+    {"out_path", "also write the results to this file"},
+    {"seeds", "replicas averaged per sweep point"},
+    {"threads", "worker threads (0 = hardware concurrency)"},
+};
 
 }  // namespace
 
@@ -189,9 +200,18 @@ ExperimentSpec ExperimentSpec::parse_file(const std::string& path) {
 
 std::vector<std::string> ExperimentSpec::kv_keys() {
   std::vector<std::string> keys = SimConfig::kv_keys();
-  for (const char* key : kSpecKeys) keys.emplace_back(key);
+  for (const SpecKeyDesc& key : kSpecKeys) keys.emplace_back(key.key);
   std::sort(keys.begin(), keys.end());
   return keys;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ExperimentSpec::kv_key_descriptions() {
+  std::vector<std::pair<std::string, std::string>> out =
+      SimConfig::kv_key_descriptions();
+  for (const SpecKeyDesc& key : kSpecKeys) out.emplace_back(key.key, key.desc);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<double> ExperimentSpec::effective_loads() const {

@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -60,6 +61,11 @@ struct ExperimentSpec {
 
   /// Everything apply_kv understands (spec-level + SimConfig keys).
   static std::vector<std::string> kv_keys();
+
+  /// (key, one-line description) for every key — the full knob table
+  /// `simulate_cli --list` prints.
+  static std::vector<std::pair<std::string, std::string>>
+  kv_key_descriptions();
 
   /// Effective load list ({base.load} when none set).
   std::vector<double> effective_loads() const;

@@ -2,10 +2,19 @@
 
 #include <stdexcept>
 
+#include "common/checkpoint.hpp"
+
 namespace dragonfly {
 
 void MetricsCollector::on_delivered(const Packet& pkt, Cycle when) {
   ++delivered_packets_total_;
+  delivered_phits_total_ += pkt.size_phits;
+  const auto latency = static_cast<double>(when - pkt.t_net);
+  latency_sum_total_ += latency;
+  if (streaming_) {
+    p2_p50_.add(latency);
+    p2_p99_.add(latency);
+  }
   if (!measuring_) return;
   ++delivered_packets_measured_;
   delivered_phits_measured_ += pkt.size_phits;
@@ -27,6 +36,42 @@ double MetricsCollector::accepted_load(int generating_nodes) const {
   return static_cast<double>(delivered_phits_measured_) /
          (static_cast<double>(generating_nodes) *
           static_cast<double>(window));
+}
+
+void MetricsCollector::save(CheckpointWriter& ck) const {
+  ck.tag("Collector");
+  ck.boolean(measuring_);
+  ck.boolean(begun_);
+  ck.boolean(ended_);
+  ck.boolean(streaming_);
+  ck.i64(measure_start_);
+  ck.i64(measure_end_);
+  latency_.save(ck);
+  ck.i64(delivered_packets_measured_);
+  ck.i64(delivered_phits_measured_);
+  ck.i64(delivered_packets_total_);
+  ck.i64(delivered_phits_total_);
+  ck.f64(latency_sum_total_);
+  p2_p50_.save(ck);
+  p2_p99_.save(ck);
+}
+
+void MetricsCollector::load(CheckpointReader& ck) {
+  ck.tag("Collector");
+  measuring_ = ck.boolean();
+  begun_ = ck.boolean();
+  ended_ = ck.boolean();
+  streaming_ = ck.boolean();
+  measure_start_ = ck.i64();
+  measure_end_ = ck.i64();
+  latency_.load(ck);
+  delivered_packets_measured_ = ck.i64();
+  delivered_phits_measured_ = ck.i64();
+  delivered_packets_total_ = ck.i64();
+  delivered_phits_total_ = ck.i64();
+  latency_sum_total_ = ck.f64();
+  p2_p50_.load(ck);
+  p2_p99_.load(ck);
 }
 
 }  // namespace dragonfly

@@ -1,9 +1,11 @@
 // Per-simulation metrics collection: delivered traffic, latency
-// decomposition and conservation counters.
+// decomposition, conservation counters, and the always-on cumulative
+// counters the streaming MetricTap interval math reads.
 #pragma once
 
 #include <cstdint>
 
+#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "metrics/latency.hpp"
 #include "router/packet.hpp"
@@ -15,23 +17,43 @@ namespace dragonfly {
 class MetricsCollector {
  public:
   MetricsCollector(const DragonflyTopology& topo, const SimConfig& cfg)
-      : topo_(topo), cfg_(cfg) {}
+      : topo_(topo), cfg_(cfg), p2_p50_(0.50), p2_p99_(0.99) {}
 
   void begin_measurement(Cycle now) {
     measuring_ = true;
+    begun_ = true;
+    ended_ = false;
     measure_start_ = now;
     latency_.reset();  // keeps the histogram storage
     delivered_packets_measured_ = 0;
     delivered_phits_measured_ = 0;
+    // The rolling percentile estimators cover the measurement window.
+    p2_p50_.reset();
+    p2_p99_.reset();
   }
   void end_measurement(Cycle now) {
     measuring_ = false;
+    ended_ = true;
     measure_end_ = now;
   }
   bool measuring() const { return measuring_; }
+  /// True once begin_measurement has run (possibly still open).
+  bool measurement_begun() const { return begun_; }
+  /// True once a measurement window has been closed; collect() before
+  /// this must report a well-defined empty result, not garbage.
+  bool measurement_closed() const { return ended_; }
+  Cycle measured_cycles() const {
+    return ended_ ? measure_end_ - measure_start_ : 0;
+  }
 
   /// Called by the network when a packet tail reaches its destination.
   void on_delivered(const Packet& pkt, Cycle when);
+
+  /// Streaming mode keeps the rolling P² percentile estimators updated
+  /// on every delivery; off (the default) keeps the hot path identical
+  /// to the fixed-window collector.
+  void set_streaming(bool on) { streaming_ = on; }
+  bool streaming() const { return streaming_; }
 
   // --- measured-window results ------------------------------------------
   const LatencyAccumulator& latency() const { return latency_; }
@@ -44,21 +66,40 @@ class MetricsCollector {
   /// Accepted load in phits/(node*cycle) over `generating_nodes` sources.
   double accepted_load(int generating_nodes) const;
 
-  // --- whole-run conservation counters ---------------------------------------
+  // --- whole-run cumulative counters (streaming interval deltas) ---------
   std::int64_t delivered_packets_total() const {
     return delivered_packets_total_;
   }
+  std::int64_t delivered_phits_total() const { return delivered_phits_total_; }
+  /// Sum of (delivery - injection-queue entry) over *all* deliveries —
+  /// interval mean latency = delta(sum) / delta(count).
+  double latency_sum_total() const { return latency_sum_total_; }
+
+  /// Rolling latency percentiles over the measurement window so far
+  /// (only maintained while streaming() is on).
+  double p50_estimate() const { return p2_p50_.value(); }
+  double p99_estimate() const { return p2_p99_.value(); }
+
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 
  private:
   const DragonflyTopology& topo_;
   const SimConfig& cfg_;
   bool measuring_ = false;
+  bool begun_ = false;
+  bool ended_ = false;
+  bool streaming_ = false;
   Cycle measure_start_ = 0;
   Cycle measure_end_ = 0;
   LatencyAccumulator latency_;
   std::int64_t delivered_packets_measured_ = 0;
   std::int64_t delivered_phits_measured_ = 0;
   std::int64_t delivered_packets_total_ = 0;
+  std::int64_t delivered_phits_total_ = 0;
+  double latency_sum_total_ = 0.0;
+  P2Quantile p2_p50_;
+  P2Quantile p2_p99_;
 };
 
 }  // namespace dragonfly

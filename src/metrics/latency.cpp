@@ -1,5 +1,7 @@
 #include "metrics/latency.hpp"
 
+#include "common/checkpoint.hpp"
+
 namespace dragonfly {
 
 Cycle base_latency(const DragonflyTopology& topo, const SimConfig& cfg,
@@ -60,6 +62,32 @@ void LatencyAccumulator::merge(const LatencyAccumulator& other) {
   injection_q_.merge(other.injection_q_);
   local_hops_.merge(other.local_hops_);
   global_hops_.merge(other.global_hops_);
+}
+
+void LatencyAccumulator::save(CheckpointWriter& ck) const {
+  ck.tag("Latency");
+  histogram_.save(ck);
+  total_.save(ck);
+  base_.save(ck);
+  misroute_.save(ck);
+  local_q_.save(ck);
+  global_q_.save(ck);
+  injection_q_.save(ck);
+  local_hops_.save(ck);
+  global_hops_.save(ck);
+}
+
+void LatencyAccumulator::load(CheckpointReader& ck) {
+  ck.tag("Latency");
+  histogram_.load(ck);
+  total_.load(ck);
+  base_.load(ck);
+  misroute_.load(ck);
+  local_q_.load(ck);
+  global_q_.load(ck);
+  injection_q_.load(ck);
+  local_hops_.load(ck);
+  global_hops_.load(ck);
 }
 
 }  // namespace dragonfly

@@ -64,6 +64,9 @@ class LatencyAccumulator {
 
   void merge(const LatencyAccumulator& other);
 
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
+
  private:
   Histogram histogram_;
   RunningStats total_;

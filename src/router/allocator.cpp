@@ -1,8 +1,27 @@
 #include "router/allocator.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "common/checkpoint.hpp"
 
 namespace dragonfly {
+
+void SeparableAllocator::save(CheckpointWriter& ck) const {
+  ck.vec(input_rr_, [&](std::uint32_t v) { ck.u32(v); });
+  ck.vec(output_rr_, [&](std::uint32_t v) { ck.u32(v); });
+}
+
+void SeparableAllocator::load(CheckpointReader& ck) {
+  const std::size_t in = input_rr_.size();
+  const std::size_t out = output_rr_.size();
+  ck.vec(input_rr_, [&] { return ck.u32(); });
+  ck.vec(output_rr_, [&] { return ck.u32(); });
+  if (input_rr_.size() != in || output_rr_.size() != out) {
+    throw std::runtime_error(
+        "checkpoint: allocator port count mismatch (config drift)");
+  }
+}
 
 SeparableAllocator::SeparableAllocator(int num_inputs, int num_outputs,
                                        AllocatorConfig cfg)

@@ -20,6 +20,9 @@
 
 namespace dragonfly {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// One allocation request: input VC head packet -> (output port, VC).
 struct AllocRequest {
   PortId in_port = kInvalidPort;
@@ -54,6 +57,11 @@ class SeparableAllocator {
   void allocate(std::vector<AllocRequest>& requests);
 
   const AllocatorConfig& config() const { return cfg_; }
+
+  /// Checkpoint the persistent arbiter state (round-robin pointers);
+  /// scratch buffers carry nothing across cycles.
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 
  private:
   int num_inputs_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/checkpoint.hpp"
+
 namespace dragonfly {
 
 void VcFifo::push(PacketRef pkt, int size_phits) {
@@ -107,6 +109,50 @@ PendingTx OutputPort::begin_transmission(Cycle now, int size_phits) {
   queue_occupancy_ -= size_phits;
   link_free_ = now + size_phits;  // serialization: 1 phit/cycle
   return tx;
+}
+
+void VcFifo::save(CheckpointWriter& ck) const {
+  ck.i32(occupancy_);
+  ck.u64(fifo_.size());
+  for (const PacketRef ref : fifo_) ck.i32(ref);
+}
+
+void VcFifo::load(CheckpointReader& ck) {
+  occupancy_ = ck.i32();
+  const std::uint64_t n = ck.u64();
+  fifo_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) fifo_.push_back(ck.i32());
+}
+
+void OutputPort::save(CheckpointWriter& ck) const {
+  ck.i32(queue_occupancy_);
+  ck.i64(link_free_);
+  ck.vec(credits_, [&](int c) { ck.i32(c); });
+  ck.u64(queue_.size());
+  for (const PendingTx& tx : queue_) {
+    ck.i32(tx.pkt);
+    ck.i32(tx.out_vc);
+    ck.i64(tx.ready);
+  }
+}
+
+void OutputPort::load(CheckpointReader& ck) {
+  queue_occupancy_ = ck.i32();
+  link_free_ = ck.i64();
+  ck.vec(credits_, [&] { return ck.i32(); });
+  if (credits_.size() != credit_capacity_.size()) {
+    throw std::runtime_error(
+        "checkpoint: output-port VC count mismatch (config drift)");
+  }
+  const std::uint64_t n = ck.u64();
+  queue_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PendingTx tx;
+    tx.pkt = ck.i32();
+    tx.out_vc = ck.i32();
+    tx.ready = ck.i64();
+    queue_.push_back(tx);
+  }
 }
 
 }  // namespace dragonfly

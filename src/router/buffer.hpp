@@ -14,6 +14,9 @@
 
 namespace dragonfly {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// FIFO of arrived packets for one virtual channel of an input port.
 class VcFifo {
  public:
@@ -30,6 +33,11 @@ class VcFifo {
   void push(PacketRef pkt, int size_phits);
   /// Pop the head; returns the freed phit count.
   int pop(int size_phits);
+
+  /// Checkpoint contents + occupancy (capacity is reconstructed by
+  /// wiring).
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 
  private:
   int capacity_;
@@ -102,6 +110,11 @@ class OutputPort {
   PendingTx begin_transmission(Cycle now, int size_phits);
   Cycle link_free_at() const { return link_free_; }
   const PendingTx& queue_head() const { return queue_.front(); }
+
+  /// Checkpoint mutable state: credits, queue contents, link
+  /// serialization deadline (wiring/capacities come from configure()).
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 
  private:
   PortKind kind_ = PortKind::kLocal;

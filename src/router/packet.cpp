@@ -1,6 +1,74 @@
 #include "router/packet.hpp"
 
+#include "common/checkpoint.hpp"
+
 namespace dragonfly {
+
+void Packet::save(CheckpointWriter& ck) const {
+  ck.i64(id);
+  ck.i32(src);
+  ck.i32(dst);
+  ck.i32(size_phits);
+  ck.u8(static_cast<std::uint8_t>(phase));
+  ck.i32(intermediate_group);
+  ck.i32(nm_exit_router);
+  ck.i32(nm_exit_port);
+  ck.boolean(local_misrouted_this_group);
+  ck.u8(local_hops);
+  ck.u8(global_hops);
+  ck.u32(denied_cycles);
+  ck.i32(current_router);
+  ck.i32(in_port);
+  ck.i32(in_vc);
+  ck.i64(t_gen);
+  ck.i64(t_net);
+  ck.i64(t_arrival);
+  ck.i64(wait_injection);
+  ck.i64(wait_local);
+  ck.i64(wait_global);
+  ck.i64(structural);
+}
+
+void Packet::load(CheckpointReader& ck) {
+  id = ck.i64();
+  src = ck.i32();
+  dst = ck.i32();
+  size_phits = ck.i32();
+  phase = static_cast<Phase>(ck.u8());
+  intermediate_group = ck.i32();
+  nm_exit_router = ck.i32();
+  nm_exit_port = ck.i32();
+  local_misrouted_this_group = ck.boolean();
+  local_hops = static_cast<std::uint8_t>(ck.u8());
+  global_hops = static_cast<std::uint8_t>(ck.u8());
+  denied_cycles = static_cast<std::uint16_t>(ck.u32());
+  current_router = ck.i32();
+  in_port = ck.i32();
+  in_vc = ck.i32();
+  t_gen = ck.i64();
+  t_net = ck.i64();
+  t_arrival = ck.i64();
+  wait_injection = ck.i64();
+  wait_local = ck.i64();
+  wait_global = ck.i64();
+  structural = ck.i64();
+}
+
+void PacketStore::save(CheckpointWriter& ck) const {
+  ck.tag("PacketStore");
+  ck.vec(slots_, [&](const Packet& p) { p.save(ck); });
+  ck.vec(free_, [&](PacketRef r) { ck.i32(r); });
+}
+
+void PacketStore::load(CheckpointReader& ck) {
+  ck.tag("PacketStore");
+  ck.vec(slots_, [&] {
+    Packet p;
+    p.load(ck);
+    return p;
+  });
+  ck.vec(free_, [&] { return ck.i32(); });
+}
 
 PacketRef PacketStore::create() {
   if (!free_.empty()) {

@@ -9,6 +9,9 @@
 
 namespace dragonfly {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// Routing phase of a packet. Transitions:
 ///   kSourceFlex --(commit global misroute)--> kToIntermediate
 ///   kSourceFlex --(traverse minimal global link)--> kCommitted
@@ -70,6 +73,9 @@ struct Packet {
   Cycle structural = 0;
 
   void reset_group_state() { local_misrouted_this_group = false; }
+
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 };
 
 /// Index-based packet arena with a free list. Queues hold `PacketRef`
@@ -91,6 +97,11 @@ class PacketStore {
   /// Number of live (created, not destroyed) packets.
   std::size_t live() const { return slots_.size() - free_.size(); }
   std::size_t capacity() const { return slots_.size(); }
+
+  /// Checkpoint the whole arena (slots + free list), so every PacketRef
+  /// held in queues and events stays valid across restore.
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 
  private:
   std::vector<Packet> slots_;

@@ -1,7 +1,10 @@
 #include "router/router.hpp"
 
+#include <array>
 #include <cstdio>
 #include <stdexcept>
+
+#include "common/checkpoint.hpp"
 
 namespace dragonfly {
 
@@ -303,5 +306,45 @@ double Router::mean_global_occupancy() const {
 }
 
 void Router::reset_measured_counters() { injected_measured_ = 0; }
+
+void Router::save(CheckpointWriter& ck) const {
+  ck.tag("Router");
+  const auto rng_state = rng_.state();
+  for (const std::uint64_t word : rng_state) ck.u64(word);
+  for (const InputPort& in : inputs_) {
+    ck.u64(in.vcs.size());
+    for (const VcFifo& vc : in.vcs) vc.save(ck);
+  }
+  for (const OutputPort& out : outputs_) out.save(ck);
+  allocator_.save(ck);
+  ck.boolean(measuring_);
+  ck.i32(buffered_packets_);
+  ck.i32(pending_tx_);
+  ck.i64(injected_measured_);
+  ck.i64(injected_total_);
+  ck.i64(forwarded_total_);
+}
+
+void Router::load(CheckpointReader& ck) {
+  ck.tag("Router");
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = ck.u64();
+  rng_.set_state(rng_state);
+  for (InputPort& in : inputs_) {
+    if (ck.u64() != in.vcs.size()) {
+      throw std::runtime_error(
+          "checkpoint: input-port VC count mismatch (config drift)");
+    }
+    for (VcFifo& vc : in.vcs) vc.load(ck);
+  }
+  for (OutputPort& out : outputs_) out.load(ck);
+  allocator_.load(ck);
+  measuring_ = ck.boolean();
+  buffered_packets_ = ck.i32();
+  pending_tx_ = ck.i32();
+  injected_measured_ = ck.i64();
+  injected_total_ = ck.i64();
+  forwarded_total_ = ck.i64();
+}
 
 }  // namespace dragonfly

@@ -17,6 +17,9 @@
 
 namespace dragonfly {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// Where routers push cross-router events; implemented by Network.
 class EventSink {
  public:
@@ -105,6 +108,12 @@ class Router {
   std::int64_t injected_packets_measured() const { return injected_measured_; }
   std::int64_t injected_packets_total() const { return injected_total_; }
   std::int64_t forwarded_packets_total() const { return forwarded_total_; }
+
+  // --- checkpoint -----------------------------------------------------------
+  /// Serialize all mutable state (buffers, credits, arbiter pointers,
+  /// RNG, counters); wiring/capacities are rebuilt from config.
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 
  private:
   void execute_grant(const AllocRequest& req, const RoutingDecision& d,

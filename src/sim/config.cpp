@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/checkpoint.hpp"
 #include "routing/routing.hpp"
 #include "traffic/pattern.hpp"
 
@@ -142,6 +144,21 @@ TrafficKind traffic_kind_from_string(const std::string& name) {
                               spelling_list(kTrafficNames));
 }
 
+const char* to_string(StopMode mode) {
+  switch (mode) {
+    case StopMode::kFixed: return "fixed";
+    case StopMode::kCi: return "ci";
+  }
+  return "?";
+}
+
+StopMode stop_mode_from_string(const std::string& name) {
+  if (name == "fixed") return StopMode::kFixed;
+  if (name == "ci") return StopMode::kCi;
+  throw std::invalid_argument("unknown stop mode \"" + name +
+                              "\"; valid names: fixed | ci");
+}
+
 std::string SimConfig::routing_key() const {
   return routing_name.empty() ? registry_key(routing) : routing_name;
 }
@@ -205,11 +222,54 @@ void SimConfig::validate() const {
   if (intransit_threshold <= 0.0 || intransit_threshold > 1.0) {
     throw std::invalid_argument("in-transit threshold must be in (0,1]");
   }
-  if (warmup_cycles < 0 || measure_cycles <= 0) {
-    throw std::invalid_argument("bad warmup/measure window");
+  if (pipeline_latency < 0) {
+    throw std::invalid_argument("pipeline_latency must be >= 0");
+  }
+  if (warmup_cycles < 0) {
+    throw std::invalid_argument("warmup_cycles must be >= 0, got " +
+                                std::to_string(warmup_cycles));
+  }
+  if (measure_cycles <= 0) {
+    throw std::invalid_argument(
+        "measure_cycles must be >= 1 (a zero-length measurement window "
+        "yields no metrics), got " +
+        std::to_string(measure_cycles));
   }
   if (node_queue_capacity < 1) {
     throw std::invalid_argument("node queue capacity must be >= 1");
+  }
+  // --- session lifecycle ----------------------------------------------------
+  if (stop.rel_hw <= 0.0 || stop.rel_hw >= 1.0) {
+    throw std::invalid_argument("stop.rel_hw must be in (0,1)");
+  }
+  if (stop.batches < 2) {
+    throw std::invalid_argument(
+        "stop.batches must be >= 2 (a CI needs at least two batches)");
+  }
+  if (stop.batch_cycles < 1) {
+    throw std::invalid_argument("stop.batch_cycles must be >= 1");
+  }
+  if (drain_max_cycles < 0) {
+    throw std::invalid_argument("drain.max_cycles must be >= 0");
+  }
+  if (stream_interval < 1) {
+    throw std::invalid_argument("stream.interval must be >= 1");
+  }
+  if (!phase_script.empty() && stop.mode == StopMode::kCi) {
+    throw std::invalid_argument(
+        "stop.mode=ci cannot be combined with a phase script: scripted "
+        "segments have fixed durations");
+  }
+  for (const ScriptedSegment& seg : phase_script) {
+    if (seg.cycles < 1) {
+      throw std::invalid_argument("phase segment \"" + seg.name +
+                                  "\": cycles must be >= 1");
+    }
+    if (seg.load >= 0.0 && seg.load > static_cast<double>(packet_size)) {
+      throw std::invalid_argument("phase segment \"" + seg.name +
+                                  "\": load out of range");
+    }
+    if (!seg.traffic.empty()) traffic_registry().resolve(seg.traffic);
   }
   // --- extension-pattern knobs --------------------------------------------
   if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
@@ -475,6 +535,88 @@ const KvEntry kKvEntries[] = {
        }
        c.seed = static_cast<std::uint64_t>(out);
      }},
+    // session lifecycle: adaptive stopping, scripted phases, drain, stream
+    {"stop.mode",
+     [](SimConfig& c, const std::string&, const std::string& v) {
+       c.stop.mode = stop_mode_from_string(v);
+     }},
+    {"stop.rel_hw",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.stop.rel_hw = parse_double(k, v);
+     }},
+    {"stop.batches",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.stop.batches = parse_int(k, v);
+     }},
+    {"stop.batch_cycles",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.stop.batch_cycles = parse_int(k, v);
+     }},
+    {"phases",
+     [](SimConfig& c, const std::string&, const std::string& v) {
+       c.phase_script = parse_phase_script(v);
+     }},
+    {"drain.max_cycles",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.drain_max_cycles = parse_int(k, v);
+     }},
+    {"stream.interval",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.stream_interval = parse_int(k, v);
+     }},
+};
+
+/// One-line descriptions for --list; kv_key_descriptions() asserts this
+/// table covers every kKvEntries key, so adding a knob without its
+/// description fails tests loudly.
+struct KvDesc {
+  const char* key;
+  const char* desc;
+};
+
+constexpr KvDesc kKvDescs[] = {
+    {"h", "balanced dragonfly radix: p=h, a=2h, a*h+1 groups"},
+    {"p", "nodes per router (overrides the balanced preset)"},
+    {"a", "routers per group (overrides the balanced preset)"},
+    {"arrangement", "global-link arrangement registry name"},
+    {"routing", "routing mechanism registry name"},
+    {"traffic", "traffic pattern registry name"},
+    {"local_latency", "local (intra-group) link latency, cycles"},
+    {"global_latency", "global (inter-group) link latency, cycles"},
+    {"pipeline_latency", "router pipeline depth, cycles"},
+    {"packet_size", "packet size in phits"},
+    {"output_queue_size", "per-output post-crossbar queue, phits"},
+    {"local_input_buffer", "local/injection input buffer per VC, phits"},
+    {"global_input_buffer", "global input buffer per VC, phits"},
+    {"global_vcs", "virtual channels on global links"},
+    {"local_vcs", "virtual channels on local links"},
+    {"injection_vcs", "virtual channels on injection ports"},
+    {"allocator_iterations", "separable-allocator iterations per cycle"},
+    {"max_grants_per_output", "grants per output per cycle (2x speedup)"},
+    {"max_grants_per_input", "grants per input per cycle (2x speedup)"},
+    {"transit_priority", "transit-over-injection arbitration priority"},
+    {"age_arbitration", "oldest-packet-first output arbitration"},
+    {"intransit_threshold", "in-transit misroute congestion threshold"},
+    {"pb_threshold_local", "PiggyBack saturation threshold, local links"},
+    {"pb_threshold_global", "PiggyBack saturation threshold, global links"},
+    {"adversarial_offset", "k of ADV+k: target group = own + k"},
+    {"placement_first_group", "first group of the placement job"},
+    {"placement_num_groups", "groups in the placement job (0 = h+1)"},
+    {"shift_offset_nodes", "node shift k: dst = src + k (0 = one group)"},
+    {"hotspot_fraction", "share of traffic aimed at the hot node"},
+    {"hotspot_node", "destination node of the hotspot share"},
+    {"load", "offered load, phits/(node*cycle); sweeps: a:b:step or x,y,z"},
+    {"node_queue_capacity", "finite source queue, packets"},
+    {"warmup_cycles", "cycles simulated before measurement starts"},
+    {"measure_cycles", "measured window; the cap in stop.mode=ci"},
+    {"seed", "root RNG seed (replicas derive from it)"},
+    {"stop.mode", "fixed = exact window | ci = stop when CIs converge"},
+    {"stop.rel_hw", "CI target: relative half-width of accepted/latency"},
+    {"stop.batches", "minimum completed batches before testing the CI"},
+    {"stop.batch_cycles", "batch-means batch length, cycles"},
+    {"phases", "scripted Measure segments name:cycles[@load=X][@traffic=T]"},
+    {"drain.max_cycles", "post-measure drain budget, cycles (0 = skip)"},
+    {"stream.interval", "MetricTap sampling interval, cycles"},
 };
 
 std::string joined_kv_keys() {
@@ -522,6 +664,188 @@ std::vector<std::string> SimConfig::kv_keys() {
   for (const KvEntry& entry : kKvEntries) keys.emplace_back(entry.key);
   std::sort(keys.begin(), keys.end());
   return keys;
+}
+
+std::vector<std::pair<std::string, std::string>>
+SimConfig::kv_key_descriptions() {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(std::size(kKvEntries));
+  for (const KvEntry& entry : kKvEntries) {
+    const char* desc = nullptr;
+    for (const KvDesc& d : kKvDescs) {
+      if (std::string(d.key) == entry.key) {
+        desc = d.desc;
+        break;
+      }
+    }
+    if (desc == nullptr) {
+      throw std::logic_error(std::string("config key \"") + entry.key +
+                             "\" has no --list description");
+    }
+    out.emplace_back(entry.key, desc);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ScriptedSegment> parse_phase_script(const std::string& text) {
+  std::vector<ScriptedSegment> script;
+  std::string item;
+  std::istringstream is(text);
+  while (std::getline(is, item, ',')) {
+    const auto from = item.find_first_not_of(" \t");
+    if (from == std::string::npos) continue;
+    const auto to = item.find_last_not_of(" \t");
+    item = item.substr(from, to - from + 1);
+
+    // Split "name:cycles[@k=v]..." on '@'.
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream ps(item);
+    while (std::getline(ps, part, '@')) parts.push_back(part);
+    if (parts.empty() || parts[0].empty()) {
+      throw std::invalid_argument("phases: empty segment in \"" + text +
+                                  "\"");
+    }
+    const std::size_t colon = parts[0].find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(
+          "phases: segment must be name:cycles[@key=value], got \"" + item +
+          "\"");
+    }
+    ScriptedSegment seg;
+    seg.name = parts[0].substr(0, colon);
+    seg.cycles = parse_int("phases: \"" + seg.name + "\" cycles",
+                           parts[0].substr(colon + 1));
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const auto [key, value] = split_kv(parts[i]);
+      if (key == "load") {
+        seg.load = parse_double("phases: \"" + seg.name + "\" load", value);
+      } else if (key == "traffic") {
+        seg.traffic = traffic_registry().resolve(value);
+      } else {
+        throw std::invalid_argument("phases: segment \"" + seg.name +
+                                    "\" has unknown mutation \"" + key +
+                                    "\"; valid: load traffic");
+      }
+    }
+    script.push_back(std::move(seg));
+  }
+  return script;
+}
+
+void SimConfig::write_to(CheckpointWriter& ck) const {
+  ck.tag("SimConfig");
+  ck.i32(topo.p);
+  ck.i32(topo.a);
+  ck.i32(topo.h);
+  ck.str(arrangement);
+  ck.i64(local_latency);
+  ck.i64(global_latency);
+  ck.i32(pipeline_latency);
+  ck.i32(packet_size);
+  ck.i32(output_queue_size);
+  ck.i32(local_input_buffer);
+  ck.i32(global_input_buffer);
+  ck.i32(global_vcs);
+  ck.i32(local_vcs);
+  ck.i32(injection_vcs);
+  ck.i32(allocator_iterations);
+  ck.i32(max_grants_per_output);
+  ck.i32(max_grants_per_input);
+  ck.boolean(transit_priority);
+  ck.boolean(age_arbitration);
+  ck.f64(intransit_threshold);
+  ck.f64(pb_threshold_local);
+  ck.f64(pb_threshold_global);
+  ck.str(routing_name);
+  ck.str(traffic_name);
+  ck.u8(static_cast<std::uint8_t>(routing));
+  ck.u8(static_cast<std::uint8_t>(traffic));
+  ck.i32(adversarial_offset);
+  ck.i32(placement_first_group);
+  ck.i32(placement_num_groups);
+  ck.i32(shift_offset_nodes);
+  ck.f64(hotspot_fraction);
+  ck.i32(hotspot_node);
+  ck.f64(load);
+  ck.i32(node_queue_capacity);
+  ck.i64(warmup_cycles);
+  ck.i64(measure_cycles);
+  ck.u64(seed);
+  ck.u8(static_cast<std::uint8_t>(stop.mode));
+  ck.f64(stop.rel_hw);
+  ck.i32(stop.batches);
+  ck.i64(stop.batch_cycles);
+  ck.vec(phase_script, [&](const ScriptedSegment& seg) {
+    ck.str(seg.name);
+    ck.i64(seg.cycles);
+    ck.f64(seg.load);
+    ck.str(seg.traffic);
+  });
+  ck.i64(drain_max_cycles);
+  ck.i64(stream_interval);
+  ck.boolean(vcs_explicit);
+  ck.boolean(topo_p_explicit);
+  ck.boolean(topo_a_explicit);
+}
+
+void SimConfig::read_from(CheckpointReader& ck) {
+  ck.tag("SimConfig");
+  topo.p = ck.i32();
+  topo.a = ck.i32();
+  topo.h = ck.i32();
+  arrangement = ck.str();
+  local_latency = ck.i64();
+  global_latency = ck.i64();
+  pipeline_latency = ck.i32();
+  packet_size = ck.i32();
+  output_queue_size = ck.i32();
+  local_input_buffer = ck.i32();
+  global_input_buffer = ck.i32();
+  global_vcs = ck.i32();
+  local_vcs = ck.i32();
+  injection_vcs = ck.i32();
+  allocator_iterations = ck.i32();
+  max_grants_per_output = ck.i32();
+  max_grants_per_input = ck.i32();
+  transit_priority = ck.boolean();
+  age_arbitration = ck.boolean();
+  intransit_threshold = ck.f64();
+  pb_threshold_local = ck.f64();
+  pb_threshold_global = ck.f64();
+  routing_name = ck.str();
+  traffic_name = ck.str();
+  routing = static_cast<RoutingKind>(ck.u8());
+  traffic = static_cast<TrafficKind>(ck.u8());
+  adversarial_offset = ck.i32();
+  placement_first_group = ck.i32();
+  placement_num_groups = ck.i32();
+  shift_offset_nodes = ck.i32();
+  hotspot_fraction = ck.f64();
+  hotspot_node = ck.i32();
+  load = ck.f64();
+  node_queue_capacity = ck.i32();
+  warmup_cycles = ck.i64();
+  measure_cycles = ck.i64();
+  seed = ck.u64();
+  stop.mode = static_cast<StopMode>(ck.u8());
+  stop.rel_hw = ck.f64();
+  stop.batches = ck.i32();
+  stop.batch_cycles = ck.i64();
+  ck.vec(phase_script, [&] {
+    ScriptedSegment seg;
+    seg.name = ck.str();
+    seg.cycles = ck.i64();
+    seg.load = ck.f64();
+    seg.traffic = ck.str();
+    return seg;
+  });
+  drain_max_cycles = ck.i64();
+  stream_interval = ck.i64();
+  vcs_explicit = ck.boolean();
+  topo_p_explicit = ck.boolean();
+  topo_a_explicit = ck.boolean();
 }
 
 std::pair<std::string, std::string> split_kv(const std::string& item) {

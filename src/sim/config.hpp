@@ -68,6 +68,42 @@ std::optional<TrafficKind> try_traffic_kind(const std::string& name);
 /// Canonical registry key of a built-in ("uniform", "advc", ...).
 const char* registry_key(TrafficKind kind);
 
+class CheckpointWriter;
+class CheckpointReader;
+
+/// How the Session decides when the Measure phase ends.
+enum class StopMode : std::uint8_t {
+  kFixed,  ///< the paper's fixed window: exactly measure_cycles
+  kCi,     ///< batch-means CI: stop when converged, measure_cycles caps
+};
+
+const char* to_string(StopMode mode);
+StopMode stop_mode_from_string(const std::string& name);
+
+/// Adaptive-stopping knobs (`stop.*` keys). In kCi mode the Measure
+/// phase is cut into batches of batch_cycles; once at least `batches`
+/// batches completed and the 95% confidence intervals of both the
+/// per-batch accepted load and the per-batch mean latency have relative
+/// half-width <= rel_hw, measurement ends at the batch boundary.
+/// measure_cycles remains the hard cap.
+struct StopRule {
+  StopMode mode = StopMode::kFixed;
+  double rel_hw = 0.05;      ///< target relative CI half-width
+  int batches = 10;          ///< minimum completed batches before testing
+  Cycle batch_cycles = 500;  ///< batch length in cycles
+};
+
+/// One user-defined scripted segment of the Measure phase (`phases`
+/// key). Segments run in order; at each segment boundary the listed
+/// mutations are applied to the live network, so time-varying workloads
+/// (a traffic shift mid-run, a load ramp) are measured in one window.
+struct ScriptedSegment {
+  std::string name;     ///< label, surfaced in stream samples
+  Cycle cycles = 0;     ///< segment duration (>= 1)
+  double load = -1.0;   ///< new offered load at entry; < 0 keeps current
+  std::string traffic;  ///< new traffic registry name; empty keeps current
+};
+
 struct SimConfig {
   // --- topology (Table I: h=6, a=12, p=6, 73 groups, 5256 nodes) ---------
   DragonflyParams topo = DragonflyParams::balanced(6);
@@ -125,6 +161,17 @@ struct SimConfig {
   Cycle measure_cycles = 15'000;
   std::uint64_t seed = 1;
 
+  // --- session lifecycle (sim/session.hpp) -----------------------------------
+  /// Adaptive stopping for the Measure phase (`stop.*` keys).
+  StopRule stop;
+  /// Scripted Measure segments (`phases` key); empty = one fixed window.
+  std::vector<ScriptedSegment> phase_script;
+  /// Drain phase: after Measure, run until the network is empty, at most
+  /// this many extra cycles (0 skips draining — the paper's behaviour).
+  Cycle drain_max_cycles = 0;
+  /// MetricTap sampling interval in cycles (`stream.interval`).
+  Cycle stream_interval = 1'000;
+
   /// Set when a key=value override touched the VC counts, so spec
   /// finalization knows not to clobber them with apply_vc_defaults().
   bool vcs_explicit = false;
@@ -170,7 +217,24 @@ struct SimConfig {
 
   /// Every key apply_kv understands, sorted (for diagnostics and docs).
   static std::vector<std::string> kv_keys();
+
+  /// (key, one-line description) for every key, sorted by key — the
+  /// table `simulate_cli --list` prints.
+  static std::vector<std::pair<std::string, std::string>>
+  kv_key_descriptions();
+
+  /// Serialize / reconstruct every field (checkpoint streams embed the
+  /// config so restore() can rebuild the network deterministically).
+  /// Named read_from/write_to because `load` is taken by the knob.
+  void write_to(CheckpointWriter& ck) const;
+  void read_from(CheckpointReader& ck);
 };
+
+/// Parse the `phases` grammar: comma-separated segments
+/// `name:cycles[@load=X][@traffic=NAME]`, e.g.
+/// "calm:3000@load=0.1,burst:2000@load=0.8@traffic=advc". An empty
+/// string clears the script.
+std::vector<ScriptedSegment> parse_phase_script(const std::string& text);
 
 /// Split "key=value" (first '='); throws std::invalid_argument when
 /// there is no '='.

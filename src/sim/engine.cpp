@@ -1,96 +1,7 @@
 #include "sim/engine.hpp"
 
-#include <stdexcept>
-
 namespace dragonfly {
 
-namespace {
-/// Cycles between watchdog checks. Must exceed the largest round-trip
-/// (global link latency + serialization + pipeline) by a wide margin so a
-/// stalled-but-alive network is never misdiagnosed.
-constexpr Cycle kWatchdogPeriod = 4096;
-}  // namespace
-
-Engine::Engine(const SimConfig& cfg) : cfg_(cfg), net_(cfg) {}
-
-void Engine::check_progress() {
-  // Cheap path: any dispatched link event since the last check implies
-  // grants happened (events only arise from granted packets and their
-  // credits), so the O(num_routers) counter sum below is skipped. The
-  // exact check still runs whenever the event counter stalls, so a true
-  // deadlock is detected within at most one extra watchdog period.
-  const std::int64_t events = net_.dispatched_events();
-  if (events != last_events_) {
-    last_events_ = events;
-    last_progress_ = -1;
-    last_live_ = 0;
-    return;
-  }
-  const std::int64_t progress = net_.total_forward_progress();
-  const std::size_t live = net_.packets().live();
-  if (live > 0 && progress == last_progress_ && live == last_live_) {
-    throw std::runtime_error(
-        "deadlock watchdog: no forward progress with live packets (router " +
-        cfg_.routing_key() + ", traffic " + cfg_.traffic_key() + ")");
-  }
-  last_progress_ = progress;
-  last_live_ = live;
-}
-
-void Engine::run_cycles(Cycle cycles) {
-  const Cycle end = net_.now() + cycles;
-  while (net_.now() < end) {
-    net_.step();
-    if (net_.now() - last_watchdog_check_ >= kWatchdogPeriod) {
-      last_watchdog_check_ = net_.now();
-      check_progress();
-    }
-  }
-}
-
-SimResult Engine::collect() const {
-  SimResult r;
-  r.offered_load = cfg_.load;
-  const auto& col = net_.collector();
-  r.accepted_load = col.accepted_load(net_.generating_nodes());
-  r.avg_latency = col.latency().mean_latency();
-  r.p50_latency = col.latency().latency_quantile(0.5);
-  r.p99_latency = col.latency().latency_quantile(0.99);
-  r.max_latency = col.latency().max_latency();
-  r.components = col.latency().components();
-  r.avg_local_hops = col.latency().mean_local_hops();
-  r.avg_global_hops = col.latency().mean_global_hops();
-  r.delivered_packets = col.delivered_packets_measured();
-  r.generated_packets = net_.generated_packets_measured();
-  r.injections_per_router = net_.injections_per_router();
-
-  // Fairness over routers whose nodes generate traffic (all of them for
-  // UN/ADV/ADVc; the placement pattern keeps outside routers silent).
-  std::vector<double> counts;
-  counts.reserve(r.injections_per_router.size());
-  const auto& topo = net_.topology();
-  for (RouterId router = 0; router < topo.num_routers(); ++router) {
-    bool any = false;
-    for (int i = 0; i < topo.params().p && !any; ++i) {
-      any = net_.traffic().generates(topo.node_id(router, i));
-    }
-    if (any) {
-      counts.push_back(static_cast<double>(
-          r.injections_per_router[static_cast<std::size_t>(router)]));
-    }
-  }
-  r.fairness = fairness_report(std::span<const double>(counts));
-  return r;
-}
-
-SimResult Engine::run() {
-  run_cycles(cfg_.warmup_cycles);
-  net_.begin_measurement();
-  run_cycles(cfg_.measure_cycles);
-  net_.end_measurement();
-  return collect();
-}
-
-SimResult run_simulation(const SimConfig& cfg) { return Engine(cfg).run(); }
+SimResult run_simulation(const SimConfig& cfg) { return Session(cfg).run(); }
 
 }  // namespace dragonfly

@@ -1,56 +1,36 @@
-// Simulation engine: warmup + measurement windows (Sec. IV-A), result
-// extraction and a deadlock watchdog.
+// Engine: thin compatibility shim over Session (sim/session.hpp).
+//
+// The historical API — construct, run() warmup + measurement, collect()
+// — survives unchanged, and fixed-window runs through it are
+// bit-identical to the pre-Session Engine. New code should use Session
+// directly: it adds the explicit phase machine, streaming MetricTaps,
+// adaptive (CI) stopping, scripted phases and checkpoint/restore.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "metrics/fairness.hpp"
-#include "metrics/latency.hpp"
-#include "sim/config.hpp"
-#include "sim/network.hpp"
+#include "sim/session.hpp"
 
 namespace dragonfly {
 
-/// Results of one simulation run at one offered load.
-struct SimResult {
-  double offered_load = 0.0;   ///< configured phits/(node*cycle)
-  double accepted_load = 0.0;  ///< delivered phits/(node*cycle), window
-  double avg_latency = 0.0;    ///< cycles, packets delivered in window
-  double p50_latency = 0.0;
-  double p99_latency = 0.0;
-  double max_latency = 0.0;
-  LatencyComponents components;
-  double avg_local_hops = 0.0;
-  double avg_global_hops = 0.0;
-  std::int64_t delivered_packets = 0;
-  std::int64_t generated_packets = 0;
-  /// Injected packets per router during the window (all routers).
-  std::vector<std::int64_t> injections_per_router;
-  FairnessReport fairness;  ///< over all routers with generating nodes
-};
-
 class Engine {
  public:
-  explicit Engine(const SimConfig& cfg);
+  explicit Engine(const SimConfig& cfg) : session_(cfg) {}
 
   /// Run warmup + measurement and return the collected results.
-  SimResult run();
+  SimResult run() { return session_.run(); }
 
-  /// Step-by-step access for tests and custom loops.
-  Network& network() { return net_; }
-  void run_cycles(Cycle cycles);
-  SimResult collect() const;
+  /// Step-by-step access for tests and custom loops. run_cycles()
+  /// advances raw cycles (deadlock watchdog armed, no phase logic), so
+  /// callers may drive begin/end_measurement themselves.
+  Network& network() { return session_.network(); }
+  void run_cycles(Cycle cycles) { session_.step_raw(cycles); }
+  SimResult collect() const { return session_.collect(); }
+
+  /// The underlying session (phase machine, taps, checkpointing).
+  Session& session() { return session_; }
+  const Session& session() const { return session_; }
 
  private:
-  void check_progress();
-
-  SimConfig cfg_;
-  Network net_;
-  Cycle last_watchdog_check_ = 0;
-  std::int64_t last_events_ = -1;
-  std::int64_t last_progress_ = -1;
-  std::size_t last_live_ = 0;
+  Session session_;
 };
 
 /// Convenience: configure, run, return (used by the experiment runner).

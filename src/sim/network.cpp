@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/checkpoint.hpp"
+
 namespace dragonfly {
 
 Network::Network(const SimConfig& cfg)
@@ -90,9 +92,10 @@ void Network::step() {
   dispatched_events_ += static_cast<std::int64_t>(due_scratch_.size());
   // 2. Global routing state (PiggyBack's in-group broadcast).
   routing_->refresh(std::span<const std::unique_ptr<Router>>(routers_));
-  // 3. Traffic generation and injection.
+  // 3. Traffic generation and injection (generation gated off while the
+  // Session drains).
   const bool measuring = collector_.measuring();
-  for (auto& node : nodes_) node.step(now_, measuring);
+  for (auto& node : nodes_) node.step(now_, measuring, generation_enabled_);
   // 4. Switch allocation in every router.
   for (auto& router : routers_) router->allocate(now_);
   // 5. Link transmission.
@@ -216,6 +219,112 @@ std::int64_t Network::total_forward_progress() const {
   std::int64_t sum = 0;
   for (const auto& router : routers_) sum += router->forwarded_packets_total();
   return sum;
+}
+
+std::vector<double> Network::measured_injection_counts() const {
+  // Fairness over routers whose nodes generate traffic (all of them for
+  // UN/ADV/ADVc; the placement pattern keeps outside routers silent).
+  std::vector<double> counts;
+  counts.reserve(routers_.size());
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    bool any = false;
+    for (int i = 0; i < topo_.params().p && !any; ++i) {
+      any = traffic_->generates(topo_.node_id(r, i));
+    }
+    if (any) {
+      counts.push_back(static_cast<double>(
+          routers_[static_cast<std::size_t>(r)]
+              ->injected_packets_measured()));
+    }
+  }
+  return counts;
+}
+
+void Network::set_offered_load(double load) {
+  if (load < 0.0 || load > static_cast<double>(cfg_.packet_size)) {
+    throw std::invalid_argument("set_offered_load: load out of range");
+  }
+  cfg_.load = load;
+  for (auto& node : nodes_) node.set_offered_load(load, cfg_.packet_size);
+}
+
+void Network::set_traffic(const std::string& registry_name) {
+  cfg_.traffic_name = traffic_registry().resolve(registry_name);
+  traffic_ = make_traffic(topo_, cfg_);
+  generating_nodes_ = 0;
+  for (auto& node : nodes_) {
+    node.set_pattern(traffic_.get());
+    if (node.generates()) ++generating_nodes_;
+  }
+}
+
+void Network::save(CheckpointWriter& ck) const {
+  ck.tag("Network");
+  // Live scenario selection first: scripted phases may have moved it
+  // away from the constructor config, and load() must re-apply it
+  // before node state lands.
+  ck.f64(cfg_.load);
+  ck.str(cfg_.traffic_key());
+  ck.boolean(generation_enabled_);
+  ck.i64(now_);
+  ck.i64(dispatched_events_);
+  // Event ring, in dispatch order from the current cycle. Every pending
+  // event is due within ring_.size() cycles of now_ by construction.
+  std::uint64_t pending = 0;
+  for (const auto& bucket : ring_) pending += bucket.size();
+  ck.u64(pending);
+  for (std::size_t k = 0; k < ring_.size(); ++k) {
+    const auto t = static_cast<std::size_t>(now_) + k;
+    for (const Event& ev : ring_[t & ring_mask_]) {
+      ck.i64(ev.when);
+      ck.u8(static_cast<std::uint8_t>(ev.type));
+      ck.i32(ev.router);
+      ck.i32(ev.port);
+      ck.i32(ev.vc);
+      ck.i32(ev.phits);
+      ck.i32(ev.pkt);
+    }
+  }
+  store_.save(ck);
+  collector_.save(ck);
+  for (const auto& router : routers_) router->save(ck);
+  for (const auto& node : nodes_) node.save(ck);
+}
+
+void Network::load(CheckpointReader& ck) {
+  ck.tag("Network");
+  const double load = ck.f64();
+  const std::string traffic = ck.str();
+  if (traffic != cfg_.traffic_key()) set_traffic(traffic);
+  set_offered_load(load);
+  generation_enabled_ = ck.boolean();
+  now_ = ck.i64();
+  dispatched_events_ = ck.i64();
+  const std::uint64_t pending = ck.u64();
+  for (auto& bucket : ring_) bucket.clear();
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    Event ev;
+    ev.when = ck.i64();
+    ev.type = static_cast<Event::Type>(ck.u8());
+    ev.router = ck.i32();
+    ev.port = ck.i32();
+    ev.vc = ck.i32();
+    ev.phits = ck.i32();
+    ev.pkt = ck.i32();
+    if (ev.when < now_ || ev.when - now_ >= static_cast<Cycle>(ring_.size())) {
+      // The save-side ring always spans its pending events; a fresh
+      // network of the same config sizes the ring identically, so this
+      // only trips on a corrupt stream.
+      throw std::runtime_error("checkpoint: event outside ring horizon");
+    }
+    // Direct placement preserves the saved dispatch order (push_event
+    // would clamp events already due this cycle into the next one).
+    ring_[static_cast<std::size_t>(ev.when) & ring_mask_].push_back(ev);
+  }
+  store_.load(ck);
+  collector_.load(ck);
+  for (auto& router : routers_) router->load(ck);
+  for (auto& node : nodes_) node.load(ck);
 }
 
 }  // namespace dragonfly

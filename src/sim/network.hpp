@@ -17,6 +17,9 @@
 
 namespace dragonfly {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 class Network final : public EventSink {
  public:
   explicit Network(const SimConfig& cfg);
@@ -30,6 +33,17 @@ class Network final : public EventSink {
 
   void begin_measurement();
   void end_measurement();
+
+  // --- scripted-phase mutations (Session segment boundaries) --------------
+  /// Change the offered load of every generating node mid-run.
+  void set_offered_load(double load);
+  /// Swap the traffic pattern mid-run (any traffic_registry() name);
+  /// re-evaluates which nodes generate.
+  void set_traffic(const std::string& registry_name);
+  /// Gate packet generation (the Drain phase flushes with this off;
+  /// injection of already-queued packets continues).
+  void set_generation_enabled(bool on) { generation_enabled_ = on; }
+  bool generation_enabled() const { return generation_enabled_; }
 
   // --- EventSink -----------------------------------------------------------
   void schedule_packet(RouterId router, PortId port, VcId vc, PacketRef pkt,
@@ -60,11 +74,23 @@ class Network final : public EventSink {
   std::int64_t generated_packets_measured() const;
   /// Per-router injected packets during the measured window.
   std::vector<std::int64_t> injections_per_router() const;
+  /// Measured injections of routers whose nodes generate traffic — the
+  /// fairness population (placement keeps outside routers silent).
+  std::vector<double> measured_injection_counts() const;
   /// Sum of forwarded-packet counters, for deadlock detection.
   std::int64_t total_forward_progress() const;
   /// Monotone count of dispatched link events: an O(1) progress signal the
   /// watchdog consults before falling back to the exact per-router sum.
   std::int64_t dispatched_events() const { return dispatched_events_; }
+
+  // --- checkpoint -----------------------------------------------------------
+  /// Serialize all mutable network state: clock, event ring, packet
+  /// arena, routers, nodes, collector, plus the live load/traffic
+  /// selection (scripted phases may have diverged from the constructor
+  /// config). load() expects a network freshly built from the same
+  /// config.
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 
  private:
   struct Event {
@@ -106,6 +132,7 @@ class Network final : public EventSink {
   std::int64_t dispatched_events_ = 0;
   Cycle now_ = 0;
   int generating_nodes_ = 0;
+  bool generation_enabled_ = true;
 };
 
 }  // namespace dragonfly

@@ -1,5 +1,9 @@
 #include "sim/node.hpp"
 
+#include <array>
+
+#include "common/checkpoint.hpp"
+
 namespace dragonfly {
 
 Node::Node(NodeId id, Router* router, const TrafficPattern* pattern,
@@ -17,9 +21,9 @@ Node::Node(NodeId id, Router* router, const TrafficPattern* pattern,
       inj_port_(router->topology().injection_port(
           router->topology().node_index_in_router(id))) {}
 
-void Node::step(Cycle now, bool measuring) {
+void Node::step(Cycle now, bool measuring, bool generate) {
   // --- generation (Bernoulli process in packets) -------------------------
-  if (generates_ &&
+  if (generate && generates_ &&
       queue_.size() < static_cast<std::size_t>(cfg_->node_queue_capacity) &&
       rng_.bernoulli(gen_prob_)) {
     const NodeId dst = pattern_->destination(id_, rng_);
@@ -63,6 +67,30 @@ void Node::step(Cycle now, bool measuring) {
       return;
     }
   }
+}
+
+void Node::save(CheckpointWriter& ck) const {
+  const auto rng_state = rng_.state();
+  for (const std::uint64_t word : rng_state) ck.u64(word);
+  ck.u64(queue_.size());
+  for (const PacketRef ref : queue_) ck.i32(ref);
+  ck.i32(next_vc_);
+  ck.i64(next_inject_allowed_);
+  ck.i64(generated_total_);
+  ck.i64(generated_measured_);
+}
+
+void Node::load(CheckpointReader& ck) {
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = ck.u64();
+  rng_.set_state(rng_state);
+  const std::uint64_t n = ck.u64();
+  queue_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(ck.i32());
+  next_vc_ = ck.i32();
+  next_inject_allowed_ = ck.i64();
+  generated_total_ = ck.i64();
+  generated_measured_ = ck.i64();
 }
 
 }  // namespace dragonfly

@@ -13,6 +13,9 @@
 
 namespace dragonfly {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 class Node {
  public:
   Node(NodeId id, Router* router, const TrafficPattern* pattern,
@@ -26,13 +29,32 @@ class Node {
   /// probability load/packet_size, stalled while the source queue is
   /// full), then move the queue head into an injection VC buffer of the
   /// router (at most one packet every packet_size cycles: the node link
-  /// carries one phit per cycle).
-  void step(Cycle now, bool measuring);
+  /// carries one phit per cycle). With `generate` false only the
+  /// injection half runs — the Session's Drain phase flushes in-flight
+  /// traffic without admitting new packets.
+  void step(Cycle now, bool measuring, bool generate = true);
 
   std::int64_t generated_total() const { return generated_total_; }
   std::int64_t generated_measured() const { return generated_measured_; }
   std::size_t queue_length() const { return queue_.size(); }
   void reset_measured_counters() { generated_measured_ = 0; }
+
+  // --- scripted-phase mutations (Network::set_* at cycle boundaries) -------
+  /// Re-derive the per-cycle Bernoulli probability from a new offered
+  /// load.
+  void set_offered_load(double load, int packet_size) {
+    gen_prob_ = load / static_cast<double>(packet_size);
+  }
+  /// Switch to a new pattern instance (re-evaluates generates()).
+  void set_pattern(const TrafficPattern* pattern) {
+    pattern_ = pattern;
+    generates_ = pattern->generates(id_);
+  }
+
+  /// Checkpoint mutable state (RNG, source queue, injection bookkeeping,
+  /// counters); identity/wiring come from construction.
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
 
  private:
   NodeId id_;

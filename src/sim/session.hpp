@@ -1,0 +1,167 @@
+// Steppable simulation sessions: the phase-driven lifecycle every run
+// goes through (Engine is a thin compatibility shim over this).
+//
+// A Session owns one Network and drives it through an explicit machine
+//
+//   Warmup -> Measure -> Drain -> Done
+//
+// with three ways to end the Measure phase:
+//   * fixed window  — exactly measure_cycles (the paper's Sec. IV-A
+//     methodology; bit-identical to the pre-Session Engine::run());
+//   * adaptive stop — stop.mode=ci: batch-means confidence intervals on
+//     accepted load and latency, measurement ends at the first batch
+//     boundary where both relative half-widths fall under stop.rel_hw
+//     (measure_cycles caps the window);
+//   * phase script  — user-defined scripted segments (`phases` key)
+//     that mutate offered load / traffic at cycle boundaries while one
+//     measurement window spans them all.
+//
+// Observability is push-based: attach a MetricTap and the session emits
+// a StreamSample every stream.interval cycles plus phase-transition
+// callbacks. checkpoint()/restore() serialize the complete mutable
+// state (RNG streams, queues, event ring, metrics), so a restored run
+// continues bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/fairness.hpp"
+#include "metrics/latency.hpp"
+#include "metrics/tap.hpp"
+#include "sim/config.hpp"
+#include "sim/network.hpp"
+
+namespace dragonfly {
+
+/// Results of one simulation run at one offered load.
+struct SimResult {
+  double offered_load = 0.0;   ///< configured phits/(node*cycle)
+  double accepted_load = 0.0;  ///< delivered phits/(node*cycle), window
+  double avg_latency = 0.0;    ///< cycles, packets delivered in window
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  double max_latency = 0.0;
+  LatencyComponents components;
+  double avg_local_hops = 0.0;
+  double avg_global_hops = 0.0;
+  std::int64_t delivered_packets = 0;
+  std::int64_t generated_packets = 0;
+  /// Injected packets per router during the window (all routers).
+  std::vector<std::int64_t> injections_per_router;
+  FairnessReport fairness;  ///< over all routers with generating nodes
+  /// Length of the closed measurement window; under stop.mode=ci this
+  /// is where the run actually stopped (0 if never measured).
+  Cycle measured_cycles = 0;
+  /// True when stop.mode=ci ended the window early because the CIs
+  /// converged (always false in fixed mode).
+  bool converged = false;
+};
+
+class Session {
+ public:
+  explicit Session(const SimConfig& cfg);
+
+  // --- phase machine --------------------------------------------------------
+  SessionPhase phase() const { return phase_; }
+  /// Active scripted segment name ("" outside scripted segments).
+  const std::string& segment() const;
+  Cycle now() const { return net_.now(); }
+  bool converged() const { return converged_; }
+
+  /// Advance up to `n` cycles, crossing phase boundaries as they come
+  /// (measurement begins/ends, scripted mutations apply, batch CIs are
+  /// tested, stream samples fire). Stops early when the session reaches
+  /// Done.
+  void step(Cycle n = 1);
+
+  /// Run until the session has *entered* `target` (no-op when already
+  /// at or past it).
+  void advance_to(SessionPhase target);
+
+  /// Drive the machine to Done and collect.
+  SimResult run();
+
+  /// Extract results. Before any measurement this returns a well-defined
+  /// empty result (offered load + zeroed metrics); mid-measurement the
+  /// latency aggregates are partial and accepted load reads 0 until the
+  /// window closes.
+  SimResult collect() const;
+
+  // --- streaming ------------------------------------------------------------
+  /// Attach (or detach with nullptr) the streaming observer; samples
+  /// fire every cfg.stream_interval cycles starting from the current
+  /// cycle.
+  void set_tap(MetricTap* tap);
+
+  // --- raw access -----------------------------------------------------------
+  /// Advance exactly `cycles` cycles with the deadlock watchdog but *no*
+  /// phase logic — the Engine-compat escape hatch for custom loops that
+  /// call begin/end_measurement themselves.
+  void step_raw(Cycle cycles);
+
+  Network& network() { return net_; }
+  const Network& network() const { return net_; }
+  const SimConfig& config() const { return cfg_; }
+
+  // --- checkpoint / restore -------------------------------------------------
+  /// Serialize config + full mutable state. The stream restores to a
+  /// session that continues bit-identically (same RNG draws, same event
+  /// order, same final SimResult).
+  void checkpoint(std::ostream& os) const;
+  void checkpoint_file(const std::string& path) const;
+  static std::unique_ptr<Session> restore(std::istream& is);
+  static std::unique_ptr<Session> restore_file(const std::string& path);
+
+ private:
+  void check_progress();
+  void step_impl(Cycle n, bool stop_on_transition);
+  void arm_phase();
+  void transition(SessionPhase to);
+  void enter_measure();
+  void enter_segment(std::size_t index);
+  void close_batch();
+  bool intervals_converged() const;
+  void emit_sample();
+
+  SimConfig cfg_;
+  Network net_;
+
+  // Phase machine. Deadlines are armed lazily on the first step() inside
+  // a phase, so raw pre-stepping (Engine::run_cycles before run()) keeps
+  // the legacy "warmup counts from here" semantics.
+  SessionPhase phase_ = SessionPhase::kWarmup;
+  bool phase_armed_ = false;
+  Cycle phase_end_ = 0;
+  std::size_t seg_index_ = 0;
+  Cycle seg_end_ = 0;
+  Cycle measure_begin_ = 0;
+  bool converged_ = false;
+
+  // Batch means (stop.mode=ci).
+  Cycle batch_end_ = 0;
+  std::int64_t batch_start_phits_ = 0;
+  std::int64_t batch_start_packets_ = 0;
+  double batch_start_lat_sum_ = 0.0;
+  std::vector<double> batch_accepted_;
+  std::vector<double> batch_latency_;
+
+  // Streaming.
+  MetricTap* tap_ = nullptr;
+  Cycle next_sample_ = 0;
+  Cycle sample_begin_ = 0;
+  std::int64_t sample_start_packets_ = 0;
+  std::int64_t sample_start_phits_ = 0;
+  double sample_start_lat_sum_ = 0.0;
+
+  // Deadlock watchdog (see step_raw).
+  Cycle last_watchdog_check_ = 0;
+  std::int64_t last_events_ = -1;
+  std::int64_t last_progress_ = -1;
+  std::size_t last_live_ = 0;
+};
+
+}  // namespace dragonfly

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "common/checkpoint.hpp"
+
 namespace dragonfly {
 namespace {
 
@@ -211,6 +215,163 @@ TEST(Config, ValidateCoversExtensionKnobs) {
   cfg = SimConfig::small(2);
   cfg.arrangement = "moebius";
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, ValidateRejectsDegenerateWindows) {
+  SimConfig cfg = SimConfig::small(2);
+  cfg.measure_cycles = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  try {
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("measure_cycles"),
+              std::string::npos);
+  }
+
+  cfg = SimConfig::small(2);
+  cfg.measure_cycles = -5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.warmup_cycles = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.warmup_cycles = 0;  // a zero warmup is legitimate
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = SimConfig::small(2);
+  cfg.pipeline_latency = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, ValidateCoversSessionKnobs) {
+  SimConfig cfg = SimConfig::small(2);
+  cfg.stop.rel_hw = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.stop.rel_hw = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.stop.batches = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.stop.batch_cycles = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.drain_max_cycles = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.stream_interval = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // CI stopping and a phase script are mutually exclusive (segments
+  // have fixed durations).
+  cfg = SimConfig::small(2);
+  cfg.stop.mode = StopMode::kCi;
+  cfg.phase_script = parse_phase_script("a:100,b:100");
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.stop.mode = StopMode::kFixed;
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = SimConfig::small(2);
+  cfg.phase_script.push_back({"empty", 0, -1.0, ""});
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig::small(2);
+  cfg.phase_script.push_back({"hot", 100, 99.0, ""});  // load > packet_size
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, PhaseScriptGrammar) {
+  const auto script = parse_phase_script(
+      "calm:1000@load=0.1, burst:2000@load=0.8@traffic=advc ,tail:500");
+  ASSERT_EQ(script.size(), 3u);
+  EXPECT_EQ(script[0].name, "calm");
+  EXPECT_EQ(script[0].cycles, 1000);
+  EXPECT_DOUBLE_EQ(script[0].load, 0.1);
+  EXPECT_TRUE(script[0].traffic.empty());
+  EXPECT_EQ(script[1].name, "burst");
+  EXPECT_DOUBLE_EQ(script[1].load, 0.8);
+  EXPECT_EQ(script[1].traffic, "advc");
+  EXPECT_EQ(script[2].name, "tail");
+  EXPECT_LT(script[2].load, 0.0);  // "keep current" sentinel
+
+  EXPECT_TRUE(parse_phase_script("").empty());
+  EXPECT_THROW(parse_phase_script("no-colon"), std::invalid_argument);
+  EXPECT_THROW(parse_phase_script("a:12@speed=3"), std::invalid_argument);
+  EXPECT_THROW(parse_phase_script("a:xyz"), std::invalid_argument);
+  EXPECT_THROW(parse_phase_script("a:100@traffic=bogus"),
+               std::invalid_argument);
+}
+
+TEST(Config, SessionKnobsReachableFromKv) {
+  SimConfig cfg;
+  cfg.apply_kv("stop.mode", "ci");
+  cfg.apply_kv("stop.rel_hw", "0.1");
+  cfg.apply_kv("stop.batches", "6");
+  cfg.apply_kv("stop.batch_cycles", "250");
+  cfg.apply_kv("drain.max_cycles", "4096");
+  cfg.apply_kv("stream.interval", "333");
+  EXPECT_EQ(cfg.stop.mode, StopMode::kCi);
+  EXPECT_DOUBLE_EQ(cfg.stop.rel_hw, 0.1);
+  EXPECT_EQ(cfg.stop.batches, 6);
+  EXPECT_EQ(cfg.stop.batch_cycles, 250);
+  EXPECT_EQ(cfg.drain_max_cycles, 4096);
+  EXPECT_EQ(cfg.stream_interval, 333);
+
+  cfg.apply_kv("phases", "a:100@load=0.5,b:200");
+  ASSERT_EQ(cfg.phase_script.size(), 2u);
+  EXPECT_EQ(cfg.phase_script[1].cycles, 200);
+  cfg.apply_kv("phases", "");
+  EXPECT_TRUE(cfg.phase_script.empty());
+
+  EXPECT_THROW(cfg.apply_kv("stop.mode", "sometimes"),
+               std::invalid_argument);
+  EXPECT_EQ(to_string(StopMode::kFixed), std::string("fixed"));
+  EXPECT_EQ(stop_mode_from_string("fixed"), StopMode::kFixed);
+}
+
+TEST(Config, EveryKvKeyHasAListDescription) {
+  const auto descriptions = SimConfig::kv_key_descriptions();
+  EXPECT_EQ(descriptions.size(), SimConfig::kv_keys().size());
+  for (const auto& [key, desc] : descriptions) {
+    EXPECT_FALSE(desc.empty()) << key;
+  }
+}
+
+TEST(Config, CheckpointRoundTripsEveryField) {
+  SimConfig cfg = SimConfig::small(3);
+  cfg.routing_name = "par-mm";
+  cfg.traffic_name = "advc";
+  cfg.load = 0.42;
+  cfg.seed = 1234567;
+  cfg.stop.mode = StopMode::kCi;
+  cfg.stop.rel_hw = 0.07;
+  cfg.drain_max_cycles = 77;
+  cfg.stream_interval = 123;
+  cfg.phase_script = parse_phase_script("x:10@load=0.3");
+
+  std::stringstream buffer;
+  CheckpointWriter writer(buffer);
+  cfg.write_to(writer);
+  SimConfig copy;
+  CheckpointReader reader(buffer);
+  copy.read_from(reader);
+
+  EXPECT_EQ(copy.routing_name, "par-mm");
+  EXPECT_EQ(copy.traffic_name, "advc");
+  EXPECT_EQ(copy.topo.h, 3);
+  EXPECT_DOUBLE_EQ(copy.load, 0.42);
+  EXPECT_EQ(copy.seed, 1234567u);
+  EXPECT_EQ(copy.stop.mode, StopMode::kCi);
+  EXPECT_DOUBLE_EQ(copy.stop.rel_hw, 0.07);
+  EXPECT_EQ(copy.drain_max_cycles, 77);
+  EXPECT_EQ(copy.stream_interval, 123);
+  ASSERT_EQ(copy.phase_script.size(), 1u);
+  EXPECT_EQ(copy.phase_script[0].name, "x");
+  EXPECT_DOUBLE_EQ(copy.phase_script[0].load, 0.3);
 }
 
 TEST(Config, MechanismClassPredicates) {

@@ -1,0 +1,351 @@
+// Session phase machine, streaming taps, adaptive stopping, scripted
+// phases, checkpoint/restore, and the Engine compatibility shim.
+#include "sim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "sim_test_util.hpp"
+
+namespace dragonfly {
+namespace {
+
+using testutil::quick;
+
+/// Field-by-field *exact* comparison (doubles compared bitwise via ==):
+/// the determinism guarantees of this PR are bit-identity, not
+/// tolerance.
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.offered_load, b.offered_load);
+  EXPECT_EQ(a.accepted_load, b.accepted_load);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.p50_latency, b.p50_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.components.base, b.components.base);
+  EXPECT_EQ(a.components.misroute, b.components.misroute);
+  EXPECT_EQ(a.components.local_queue, b.components.local_queue);
+  EXPECT_EQ(a.components.global_queue, b.components.global_queue);
+  EXPECT_EQ(a.components.injection_queue, b.components.injection_queue);
+  EXPECT_EQ(a.avg_local_hops, b.avg_local_hops);
+  EXPECT_EQ(a.avg_global_hops, b.avg_global_hops);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.generated_packets, b.generated_packets);
+  EXPECT_EQ(a.injections_per_router, b.injections_per_router);
+  EXPECT_EQ(a.fairness.min_injections, b.fairness.min_injections);
+  EXPECT_EQ(a.fairness.max_injections, b.fairness.max_injections);
+  EXPECT_EQ(a.fairness.cov, b.fairness.cov);
+  EXPECT_EQ(a.fairness.jain, b.fairness.jain);
+  EXPECT_EQ(a.measured_cycles, b.measured_cycles);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+/// Tap that records everything for assertions.
+class RecordingTap final : public MetricTap {
+ public:
+  void on_sample(const StreamSample& sample) override {
+    samples.push_back(sample);
+  }
+  void on_phase_change(SessionPhase from, SessionPhase to,
+                       Cycle now) override {
+    transitions.emplace_back(from, to);
+    transition_cycles.push_back(now);
+  }
+
+  std::vector<StreamSample> samples;
+  std::vector<std::pair<SessionPhase, SessionPhase>> transitions;
+  std::vector<Cycle> transition_cycles;
+};
+
+TEST(Session, PhaseMachineProgression) {
+  const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                              0.2);
+  Session session(cfg);
+  EXPECT_EQ(session.phase(), SessionPhase::kWarmup);
+  EXPECT_EQ(session.now(), 0);
+
+  session.advance_to(SessionPhase::kMeasure);
+  EXPECT_EQ(session.phase(), SessionPhase::kMeasure);
+  EXPECT_EQ(session.now(), cfg.warmup_cycles);
+
+  session.advance_to(SessionPhase::kDone);
+  EXPECT_EQ(session.phase(), SessionPhase::kDone);
+  EXPECT_EQ(session.now(), cfg.warmup_cycles + cfg.measure_cycles);
+
+  const SimResult r = session.collect();
+  EXPECT_EQ(r.measured_cycles, cfg.measure_cycles);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.delivered_packets, 0);
+}
+
+TEST(Session, StepCrossesPhaseBoundaries) {
+  const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                              0.2);
+  Session session(cfg);
+  // One big step drives warmup AND part of the measurement window.
+  session.step(cfg.warmup_cycles + 100);
+  EXPECT_EQ(session.phase(), SessionPhase::kMeasure);
+  EXPECT_EQ(session.now(), cfg.warmup_cycles + 100);
+  // Finishing the window transitions through Drain (len 0) to Done.
+  session.step(cfg.measure_cycles - 100);
+  EXPECT_EQ(session.phase(), SessionPhase::kDone);
+  // Stepping a Done session is a no-op.
+  const Cycle end = session.now();
+  session.step(50);
+  EXPECT_EQ(session.now(), end);
+}
+
+TEST(Session, EngineShimMatchesSessionBitForBit) {
+  const SimConfig cfg =
+      quick(RoutingKind::kInTransitMm, TrafficKind::kAdvConsecutive, 0.3);
+  Engine engine(cfg);
+  const SimResult via_engine = engine.run();
+  const SimResult via_session = Session(cfg).run();
+  const SimResult via_helper = run_simulation(cfg);
+  expect_identical(via_engine, via_session);
+  expect_identical(via_engine, via_helper);
+}
+
+TEST(Session, CollectBeforeAnyMeasurementIsWellDefined) {
+  const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                              0.2);
+  // Satellite bugfix: collect() before any stepping used to evaluate
+  // aggregates over an empty window; now it is a well-defined zero
+  // result.
+  Engine engine(cfg);
+  const SimResult r = engine.collect();
+  EXPECT_EQ(r.offered_load, cfg.load);
+  EXPECT_EQ(r.accepted_load, 0.0);
+  EXPECT_EQ(r.avg_latency, 0.0);
+  EXPECT_EQ(r.p50_latency, 0.0);
+  EXPECT_EQ(r.p99_latency, 0.0);
+  EXPECT_EQ(r.delivered_packets, 0);
+  EXPECT_EQ(r.generated_packets, 0);
+  EXPECT_EQ(r.measured_cycles, 0);
+  EXPECT_EQ(r.fairness.jain, 0.0);
+  EXPECT_EQ(r.fairness.max_over_min, 0.0);
+  EXPECT_EQ(static_cast<int>(r.injections_per_router.size()),
+            cfg.topo.num_routers());
+}
+
+TEST(Session, StreamingTapDoesNotPerturbResults) {
+  const SimConfig cfg = quick(RoutingKind::kSourceCrg,
+                              TrafficKind::kAdversarial, 0.3);
+  const SimResult silent = Session(cfg).run();
+
+  Session streamed(cfg);
+  RecordingTap tap;
+  streamed.set_tap(&tap);
+  const SimResult observed = streamed.run();
+
+  expect_identical(silent, observed);
+  EXPECT_FALSE(tap.samples.empty());
+  // Warmup + Measure at 1000-cycle intervals (quick(): 1500 + 3000).
+  EXPECT_EQ(tap.samples.size(),
+            static_cast<std::size_t>(
+                (cfg.warmup_cycles + cfg.measure_cycles) /
+                cfg.stream_interval));
+  // The machine announced every transition in order.
+  ASSERT_EQ(tap.transitions.size(), 3u);
+  EXPECT_EQ(tap.transitions[0].first, SessionPhase::kWarmup);
+  EXPECT_EQ(tap.transitions[0].second, SessionPhase::kMeasure);
+  EXPECT_EQ(tap.transitions[1].second, SessionPhase::kDrain);
+  EXPECT_EQ(tap.transitions[2].second, SessionPhase::kDone);
+  EXPECT_EQ(tap.transition_cycles[0], cfg.warmup_cycles);
+}
+
+TEST(Session, StreamSamplesCarryIntervalMetrics) {
+  SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.2);
+  cfg.stream_interval = 500;
+  Session session(cfg);
+  RecordingTap tap;
+  session.set_tap(&tap);
+  session.run();
+
+  ASSERT_FALSE(tap.samples.empty());
+  Cycle prev_end = 0;
+  for (const StreamSample& s : tap.samples) {
+    EXPECT_EQ(s.t_begin, prev_end);
+    EXPECT_EQ(s.t_end, s.t_begin + 500);
+    prev_end = s.t_end;
+    EXPECT_EQ(s.offered_load, 0.2);
+    EXPECT_GE(s.delivered_packets, 0);
+  }
+  // Steady state delivers close to the offered load in every interval.
+  const StreamSample& last = tap.samples.back();
+  EXPECT_NEAR(last.accepted_load, 0.2, 0.05);
+  EXPECT_GT(last.avg_latency, 0.0);
+  EXPECT_GE(last.p99_latency, last.p50_latency);
+}
+
+TEST(Session, CiStopConvergesEarlierThanFixedWindow) {
+  // Low uniform load converges fast: the CI stop must cut the window
+  // well short of the fixed cap while agreeing on the accepted load.
+  SimConfig fixed = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.1);
+  fixed.measure_cycles = 12'000;
+  const SimResult full = run_simulation(fixed);
+  ASSERT_FALSE(full.converged);
+  ASSERT_EQ(full.measured_cycles, 12'000);
+
+  SimConfig ci = fixed;
+  ci.stop.mode = StopMode::kCi;
+  ci.stop.batches = 5;
+  ci.stop.batch_cycles = 400;
+  ci.stop.rel_hw = 0.05;
+  const SimResult early = run_simulation(ci);
+  EXPECT_TRUE(early.converged);
+  EXPECT_LT(early.measured_cycles, full.measured_cycles);
+  EXPECT_GE(early.measured_cycles, 5 * 400);
+  EXPECT_EQ(early.measured_cycles % 400, 0);  // ends on a batch boundary
+  EXPECT_NEAR(early.accepted_load, full.accepted_load, 0.02);
+  EXPECT_NEAR(early.avg_latency, full.avg_latency, full.avg_latency * 0.1);
+}
+
+TEST(Session, CiStopRespectsTheCap) {
+  // An unreachable half-width target must fall back to the fixed cap.
+  SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.2);
+  cfg.stop.mode = StopMode::kCi;
+  cfg.stop.batches = 4;
+  cfg.stop.batch_cycles = 250;
+  cfg.stop.rel_hw = 1e-9;
+  const SimResult r = run_simulation(cfg);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.measured_cycles, cfg.measure_cycles);
+}
+
+TEST(Session, CheckpointRestoreRoundTripsBitIdentically) {
+  const SimConfig cfg =
+      quick(RoutingKind::kInTransitMm, TrafficKind::kAdvConsecutive, 0.3);
+  const SimResult uninterrupted = run_simulation(cfg);
+
+  // Checkpoint mid-Measure, then continue the original session.
+  Session original(cfg);
+  original.advance_to(SessionPhase::kMeasure);
+  original.step(cfg.measure_cycles / 2);
+  ASSERT_EQ(original.phase(), SessionPhase::kMeasure);
+  std::stringstream stream;
+  original.checkpoint(stream);
+  const SimResult from_original = original.run();
+  expect_identical(uninterrupted, from_original);
+
+  // Restore and finish: same final result, bit for bit.
+  std::unique_ptr<Session> restored = Session::restore(stream);
+  EXPECT_EQ(restored->phase(), SessionPhase::kMeasure);
+  EXPECT_EQ(restored->now(), cfg.warmup_cycles + cfg.measure_cycles / 2);
+  const SimResult from_restored = restored->run();
+  expect_identical(uninterrupted, from_restored);
+}
+
+TEST(Session, CheckpointRestoreMatchesThreadedSweep) {
+  // The satellite's "any thread count" clause: a restored session must
+  // agree with the same point produced by the parallel runner.
+  const SimConfig cfg = quick(RoutingKind::kSourceRrg, TrafficKind::kUniform,
+                              0.25);
+  Session original(cfg);
+  original.advance_to(SessionPhase::kMeasure);
+  original.step(700);
+  std::stringstream stream;
+  original.checkpoint(stream);
+  const SimResult restored = Session::restore(stream)->run();
+
+  for (const int threads : {1, 4}) {
+    const std::vector<AveragedResult> sweep = run_configs(
+        std::span<const SimConfig>(&cfg, 1), /*num_seeds=*/1, threads);
+    ASSERT_EQ(sweep.size(), 1u);
+    EXPECT_EQ(sweep[0].accepted_load, restored.accepted_load);
+    EXPECT_EQ(sweep[0].avg_latency, restored.avg_latency);
+    EXPECT_EQ(sweep[0].measured_cycles,
+              static_cast<double>(restored.measured_cycles));
+  }
+}
+
+TEST(Session, CheckpointRejectsGarbageStreams) {
+  std::stringstream garbage("not a checkpoint");
+  EXPECT_THROW(Session::restore(garbage), std::runtime_error);
+
+  // A truncated but well-prefixed stream must fail loudly too.
+  const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                              0.1);
+  Session session(cfg);
+  session.advance_to(SessionPhase::kMeasure);
+  std::stringstream full;
+  session.checkpoint(full);
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(Session::restore(truncated), std::runtime_error);
+}
+
+TEST(Session, ScriptedPhasesMutateLoadAndTraffic) {
+  SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.1);
+  cfg.stream_interval = 500;
+  cfg.phase_script = parse_phase_script(
+      "calm:1000@load=0.1,burst:1000@load=0.5,shifted:500@traffic=adv");
+  cfg.validate();
+
+  Session session(cfg);
+  RecordingTap tap;
+  session.set_tap(&tap);
+  const SimResult r = session.run();
+
+  // The window spans all segments.
+  EXPECT_EQ(r.measured_cycles, 2'500);
+  EXPECT_EQ(session.now(), cfg.warmup_cycles + 2'500);
+
+  // Samples report the active segment and its mutated load.
+  double calm_delivered = 0.0;
+  double burst_delivered = 0.0;
+  bool saw_shifted = false;
+  for (const StreamSample& s : tap.samples) {
+    if (s.segment == "calm") {
+      EXPECT_EQ(s.offered_load, 0.1);
+      calm_delivered += static_cast<double>(s.delivered_packets);
+    } else if (s.segment == "burst") {
+      EXPECT_EQ(s.offered_load, 0.5);
+      burst_delivered += static_cast<double>(s.delivered_packets);
+    } else if (s.segment == "shifted") {
+      saw_shifted = true;
+      EXPECT_EQ(s.offered_load, 0.5);  // load carried over from burst
+    }
+  }
+  EXPECT_TRUE(saw_shifted);
+  EXPECT_GT(burst_delivered, 2.0 * calm_delivered);
+
+  // Scripted runs stay deterministic.
+  Session repeat(cfg);
+  expect_identical(r, repeat.run());
+}
+
+TEST(Session, DrainEmptiesTheNetwork) {
+  SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform, 0.1);
+  cfg.drain_max_cycles = 50'000;
+  Session session(cfg);
+  const SimResult r = session.run();
+  EXPECT_GT(r.delivered_packets, 0);
+  // Sources keep injecting during the drain, but a generous budget at
+  // low load lets deliveries catch up: the network ends empty.
+  EXPECT_EQ(session.network().packets().live(), 0u);
+  EXPECT_LT(session.now(), cfg.warmup_cycles + cfg.measure_cycles + 50'000);
+  testutil::expect_conservation(session.network());
+}
+
+TEST(Session, RawSteppingKeepsEngineSemantics) {
+  // Engine::run_cycles + manual begin/end_measurement (the historical
+  // step-by-step API) must agree with Session::run on the same config.
+  const SimConfig cfg = quick(RoutingKind::kMinimal, TrafficKind::kUniform,
+                              0.2);
+  Engine engine(cfg);
+  engine.run_cycles(cfg.warmup_cycles);
+  engine.network().begin_measurement();
+  engine.run_cycles(cfg.measure_cycles);
+  engine.network().end_measurement();
+  const SimResult manual = engine.collect();
+  const SimResult automatic = Session(cfg).run();
+  EXPECT_EQ(manual.delivered_packets, automatic.delivered_packets);
+  EXPECT_EQ(manual.avg_latency, automatic.avg_latency);
+  EXPECT_EQ(manual.injections_per_router, automatic.injections_per_router);
+}
+
+}  // namespace
+}  // namespace dragonfly

@@ -104,6 +104,56 @@ measure_cycles = 1000
   EXPECT_EQ(spec.base.local_vcs, 3);  // in-transit vc defaults applied
 }
 
+TEST(Spec, SessionLifecycleKeysReachableFromSpecGrammar) {
+  std::istringstream file(R"(
+h = 2
+traffic = uniform
+load = 0.1
+warmup_cycles = 500
+measure_cycles = 4000
+stop.mode = ci            # adaptive stopping
+stop.rel_hw = 0.08
+stop.batches = 5
+stop.batch_cycles = 300
+drain.max_cycles = 2000
+stream.interval = 250
+)");
+  ExperimentSpec spec = ExperimentSpec::parse(file, "ci.spec");
+  EXPECT_EQ(spec.base.stop.mode, StopMode::kCi);
+  EXPECT_DOUBLE_EQ(spec.base.stop.rel_hw, 0.08);
+  EXPECT_EQ(spec.base.stop.batches, 5);
+  EXPECT_EQ(spec.base.stop.batch_cycles, 300);
+  EXPECT_EQ(spec.base.drain_max_cycles, 2000);
+  EXPECT_EQ(spec.base.stream_interval, 250);
+  EXPECT_NO_THROW(spec.finalize());
+
+  std::istringstream scripted(
+      "h = 2\nphases = calm:1000@load=0.1,burst:500@load=0.6\n");
+  ExperimentSpec with_script = ExperimentSpec::parse(scripted, "ph.spec");
+  ASSERT_EQ(with_script.base.phase_script.size(), 2u);
+  EXPECT_EQ(with_script.base.phase_script[1].name, "burst");
+  EXPECT_NO_THROW(with_script.finalize());
+}
+
+TEST(Spec, KeyDescriptionsCoverEveryKey) {
+  const auto keys = ExperimentSpec::kv_keys();
+  const auto descriptions = ExperimentSpec::kv_key_descriptions();
+  ASSERT_EQ(keys.size(), descriptions.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], descriptions[i].first);  // both sorted
+    EXPECT_FALSE(descriptions[i].second.empty()) << keys[i];
+  }
+  // The new session-lifecycle keys are part of the --list table.
+  bool has_stop_mode = false;
+  bool has_phases = false;
+  for (const auto& [key, desc] : descriptions) {
+    has_stop_mode = has_stop_mode || key == "stop.mode";
+    has_phases = has_phases || key == "phases";
+  }
+  EXPECT_TRUE(has_stop_mode);
+  EXPECT_TRUE(has_phases);
+}
+
 TEST(Spec, HashInValueAndExplicitTopologySurvive) {
   // '#' only starts a comment at line start / after whitespace.
   std::istringstream file(

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <sstream>
 #include <vector>
+
+#include "common/checkpoint.hpp"
 
 namespace dragonfly {
 namespace {
@@ -155,6 +159,98 @@ TEST(Histogram, MergeAddsCounts) {
 TEST(Histogram, QuantileOfEmpty) {
   Histogram h(0.0, 1.0, 4);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile p50(0.5);
+  EXPECT_DOUBLE_EQ(p50.value(), 0.0);  // empty
+  p50.add(7.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 7.0);
+  p50.add(1.0);
+  p50.add(3.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 3.0);  // exact median of {1,3,7}
+}
+
+TEST(P2Quantile, TracksUniformDistributionQuantiles) {
+  // Deterministic LCG stream over [0, 1000): p50 ~ 500, p99 ~ 990.
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 200'000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const double v = static_cast<double>(x >> 40) /
+                     static_cast<double>(1ull << 24) * 1000.0;
+    p50.add(v);
+    p99.add(v);
+  }
+  EXPECT_NEAR(p50.value(), 500.0, 15.0);
+  EXPECT_NEAR(p99.value(), 990.0, 15.0);
+  EXPECT_EQ(p50.count(), 200'000u);
+}
+
+TEST(P2Quantile, MonotoneAcrossQuantiles) {
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = static_cast<double>((i * 37) % 1000);
+    p50.add(v);
+    p99.add(v);
+  }
+  EXPECT_LT(p50.value(), p99.value());
+}
+
+TEST(P2Quantile, CheckpointRoundTripContinuesIdentically) {
+  P2Quantile a(0.99);
+  for (int i = 0; i < 1'000; ++i) a.add(static_cast<double>((i * 13) % 97));
+
+  std::stringstream buffer;
+  CheckpointWriter writer(buffer);
+  a.save(writer);
+  P2Quantile b(0.5);  // deliberately different: load overwrites q
+  CheckpointReader reader(buffer);
+  b.load(reader);
+
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+  EXPECT_EQ(a.count(), b.count());
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = static_cast<double>((i * 29) % 83);
+    a.add(v);
+    b.add(v);
+  }
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+TEST(RunningStats, CheckpointRoundTrip) {
+  RunningStats a;
+  for (double v : {3.0, 1.0, 4.0, 1.0, 5.0}) a.add(v);
+  std::stringstream buffer;
+  CheckpointWriter writer(buffer);
+  a.save(writer);
+  RunningStats b;
+  CheckpointReader reader(buffer);
+  b.load(reader);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+TEST(StudentT, CriticalValues) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_975(9), 2.262, 1e-3);
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-3);
+  EXPECT_TRUE(std::isinf(student_t_975(0)));
+  // Beyond the exact table the brackets must stay conservative: at
+  // least the true critical value, within a bracket's width of it.
+  EXPECT_GE(student_t_975(35), 2.030);   // true t(35) = 2.0301
+  EXPECT_GE(student_t_975(1000), 1.962); // true t(1000) = 1.9623
+  EXPECT_LE(student_t_975(1000), 1.981);
+  // Monotone non-increasing towards the normal limit.
+  for (std::size_t df = 1; df < 200; ++df) {
+    EXPECT_GE(student_t_975(df), student_t_975(df + 1)) << df;
+  }
 }
 
 }  // namespace
