@@ -24,7 +24,7 @@ using namespace dragonfly;
 /// fine for a traffic stressor (and keeps the example short).
 class BitReversal final : public TrafficPattern {
  public:
-  explicit BitReversal(const DragonflyTopology& topo) : topo_(topo) {
+  explicit BitReversal(const Topology& topo) : topo_(topo) {
     bits_ = 1;
     while ((1 << bits_) < topo.num_nodes()) ++bits_;
   }
@@ -46,14 +46,14 @@ class BitReversal final : public TrafficPattern {
   }
 
  private:
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
   int bits_ = 0;
 };
 
 /// Every node targets a random node in the group G/2 away.
 class GroupTornado final : public TrafficPattern {
  public:
-  explicit GroupTornado(const DragonflyTopology& topo) : topo_(topo) {}
+  explicit GroupTornado(const Topology& topo) : topo_(topo) {}
 
   std::string name() const override { return "group-tornado"; }
 
@@ -61,16 +61,16 @@ class GroupTornado final : public TrafficPattern {
     const GroupId dst_group =
         (topo_.group_of_node(src) + topo_.num_groups() / 2) %
         topo_.num_groups();
-    const int per_group = topo_.params().a * topo_.params().p;
+    const int per_group = topo_.nodes_per_group();
     const auto idx =
         static_cast<int>(rng.below(static_cast<std::uint64_t>(per_group)));
     const RouterId router =
-        topo_.router_id(dst_group, idx / topo_.params().p);
-    return topo_.node_id(router, idx % topo_.params().p);
+        topo_.router_id(dst_group, idx / topo_.concentration());
+    return topo_.node_id(router, idx % topo_.concentration());
   }
 
  private:
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
 };
 
 }  // namespace
@@ -81,11 +81,11 @@ int main() {
   // point "bit-reversal" and "group-tornado" are first-class scenario
   // names (visible in simulate_cli --list, usable in spec files).
   traffic_registry().add(
-      "bit-reversal", [](const DragonflyTopology& topo, const SimConfig&) {
+      "bit-reversal", [](const Topology& topo, const SimConfig&) {
         return std::make_unique<BitReversal>(topo);
       });
   traffic_registry().add(
-      "group-tornado", [](const DragonflyTopology& topo, const SimConfig&) {
+      "group-tornado", [](const Topology& topo, const SimConfig&) {
         return std::make_unique<GroupTornado>(topo);
       });
 

@@ -43,7 +43,10 @@ int usage(std::ostream& os, int exit_code) {
         "scenario (names per --list; any registered plugin works):\n"
         "  --routing NAME        routing mechanism (default min)\n"
         "  --traffic NAME        traffic pattern (default uniform)\n"
-        "  --arrangement NAME    global-link arrangement (default palmtree)\n"
+        "  --topology SPEC       topology family: dfly[:p,a,h[,G]] |\n"
+        "                        flatbfly:k,n[,p] (default: dfly from --h)\n"
+        "  --arrangement NAME    global-link arrangement (default palmtree;\n"
+        "                        dragonfly topologies only)\n"
         "sweep:\n"
         "  --load X | A:B:STEP | X,Y,Z   offered load(s) (default 0.3)\n"
         "  --seeds N             replicas averaged per point (default 1)\n"
@@ -85,6 +88,10 @@ void list_registries() {
   print("routings", routing_registry().keys());
   print("traffic patterns", traffic_registry().keys());
   print("arrangements", arrangement_registry().keys());
+  print("topologies", topology_registry().keys());
+  std::cout << "  (specs: dfly[:p,a,h[,G]] — canonical G = a*h+1, smaller G\n"
+               "   trims the wiring; flatbfly:k,n[,p] — k-ary n-flat, n-1\n"
+               "   dimensions in {1,2}, concentration p defaults to k)\n";
   std::cout << "\nconfig keys (spec files, --set, and the dedicated flags):\n";
   for (const auto& [key, desc] : ExperimentSpec::kv_key_descriptions()) {
     std::cout << "  " << key;
@@ -176,6 +183,8 @@ int main(int argc, char** argv) {
         spec.apply_kv("routing", need_value(i));
       } else if (!std::strcmp(arg, "--traffic")) {
         spec.apply_kv("traffic", need_value(i));
+      } else if (!std::strcmp(arg, "--topology")) {
+        spec.apply_kv("topology", need_value(i));
       } else if (!std::strcmp(arg, "--arrangement")) {
         spec.apply_kv("arrangement", need_value(i));
       } else if (!std::strcmp(arg, "--load")) {

@@ -33,4 +33,6 @@
 #include "sim/network.hpp"         // IWYU pragma: export
 #include "sim/session.hpp"         // IWYU pragma: export
 #include "topology/dragonfly.hpp"  // IWYU pragma: export
+#include "topology/flatbfly.hpp"   // IWYU pragma: export
+#include "topology/topology.hpp"   // IWYU pragma: export
 #include "traffic/pattern.hpp"     // IWYU pragma: export

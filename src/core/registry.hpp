@@ -5,7 +5,7 @@
 // without touching the core:
 //
 //   traffic_registry().add("bit-reversal",
-//       [](const DragonflyTopology& t, const SimConfig&) {
+//       [](const Topology& t, const SimConfig&) {
 //         return std::make_unique<BitReversal>(t);
 //       });
 //   cfg.traffic_name = "bit-reversal";   // resolved at Network build time

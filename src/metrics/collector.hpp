@@ -10,13 +10,13 @@
 #include "metrics/latency.hpp"
 #include "router/packet.hpp"
 #include "sim/config.hpp"
-#include "topology/dragonfly.hpp"
+#include "topology/topology.hpp"
 
 namespace dragonfly {
 
 class MetricsCollector {
  public:
-  MetricsCollector(const DragonflyTopology& topo, const SimConfig& cfg)
+  MetricsCollector(const Topology& topo, const SimConfig& cfg)
       : topo_(topo), cfg_(cfg), p2_p50_(0.50), p2_p99_(0.99) {}
 
   void begin_measurement(Cycle now) {
@@ -84,7 +84,7 @@ class MetricsCollector {
   void load(CheckpointReader& ck);
 
  private:
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
   const SimConfig& cfg_;
   bool measuring_ = false;
   bool begun_ = false;

@@ -4,7 +4,7 @@
 
 namespace dragonfly {
 
-Cycle base_latency(const DragonflyTopology& topo, const SimConfig& cfg,
+Cycle base_latency(const Topology& topo, const SimConfig& cfg,
                    NodeId src, NodeId dst) {
   const PathLengths len = topo.minimal_lengths(src, dst);
   return static_cast<Cycle>(cfg.pipeline_latency) * (len.total() + 1) +

@@ -16,14 +16,14 @@
 #include "common/types.hpp"
 #include "router/packet.hpp"
 #include "sim/config.hpp"
-#include "topology/dragonfly.hpp"
+#include "topology/topology.hpp"
 
 namespace dragonfly {
 
 /// Structural latency of the minimal path between two nodes: one router
 /// pipeline per traversed router, one link latency per traversed link,
 /// plus the final packet serialization at the ejection port.
-Cycle base_latency(const DragonflyTopology& topo, const SimConfig& cfg,
+Cycle base_latency(const Topology& topo, const SimConfig& cfg,
                    NodeId src, NodeId dst);
 
 /// Mean values of the five components (cycles), as plotted in Figure 3.

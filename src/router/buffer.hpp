@@ -29,6 +29,8 @@ class VcFifo {
   std::size_t packets() const { return fifo_.size(); }
 
   PacketRef head() const { return fifo_.empty() ? kNoPacket : fifo_.front(); }
+  /// Buffered packets in arrival order (invariant sweeps, tests).
+  const std::deque<PacketRef>& contents() const { return fifo_; }
 
   void push(PacketRef pkt, int size_phits);
   /// Pop the head; returns the freed phit count.
@@ -110,6 +112,8 @@ class OutputPort {
   PendingTx begin_transmission(Cycle now, int size_phits);
   Cycle link_free_at() const { return link_free_; }
   const PendingTx& queue_head() const { return queue_.front(); }
+  /// Queued transmissions in grant order (invariant sweeps, tests).
+  const std::deque<PendingTx>& pending() const { return queue_; }
 
   /// Checkpoint mutable state: credits, queue contents, link
   /// serialization deadline (wiring/capacities come from configure()).

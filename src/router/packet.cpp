@@ -54,6 +54,14 @@ void Packet::load(CheckpointReader& ck) {
   structural = ck.i64();
 }
 
+std::vector<char> PacketStore::live_mask() const {
+  std::vector<char> live(slots_.size(), 1);
+  for (const PacketRef ref : free_) {
+    live[static_cast<std::size_t>(ref)] = 0;
+  }
+  return live;
+}
+
 void PacketStore::save(CheckpointWriter& ck) const {
   ck.tag("PacketStore");
   ck.vec(slots_, [&](const Packet& p) { p.save(ck); });

@@ -98,6 +98,10 @@ class PacketStore {
   std::size_t live() const { return slots_.size() - free_.size(); }
   std::size_t capacity() const { return slots_.size(); }
 
+  /// Per-slot liveness (1 = created and not destroyed), for the
+  /// orphaned-flit invariant sweep.
+  std::vector<char> live_mask() const;
+
   /// Checkpoint the whole arena (slots + free list), so every PacketRef
   /// held in queues and events stays valid across restore.
   void save(CheckpointWriter& ck) const;

@@ -20,7 +20,7 @@ AllocatorConfig allocator_config(const SimConfig& cfg) {
 }
 }  // namespace
 
-Router::Router(const DragonflyTopology& topo, const SimConfig& cfg,
+Router::Router(const Topology& topo, const SimConfig& cfg,
                RouterId id, RoutingAlgorithm* routing, PacketStore* store,
                EventSink* sink, Rng rng)
     : topo_(topo),

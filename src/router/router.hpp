@@ -13,7 +13,7 @@
 #include "router/packet.hpp"
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
-#include "topology/dragonfly.hpp"
+#include "topology/topology.hpp"
 
 namespace dragonfly {
 
@@ -36,13 +36,13 @@ class EventSink {
 
 class Router {
  public:
-  Router(const DragonflyTopology& topo, const SimConfig& cfg, RouterId id,
+  Router(const Topology& topo, const SimConfig& cfg, RouterId id,
          RoutingAlgorithm* routing, PacketStore* store, EventSink* sink,
          Rng rng);
 
   RouterId id() const { return id_; }
   GroupId group() const { return topo_.group_of_router(id_); }
-  const DragonflyTopology& topology() const { return topo_; }
+  const Topology& topology() const { return topo_; }
   const SimConfig& config() const { return cfg_; }
   Rng& rng() { return rng_; }
   PacketStore& packets() { return *store_; }
@@ -122,7 +122,7 @@ class Router {
   int num_vcs_for_input(PortKind kind) const;
   int num_vcs_for_output(PortKind kind) const;
 
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
   const SimConfig& cfg_;
   RouterId id_;
   RoutingAlgorithm* routing_;

@@ -106,7 +106,7 @@ RoutingDecision InTransitRouting::committed(Router& at, Packet& pkt) {
   // *completely empty* downstream VC buffer — the packet can never wait
   // behind another packet on the misroute hop itself.
   const int first = topo_.first_local_port();
-  const int count = topo_.params().a - 1;
+  const int count = topo_.local_ports_per_router();
   if (count <= 1) return min_d;
   const auto start =
       static_cast<int>(at.rng().below(static_cast<std::uint64_t>(count)));
@@ -138,7 +138,7 @@ RoutingDecision InTransitRouting::route(Router& at, Packet& pkt) {
 
 namespace {
 RoutingRegistry::Factory in_transit_factory(InTransitVariant variant) {
-  return [variant](const DragonflyTopology& topo, const SimConfig& cfg)
+  return [variant](const Topology& topo, const SimConfig& cfg)
              -> std::unique_ptr<RoutingAlgorithm> {
     return std::make_unique<InTransitRouting>(topo, cfg, variant);
   };

@@ -28,7 +28,7 @@ const char* to_string(InTransitVariant variant);
 
 class InTransitRouting final : public RoutingAlgorithm {
  public:
-  InTransitRouting(const DragonflyTopology& topo, const SimConfig& cfg,
+  InTransitRouting(const Topology& topo, const SimConfig& cfg,
                    InTransitVariant variant)
       : RoutingAlgorithm(topo, cfg), variant_(variant) {}
 

@@ -17,7 +17,7 @@ RoutingDecision MinimalRouting::route(Router& at, Packet& pkt) {
 namespace {
 const RoutingRegistry::Registrar kRegisterMin{
     routing_registry(), "min",
-    [](const DragonflyTopology& topo, const SimConfig& cfg)
+    [](const Topology& topo, const SimConfig& cfg)
         -> std::unique_ptr<RoutingAlgorithm> {
       return std::make_unique<MinimalRouting>(topo, cfg);
     },

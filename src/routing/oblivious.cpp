@@ -29,17 +29,23 @@ void ObliviousValiantRouting::on_inject(Router& source, Packet& pkt,
     }
     pkt.phase = Phase::kToIntermediate;
     pkt.intermediate_group = g;
-    const RouterId exit = topo_.exit_router(src_group, g);
-    pkt.nm_exit_router = exit;
-    pkt.nm_exit_port = topo_.exit_port(src_group, g);
+    const GlobalLinkRef link = topo_.exit_link(source.id(), g);
+    pkt.nm_exit_router = link.router;
+    pkt.nm_exit_port = link.port;
     return;
   }
 
-  // CRG / NRG: pick uniformly among the policy's candidate links.
+  // CRG / NRG: pick uniformly among the policy's candidate links. The
+  // set can be empty on trimmed shapes (a dead slot can cost a router
+  // its only global link, or a lone router its neighbours' links):
+  // degenerate to the minimal path, like PiggyBack does.
   const auto picked =
       pick_candidate(topo_, source.id(), policy_, rng, kInvalidGroup,
                      [](const GlobalLinkRef&) { return true; });
-  if (!picked) throw std::logic_error("oblivious: no misroute candidate");
+  if (!picked) {
+    pkt.phase = Phase::kCommitted;
+    return;
+  }
   pkt.phase = Phase::kToIntermediate;
   pkt.intermediate_group = picked->target;
   pkt.nm_exit_router = picked->router;
@@ -55,7 +61,7 @@ RoutingDecision ObliviousValiantRouting::route(Router& at, Packet& pkt) {
 
 namespace {
 RoutingRegistry::Factory valiant_factory(MisroutePolicy policy) {
-  return [policy](const DragonflyTopology& topo, const SimConfig& cfg)
+  return [policy](const Topology& topo, const SimConfig& cfg)
              -> std::unique_ptr<RoutingAlgorithm> {
     return std::make_unique<ObliviousValiantRouting>(topo, cfg, policy);
   };

@@ -18,7 +18,7 @@ namespace dragonfly {
 
 class ObliviousValiantRouting final : public RoutingAlgorithm {
  public:
-  ObliviousValiantRouting(const DragonflyTopology& topo, const SimConfig& cfg,
+  ObliviousValiantRouting(const Topology& topo, const SimConfig& cfg,
                           MisroutePolicy policy)
       : RoutingAlgorithm(topo, cfg), policy_(policy) {}
 

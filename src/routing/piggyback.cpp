@@ -4,33 +4,43 @@
 
 namespace dragonfly {
 
-PiggybackRouting::PiggybackRouting(const DragonflyTopology& topo,
+PiggybackRouting::PiggybackRouting(const Topology& topo,
                                    const SimConfig& cfg,
                                    MisroutePolicy policy)
     : RoutingAlgorithm(topo, cfg),
       policy_(policy),
       saturated_(static_cast<std::size_t>(topo.num_routers()) *
-                     static_cast<std::size_t>(topo.params().h),
+                     static_cast<std::size_t>(topo.global_slots()),
                  0) {}
 
 void PiggybackRouting::refresh(
     std::span<const std::unique_ptr<Router>> routers) {
-  const int h = topo_.params().h;
-  const int a = topo_.params().a;
-  occupancy_.resize(routers.size() * static_cast<std::size_t>(h));
-  // Pass 1: per-link occupancy, accumulated into per-group means (the
-  // piggybacked state is shared group-wide).
+  const int h = topo_.global_slots();
+  occupancy_.assign(routers.size() * static_cast<std::size_t>(h), 0.0);
+  // Pass 1: per-link occupancy over the *connected* global links,
+  // accumulated into per-group means (the piggybacked state is shared
+  // group-wide). Dead slots of trimmed shapes stay at zero and are never
+  // consulted: they appear in no minimal route and no candidate set.
   group_mean_.assign(static_cast<std::size_t>(topo_.num_groups()), 0.0);
   for (const auto& router : routers) {
     const std::size_t base = static_cast<std::size_t>(router->id()) *
                              static_cast<std::size_t>(h);
-    for (int k = 0; k < h; ++k) {
-      const double occ = router->output_occupancy(topo_.global_port(k));
-      occupancy_[base + static_cast<std::size_t>(k)] = occ;
+    const int links = topo_.router_link_count(router->id());
+    for (int i = 0; i < links; ++i) {
+      const PortId port = topo_.router_link(router->id(), i).port;
+      const double occ = router->output_occupancy(port);
+      occupancy_[base +
+                 static_cast<std::size_t>(topo_.global_index_of_port(port))] =
+          occ;
       group_mean_[static_cast<std::size_t>(router->group())] += occ;
     }
   }
-  for (auto& mean : group_mean_) mean /= static_cast<double>(a * h);
+  for (GroupId g = 0; g < topo_.num_groups(); ++g) {
+    const int links = topo_.group_link_count(g);
+    if (links > 0) {
+      group_mean_[static_cast<std::size_t>(g)] /= static_cast<double>(links);
+    }
+  }
   // Pass 2: a link is saturated when it exceeds T times its group's mean.
   // This is self-balancing (partial diversion raises the mean back), which
   // reproduces the paper's partial-failure behaviour under ADVc.
@@ -38,7 +48,10 @@ void PiggybackRouting::refresh(
     const std::size_t base = static_cast<std::size_t>(router->id()) *
                              static_cast<std::size_t>(h);
     const double mean = group_mean_[static_cast<std::size_t>(router->group())];
-    for (int k = 0; k < h; ++k) {
+    const int links = topo_.router_link_count(router->id());
+    for (int i = 0; i < links; ++i) {
+      const int k = topo_.global_index_of_port(
+          topo_.router_link(router->id(), i).port);
       saturated_[base + static_cast<std::size_t>(k)] =
           occupancy_[base + static_cast<std::size_t>(k)] >
                   cfg_.pb_threshold_global * mean
@@ -58,15 +71,16 @@ void PiggybackRouting::on_inject(Router& source, Packet& pkt, Rng& rng) {
 
 bool PiggybackRouting::minimal_path_saturated(const Router& at,
                                               const Packet& pkt) const {
-  const GroupId src_group = at.group();
-  const GroupId dst_group = topo_.group_of_node(pkt.dst);
-  const RouterId exit = topo_.exit_router(src_group, dst_group);
-  const PortId exit_global = topo_.exit_port(src_group, dst_group);
-  const int k = topo_.global_index_of_port(exit_global);
+  // The global link the packet's own minimal route crosses (for
+  // canonical dragonflies: the unique link between the two groups).
+  const GlobalLinkRef link =
+      topo_.minimal_global_link(at.id(), topo_.router_of_node(pkt.dst));
+  const RouterId exit = link.router;
+  const int k = topo_.global_index_of_port(link.port);
 
   // Saturation bit of the minimal global link (piggybacked in-group state).
   if (saturated_[static_cast<std::size_t>(exit) *
-                     static_cast<std::size_t>(topo_.params().h) +
+                     static_cast<std::size_t>(topo_.global_slots()) +
                  static_cast<std::size_t>(k)] != 0) {
     return true;
   }
@@ -91,15 +105,20 @@ RoutingDecision PiggybackRouting::valiant_decision(Router& at, Packet& pkt) {
   GlobalLinkRef chosen;
   if (policy_ == MisroutePolicy::kRrg) {
     // Random intermediate group anywhere (excluding source and
-    // destination: those degenerate to the minimal path PB just rejected).
+    // destination: those degenerate to the minimal path PB just
+    // rejected). With fewer than 3 groups no such group exists — route
+    // minimally (reachable since trimmed-G dragonflies and small
+    // flattened butterflies joined the topology set).
+    if (topo_.num_groups() < 3) return minimal_decision(at, pkt);
     GroupId g = dst_group;
     while (g == dst_group || g == src_group) {
       g = static_cast<GroupId>(
           at.rng().below(static_cast<std::uint64_t>(topo_.num_groups())));
     }
+    const GlobalLinkRef link = topo_.exit_link(at.id(), g);
     chosen.target = g;
-    chosen.router = topo_.exit_router(src_group, g);
-    chosen.port = topo_.exit_port(src_group, g);
+    chosen.router = link.router;
+    chosen.port = link.port;
   } else {
     const auto picked =
         pick_candidate(topo_, at.id(), policy_, at.rng(), dst_group,
@@ -139,7 +158,7 @@ RoutingDecision PiggybackRouting::route(Router& at, Packet& pkt) {
 
 namespace {
 RoutingRegistry::Factory piggyback_factory(MisroutePolicy policy) {
-  return [policy](const DragonflyTopology& topo, const SimConfig& cfg)
+  return [policy](const Topology& topo, const SimConfig& cfg)
              -> std::unique_ptr<RoutingAlgorithm> {
     return std::make_unique<PiggybackRouting>(topo, cfg, policy);
   };

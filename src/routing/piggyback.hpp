@@ -26,7 +26,7 @@ namespace dragonfly {
 
 class PiggybackRouting final : public RoutingAlgorithm {
  public:
-  PiggybackRouting(const DragonflyTopology& topo, const SimConfig& cfg,
+  PiggybackRouting(const Topology& topo, const SimConfig& cfg,
                    MisroutePolicy policy);
 
   std::string name() const override {
@@ -40,7 +40,7 @@ class PiggybackRouting final : public RoutingAlgorithm {
   /// Saturation bit of global link k of router `r` (for tests).
   bool global_link_saturated(RouterId r, int k) const {
     return saturated_[static_cast<std::size_t>(r) *
-                          static_cast<std::size_t>(topo_.params().h) +
+                          static_cast<std::size_t>(topo_.global_slots()) +
                       static_cast<std::size_t>(k)] != 0;
   }
 

@@ -13,47 +13,37 @@ const char* to_string(MisroutePolicy policy) {
   return "?";
 }
 
-int candidate_count(const DragonflyTopology& topo, MisroutePolicy policy) {
-  const auto& p = topo.params();
+int candidate_count(const Topology& topo, RouterId at, MisroutePolicy policy) {
   switch (policy) {
-    case MisroutePolicy::kRrg: return p.a * p.h;
-    case MisroutePolicy::kCrg: return p.h;
-    case MisroutePolicy::kNrg: return (p.a - 1) * p.h;
+    case MisroutePolicy::kRrg:
+      return topo.group_link_count(topo.group_of_router(at));
+    case MisroutePolicy::kCrg:
+      return topo.router_link_count(at);
+    case MisroutePolicy::kNrg:
+      return topo.group_link_count(topo.group_of_router(at)) -
+             topo.router_link_count(at);
   }
   return 0;
 }
 
-GlobalLinkRef candidate_at(const DragonflyTopology& topo, RouterId at,
+GlobalLinkRef candidate_at(const Topology& topo, RouterId at,
                            MisroutePolicy policy, int index) {
-  const auto& p = topo.params();
   const GroupId g = topo.group_of_router(at);
-  const int r_at = topo.router_in_group(at);
-
-  int r_in_group = 0;
-  int k = 0;
   switch (policy) {
     case MisroutePolicy::kRrg:
-      r_in_group = index / p.h;
-      k = index % p.h;
-      break;
+      return topo.group_link(g, index);
     case MisroutePolicy::kCrg:
-      r_in_group = r_at;
-      k = index;
-      break;
+      return topo.router_link(at, index);
     case MisroutePolicy::kNrg: {
-      // Enumerate the (a-1)*h links owned by the other routers, skipping
-      // the current router in the router enumeration.
-      const int r_skip = index / p.h;
-      r_in_group = r_skip < r_at ? r_skip : r_skip + 1;
-      k = index % p.h;
-      break;
+      // The group enumeration is sorted by owner router, so this
+      // router's links form one contiguous run — skip it in O(1).
+      const int run_begin = topo.group_link_offset_of_router(at);
+      const int run_len = topo.router_link_count(at);
+      return topo.group_link(g,
+                             index < run_begin ? index : index + run_len);
     }
   }
-  GlobalLinkRef ref;
-  ref.router = topo.router_id(g, r_in_group);
-  ref.port = topo.global_port(k);
-  ref.target = topo.arrangement().target_group(p, g, r_in_group, k);
-  return ref;
+  throw std::logic_error("candidate_at: unknown policy");
 }
 
 }  // namespace dragonfly

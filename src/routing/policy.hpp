@@ -9,13 +9,18 @@
 // Mixed-mode (MM) is not a candidate set of its own: it applies CRG at the
 // source router and NRG in transit, and is composed in the in-transit
 // routing mechanism.
+//
+// The candidate sets are the topology's connected-link enumeration
+// (Topology::group_link / router_link), so they adapt to any registered
+// family — trimmed dragonflies simply expose fewer candidates, flattened
+// butterflies expose their column links.
 #pragma once
 
 #include <optional>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
-#include "topology/dragonfly.hpp"
+#include "topology/topology.hpp"
 
 namespace dragonfly {
 
@@ -23,19 +28,11 @@ enum class MisroutePolicy : std::uint8_t { kRrg, kCrg, kNrg };
 
 const char* to_string(MisroutePolicy policy);
 
-/// One global link of a group, as a misroute candidate: the router that
-/// owns it, the (router-level) global port, and the group it reaches.
-struct GlobalLinkRef {
-  RouterId router = kInvalidRouter;
-  PortId port = kInvalidPort;
-  GroupId target = kInvalidGroup;
-};
-
 /// Number of candidate links the policy offers at router `at`.
-int candidate_count(const DragonflyTopology& topo, MisroutePolicy policy);
+int candidate_count(const Topology& topo, RouterId at, MisroutePolicy policy);
 
 /// The i-th candidate (i in [0, candidate_count)) at router `at`.
-GlobalLinkRef candidate_at(const DragonflyTopology& topo, RouterId at,
+GlobalLinkRef candidate_at(const Topology& topo, RouterId at,
                            MisroutePolicy policy, int index);
 
 /// Scan the candidates in pseudo-random order (random start, cyclic scan)
@@ -43,12 +40,12 @@ GlobalLinkRef candidate_at(const DragonflyTopology& topo, RouterId at,
 /// target group equals `exclude_target` are skipped (used to avoid
 /// "misrouting" onto the minimal global link).
 template <typename Pred>
-std::optional<GlobalLinkRef> pick_candidate(const DragonflyTopology& topo,
+std::optional<GlobalLinkRef> pick_candidate(const Topology& topo,
                                             RouterId at,
                                             MisroutePolicy policy, Rng& rng,
                                             GroupId exclude_target,
                                             Pred eligible) {
-  const int n = candidate_count(topo, policy);
+  const int n = candidate_count(topo, at, policy);
   if (n <= 0) return std::nullopt;
   const auto start = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
   for (int step = 0; step < n; ++step) {

@@ -11,30 +11,12 @@ VcId RoutingAlgorithm::vc_for_output(const Router& at, const Packet& pkt,
                                      PortKind kind) const {
   // Deadlock-avoidance ladder (Kim et al. / FOGSim style): the VC index
   // is a function of the packet's *position* along its path, so the
-  // channel-dependency graph l0 < g0 < l1 < g1 < l2 is acyclic.
-  //  - global hops: first hop VC0, second VC1;
-  //  - local hops: source group VC0, intermediate group VC1, destination
-  //    group VC2. Both local hops of an opportunistic in-group misroute
-  //    share the group's VC (see DESIGN.md for the residual-risk note).
-  switch (kind) {
-    case PortKind::kGlobal:
-      return std::min<int>(pkt.global_hops, cfg_.global_vcs - 1);
-    case PortKind::kLocal: {
-      const GroupId here = at.group();
-      if (here == topo_.group_of_node(pkt.src) && pkt.global_hops == 0) {
-        return 0;
-      }
-      if (here == topo_.group_of_node(pkt.dst)) {
-        return std::min(2, cfg_.local_vcs - 1);
-      }
-      return std::min(1, cfg_.local_vcs - 1);
-    }
-    case PortKind::kEjection:
-      return 0;
-    case PortKind::kInjection:
-      break;
-  }
-  throw std::logic_error("vc_for_output: injection is not an output");
+  // channel-dependency graph l0 < g0 < l1 < g1 < l2 is acyclic. The
+  // ladder itself lives on the topology (Topology::vc_for_hop), which a
+  // family with a different path structure can override.
+  return topo_.vc_for_hop(kind, at.group(), topo_.group_of_node(pkt.src),
+                          topo_.group_of_node(pkt.dst), pkt.global_hops,
+                          cfg_.local_vcs, cfg_.global_vcs);
 }
 
 RoutingDecision RoutingAlgorithm::minimal_decision(const Router& at,
@@ -118,7 +100,7 @@ RoutingRegistry& routing_registry() {
   return registry;
 }
 
-std::unique_ptr<RoutingAlgorithm> make_routing(const DragonflyTopology& topo,
+std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo,
                                                const SimConfig& cfg) {
   return routing_registry().create(cfg.routing_key(), topo, cfg);
 }

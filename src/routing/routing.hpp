@@ -22,7 +22,7 @@
 #include "core/registry.hpp"
 #include "router/packet.hpp"
 #include "sim/config.hpp"
-#include "topology/dragonfly.hpp"
+#include "topology/topology.hpp"
 
 namespace dragonfly {
 
@@ -51,7 +51,7 @@ struct RoutingDecision {
 
 class RoutingAlgorithm {
  public:
-  RoutingAlgorithm(const DragonflyTopology& topo, const SimConfig& cfg)
+  RoutingAlgorithm(const Topology& topo, const SimConfig& cfg)
       : topo_(topo), cfg_(cfg) {}
   virtual ~RoutingAlgorithm() = default;
 
@@ -63,7 +63,7 @@ class RoutingAlgorithm {
   virtual void on_arrival(Router& at, Packet& pkt, GroupId previous_group);
   virtual void refresh(std::span<const std::unique_ptr<Router>> routers);
 
-  const DragonflyTopology& topology() const { return topo_; }
+  const Topology& topology() const { return topo_; }
 
  protected:
   /// Deadlock-avoiding VC ladder: local VC selected by the packet's group
@@ -79,7 +79,7 @@ class RoutingAlgorithm {
   RoutingDecision toward_link(const Router& at, const Packet& pkt,
                               RouterId exit_router, PortId exit_port) const;
 
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
   const SimConfig& cfg_;
 };
 
@@ -91,11 +91,11 @@ class RoutingAlgorithm {
 /// policies here and selects them through SimConfig::routing_name — no
 /// core edits needed.
 using RoutingRegistry =
-    Registry<RoutingAlgorithm, const DragonflyTopology&, const SimConfig&>;
+    Registry<RoutingAlgorithm, const Topology&, const SimConfig&>;
 RoutingRegistry& routing_registry();
 
 /// Build the mechanism selected by cfg.routing_key() (registry shim).
-std::unique_ptr<RoutingAlgorithm> make_routing(const DragonflyTopology& topo,
+std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo,
                                                const SimConfig& cfg);
 
 }  // namespace dragonfly

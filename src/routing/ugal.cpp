@@ -72,7 +72,7 @@ RoutingDecision UgalRouting::route(Router& at, Packet& pkt) {
 
 namespace {
 RoutingRegistry::Factory ugal_factory(MisroutePolicy policy) {
-  return [policy](const DragonflyTopology& topo, const SimConfig& cfg)
+  return [policy](const Topology& topo, const SimConfig& cfg)
              -> std::unique_ptr<RoutingAlgorithm> {
     return std::make_unique<UgalRouting>(topo, cfg, policy);
   };

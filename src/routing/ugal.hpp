@@ -19,7 +19,7 @@ namespace dragonfly {
 
 class UgalRouting final : public RoutingAlgorithm {
  public:
-  UgalRouting(const DragonflyTopology& topo, const SimConfig& cfg,
+  UgalRouting(const Topology& topo, const SimConfig& cfg,
               MisroutePolicy policy)
       : RoutingAlgorithm(topo, cfg), policy_(policy) {}
 

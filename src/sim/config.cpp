@@ -7,6 +7,7 @@
 
 #include "common/checkpoint.hpp"
 #include "routing/routing.hpp"
+#include "topology/topology.hpp"
 #include "traffic/pattern.hpp"
 
 namespace dragonfly {
@@ -193,7 +194,30 @@ SimConfig SimConfig::paper() {
 }
 
 void SimConfig::validate() const {
-  if (!topo.valid()) throw std::invalid_argument("invalid topology parameters");
+  // --- topology selection ---------------------------------------------------
+  // Resolves the family (unknown names throw, listing the registry) and
+  // rejects arrangement/topology mismatches: global-link arrangements
+  // are a dragonfly concept, so pairing one with another family is a
+  // config error, not something to ignore silently.
+  const std::string family = topology_family(*this);
+  if (family == "dfly") {
+    // Inline spec args ("dfly:p,a,h[,G]") supersede the `topo` fields
+    // and are range-checked by try_topology_shape below.
+    if (split_topology_spec(topology).second.empty() && !topo.valid()) {
+      throw std::invalid_argument(
+          "invalid topology parameters (need p,a,h >= 1 and groups in "
+          "{0} u [2, a*h+1])");
+    }
+  } else if (arrangement_explicit || arrangement != "palmtree") {
+    throw std::invalid_argument(
+        "arrangement \"" + arrangement + "\" does not apply to topology \"" +
+        topology + "\": global-link arrangements exist only for the "
+        "dragonfly family. valid combinations: topology dfly[:p,a,h[,G]] "
+        "with arrangement " + arrangement_registry().known_names() +
+        "; topology " + family + " with the family's fixed wiring");
+  }
+  // Malformed built-in topology args fail here with the grammar.
+  const std::optional<TopologyShape> shape = try_topology_shape(*this);
   if (packet_size <= 0) throw std::invalid_argument("packet_size must be > 0");
   if (local_latency < 1 || global_latency < 1) {
     // Links serialize at 1 phit/cycle, so a 0-cycle link is unphysical;
@@ -255,6 +279,10 @@ void SimConfig::validate() const {
   if (stream_interval < 1) {
     throw std::invalid_argument("stream.interval must be >= 1");
   }
+  if (sim_paranoid < 0) {
+    throw std::invalid_argument("sim.paranoid must be >= 0 (cycles between "
+                                "invariant sweeps; 0 disables them)");
+  }
   if (!phase_script.empty() && stop.mode == StopMode::kCi) {
     throw std::invalid_argument(
         "stop.mode=ci cannot be combined with a phase script: scripted "
@@ -272,39 +300,54 @@ void SimConfig::validate() const {
     if (!seg.traffic.empty()) traffic_registry().resolve(seg.traffic);
   }
   // --- extension-pattern knobs --------------------------------------------
+  // Range checks run against the *selected* topology's shape, and only
+  // for the selected traffic pattern: a flatbfly:k,2 run with uniform
+  // traffic must not trip over the (irrelevant) adversarial offset.
+  // Custom-registered families (no cheap shape) defer to the pattern
+  // constructors, which perform the same checks.
   if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
     throw std::invalid_argument("hotspot fraction must be in [0,1]");
   }
-  if (hotspot_node < 0 || hotspot_node >= topo.num_nodes()) {
-    throw std::invalid_argument(
-        "hotspot_node out of range [0, " + std::to_string(topo.num_nodes()) +
-        ")");
-  }
-  if (shift_offset_nodes < 0 || shift_offset_nodes >= topo.num_nodes()) {
-    // 0 is the "one full group" sentinel; negative shifts are never valid.
-    throw std::invalid_argument("shift_offset_nodes out of range [0, " +
-                                std::to_string(topo.num_nodes()) + ")");
-  }
-  if (placement_first_group < 0 ||
-      placement_first_group >= topo.num_groups()) {
-    throw std::invalid_argument("placement_first_group out of range [0, " +
-                                std::to_string(topo.num_groups()) + ")");
-  }
-  if (placement_num_groups < 0 ||
-      placement_num_groups > topo.num_groups()) {
-    // 0 is the "h+1 groups" sentinel.
-    throw std::invalid_argument("placement_num_groups out of range [0, " +
-                                std::to_string(topo.num_groups()) + "]");
-  }
-  if (adversarial_offset < 1 || adversarial_offset >= topo.num_groups()) {
-    throw std::invalid_argument("adversarial_offset out of range [1, " +
-                                std::to_string(topo.num_groups()) + ")");
+  const std::string traffic_sel = traffic_registry().resolve(traffic_key());
+  if (shape) {
+    if (traffic_sel == "hotspot" &&
+        (hotspot_node < 0 || hotspot_node >= shape->num_nodes())) {
+      throw std::invalid_argument(
+          "hotspot_node out of range [0, " +
+          std::to_string(shape->num_nodes()) + ")");
+    }
+    if (traffic_sel == "shift" &&
+        (shift_offset_nodes < 0 ||
+         shift_offset_nodes >= shape->num_nodes())) {
+      // 0 is the "one full group" sentinel; negative shifts are never valid.
+      throw std::invalid_argument("shift_offset_nodes out of range [0, " +
+                                  std::to_string(shape->num_nodes()) + ")");
+    }
+    if (traffic_sel == "placement") {
+      if (placement_first_group < 0 ||
+          placement_first_group >= shape->groups) {
+        throw std::invalid_argument(
+            "placement_first_group out of range [0, " +
+            std::to_string(shape->groups) + ")");
+      }
+      if (placement_num_groups < 0 ||
+          placement_num_groups > shape->groups) {
+        // 0 is the "h+1 groups" sentinel.
+        throw std::invalid_argument(
+            "placement_num_groups out of range [0, " +
+            std::to_string(shape->groups) + "]");
+      }
+    }
+    if (traffic_sel == "adv" &&
+        (adversarial_offset < 1 || adversarial_offset >= shape->groups)) {
+      throw std::invalid_argument("adversarial_offset out of range [1, " +
+                                  std::to_string(shape->groups) + ")");
+    }
   }
   // --- registry names ------------------------------------------------------
   // Resolve now so an unknown name fails with the full valid-name list
   // before a simulation (or a whole sweep) starts.
   routing_registry().resolve(routing_key());
-  traffic_registry().resolve(traffic_key());
   arrangement_registry().resolve(arrangement);
 }
 
@@ -372,20 +415,39 @@ const KvEntry kKvEntries[] = {
        c.topo = balanced;
        if (c.topo_p_explicit) c.topo.p = prev.p;
        if (c.topo_a_explicit) c.topo.a = prev.a;
+       if (c.topo_g_explicit) c.topo.g = prev.g;
+       c.topology.clear();
      }},
     {"p",
      [](SimConfig& c, const std::string& k, const std::string& v) {
        c.topo.p = parse_int(k, v);
        c.topo_p_explicit = true;
+       c.topology.clear();
      }},
     {"a",
      [](SimConfig& c, const std::string& k, const std::string& v) {
        c.topo.a = parse_int(k, v);
        c.topo_a_explicit = true;
+       c.topology.clear();
+     }},
+    {"groups",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.topo.g = parse_int(k, v);
+       c.topo_g_explicit = true;
+       c.topology.clear();
+     }},
+    {"topology",
+     [](SimConfig& c, const std::string&, const std::string& v) {
+       const auto [family, args] = split_topology_spec(v);
+       c.topology = topology_registry().resolve(family);
+       if (!args.empty()) c.topology += ":" + args;
+       // Malformed args of a built-in family fail here, not mid-run.
+       (void)try_topology_shape(c);
      }},
     {"arrangement",
      [](SimConfig& c, const std::string&, const std::string& v) {
        c.arrangement = arrangement_registry().resolve(v);
+       c.arrangement_explicit = true;
      }},
     // scenario selection by registry name
     {"routing",
@@ -519,6 +581,10 @@ const KvEntry kKvEntries[] = {
      [](SimConfig& c, const std::string& k, const std::string& v) {
        c.measure_cycles = parse_int(k, v);
      }},
+    {"sim.paranoid",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.sim_paranoid = parse_int(k, v);
+     }},
     {"seed",
      [](SimConfig& c, const std::string& k, const std::string& v) {
        std::size_t pos = 0;
@@ -578,7 +644,9 @@ constexpr KvDesc kKvDescs[] = {
     {"h", "balanced dragonfly radix: p=h, a=2h, a*h+1 groups"},
     {"p", "nodes per router (overrides the balanced preset)"},
     {"a", "routers per group (overrides the balanced preset)"},
-    {"arrangement", "global-link arrangement registry name"},
+    {"groups", "dragonfly group count (0 = a*h+1; 2..a*h trims the wiring)"},
+    {"topology", "topology spec: dfly[:p,a,h[,G]] | flatbfly:k,n[,p]"},
+    {"arrangement", "global-link arrangement registry name (dfly only)"},
     {"routing", "routing mechanism registry name"},
     {"traffic", "traffic pattern registry name"},
     {"local_latency", "local (intra-group) link latency, cycles"},
@@ -610,6 +678,7 @@ constexpr KvDesc kKvDescs[] = {
     {"warmup_cycles", "cycles simulated before measurement starts"},
     {"measure_cycles", "measured window; the cap in stop.mode=ci"},
     {"seed", "root RNG seed (replicas derive from it)"},
+    {"sim.paranoid", "check network invariants every N cycles (0 = off)"},
     {"stop.mode", "fixed = exact window | ci = stop when CIs converge"},
     {"stop.rel_hw", "CI target: relative half-width of accepted/latency"},
     {"stop.batches", "minimum completed batches before testing the CI"},
@@ -736,10 +805,13 @@ std::vector<ScriptedSegment> parse_phase_script(const std::string& text) {
 
 void SimConfig::write_to(CheckpointWriter& ck) const {
   ck.tag("SimConfig");
+  ck.str(topology);
   ck.i32(topo.p);
   ck.i32(topo.a);
   ck.i32(topo.h);
+  ck.i32(topo.g);
   ck.str(arrangement);
+  ck.boolean(arrangement_explicit);
   ck.i64(local_latency);
   ck.i64(global_latency);
   ck.i32(pipeline_latency);
@@ -773,6 +845,7 @@ void SimConfig::write_to(CheckpointWriter& ck) const {
   ck.i64(warmup_cycles);
   ck.i64(measure_cycles);
   ck.u64(seed);
+  ck.i32(sim_paranoid);
   ck.u8(static_cast<std::uint8_t>(stop.mode));
   ck.f64(stop.rel_hw);
   ck.i32(stop.batches);
@@ -788,14 +861,18 @@ void SimConfig::write_to(CheckpointWriter& ck) const {
   ck.boolean(vcs_explicit);
   ck.boolean(topo_p_explicit);
   ck.boolean(topo_a_explicit);
+  ck.boolean(topo_g_explicit);
 }
 
 void SimConfig::read_from(CheckpointReader& ck) {
   ck.tag("SimConfig");
+  topology = ck.str();
   topo.p = ck.i32();
   topo.a = ck.i32();
   topo.h = ck.i32();
+  topo.g = ck.i32();
   arrangement = ck.str();
+  arrangement_explicit = ck.boolean();
   local_latency = ck.i64();
   global_latency = ck.i64();
   pipeline_latency = ck.i32();
@@ -829,6 +906,7 @@ void SimConfig::read_from(CheckpointReader& ck) {
   warmup_cycles = ck.i64();
   measure_cycles = ck.i64();
   seed = ck.u64();
+  sim_paranoid = ck.i32();
   stop.mode = static_cast<StopMode>(ck.u8());
   stop.rel_hw = ck.f64();
   stop.batches = ck.i32();
@@ -846,6 +924,7 @@ void SimConfig::read_from(CheckpointReader& ck) {
   vcs_explicit = ck.boolean();
   topo_p_explicit = ck.boolean();
   topo_a_explicit = ck.boolean();
+  topo_g_explicit = ck.boolean();
 }
 
 std::pair<std::string, std::string> split_kv(const std::string& item) {

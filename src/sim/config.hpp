@@ -106,8 +106,17 @@ struct ScriptedSegment {
 
 struct SimConfig {
   // --- topology (Table I: h=6, a=12, p=6, 73 groups, 5256 nodes) ---------
+  /// Topology spec "family[:args]" from the registry
+  /// (core/topology registry): "dfly[:p,a,h[,G]]", "flatbfly:k,n[,p]",
+  /// or any user-registered family. Empty selects the dragonfly
+  /// described by `topo` below (the h/p/a/groups keys reset it so the
+  /// last topology-selecting override wins).
+  std::string topology;
   DragonflyParams topo = DragonflyParams::balanced(6);
   std::string arrangement = "palmtree";
+  /// Set when a key=value override picked the arrangement, so validate()
+  /// can reject arrangements aimed at a non-dragonfly topology.
+  bool arrangement_explicit = false;
 
   // --- timing --------------------------------------------------------------
   Cycle local_latency = 10;   ///< cycles; 2 m wires @10 bytes/cycle
@@ -160,6 +169,9 @@ struct SimConfig {
   Cycle warmup_cycles = 10'000;
   Cycle measure_cycles = 15'000;
   std::uint64_t seed = 1;
+  /// Paranoid self-checking: run Network::check_invariants() every N
+  /// cycles (`sim.paranoid` key; 0 = off, the default — no overhead).
+  int sim_paranoid = 0;
 
   // --- session lifecycle (sim/session.hpp) -----------------------------------
   /// Adaptive stopping for the Measure phase (`stop.*` keys).
@@ -175,10 +187,11 @@ struct SimConfig {
   /// Set when a key=value override touched the VC counts, so spec
   /// finalization knows not to clobber them with apply_vc_defaults().
   bool vcs_explicit = false;
-  /// Set when a key=value override pinned p / a, so a later "h" key
-  /// (which selects the balanced dragonfly) preserves them.
+  /// Set when a key=value override pinned p / a / groups, so a later
+  /// "h" key (which selects the balanced dragonfly) preserves them.
   bool topo_p_explicit = false;
   bool topo_a_explicit = false;
+  bool topo_g_explicit = false;
 
   /// Effective registry key of the selected routing/traffic: the
   /// *_name field when set, else the key of the deprecated enum.

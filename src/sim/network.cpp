@@ -9,10 +9,10 @@ namespace dragonfly {
 
 Network::Network(const SimConfig& cfg)
     : cfg_(cfg),
-      topo_(cfg.topo, make_arrangement(cfg.arrangement)),
-      routing_(make_routing(topo_, cfg_)),
-      traffic_(make_traffic(topo_, cfg_)),
-      collector_(topo_, cfg_) {
+      topo_(make_topology(cfg_)),
+      routing_(make_routing(*topo_, cfg_)),
+      traffic_(make_traffic(*topo_, cfg_)),
+      collector_(*topo_, cfg_) {
   cfg_.validate();
   // Size the event ring past the largest scheduling delay (packet/credit
   // link latencies and delivery serialization) so it never grows in
@@ -27,14 +27,14 @@ Network::Network(const SimConfig& cfg)
 
 void Network::build() {
   const Rng root(cfg_.seed);
-  const int R = topo_.num_routers();
-  const int N = topo_.num_nodes();
-  const int p = topo_.params().p;
+  const int R = topo_->num_routers();
+  const int N = topo_->num_nodes();
+  const int p = topo_->concentration();
 
   routers_.reserve(static_cast<std::size_t>(R));
   for (RouterId r = 0; r < R; ++r) {
     routers_.push_back(std::make_unique<Router>(
-        topo_, cfg_, r, routing_.get(), &store_, this,
+        *topo_, cfg_, r, routing_.get(), &store_, this,
         root.child(0x1000000ull + static_cast<std::uint64_t>(r))));
   }
 
@@ -43,26 +43,31 @@ void Network::build() {
     Router& router = *routers_[static_cast<std::size_t>(r)];
     // Injection inputs / ejection outputs (one per attached node).
     for (int i = 0; i < p; ++i) {
-      router.wire_input(topo_.injection_port(i), PortKind::kInjection,
+      router.wire_input(topo_->injection_port(i), PortKind::kInjection,
                         kInvalidRouter, kInvalidPort, 0);
-      router.wire_output(topo_.ejection_port(i), PortKind::kEjection,
+      router.wire_output(topo_->ejection_port(i), PortKind::kEjection,
                          kInvalidRouter, kInvalidPort, 0);
     }
     // Local links.
-    for (PortId port = topo_.first_local_port();
-         port < topo_.first_global_port(); ++port) {
-      const RouterId peer = topo_.local_peer(r, port);
-      const PortId peer_port = topo_.local_port_to(peer, r);
+    for (PortId port = topo_->first_local_port();
+         port < topo_->first_global_port(); ++port) {
+      const RouterId peer = topo_->local_peer(r, port);
+      const PortId peer_port = topo_->local_port_to(peer, r);
       router.wire_output(port, PortKind::kLocal, peer, peer_port,
                          cfg_.local_latency);
       router.wire_input(port, PortKind::kLocal, peer, peer_port,
                         cfg_.local_latency);
     }
-    // Global links.
-    for (PortId port = topo_.first_global_port();
-         port < topo_.ports_per_router(); ++port) {
-      const RouterId peer = topo_.global_peer(r, port);
-      const PortId peer_port = topo_.global_peer_port(r, port);
+    // Global links. Dead slots of trimmed shapes are wired with an
+    // invalid peer: their buffers exist (occupancy queries return 0)
+    // but no route or candidate set ever selects them.
+    for (PortId port = topo_->first_global_port();
+         port < topo_->ports_per_router(); ++port) {
+      const bool connected = topo_->global_connected(r, port);
+      const RouterId peer = connected ? topo_->global_peer(r, port)
+                                      : kInvalidRouter;
+      const PortId peer_port = connected ? topo_->global_peer_port(r, port)
+                                         : kInvalidPort;
       router.wire_output(port, PortKind::kGlobal, peer, peer_port,
                          cfg_.global_latency);
       router.wire_input(port, PortKind::kGlobal, peer, peer_port,
@@ -73,7 +78,7 @@ void Network::build() {
   nodes_.reserve(static_cast<std::size_t>(N));
   for (NodeId n = 0; n < N; ++n) {
     nodes_.emplace_back(n, routers_[static_cast<std::size_t>(
-                               topo_.router_of_node(n))].get(),
+                               topo_->router_of_node(n))].get(),
                         traffic_.get(), routing_.get(), &store_, &cfg_,
                         root.child(static_cast<std::uint64_t>(n)));
     if (nodes_.back().generates()) ++generating_nodes_;
@@ -81,6 +86,10 @@ void Network::build() {
 }
 
 void Network::step() {
+  // 0. Paranoid-mode invariant sweep (sim.paranoid=N; free when off).
+  if (cfg_.sim_paranoid > 0 && now_ % cfg_.sim_paranoid == 0) {
+    check_invariants();
+  }
   // 1. Dispatch the events due this cycle, in insertion order (the
   // deterministic tie-break). The bucket is swapped out before
   // dispatching so a handler that schedules an event (and possibly grows
@@ -134,6 +143,84 @@ void Network::begin_measurement() {
 void Network::end_measurement() {
   collector_.end_measurement(now_);
   for (auto& router : routers_) router->set_measuring(false);
+}
+
+void Network::check_invariants() const {
+  auto fail = [this](const std::string& what) {
+    throw std::logic_error("check_invariants @" + std::to_string(now_) +
+                           ": " + what);
+  };
+  const int ports = topo_->ports_per_router();
+  std::vector<int> refs(store_.capacity(), 0);
+  auto note = [&](PacketRef ref, const char* where) {
+    if (ref < 0 || static_cast<std::size_t>(ref) >= refs.size()) {
+      fail(std::string(where) + " holds out-of-range packet ref " +
+           std::to_string(ref));
+    }
+    ++refs[static_cast<std::size_t>(ref)];
+  };
+
+  for (const auto& router : routers_) {
+    for (PortId port = 0; port < ports; ++port) {
+      // Credit accounting: every output VC within [0, capacity].
+      const OutputPort& out = router->output(port);
+      for (VcId vc = 0; vc < out.num_vcs(); ++vc) {
+        if (out.credits(vc) < 0 || out.credits(vc) > out.credit_capacity(vc)) {
+          fail("router " + std::to_string(router->id()) + " port " +
+               std::to_string(port) + " vc " + std::to_string(vc) +
+               " credits " + std::to_string(out.credits(vc)) +
+               " outside [0, " + std::to_string(out.credit_capacity(vc)) +
+               "]");
+        }
+      }
+      for (const PendingTx& tx : out.pending()) note(tx.pkt, "output queue");
+      // Buffered input packets, plus FIFO phit-occupancy consistency.
+      const InputPort& in = router->input(port);
+      for (const VcFifo& fifo : in.vcs) {
+        int phits = 0;
+        for (const PacketRef ref : fifo.contents()) {
+          note(ref, "input fifo");
+          phits += store_[ref].size_phits;
+        }
+        if (phits != fifo.occupancy() || phits > fifo.capacity()) {
+          fail("input fifo occupancy " + std::to_string(fifo.occupancy()) +
+               " != buffered phits " + std::to_string(phits) +
+               " (capacity " + std::to_string(fifo.capacity()) + ")");
+        }
+      }
+    }
+  }
+  for (const Node& node : nodes_) {
+    for (const PacketRef ref : node.source_queue()) note(ref, "node queue");
+  }
+  // Pending events: packets in flight / awaiting delivery, and the ring
+  // horizon (a clamped event may carry when <= now, but nothing may be
+  // booked past the ring's span).
+  for (const auto& bucket : ring_) {
+    for (const Event& ev : bucket) {
+      if (ev.when > now_ + static_cast<Cycle>(ring_.size())) {
+        fail("event due @" + std::to_string(ev.when) +
+             " is beyond the ring horizon of " +
+             std::to_string(ring_.size()) + " cycles");
+      }
+      if (ev.type != Event::Type::kCredit) note(ev.pkt, "event ring");
+    }
+  }
+  // Orphan sweep: every live arena slot referenced exactly once, every
+  // dead slot unreferenced.
+  const std::vector<char> live = store_.live_mask();
+  for (std::size_t slot = 0; slot < refs.size(); ++slot) {
+    if (live[slot] && refs[slot] != 1) {
+      fail("live packet " + std::to_string(store_[static_cast<PacketRef>(
+               slot)].id) + " in slot " + std::to_string(slot) +
+           " referenced " + std::to_string(refs[slot]) +
+           " times (orphaned or duplicated)");
+    }
+    if (!live[slot] && refs[slot] != 0) {
+      fail("freed slot " + std::to_string(slot) + " still referenced " +
+           std::to_string(refs[slot]) + " times");
+    }
+  }
 }
 
 void Network::push_event(Cycle when, const Event& ev) {
@@ -226,10 +313,10 @@ std::vector<double> Network::measured_injection_counts() const {
   // UN/ADV/ADVc; the placement pattern keeps outside routers silent).
   std::vector<double> counts;
   counts.reserve(routers_.size());
-  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+  for (RouterId r = 0; r < topo_->num_routers(); ++r) {
     bool any = false;
-    for (int i = 0; i < topo_.params().p && !any; ++i) {
-      any = traffic_->generates(topo_.node_id(r, i));
+    for (int i = 0; i < topo_->concentration() && !any; ++i) {
+      any = traffic_->generates(topo_->node_id(r, i));
     }
     if (any) {
       counts.push_back(static_cast<double>(
@@ -250,7 +337,7 @@ void Network::set_offered_load(double load) {
 
 void Network::set_traffic(const std::string& registry_name) {
   cfg_.traffic_name = traffic_registry().resolve(registry_name);
-  traffic_ = make_traffic(topo_, cfg_);
+  traffic_ = make_traffic(*topo_, cfg_);
   generating_nodes_ = 0;
   for (auto& node : nodes_) {
     node.set_pattern(traffic_.get());

@@ -12,7 +12,7 @@
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
 #include "sim/node.hpp"
-#include "topology/dragonfly.hpp"
+#include "topology/topology.hpp"
 #include "traffic/pattern.hpp"
 
 namespace dragonfly {
@@ -34,6 +34,14 @@ class Network final : public EventSink {
   void begin_measurement();
   void end_measurement();
 
+  /// Cross-check the simulation state (paranoid mode, `sim.paranoid=N`):
+  /// credit counters within [0, capacity], every live packet in the
+  /// arena referenced exactly once (input VC FIFOs, output queues, node
+  /// source queues, in-flight events), pending events within the ring
+  /// horizon. Throws std::logic_error on the first violation. Runs every
+  /// N cycles from step() when the knob is set; free when it is 0.
+  void check_invariants() const;
+
   // --- scripted-phase mutations (Session segment boundaries) --------------
   /// Change the offered load of every generating node mid-run.
   void set_offered_load(double load);
@@ -54,7 +62,7 @@ class Network final : public EventSink {
 
   // --- accessors -------------------------------------------------------------
   const SimConfig& config() const { return cfg_; }
-  const DragonflyTopology& topology() const { return topo_; }
+  const Topology& topology() const { return *topo_; }
   RoutingAlgorithm& routing() { return *routing_; }
   const TrafficPattern& traffic() const { return *traffic_; }
   MetricsCollector& collector() { return collector_; }
@@ -65,8 +73,8 @@ class Network final : public EventSink {
     return *routers_[static_cast<std::size_t>(id)];
   }
   Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
-  int num_routers() const { return topo_.num_routers(); }
-  int num_nodes() const { return topo_.num_nodes(); }
+  int num_routers() const { return topo_->num_routers(); }
+  int num_nodes() const { return topo_->num_nodes(); }
   /// Nodes that generate traffic under the configured pattern.
   int generating_nodes() const { return generating_nodes_; }
 
@@ -110,7 +118,7 @@ class Network final : public EventSink {
   void grow_ring(Cycle min_horizon);
 
   SimConfig cfg_;
-  DragonflyTopology topo_;
+  std::unique_ptr<Topology> topo_;
   std::unique_ptr<RoutingAlgorithm> routing_;
   std::unique_ptr<TrafficPattern> traffic_;
   PacketStore store_;

@@ -37,6 +37,9 @@ class Node {
   std::int64_t generated_total() const { return generated_total_; }
   std::int64_t generated_measured() const { return generated_measured_; }
   std::size_t queue_length() const { return queue_.size(); }
+  /// Queued (generated, not yet injected) packets — the invariant sweep
+  /// counts their arena references.
+  const std::deque<PacketRef>& source_queue() const { return queue_; }
   void reset_measured_counters() { generated_measured_ = 0; }
 
   // --- scripted-phase mutations (Network::set_* at cycle boundaries) -------

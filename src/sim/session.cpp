@@ -26,7 +26,10 @@ constexpr Cycle kWatchdogPeriod = 4096;
 constexpr Cycle kDrainPoll = 64;
 
 constexpr const char* kCheckpointMagic = "dragonfly-session-checkpoint";
-constexpr std::uint32_t kCheckpointVersion = 1;
+/// Bump whenever the serialized layout changes so stale files fail with
+/// the version diagnostic instead of a garbled read. v2: SimConfig
+/// gained topology / topo.g / arrangement_explicit / sim.paranoid.
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 }  // namespace
 

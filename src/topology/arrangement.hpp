@@ -17,21 +17,31 @@
 
 namespace dragonfly {
 
-/// Parameters of a canonical dragonfly (complete graphs at both levels).
+/// Parameters of a dragonfly (complete graphs at both levels). Canonical
+/// shapes have G = a*h + 1 groups (one global link per group pair);
+/// setting `g` trims the group count, which wires multiple parallel
+/// links between group pairs (and possibly leaves dead global ports).
 struct DragonflyParams {
   int p = 0;  ///< nodes per router
   int a = 0;  ///< routers per group
   int h = 0;  ///< global links per router
+  int g = 0;  ///< group-count override: 0 = canonical a*h+1, else [2, a*h+1]
 
   /// Balanced canonical dragonfly of the paper: a = 2h, p = h,
   /// G = a*h + 1 groups.
-  static DragonflyParams balanced(int h) { return {h, 2 * h, h}; }
+  static DragonflyParams balanced(int h) { return {h, 2 * h, h, 0}; }
 
-  int num_groups() const { return a * h + 1; }
+  int num_groups() const { return g > 0 ? g : a * h + 1; }
   int num_routers() const { return num_groups() * a; }
   int num_nodes() const { return num_routers() * p; }
   int global_links_per_group() const { return a * h; }
-  bool valid() const { return p >= 1 && a >= 1 && h >= 1; }
+  /// True when every group pair has exactly one link (the arrangement
+  /// formulas apply); trimmed shapes use the offset-pair wiring instead.
+  bool canonical_groups() const { return num_groups() == a * h + 1; }
+  bool valid() const {
+    return p >= 1 && a >= 1 && h >= 1 &&
+           (g == 0 || (g >= 2 && g <= a * h + 1));
+  }
 };
 
 /// One endpoint of a global link, identified from inside a group.

@@ -1,201 +1,152 @@
 #include "topology/dragonfly.hpp"
 
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "sim/config.hpp"
+
 namespace dragonfly {
+
+namespace {
+
+int positive_mod(long long x, int m) {
+  const long long r = x % m;
+  return static_cast<int>(r < 0 ? r + m : r);
+}
+
+DragonflyParams checked(DragonflyParams params) {
+  if (!params.valid()) {
+    throw std::invalid_argument("DragonflyTopology: invalid parameters");
+  }
+  return params;
+}
+
+}  // namespace
 
 DragonflyTopology::DragonflyTopology(DragonflyParams params,
                                      std::unique_ptr<Arrangement> arrangement)
-    : params_(params), arrangement_(std::move(arrangement)) {
-  if (!params_.valid()) {
-    throw std::invalid_argument("DragonflyTopology: invalid parameters");
-  }
+    : Topology(checked(params).p, params.a, params.num_groups(), params.h),
+      params_(params),
+      arrangement_(std::move(arrangement)) {
   if (!arrangement_) {
     throw std::invalid_argument("DragonflyTopology: null arrangement");
   }
-  build_oracle_tables();
-}
-
-void DragonflyTopology::build_oracle_tables() {
-  const int G = num_groups();
-  const int R = num_routers();
-  exit_.resize(static_cast<std::size_t>(G) * static_cast<std::size_t>(G));
-  for (GroupId from = 0; from < G; ++from) {
-    for (GroupId to = 0; to < G; ++to) {
-      if (from == to) continue;
-      exit_[static_cast<std::size_t>(from) * static_cast<std::size_t>(G) +
-            static_cast<std::size_t>(to)] =
-          arrangement_->exit_towards(params_, from, to);
-    }
-  }
-  min_out_.resize(static_cast<std::size_t>(R) * static_cast<std::size_t>(R),
-                  kInvalidPort);
-  for (RouterId at = 0; at < R; ++at) {
-    const GroupId gat = group_of_router(at);
-    for (RouterId dst = 0; dst < R; ++dst) {
-      if (at == dst) continue;
-      PortId out;
-      const GroupId gdst = group_of_router(dst);
-      if (gat == gdst) {
-        out = local_port_to(at, dst);
-      } else {
-        const GlobalEndpoint& e =
-            exit_[static_cast<std::size_t>(gat) * static_cast<std::size_t>(G) +
-                  static_cast<std::size_t>(gdst)];
-        const RouterId exit = router_id(e.group, e.router_in_group);
-        out = exit == at ? global_port(e.global_port)
-                         : local_port_to(at, exit);
+  const int G = params_.num_groups();
+  if (params_.canonical_groups()) {
+    // One link per group pair, wired by the arrangement formulas. The
+    // arrangement's exit_towards must agree with its own wiring — a
+    // user-registered arrangement with an inconsistent implementation
+    // fails here instead of being silently ignored.
+    for (GroupId g = 0; g < G; ++g) {
+      for (int r = 0; r < params_.a; ++r) {
+        for (int k = 0; k < params_.h; ++k) {
+          const GlobalEndpoint peer = arrangement_->peer_of(params_, g, r, k);
+          wire_global(g, r, k, peer.group, peer.router_in_group,
+                      peer.global_port);
+          const GroupId target =
+              arrangement_->target_group(params_, g, r, k);
+          if (target != peer.group) {
+            throw std::logic_error("arrangement: peer group mismatch");
+          }
+          const GlobalEndpoint exit =
+              arrangement_->exit_towards(params_, g, target);
+          if (exit.router_in_group != r || exit.global_port != k) {
+            throw std::logic_error("arrangement: exit_towards inconsistent");
+          }
+        }
       }
-      min_out_[static_cast<std::size_t>(at) * static_cast<std::size_t>(R) +
-               static_cast<std::size_t>(dst)] = out;
     }
+  } else {
+    // Trimmed G: offset-pair wiring. Slots (2i, 2i+1) of every group get
+    // offsets +d and -d for d = 1, 2, ... skipping multiples of G, so
+    // slot 2i of group g links to slot 2i+1 of group g+d (involutive by
+    // construction, never a self link). Coverage of all G-1 offsets
+    // holds because G <= a*h gives at least ceil((G-1)/2) pairs.
+    const int L = params_.a * params_.h;
+    int j = 0;
+    long long d = 1;
+    while (j + 1 < L) {
+      if (d % G == 0) {
+        ++d;
+        continue;
+      }
+      const int off = static_cast<int>(d % G);
+      for (GroupId g = 0; g < G; ++g) {
+        wire_global(g, j / params_.h, j % params_.h, (g + off) % G,
+                    (j + 1) / params_.h, (j + 1) % params_.h);
+        wire_global(g, (j + 1) / params_.h, (j + 1) % params_.h,
+                    positive_mod(static_cast<long long>(g) - off, G),
+                    j / params_.h, j % params_.h);
+      }
+      j += 2;
+      ++d;
+    }
+    // L odd: the last slot of every group stays dead.
   }
+  finalize();
 }
 
 DragonflyTopology DragonflyTopology::balanced_palmtree(int h) {
   return DragonflyTopology(DragonflyParams::balanced(h), make_palmtree());
 }
 
-PortKind DragonflyTopology::input_port_kind(PortId port) const {
-  if (port < params_.p) return PortKind::kInjection;
-  if (port < first_global_port()) return PortKind::kLocal;
-  return PortKind::kGlobal;
+std::string DragonflyTopology::name() const {
+  std::ostringstream os;
+  os << "dfly:" << params_.p << "," << params_.a << "," << params_.h;
+  if (!params_.canonical_groups()) os << "," << params_.num_groups();
+  return os.str();
 }
 
-PortKind DragonflyTopology::output_port_kind(PortId port) const {
-  if (port < params_.p) return PortKind::kEjection;
-  if (port < first_global_port()) return PortKind::kLocal;
-  return PortKind::kGlobal;
+PortId DragonflyTopology::compute_minimal_output(RouterId at,
+                                                 RouterId dst) const {
+  const GroupId gat = group_of_router(at);
+  const GroupId gdst = group_of_router(dst);
+  if (gat == gdst) return local_port_to(at, dst);
+  // Hierarchical minimal: head for the exit global link towards the
+  // destination group (a link owned by this router when one exists,
+  // else the group's default), cross it, finish locally.
+  const GlobalLinkRef link = exit_link(at, gdst);
+  return link.router == at ? link.port : local_port_to(at, link.router);
 }
 
-PortId DragonflyTopology::local_port_to(RouterId from, RouterId to) const {
-  if (group_of_router(from) != group_of_router(to) || from == to) {
-    throw std::invalid_argument("local_port_to: not a local pair");
+DragonflyParams parse_dragonfly_args(const std::string& args,
+                                     const DragonflyParams& defaults) {
+  if (args.empty()) return defaults;
+  const std::vector<int> values =
+      parse_spec_ints(args, "topology dfly: expected \"dfly[:p,a,h[,G]]\"");
+  if (values.size() != 3 && values.size() != 4) {
+    throw std::invalid_argument(
+        "topology dfly: expected \"dfly[:p,a,h[,G]]\", got \"" + args + "\"");
   }
-  const int rf = router_in_group(from);
-  const int rt = router_in_group(to);
-  // Local port l in [0, a-1) of router rf connects to router (l < rf ? l
-  // : l + 1): every router skips itself in the enumeration.
-  const int l = rt < rf ? rt : rt - 1;
-  return first_local_port() + l;
-}
-
-RouterId DragonflyTopology::local_peer(RouterId r, PortId port) const {
-  const int l = port - first_local_port();
-  if (l < 0 || l >= params_.a - 1) {
-    throw std::invalid_argument("local_peer: not a local port");
+  DragonflyParams params;
+  params.p = values[0];
+  params.a = values[1];
+  params.h = values[2];
+  params.g = values.size() == 4 ? values[3] : 0;
+  if (!params.valid()) {
+    throw std::invalid_argument(
+        "topology dfly: invalid shape \"" + args +
+        "\" (need p,a,h >= 1 and G in {0} u [2, a*h+1])");
   }
-  const int rf = router_in_group(r);
-  const int rt = l < rf ? l : l + 1;
-  return router_id(group_of_router(r), rt);
+  return params;
 }
 
-RouterId DragonflyTopology::global_peer(RouterId r, PortId port) const {
-  const int k = global_index_of_port(port);
-  const GlobalEndpoint peer = arrangement_->peer_of(
-      params_, group_of_router(r), router_in_group(r), k);
-  return router_id(peer.group, peer.router_in_group);
-}
+namespace {
+const TopologyRegistry::Registrar kRegisterDfly{
+    topology_registry(), "dfly",
+    [](const std::string& args,
+       const SimConfig& cfg) -> std::unique_ptr<Topology> {
+      return std::make_unique<DragonflyTopology>(
+          parse_dragonfly_args(args, cfg.topo),
+          make_arrangement(cfg.arrangement));
+    },
+    {"dragonfly"}};
+}  // namespace
 
-PortId DragonflyTopology::global_peer_port(RouterId r, PortId port) const {
-  const int k = global_index_of_port(port);
-  const GlobalEndpoint peer = arrangement_->peer_of(
-      params_, group_of_router(r), router_in_group(r), k);
-  return global_port(peer.global_port);
-}
-
-GroupId DragonflyTopology::global_target_group(RouterId r, PortId port) const {
-  const int k = global_index_of_port(port);
-  return arrangement_->target_group(params_, group_of_router(r),
-                                    router_in_group(r), k);
-}
-
-RouterId DragonflyTopology::exit_router(GroupId from, GroupId to) const {
-  if (from == to) throw std::invalid_argument("exit_router: same group");
-  const GlobalEndpoint& e =
-      exit_[static_cast<std::size_t>(from) *
-                static_cast<std::size_t>(num_groups()) +
-            static_cast<std::size_t>(to)];
-  return router_id(e.group, e.router_in_group);
-}
-
-PortId DragonflyTopology::exit_port(GroupId from, GroupId to) const {
-  if (from == to) throw std::invalid_argument("exit_port: same group");
-  const GlobalEndpoint& e =
-      exit_[static_cast<std::size_t>(from) *
-                static_cast<std::size_t>(num_groups()) +
-            static_cast<std::size_t>(to)];
-  return global_port(e.global_port);
-}
-
-PortId DragonflyTopology::minimal_output(RouterId at, NodeId dst) const {
-  const RouterId dst_router = router_of_node(dst);
-  if (at == dst_router) return ejection_port(node_index_in_router(dst));
-  return min_out_[static_cast<std::size_t>(at) *
-                      static_cast<std::size_t>(num_routers()) +
-                  static_cast<std::size_t>(dst_router)];
-}
-
-PathLengths DragonflyTopology::minimal_lengths_router(RouterId src,
-                                                      RouterId dst) const {
-  PathLengths len;
-  if (src == dst) return len;
-  const GroupId gs = group_of_router(src);
-  const GroupId gd = group_of_router(dst);
-  if (gs == gd) {
-    len.local = 1;
-    return len;
-  }
-  const RouterId exit = exit_router(gs, gd);
-  const RouterId entry = global_peer(exit, exit_port(gs, gd));
-  len.global = 1;
-  if (exit != src) len.local += 1;
-  if (entry != dst) len.local += 1;
-  return len;
-}
-
-PathLengths DragonflyTopology::minimal_lengths(NodeId src, NodeId dst) const {
-  return minimal_lengths_router(router_of_node(src), router_of_node(dst));
-}
-
-void DragonflyTopology::validate() const {
-  const int G = num_groups();
-  // Each ordered pair of distinct groups must be covered by exactly one
-  // link endpoint, and peer_of must be an involution.
-  std::vector<int> seen(static_cast<std::size_t>(G) * G, 0);
-  for (GroupId g = 0; g < G; ++g) {
-    for (int r = 0; r < params_.a; ++r) {
-      for (int k = 0; k < params_.h; ++k) {
-        const GroupId tgt = arrangement_->target_group(params_, g, r, k);
-        if (tgt == g) throw std::logic_error("arrangement: self link");
-        ++seen[static_cast<std::size_t>(g) * G + tgt];
-        const GlobalEndpoint peer = arrangement_->peer_of(params_, g, r, k);
-        if (peer.group != tgt) {
-          throw std::logic_error("arrangement: peer group mismatch");
-        }
-        const GlobalEndpoint back = arrangement_->peer_of(
-            params_, peer.group, peer.router_in_group, peer.global_port);
-        if (back.group != g || back.router_in_group != r ||
-            back.global_port != k) {
-          throw std::logic_error("arrangement: peer_of not involutive");
-        }
-        const GlobalEndpoint exit = arrangement_->exit_towards(params_, g, tgt);
-        if (exit.router_in_group != r || exit.global_port != k) {
-          throw std::logic_error("arrangement: exit_towards inconsistent");
-        }
-      }
-    }
-  }
-  for (GroupId g = 0; g < G; ++g) {
-    for (GroupId t = 0; t < G; ++t) {
-      const int expect = g == t ? 0 : 1;
-      if (seen[static_cast<std::size_t>(g) * G + t] != expect) {
-        throw std::logic_error("arrangement: group pair coverage != 1");
-      }
-    }
-  }
-}
+namespace detail {
+void link_dragonfly_topology() {}
+}  // namespace detail
 
 }  // namespace dragonfly

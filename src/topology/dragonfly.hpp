@@ -1,29 +1,29 @@
-// Canonical Dragonfly topology: identifier arithmetic, port layout and the
-// minimal-path oracle used by every routing mechanism.
+// Dragonfly topology family ("dfly"): canonical, unbalanced and
+// trimmed-G shapes behind the generic Topology interface.
 //
-// Port numbering convention (shared by input and output sides of a router):
-//   [0, p)              injection (input) / ejection (output) — one per node
-//   [p, p + a - 1)      local links to the other a-1 routers of the group
-//   [p + a - 1, +h)     global links, k-th global port of the router
+// Canonical shapes (G = a*h + 1) wire exactly one global link between
+// every group pair through a pluggable Arrangement (palmtree,
+// consecutive, or user-registered). Trimmed shapes (2 <= G <= a*h) use
+// a deterministic offset-pair wiring: link slots are paired (2i, 2i+1)
+// and assigned group offsets +-d for d = 1, 2, ... (skipping multiples
+// of G), which yields an involutive, self-link-free wiring that covers
+// every group pair at least once; an odd trailing slot stays dead.
+//
+// Minimal routing is hierarchical (local to the exit router, one global
+// hop, local to the destination) — never the graph-shortest path, which
+// dragonfly routing treats as non-minimal.
 #pragma once
 
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "common/types.hpp"
 #include "topology/arrangement.hpp"
+#include "topology/topology.hpp"
 
 namespace dragonfly {
 
-/// Hop-count description of a path (links, not routers).
-struct PathLengths {
-  int local = 0;
-  int global = 0;
-  int total() const { return local + global; }
-};
-
-class DragonflyTopology {
+class DragonflyTopology final : public Topology {
  public:
   DragonflyTopology(DragonflyParams params,
                     std::unique_ptr<Arrangement> arrangement);
@@ -34,85 +34,21 @@ class DragonflyTopology {
   const DragonflyParams& params() const { return params_; }
   const Arrangement& arrangement() const { return *arrangement_; }
 
-  int num_groups() const { return params_.num_groups(); }
-  int num_routers() const { return params_.num_routers(); }
-  int num_nodes() const { return params_.num_nodes(); }
+  std::string name() const override;
+  std::string family() const override { return "dfly"; }
 
-  // --- identifier arithmetic -------------------------------------------
-  GroupId group_of_router(RouterId r) const { return r / params_.a; }
-  int router_in_group(RouterId r) const { return r % params_.a; }
-  RouterId router_id(GroupId g, int r_in_group) const {
-    return g * params_.a + r_in_group;
-  }
-  RouterId router_of_node(NodeId n) const { return n / params_.p; }
-  int node_index_in_router(NodeId n) const { return n % params_.p; }
-  NodeId node_id(RouterId r, int node_index) const {
-    return r * params_.p + node_index;
-  }
-  GroupId group_of_node(NodeId n) const {
-    return group_of_router(router_of_node(n));
-  }
-
-  // --- port layout -------------------------------------------------------
-  int ports_per_router() const { return params_.p + params_.a - 1 + params_.h; }
-  int first_local_port() const { return params_.p; }
-  int first_global_port() const { return params_.p + params_.a - 1; }
-  PortKind input_port_kind(PortId port) const;
-  /// Output-side kind: same layout, but ports [0,p) are ejection.
-  PortKind output_port_kind(PortId port) const;
-
-  PortId injection_port(int node_index) const { return node_index; }
-  PortId ejection_port(int node_index) const { return node_index; }
-  PortId global_port(int k) const { return first_global_port() + k; }
-  int global_index_of_port(PortId port) const {
-    return port - first_global_port();
-  }
-
-  /// Local port on router `from` that reaches router `to` (same group).
-  PortId local_port_to(RouterId from, RouterId to) const;
-  /// Router on the other side of local port `port` of router `r`.
-  RouterId local_peer(RouterId r, PortId port) const;
-
-  /// Router on the other side of global port `port` of router `r`.
-  RouterId global_peer(RouterId r, PortId port) const;
-  /// Port on the peer router that terminates the same global link.
-  PortId global_peer_port(RouterId r, PortId port) const;
-  /// Group reached through global port `port` of router `r`.
-  GroupId global_target_group(RouterId r, PortId port) const;
-
-  // --- minimal-path oracle ------------------------------------------------
-  /// Router of group `from` owning the (unique) global link to group `to`.
-  RouterId exit_router(GroupId from, GroupId to) const;
-  /// Global port on `exit_router(from,to)` for that link.
-  PortId exit_port(GroupId from, GroupId to) const;
-
-  /// Output port a minimally-routed packet takes at router `at` towards
-  /// node `dst` (ejection port if `dst` hangs off `at`).
-  PortId minimal_output(RouterId at, NodeId dst) const;
-
-  /// Link counts of the minimal path between two nodes (lgl at most:
-  /// local <= 2, global <= 1 in a canonical dragonfly).
-  PathLengths minimal_lengths(NodeId src, NodeId dst) const;
-  /// Minimal path between routers (ignores injection/ejection).
-  PathLengths minimal_lengths_router(RouterId src, RouterId dst) const;
-
-  /// Throws std::logic_error if the arrangement wiring is inconsistent
-  /// (non-involutive peers, duplicate group pairs, self links).
-  void validate() const;
+ protected:
+  PortId compute_minimal_output(RouterId at, RouterId dst) const override;
 
  private:
-  void build_oracle_tables();
-
   DragonflyParams params_;
   std::unique_ptr<Arrangement> arrangement_;
-  /// Minimal-path oracle tables, precomputed at construction: routing
-  /// queries run once per buffered packet per cycle, so the arrangement's
-  /// arithmetic (a virtual call per query) is hoisted into plain lookups.
-  /// exit_[from * G + to]: group-level exit endpoint (self pairs unused).
-  std::vector<GlobalEndpoint> exit_;
-  /// min_out_[at * R + dst_router]: output port of the minimal route
-  /// (self pairs unused — ejection needs the node index).
-  std::vector<PortId> min_out_;
 };
+
+/// Parse the "p,a,h[,G]" argument part of a "dfly:..." spec; an empty
+/// string returns `defaults`. Throws std::invalid_argument (with the
+/// grammar) on malformed input.
+DragonflyParams parse_dragonfly_args(const std::string& args,
+                                     const DragonflyParams& defaults);
 
 }  // namespace dragonfly

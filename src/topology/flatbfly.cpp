@@ -1,0 +1,102 @@
+#include "topology/flatbfly.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace dragonfly {
+
+namespace {
+
+FlatButterflyShape checked(FlatButterflyShape shape) {
+  if (!shape.valid()) {
+    throw std::invalid_argument(
+        "FlatButterflyTopology: invalid shape (need k >= 2, n in {2,3})");
+  }
+  return shape;
+}
+
+}  // namespace
+
+FlatButterflyTopology::FlatButterflyTopology(FlatButterflyShape shape)
+    : Topology(checked(shape).concentration(), shape.a(), shape.groups(),
+               shape.global_slots()),
+      shape_(shape) {
+  if (shape_.n == 3) {
+    // Column wiring: router x of row (group) y, slot s reaches row
+    // (s < y ? s : s + 1) — the skip-self enumeration also used for
+    // local ports — landing on the same column x.
+    const int k = shape_.k;
+    for (GroupId y = 0; y < k; ++y) {
+      for (int x = 0; x < k; ++x) {
+        for (int s = 0; s < k - 1; ++s) {
+          const GroupId yp = s < y ? s : s + 1;
+          const int sp = y < yp ? y : y - 1;
+          wire_global(y, x, s, yp, x, sp);
+        }
+      }
+    }
+  }
+  finalize();
+}
+
+std::string FlatButterflyTopology::name() const {
+  std::ostringstream os;
+  os << "flatbfly:" << shape_.k << "," << shape_.n;
+  if (shape_.p > 0 && shape_.p != shape_.k) os << "," << shape_.p;
+  return os.str();
+}
+
+PortId FlatButterflyTopology::compute_minimal_output(RouterId at,
+                                                     RouterId dst) const {
+  const GroupId gat = group_of_router(at);
+  const GroupId gdst = group_of_router(dst);
+  if (gat == gdst) return local_port_to(at, dst);
+  // Dimension order: correct the in-row coordinate first (local hop),
+  // then take the direct column link to the destination row.
+  const int x_at = router_in_group(at);
+  const int x_dst = router_in_group(dst);
+  if (x_at != x_dst) return local_port_to(at, router_id(gat, x_dst));
+  return global_port(gdst < gat ? gdst : gdst - 1);
+}
+
+FlatButterflyShape parse_flatbfly_args(const std::string& args) {
+  const std::vector<int> values = parse_spec_ints(
+      args, "topology flatbfly: expected \"flatbfly:k,n[,p]\"");
+  if (values.size() != 2 && values.size() != 3) {
+    throw std::invalid_argument(
+        "topology flatbfly: expected \"flatbfly:k,n[,p]\" (k routers per "
+        "dimension, n-1 dimensions, optional concentration), got \"" + args +
+        "\"");
+  }
+  FlatButterflyShape shape;
+  shape.k = values[0];
+  shape.n = values[1];
+  shape.p = values.size() == 3 ? values[2] : 0;
+  if (!shape.valid() || (values.size() == 3 && shape.p < 1)) {
+    throw std::invalid_argument(
+        "topology flatbfly: unsupported shape \"" + args +
+        "\" (need k >= 2, n in {2,3}, p >= 1)");
+  }
+  return shape;
+}
+
+namespace {
+const TopologyRegistry::Registrar kRegisterFlatBfly{
+    topology_registry(), "flatbfly",
+    [](const std::string& args,
+       const SimConfig& cfg) -> std::unique_ptr<Topology> {
+      (void)cfg;
+      return std::make_unique<FlatButterflyTopology>(
+          parse_flatbfly_args(args));
+    },
+    {"flattened-butterfly"}};
+}  // namespace
+
+namespace detail {
+void link_flatbfly_topology() {}
+}  // namespace detail
+
+}  // namespace dragonfly

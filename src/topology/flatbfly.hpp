@@ -1,0 +1,57 @@
+// Flattened butterfly topology family ("flatbfly", Kim et al., ISCA
+// 2007): the k-ary n-flat mapped onto the hierarchical group frame.
+//
+//   flatbfly:k,2[,p] — one dimension: k fully-connected routers form a
+//                      single group (no global links).
+//   flatbfly:k,3[,p] — two dimensions: routers sit on a k x k grid
+//                      (x, y). Rows (fixed y) are groups with complete
+//                      local graphs; column links (fixed x, varying y)
+//                      are the global links, so every group pair is
+//                      joined by k parallel links — one per column.
+//
+// Concentration p defaults to k (the standard c = k flattened
+// butterfly). Minimal routing is dimension-ordered: correct x with one
+// local hop, then y with one global hop (<= 2 link hops total).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "topology/topology.hpp"
+
+namespace dragonfly {
+
+struct FlatButterflyShape {
+  int k = 0;  ///< routers per dimension (>= 2)
+  int n = 0;  ///< fly-view stage count: n - 1 router dimensions (2 or 3)
+  int p = 0;  ///< concentration; 0 = default k
+
+  int concentration() const { return p > 0 ? p : k; }
+  int a() const { return k; }
+  int groups() const { return n == 3 ? k : 1; }
+  int global_slots() const { return n == 3 ? k - 1 : 0; }
+  bool valid() const { return k >= 2 && (n == 2 || n == 3) && p >= 0; }
+};
+
+class FlatButterflyTopology final : public Topology {
+ public:
+  explicit FlatButterflyTopology(FlatButterflyShape shape);
+
+  const FlatButterflyShape& shape() const { return shape_; }
+
+  std::string name() const override;
+  std::string family() const override { return "flatbfly"; }
+
+ protected:
+  PortId compute_minimal_output(RouterId at, RouterId dst) const override;
+
+ private:
+  FlatButterflyShape shape_;
+};
+
+/// Parse the "k,n[,p]" argument part of a "flatbfly:..." spec. Throws
+/// std::invalid_argument (with the grammar) on malformed input or an
+/// unsupported shape.
+FlatButterflyShape parse_flatbfly_args(const std::string& args);
+
+}  // namespace dragonfly

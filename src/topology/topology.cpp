@@ -1,0 +1,388 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/config.hpp"
+#include "topology/dragonfly.hpp"
+#include "topology/flatbfly.hpp"
+
+namespace dragonfly {
+
+Topology::Topology(int p, int a, int groups, int global_slots)
+    : p_(p), a_(a), groups_(groups), h_(global_slots) {
+  if (p_ < 1 || a_ < 1 || groups_ < 1 || h_ < 0) {
+    throw std::invalid_argument("Topology: invalid geometry (p=" +
+                                std::to_string(p_) + ", a=" +
+                                std::to_string(a_) + ", G=" +
+                                std::to_string(groups_) + ", h=" +
+                                std::to_string(h_) + ")");
+  }
+  peers_.resize(static_cast<std::size_t>(num_routers()) *
+                static_cast<std::size_t>(h_));
+}
+
+PortKind Topology::input_port_kind(PortId port) const {
+  if (port < p_) return PortKind::kInjection;
+  if (port < first_global_port()) return PortKind::kLocal;
+  return PortKind::kGlobal;
+}
+
+PortKind Topology::output_port_kind(PortId port) const {
+  if (port < p_) return PortKind::kEjection;
+  if (port < first_global_port()) return PortKind::kLocal;
+  return PortKind::kGlobal;
+}
+
+PortId Topology::local_port_to(RouterId from, RouterId to) const {
+  if (group_of_router(from) != group_of_router(to) || from == to) {
+    throw std::invalid_argument("local_port_to: not a local pair");
+  }
+  const int rf = router_in_group(from);
+  const int rt = router_in_group(to);
+  // Local port l in [0, a-1) of router rf connects to router (l < rf ? l
+  // : l + 1): every router skips itself in the enumeration.
+  const int l = rt < rf ? rt : rt - 1;
+  return first_local_port() + l;
+}
+
+RouterId Topology::local_peer(RouterId r, PortId port) const {
+  const int l = port - first_local_port();
+  if (l < 0 || l >= a_ - 1) {
+    throw std::invalid_argument("local_peer: not a local port");
+  }
+  const int rf = router_in_group(r);
+  const int rt = l < rf ? l : l + 1;
+  return router_id(group_of_router(r), rt);
+}
+
+bool Topology::global_connected(RouterId r, PortId port) const {
+  const int k = global_index_of_port(port);
+  if (k < 0 || k >= h_) return false;
+  return peers_[slot_index(r, k)].router != kInvalidRouter;
+}
+
+RouterId Topology::global_peer(RouterId r, PortId port) const {
+  const Endpoint& e = peers_[slot_index(r, global_index_of_port(port))];
+  if (e.router == kInvalidRouter) {
+    throw std::invalid_argument("global_peer: unconnected global port");
+  }
+  return e.router;
+}
+
+PortId Topology::global_peer_port(RouterId r, PortId port) const {
+  const Endpoint& e = peers_[slot_index(r, global_index_of_port(port))];
+  if (e.router == kInvalidRouter) {
+    throw std::invalid_argument("global_peer_port: unconnected global port");
+  }
+  return global_port(e.port);
+}
+
+GroupId Topology::global_target_group(RouterId r, PortId port) const {
+  return group_of_router(global_peer(r, port));
+}
+
+void Topology::wire_global(GroupId g, int r_in_group, int k,
+                           GroupId peer_group, int peer_r_in_group,
+                           int peer_k) {
+  if (k < 0 || k >= h_ || peer_k < 0 || peer_k >= h_) {
+    throw std::logic_error("wire_global: slot out of range");
+  }
+  Endpoint& slot = peers_[slot_index(router_id(g, r_in_group), k)];
+  if (slot.router != kInvalidRouter) {
+    throw std::logic_error("wire_global: slot wired twice");
+  }
+  slot.router = router_id(peer_group, peer_r_in_group);
+  slot.port = peer_k;
+}
+
+void Topology::finalize() {
+  const int R = num_routers();
+  const int G = groups_;
+
+  // Wiring sanity: involution, no self-group links.
+  for (RouterId r = 0; r < R; ++r) {
+    for (int k = 0; k < h_; ++k) {
+      const Endpoint& e = peers_[slot_index(r, k)];
+      if (e.router == kInvalidRouter) continue;
+      if (group_of_router(e.router) == group_of_router(r)) {
+        throw std::logic_error("topology: global link inside one group");
+      }
+      const Endpoint& back = peers_[slot_index(e.router, e.port)];
+      if (back.router != r || back.port != k) {
+        throw std::logic_error("topology: global wiring not involutive");
+      }
+    }
+  }
+
+  // Connected-link enumeration, naturally sorted by (group, router, slot).
+  group_links_.clear();
+  group_links_begin_.assign(static_cast<std::size_t>(G) + 1, 0);
+  router_links_begin_.assign(static_cast<std::size_t>(R) + 1, 0);
+  for (RouterId r = 0; r < R; ++r) {
+    router_links_begin_[static_cast<std::size_t>(r)] =
+        static_cast<int>(group_links_.size());
+    for (int k = 0; k < h_; ++k) {
+      const Endpoint& e = peers_[slot_index(r, k)];
+      if (e.router == kInvalidRouter) continue;
+      group_links_.push_back(
+          {r, global_port(k), group_of_router(e.router)});
+    }
+  }
+  router_links_begin_[static_cast<std::size_t>(R)] =
+      static_cast<int>(group_links_.size());
+  for (GroupId g = 0; g <= G; ++g) {
+    group_links_begin_[static_cast<std::size_t>(g)] =
+        router_links_begin_[static_cast<std::size_t>(
+            std::min(g * a_, R))];
+  }
+
+  // Default exit link per ordered group pair: the lowest (router, slot)
+  // link, which is the unique one in canonical dragonflies.
+  group_exit_.assign(static_cast<std::size_t>(G) * static_cast<std::size_t>(G),
+                     GlobalLinkRef{});
+  for (const GlobalLinkRef& link : group_links_) {
+    GlobalLinkRef& slot =
+        group_exit_[static_cast<std::size_t>(
+                        group_of_router(link.router)) *
+                        static_cast<std::size_t>(G) +
+                    static_cast<std::size_t>(link.target)];
+    if (!slot.valid()) slot = link;
+  }
+  for (GroupId g = 0; g < G; ++g) {
+    for (GroupId t = 0; t < G; ++t) {
+      if (g == t) continue;
+      if (!group_exit_[static_cast<std::size_t>(g) *
+                           static_cast<std::size_t>(G) +
+                       static_cast<std::size_t>(t)]
+               .valid()) {
+        throw std::logic_error(
+            "topology: no global link between groups " + std::to_string(g) +
+            " and " + std::to_string(t) +
+            " (hierarchical minimal routing needs direct group coverage)");
+      }
+    }
+  }
+
+  // Minimal oracle: the family defines the next hop, the base derives
+  // per-pair hop lengths by walking it (guarding against routing loops).
+  min_out_.assign(static_cast<std::size_t>(R) * static_cast<std::size_t>(R),
+                  kInvalidPort);
+  for (RouterId at = 0; at < R; ++at) {
+    for (RouterId dst = 0; dst < R; ++dst) {
+      if (at == dst) continue;
+      const PortId out = compute_minimal_output(at, dst);
+      if (out < first_local_port() || out >= ports_per_router()) {
+        throw std::logic_error("topology: minimal output is not a link port");
+      }
+      min_out_[static_cast<std::size_t>(at) * static_cast<std::size_t>(R) +
+               static_cast<std::size_t>(dst)] = out;
+    }
+  }
+  min_local_.assign(min_out_.size(), 0);
+  min_global_.assign(min_out_.size(), 0);
+  max_minimal_hops_ = 0;
+  for (RouterId at = 0; at < R; ++at) {
+    for (RouterId dst = 0; dst < R; ++dst) {
+      if (at == dst) continue;
+      int local = 0;
+      int global = 0;
+      RouterId cur = at;
+      while (cur != dst) {
+        const PortId out =
+            min_out_[static_cast<std::size_t>(cur) *
+                         static_cast<std::size_t>(R) +
+                     static_cast<std::size_t>(dst)];
+        if (output_port_kind(out) == PortKind::kLocal) {
+          cur = local_peer(cur, out);
+          ++local;
+        } else {
+          cur = global_peer(cur, out);
+          ++global;
+        }
+        if (local + global > R) {
+          throw std::logic_error("topology: minimal route does not reach " +
+                                 std::to_string(dst) + " from " +
+                                 std::to_string(at));
+        }
+      }
+      if (local > 255 || global > 255) {
+        throw std::logic_error("topology: minimal path too long to encode");
+      }
+      const std::size_t idx =
+          static_cast<std::size_t>(at) * static_cast<std::size_t>(R) +
+          static_cast<std::size_t>(dst);
+      min_local_[idx] = static_cast<std::uint8_t>(local);
+      min_global_[idx] = static_cast<std::uint8_t>(global);
+      max_minimal_hops_ = std::max(max_minimal_hops_, local + global);
+    }
+  }
+}
+
+GlobalLinkRef Topology::minimal_global_link(RouterId at,
+                                            RouterId dst_router) const {
+  if (group_of_router(at) == group_of_router(dst_router)) return {};
+  RouterId cur = at;
+  for (int hop = 0; hop <= max_minimal_hops_; ++hop) {
+    const PortId out =
+        min_out_[static_cast<std::size_t>(cur) *
+                     static_cast<std::size_t>(num_routers()) +
+                 static_cast<std::size_t>(dst_router)];
+    if (output_port_kind(out) == PortKind::kGlobal) {
+      return {cur, out, global_target_group(cur, out)};
+    }
+    cur = local_peer(cur, out);
+  }
+  throw std::logic_error("minimal_global_link: no global hop on the path");
+}
+
+GlobalLinkRef Topology::exit_link(RouterId at, GroupId target) const {
+  if (group_of_router(at) == target) {
+    throw std::invalid_argument("exit_link: target is the local group");
+  }
+  const int own = router_link_count(at);
+  for (int i = 0; i < own; ++i) {
+    const GlobalLinkRef& link = router_link(at, i);
+    if (link.target == target) return link;
+  }
+  return group_exit_link(group_of_router(at), target);
+}
+
+const GlobalLinkRef& Topology::group_exit_link(GroupId from, GroupId to) const {
+  if (from == to) throw std::invalid_argument("group_exit_link: same group");
+  const GlobalLinkRef& link =
+      group_exit_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(groups_) +
+                  static_cast<std::size_t>(to)];
+  if (!link.valid()) {
+    throw std::logic_error("group_exit_link: groups not directly linked");
+  }
+  return link;
+}
+
+VcId Topology::vc_for_hop(PortKind kind, GroupId here, GroupId src_group,
+                          GroupId dst_group, int global_hops, int local_vcs,
+                          int global_vcs) const {
+  switch (kind) {
+    case PortKind::kGlobal:
+      return std::min(global_hops, global_vcs - 1);
+    case PortKind::kLocal: {
+      if (here == src_group && global_hops == 0) return 0;
+      if (here == dst_group) return std::min(2, local_vcs - 1);
+      return std::min(1, local_vcs - 1);
+    }
+    case PortKind::kEjection:
+      return 0;
+    case PortKind::kInjection:
+      break;
+  }
+  throw std::logic_error("vc_for_hop: injection is not an output");
+}
+
+void Topology::validate() const {
+  const int R = num_routers();
+  // Peer involution and kind consistency over the connected global links.
+  for (RouterId r = 0; r < R; ++r) {
+    for (int k = 0; k < h_; ++k) {
+      const PortId port = global_port(k);
+      if (!global_connected(r, port)) continue;
+      const RouterId peer = global_peer(r, port);
+      const PortId peer_port = global_peer_port(r, port);
+      if (!global_connected(peer, peer_port) ||
+          global_peer(peer, peer_port) != r ||
+          global_peer_port(peer, peer_port) != port) {
+        throw std::logic_error("topology: global peers not involutive");
+      }
+      if (global_target_group(r, port) == group_of_router(r)) {
+        throw std::logic_error("topology: self-group global link");
+      }
+    }
+  }
+  // Every ordered group pair must own a default exit link; the minimal
+  // oracle must terminate (checked at finalize, re-checked cheaply here
+  // through group_exit_link's throw).
+  for (GroupId g = 0; g < groups_; ++g) {
+    for (GroupId t = 0; t < groups_; ++t) {
+      if (g != t) (void)group_exit_link(g, t);
+    }
+  }
+}
+
+// --- registry ----------------------------------------------------------------
+
+namespace detail {
+void link_dragonfly_topology();
+void link_flatbfly_topology();
+}  // namespace detail
+
+TopologyRegistry& topology_registry() {
+  static TopologyRegistry registry("topology");
+  static const bool anchored = [] {
+    detail::link_dragonfly_topology();
+    detail::link_flatbfly_topology();
+    return true;
+  }();
+  (void)anchored;
+  return registry;
+}
+
+std::pair<std::string, std::string> split_topology_spec(
+    const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, std::string()};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+std::vector<int> parse_spec_ints(const std::string& args,
+                                 const std::string& grammar) {
+  std::vector<int> values;
+  std::istringstream is(args);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    std::size_t pos = 0;
+    int value = 0;
+    try {
+      value = std::stoi(item, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != item.size() || item.empty()) {
+      throw std::invalid_argument(grammar + ", got bad integer \"" + item +
+                                  "\"");
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+std::string topology_family(const SimConfig& cfg) {
+  if (cfg.topology.empty()) return "dfly";
+  return topology_registry().resolve(split_topology_spec(cfg.topology).first);
+}
+
+std::unique_ptr<Topology> make_topology(const SimConfig& cfg) {
+  const auto [family, args] = split_topology_spec(
+      cfg.topology.empty() ? std::string("dfly") : cfg.topology);
+  return topology_registry().create(family, args, cfg);
+}
+
+std::optional<TopologyShape> try_topology_shape(const SimConfig& cfg) {
+  const auto [family_raw, args] = split_topology_spec(
+      cfg.topology.empty() ? std::string("dfly") : cfg.topology);
+  if (!topology_registry().contains(family_raw)) return std::nullopt;
+  const std::string family = topology_registry().resolve(family_raw);
+  if (family == "dfly") {
+    const DragonflyParams params = parse_dragonfly_args(args, cfg.topo);
+    return TopologyShape{params.p, params.a, params.num_groups(), params.h};
+  }
+  if (family == "flatbfly") {
+    const FlatButterflyShape shape = parse_flatbfly_args(args);
+    return TopologyShape{shape.concentration(), shape.a(), shape.groups(),
+                         shape.global_slots()};
+  }
+  return std::nullopt;  // custom family: ranges checked at construction
+}
+
+}  // namespace dragonfly

@@ -1,0 +1,324 @@
+// Topology: the abstract network-shape layer every routing mechanism,
+// traffic pattern and the Network wiring ask instead of computing
+// dragonfly arithmetic inline.
+//
+// The simulator models *hierarchical direct networks*: G groups of `a`
+// routers each, a complete local graph inside every group, `p` nodes per
+// router, and up to `h` global-link slots per router wired between
+// groups. Both supported families fit this frame:
+//   * dragonflies ("dfly")  — canonical, unbalanced and trimmed-G shapes;
+//   * flattened butterflies ("flatbfly") — rows as groups, column links
+//     as (parallel) global links.
+//
+// Identifier arithmetic and the port layout are therefore shared (and
+// non-virtual, they sit on hot paths); what varies per family is the
+// global wiring and the definition of the minimal route. A family
+// subclass wires its global links with wire_global() and implements
+// compute_minimal_output(); finalize() then builds the flat lookup
+// tables (link enumeration, per-pair minimal output and hop lengths)
+// that routing queries hit every cycle.
+//
+// Port numbering convention (shared by input and output sides):
+//   [0, p)              injection (input) / ejection (output)
+//   [p, p + a - 1)      local links to the other a-1 routers of the group
+//   [p + a - 1, +h)     global-link slots (possibly unconnected: trimmed
+//                       shapes may leave trailing slots dead)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/registry.hpp"
+
+namespace dragonfly {
+
+struct SimConfig;
+
+/// Hop-count description of a path (links, not routers).
+struct PathLengths {
+  int local = 0;
+  int global = 0;
+  int total() const { return local + global; }
+};
+
+/// One global link of a group, seen as a routing candidate: the router
+/// that owns it, the (router-level) global port, and the group reached.
+struct GlobalLinkRef {
+  RouterId router = kInvalidRouter;
+  PortId port = kInvalidPort;
+  GroupId target = kInvalidGroup;
+
+  bool valid() const { return port != kInvalidPort; }
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Registry-style spec of this instance, e.g. "dfly:6,12,6" or
+  /// "flatbfly:4,3".
+  virtual std::string name() const = 0;
+  /// Family key the instance was registered under ("dfly", "flatbfly").
+  virtual std::string family() const = 0;
+
+  // --- geometry ----------------------------------------------------------
+  int num_groups() const { return groups_; }
+  int num_routers() const { return groups_ * a_; }
+  int num_nodes() const { return num_routers() * p_; }
+  int concentration() const { return p_; }        ///< nodes per router
+  int routers_per_group() const { return a_; }
+  int nodes_per_group() const { return a_ * p_; }
+  /// Global-link slots per router (upper bound; some may be dead).
+  int global_slots() const { return h_; }
+
+  // --- identifier arithmetic ---------------------------------------------
+  GroupId group_of_router(RouterId r) const { return r / a_; }
+  int router_in_group(RouterId r) const { return r % a_; }
+  RouterId router_id(GroupId g, int r_in_group) const {
+    return g * a_ + r_in_group;
+  }
+  RouterId router_of_node(NodeId n) const { return n / p_; }
+  int node_index_in_router(NodeId n) const { return n % p_; }
+  NodeId node_id(RouterId r, int node_index) const {
+    return r * p_ + node_index;
+  }
+  GroupId group_of_node(NodeId n) const {
+    return group_of_router(router_of_node(n));
+  }
+
+  // --- port layout -------------------------------------------------------
+  int ports_per_router() const { return p_ + a_ - 1 + h_; }
+  int first_local_port() const { return p_; }
+  int first_global_port() const { return p_ + a_ - 1; }
+  int local_ports_per_router() const { return a_ - 1; }
+  PortKind input_port_kind(PortId port) const;
+  /// Output-side kind: same layout, but ports [0,p) are ejection.
+  PortKind output_port_kind(PortId port) const;
+
+  PortId injection_port(int node_index) const { return node_index; }
+  PortId ejection_port(int node_index) const { return node_index; }
+  PortId global_port(int k) const { return first_global_port() + k; }
+  int global_index_of_port(PortId port) const {
+    return port - first_global_port();
+  }
+
+  // --- local links (complete graph inside each group) --------------------
+  /// Local port on router `from` that reaches router `to` (same group).
+  PortId local_port_to(RouterId from, RouterId to) const;
+  /// Router on the other side of local port `port` of router `r`.
+  RouterId local_peer(RouterId r, PortId port) const;
+
+  // --- global link map ----------------------------------------------------
+  /// False for dead slots (trimmed shapes); dead ports never appear in
+  /// the minimal oracle or the candidate enumeration.
+  bool global_connected(RouterId r, PortId port) const;
+  /// Router on the other side of global port `port` of router `r`.
+  RouterId global_peer(RouterId r, PortId port) const;
+  /// Port on the peer router that terminates the same global link.
+  PortId global_peer_port(RouterId r, PortId port) const;
+  /// Group reached through global port `port` of router `r`.
+  GroupId global_target_group(RouterId r, PortId port) const;
+
+  // --- link enumeration (misroute candidates, conformance checks) --------
+  /// Connected global links of group `g`, sorted by (router, slot) — the
+  /// candidate set of Valiant-style global misrouting (RRG).
+  int group_link_count(GroupId g) const {
+    return group_links_begin_[static_cast<std::size_t>(g) + 1] -
+           group_links_begin_[static_cast<std::size_t>(g)];
+  }
+  const GlobalLinkRef& group_link(GroupId g, int i) const {
+    return group_links_[static_cast<std::size_t>(
+        group_links_begin_[static_cast<std::size_t>(g)] + i)];
+  }
+  /// Connected global links owned by router `r` (CRG candidate set).
+  int router_link_count(RouterId r) const {
+    return router_links_begin_[static_cast<std::size_t>(r) + 1] -
+           router_links_begin_[static_cast<std::size_t>(r)];
+  }
+  const GlobalLinkRef& router_link(RouterId r, int i) const {
+    return group_links_[static_cast<std::size_t>(
+        router_links_begin_[static_cast<std::size_t>(r)] + i)];
+  }
+  /// Index of router `r`'s first link inside its group's enumeration
+  /// (the NRG candidate set skips the run [offset, offset + count)).
+  int group_link_offset_of_router(RouterId r) const {
+    return router_links_begin_[static_cast<std::size_t>(r)] -
+           group_links_begin_[static_cast<std::size_t>(group_of_router(r))];
+  }
+
+  // --- minimal-path oracle -------------------------------------------------
+  /// Output port a minimally-routed packet takes at router `at` towards
+  /// node `dst` (ejection port if `dst` hangs off `at`).
+  PortId minimal_output(RouterId at, NodeId dst) const {
+    const RouterId dst_router = router_of_node(dst);
+    if (at == dst_router) return ejection_port(node_index_in_router(dst));
+    return min_out_[static_cast<std::size_t>(at) *
+                        static_cast<std::size_t>(num_routers()) +
+                    static_cast<std::size_t>(dst_router)];
+  }
+
+  /// Link counts of the minimal path between two nodes.
+  PathLengths minimal_lengths(NodeId src, NodeId dst) const {
+    return minimal_lengths_router(router_of_node(src), router_of_node(dst));
+  }
+  /// Minimal path between routers (ignores injection/ejection).
+  PathLengths minimal_lengths_router(RouterId src, RouterId dst) const {
+    PathLengths len;
+    if (src == dst) return len;
+    const std::size_t idx = static_cast<std::size_t>(src) *
+                                static_cast<std::size_t>(num_routers()) +
+                            static_cast<std::size_t>(dst);
+    len.local = min_local_[idx];
+    len.global = min_global_[idx];
+    return len;
+  }
+
+  /// Upper bound on minimal-path link count over all pairs (the family's
+  /// routing diameter; 3 for dragonflies, 2 for flattened butterflies).
+  int max_minimal_hops() const { return max_minimal_hops_; }
+
+  /// First global link crossed by the minimal route from `at` to
+  /// `dst_router` (invalid ref when both share a group). The link the
+  /// source-adaptive saturation test (PiggyBack) must judge.
+  GlobalLinkRef minimal_global_link(RouterId at, RouterId dst_router) const;
+
+  /// Preferred global link from `at`'s group towards group `target`
+  /// (the first leg of a committed Valiant path): a link owned by `at`
+  /// itself when one exists, else the group's default exit link.
+  /// Throws std::invalid_argument for target == at's group.
+  GlobalLinkRef exit_link(RouterId at, GroupId target) const;
+
+  /// Group-level default exit link from group `from` towards `to` (the
+  /// lowest (router, slot) link; unique in canonical dragonflies).
+  const GlobalLinkRef& group_exit_link(GroupId from, GroupId to) const;
+  /// Router of group `from` owning the default link to group `to`.
+  RouterId exit_router(GroupId from, GroupId to) const {
+    return group_exit_link(from, to).router;
+  }
+  /// Global port on `exit_router(from,to)` for that link.
+  PortId exit_port(GroupId from, GroupId to) const {
+    return group_exit_link(from, to).port;
+  }
+
+  // --- per-hop virtual-channel index --------------------------------------
+  /// Deadlock-avoiding VC ladder: the VC is a function of the packet's
+  /// *position* along its path (which group it is in, how many global
+  /// hops it took), so the channel-dependency graph l0 < g0 < l1 < g1 <
+  /// l2 is acyclic. Families with different path structures may
+  /// override; the default ladder covers every hierarchical family
+  /// whose paths visit at most source, intermediate and destination
+  /// groups.
+  virtual VcId vc_for_hop(PortKind kind, GroupId here, GroupId src_group,
+                          GroupId dst_group, int global_hops, int local_vcs,
+                          int global_vcs) const;
+
+  /// Rank of a (kind, vc) channel inside the ladder ordering — strictly
+  /// increasing along any legal path. The conformance kit checks this
+  /// monotonicity; exposed so the check is family-agnostic.
+  static int vc_ladder_rank(PortKind kind, VcId vc) {
+    return kind == PortKind::kGlobal ? 2 * vc + 1 : 2 * vc;
+  }
+
+  /// Throws std::logic_error if the wiring is inconsistent
+  /// (non-involutive peers, self links, unreachable group pairs).
+  void validate() const;
+
+ protected:
+  Topology(int p, int a, int groups, int global_slots);
+  // Families are value types (balanced_palmtree returns by value).
+  Topology(Topology&&) = default;
+  Topology& operator=(Topology&&) = default;
+
+  /// Declare the two endpoints of one global link. Must be called for
+  /// both directions ((g,r,k) and its peer) with mirrored arguments;
+  /// finalize() verifies the involution.
+  void wire_global(GroupId g, int r_in_group, int k, GroupId peer_group,
+                   int peer_r_in_group, int peer_k);
+
+  /// Family-defined minimal next hop from router `at` towards
+  /// `dst_router` (at != dst_router, both valid). Called by finalize()
+  /// once per ordered pair to build the oracle tables.
+  virtual PortId compute_minimal_output(RouterId at, RouterId dst) const = 0;
+
+  /// Build the link enumeration, exit tables and minimal oracle from
+  /// the wired links. Call exactly once, at the end of the subclass
+  /// constructor (compute_minimal_output is a virtual).
+  void finalize();
+
+ private:
+  struct Endpoint {
+    RouterId router = kInvalidRouter;
+    PortId port = kInvalidPort;  ///< slot index k, not a port id
+  };
+
+  std::size_t slot_index(RouterId r, int k) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(h_) +
+           static_cast<std::size_t>(k);
+  }
+
+  int p_ = 0;
+  int a_ = 0;
+  int groups_ = 0;
+  int h_ = 0;
+
+  /// Global wiring, [router * h + slot]; invalid router = dead slot.
+  std::vector<Endpoint> peers_;
+  /// Connected links sorted by (group, router, slot), with per-group and
+  /// per-router run boundaries for O(1) candidate-set arithmetic.
+  std::vector<GlobalLinkRef> group_links_;
+  std::vector<int> group_links_begin_;   ///< size G + 1
+  std::vector<int> router_links_begin_;  ///< size R + 1
+  /// Default exit link per ordered group pair, [from * G + to]
+  /// (invalid for self pairs and uncovered pairs).
+  std::vector<GlobalLinkRef> group_exit_;
+  /// Minimal oracle, [at * R + dst_router] (self pairs unused).
+  std::vector<PortId> min_out_;
+  std::vector<std::uint8_t> min_local_;
+  std::vector<std::uint8_t> min_global_;
+  int max_minimal_hops_ = 0;
+};
+
+/// The open set of topology families, keyed by family name. Factories
+/// receive the argument part of the spec string (after the ':', possibly
+/// empty) plus the SimConfig for defaults (dragonfly params, arrangement
+/// selection). Built-ins ("dfly", "flatbfly") self-register; user code
+/// registers new families and selects them through SimConfig::topology.
+using TopologyRegistry =
+    Registry<Topology, const std::string&, const SimConfig&>;
+TopologyRegistry& topology_registry();
+
+/// Split a topology spec "family[:args]" into its two halves.
+std::pair<std::string, std::string> split_topology_spec(
+    const std::string& spec);
+
+/// Parse a comma-separated integer list ("2,4,2") from a spec's
+/// argument half; malformed items throw std::invalid_argument prefixed
+/// with `grammar` (the family's usage string).
+std::vector<int> parse_spec_ints(const std::string& args,
+                                 const std::string& grammar);
+
+/// Family key selected by `cfg` ("dfly" when cfg.topology is empty).
+std::string topology_family(const SimConfig& cfg);
+
+/// Build the topology selected by cfg.topology (registry shim; an empty
+/// spec builds the dragonfly described by cfg.topo/cfg.arrangement).
+std::unique_ptr<Topology> make_topology(const SimConfig& cfg);
+
+/// Cheap shape summary (no oracle tables built) for validate()-time
+/// range checks. nullopt for custom-registered families, whose knob
+/// ranges are checked at construction instead.
+struct TopologyShape {
+  int p = 0;
+  int a = 0;
+  int groups = 0;
+  int global_slots = 0;
+  int num_routers() const { return groups * a; }
+  int num_nodes() const { return num_routers() * p; }
+};
+std::optional<TopologyShape> try_topology_shape(const SimConfig& cfg);
+
+}  // namespace dragonfly

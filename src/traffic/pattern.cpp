@@ -8,7 +8,7 @@ namespace {
 
 class Uniform final : public TrafficPattern {
  public:
-  explicit Uniform(const DragonflyTopology& topo) : topo_(topo) {}
+  explicit Uniform(const Topology& topo) : topo_(topo) {}
 
   std::string name() const override { return "UN"; }
 
@@ -21,12 +21,12 @@ class Uniform final : public TrafficPattern {
   }
 
  private:
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
 };
 
 class Adversarial final : public TrafficPattern {
  public:
-  Adversarial(const DragonflyTopology& topo, int offset)
+  Adversarial(const Topology& topo, int offset)
       : topo_(topo), offset_(offset) {
     if (offset_ <= 0 || offset_ >= topo.num_groups()) {
       throw std::invalid_argument("ADV offset out of range");
@@ -43,24 +43,24 @@ class Adversarial final : public TrafficPattern {
     return random_node_in_group(topo_, g, rng);
   }
 
-  static NodeId random_node_in_group(const DragonflyTopology& topo, GroupId g,
+  static NodeId random_node_in_group(const Topology& topo, GroupId g,
                                      Rng& rng) {
-    const int per_group = topo.params().a * topo.params().p;
+    const int per_group = topo.nodes_per_group();
     const auto idx =
         static_cast<int>(rng.below(static_cast<std::uint64_t>(per_group)));
-    const RouterId router = topo.router_id(g, idx / topo.params().p);
-    return topo.node_id(router, idx % topo.params().p);
+    const RouterId router = topo.router_id(g, idx / topo.concentration());
+    return topo.node_id(router, idx % topo.concentration());
   }
 
  private:
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
   int offset_;
 };
 
 class AdvConsecutive final : public TrafficPattern {
  public:
-  AdvConsecutive(const DragonflyTopology& topo, int spread)
-      : topo_(topo), spread_(spread == 0 ? topo.params().h : spread) {
+  AdvConsecutive(const Topology& topo, int spread)
+      : topo_(topo), spread_(spread == 0 ? topo.global_slots() : spread) {
     if (spread_ <= 0 || spread_ >= topo.num_groups()) {
       throw std::invalid_argument("ADVc spread out of range");
     }
@@ -76,16 +76,16 @@ class AdvConsecutive final : public TrafficPattern {
   }
 
  private:
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
   int spread_;
 };
 
 class Placement final : public TrafficPattern {
  public:
-  Placement(const DragonflyTopology& topo, GroupId first, int num_groups)
+  Placement(const Topology& topo, GroupId first, int num_groups)
       : topo_(topo),
         first_(first),
-        num_groups_(num_groups == 0 ? topo.params().h + 1 : num_groups) {
+        num_groups_(num_groups == 0 ? topo.global_slots() + 1 : num_groups) {
     if (num_groups_ < 1 || num_groups_ > topo.num_groups()) {
       throw std::invalid_argument("placement size out of range");
     }
@@ -106,21 +106,21 @@ class Placement final : public TrafficPattern {
   NodeId destination(NodeId src, Rng& rng) const override {
     if (!generates(src)) return kInvalidNode;
     // Uniform among all job nodes except the source.
-    const int per_group = topo_.params().a * topo_.params().p;
+    const int per_group = topo_.nodes_per_group();
     const long long job_nodes =
         static_cast<long long>(per_group) * num_groups_;
     auto pick = static_cast<long long>(
         rng.below(static_cast<std::uint64_t>(job_nodes - 1)));
     const long long src_flat =
         static_cast<long long>(group_index(src)) * per_group +
-        topo_.router_in_group(topo_.router_of_node(src)) * topo_.params().p +
+        topo_.router_in_group(topo_.router_of_node(src)) * topo_.concentration() +
         topo_.node_index_in_router(src);
     if (pick >= src_flat) ++pick;
     const GroupId g = static_cast<GroupId>(
         (first_ + pick / per_group) % topo_.num_groups());
     const int in_group = static_cast<int>(pick % per_group);
-    const RouterId router = topo_.router_id(g, in_group / topo_.params().p);
-    return topo_.node_id(router, in_group % topo_.params().p);
+    const RouterId router = topo_.router_id(g, in_group / topo_.concentration());
+    return topo_.node_id(router, in_group % topo_.concentration());
   }
 
  private:
@@ -131,16 +131,16 @@ class Placement final : public TrafficPattern {
     return rel < num_groups_ ? rel : -1;
   }
 
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
   GroupId first_;
   int num_groups_;
 };
 
 class Shift final : public TrafficPattern {
  public:
-  Shift(const DragonflyTopology& topo, int offset)
+  Shift(const Topology& topo, int offset)
       : topo_(topo),
-        offset_(offset == 0 ? topo.params().a * topo.params().p : offset) {
+        offset_(offset == 0 ? topo.nodes_per_group() : offset) {
     if (offset_ <= 0 || offset_ >= topo.num_nodes()) {
       throw std::invalid_argument("shift offset out of range");
     }
@@ -156,13 +156,13 @@ class Shift final : public TrafficPattern {
   }
 
  private:
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
   int offset_;
 };
 
 class Hotspot final : public TrafficPattern {
  public:
-  Hotspot(const DragonflyTopology& topo, NodeId hot, double fraction)
+  Hotspot(const Topology& topo, NodeId hot, double fraction)
       : topo_(topo), hot_(hot), fraction_(fraction) {
     if (hot < 0 || hot >= topo.num_nodes()) {
       throw std::invalid_argument("hotspot node out of range");
@@ -185,39 +185,39 @@ class Hotspot final : public TrafficPattern {
   }
 
  private:
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
   NodeId hot_;
   double fraction_;
 };
 
 }  // namespace
 
-std::unique_ptr<TrafficPattern> make_uniform(const DragonflyTopology& topo) {
+std::unique_ptr<TrafficPattern> make_uniform(const Topology& topo) {
   return std::make_unique<Uniform>(topo);
 }
 
-std::unique_ptr<TrafficPattern> make_adversarial(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_adversarial(const Topology& topo,
                                                  int offset) {
   return std::make_unique<Adversarial>(topo, offset);
 }
 
 std::unique_ptr<TrafficPattern> make_adv_consecutive(
-    const DragonflyTopology& topo, int spread) {
+    const Topology& topo, int spread) {
   return std::make_unique<AdvConsecutive>(topo, spread);
 }
 
-std::unique_ptr<TrafficPattern> make_placement(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_placement(const Topology& topo,
                                                GroupId first_group,
                                                int num_groups) {
   return std::make_unique<Placement>(topo, first_group, num_groups);
 }
 
-std::unique_ptr<TrafficPattern> make_shift(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_shift(const Topology& topo,
                                            int offset_nodes) {
   return std::make_unique<Shift>(topo, offset_nodes);
 }
 
-std::unique_ptr<TrafficPattern> make_hotspot(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_hotspot(const Topology& topo,
                                              NodeId hot, double fraction) {
   return std::make_unique<Hotspot>(topo, hot, fraction);
 }
@@ -235,41 +235,41 @@ namespace {
 using Reg = TrafficRegistry::Registrar;
 const Reg kRegUniform{
     traffic_registry(), "uniform",
-    [](const DragonflyTopology& topo, const SimConfig&) {
+    [](const Topology& topo, const SimConfig&) {
       return make_uniform(topo);
     },
     {"UN", "un"}};
 const Reg kRegAdversarial{
     traffic_registry(), "adv",
-    [](const DragonflyTopology& topo, const SimConfig& cfg) {
+    [](const Topology& topo, const SimConfig& cfg) {
       return make_adversarial(topo, cfg.adversarial_offset);
     },
     {"ADV"}};
 const Reg kRegAdvConsecutive{
     traffic_registry(), "advc",
-    [](const DragonflyTopology& topo, const SimConfig&) {
+    [](const Topology& topo, const SimConfig&) {
       return make_adv_consecutive(topo);
     },
     {"ADVc"}};
 const Reg kRegPlacement{
     traffic_registry(), "placement",
-    [](const DragonflyTopology& topo, const SimConfig& cfg) {
+    [](const Topology& topo, const SimConfig& cfg) {
       return make_placement(topo, cfg.placement_first_group,
                             cfg.placement_num_groups);
     }};
 const Reg kRegShift{
     traffic_registry(), "shift",
-    [](const DragonflyTopology& topo, const SimConfig& cfg) {
+    [](const Topology& topo, const SimConfig& cfg) {
       return make_shift(topo, cfg.shift_offset_nodes);
     }};
 const Reg kRegHotspot{
     traffic_registry(), "hotspot",
-    [](const DragonflyTopology& topo, const SimConfig& cfg) {
+    [](const Topology& topo, const SimConfig& cfg) {
       return make_hotspot(topo, cfg.hotspot_node, cfg.hotspot_fraction);
     }};
 }  // namespace
 
-std::unique_ptr<TrafficPattern> make_traffic(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_traffic(const Topology& topo,
                                              const SimConfig& cfg) {
   return traffic_registry().create(cfg.traffic_key(), topo, cfg);
 }

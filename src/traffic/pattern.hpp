@@ -19,7 +19,7 @@
 #include "common/types.hpp"
 #include "core/registry.hpp"
 #include "sim/config.hpp"
-#include "topology/dragonfly.hpp"
+#include "topology/topology.hpp"
 
 namespace dragonfly {
 
@@ -41,25 +41,25 @@ class TrafficPattern {
   }
 };
 
-std::unique_ptr<TrafficPattern> make_uniform(const DragonflyTopology& topo);
-std::unique_ptr<TrafficPattern> make_adversarial(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_uniform(const Topology& topo);
+std::unique_ptr<TrafficPattern> make_adversarial(const Topology& topo,
                                                  int offset);
 /// ADVc with destinations spread over the next `spread` groups
 /// (spread == 0 selects the paper's h).
 std::unique_ptr<TrafficPattern> make_adv_consecutive(
-    const DragonflyTopology& topo, int spread = 0);
+    const Topology& topo, int spread = 0);
 /// Uniform traffic among the nodes of `num_groups` consecutive groups
 /// starting at `first_group` (num_groups == 0 selects h+1).
-std::unique_ptr<TrafficPattern> make_placement(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_placement(const Topology& topo,
                                                GroupId first_group,
                                                int num_groups = 0);
 /// Shift permutation: dst = (src + offset) mod N (offset == 0 selects one
 /// full group of nodes, i.e. the group-level +1 shift).
-std::unique_ptr<TrafficPattern> make_shift(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_shift(const Topology& topo,
                                            int offset_nodes = 0);
 /// Uniform traffic with `fraction` of the packets redirected to one hot
 /// node — the classic incast/hotspot stressor.
-std::unique_ptr<TrafficPattern> make_hotspot(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_hotspot(const Topology& topo,
                                              NodeId hot, double fraction);
 
 /// The open set of traffic patterns, keyed by registry name. Built-ins
@@ -70,11 +70,11 @@ std::unique_ptr<TrafficPattern> make_hotspot(const DragonflyTopology& topo,
 /// Factories receive the topology and the full SimConfig (for knobs
 /// like adversarial_offset).
 using TrafficRegistry =
-    Registry<TrafficPattern, const DragonflyTopology&, const SimConfig&>;
+    Registry<TrafficPattern, const Topology&, const SimConfig&>;
 TrafficRegistry& traffic_registry();
 
 /// Build the pattern selected by cfg.traffic_key() (registry shim).
-std::unique_ptr<TrafficPattern> make_traffic(const DragonflyTopology& topo,
+std::unique_ptr<TrafficPattern> make_traffic(const Topology& topo,
                                              const SimConfig& cfg);
 
 }  // namespace dragonfly

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Golden regression gate: the end-to-end CSV bytes of the smoke spec must
+# match tests/golden/ exactly, for two seeds. A topology/routing refactor
+# that perturbs canonical-dragonfly results fails here loudly instead of
+# drifting silently. Legitimate result changes: re-run regen.sh and
+# commit the new files with an explanation.
+#
+# usage: check_golden.sh <simulate_cli binary> <repo root>
+set -euo pipefail
+cli="$1"
+root="$2"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+status=0
+for seed in 1 2; do
+  "$cli" --config "$root/examples/specs/smoke.spec" \
+    --set seeds=1 --set "seed=$seed" --out csv --quiet \
+    > "$tmp/smoke_seed$seed.csv"
+  if ! cmp -s "$tmp/smoke_seed$seed.csv" "$root/tests/golden/smoke_seed$seed.csv"; then
+    echo "golden mismatch for seed $seed:" >&2
+    diff "$root/tests/golden/smoke_seed$seed.csv" "$tmp/smoke_seed$seed.csv" >&2 || true
+    status=1
+  fi
+done
+if [ "$status" -eq 0 ]; then
+  echo "golden OK: smoke.spec CSV bytes match for seeds 1 and 2"
+fi
+exit "$status"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate the golden smoke-spec CSVs from a trusted build. Run only
+# when a result change is intended and understood; commit the diff with
+# an explanation of why the numbers moved.
+#
+# usage: regen.sh [simulate_cli binary]   (default: build/simulate_cli)
+set -euo pipefail
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+cli="${1:-$root/build/simulate_cli}"
+for seed in 1 2; do
+  "$cli" --config "$root/examples/specs/smoke.spec" \
+    --set seeds=1 --set "seed=$seed" --out csv --quiet \
+    > "$root/tests/golden/smoke_seed$seed.csv"
+  echo "wrote tests/golden/smoke_seed$seed.csv"
+done

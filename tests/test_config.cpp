@@ -164,7 +164,8 @@ TEST(Config, KeyAccessorsFollowNameOverEnum) {
 }
 
 TEST(Config, ValidateCoversExtensionKnobs) {
-  // h=2: 9 groups, 72 nodes.
+  // h=2: 9 groups, 72 nodes. Knob ranges are checked against the
+  // selected topology for the traffic pattern that consumes them.
   SimConfig cfg = SimConfig::small(2);
   cfg.hotspot_fraction = 1.5;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
@@ -173,12 +174,18 @@ TEST(Config, ValidateCoversExtensionKnobs) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 
   cfg = SimConfig::small(2);
+  cfg.traffic_name = "hotspot";
   cfg.hotspot_node = 72;  // == node count
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.hotspot_node = 71;
   EXPECT_NO_THROW(cfg.validate());
+  // ...but an irrelevant knob never blocks another pattern's run.
+  cfg.traffic_name = "uniform";
+  cfg.hotspot_node = 72;
+  EXPECT_NO_THROW(cfg.validate());
 
   cfg = SimConfig::small(2);
+  cfg.traffic_name = "shift";
   cfg.shift_offset_nodes = -1;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.shift_offset_nodes = 72;
@@ -187,6 +194,7 @@ TEST(Config, ValidateCoversExtensionKnobs) {
   EXPECT_NO_THROW(cfg.validate());
 
   cfg = SimConfig::small(2);
+  cfg.traffic_name = "placement";
   cfg.placement_first_group = 9;  // == group count
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.placement_first_group = -1;
@@ -195,12 +203,14 @@ TEST(Config, ValidateCoversExtensionKnobs) {
   EXPECT_NO_THROW(cfg.validate());
 
   cfg = SimConfig::small(2);
+  cfg.traffic_name = "placement";
   cfg.placement_num_groups = 10;  // > group count
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.placement_num_groups = 9;
   EXPECT_NO_THROW(cfg.validate());
 
   cfg = SimConfig::small(2);
+  cfg.traffic_name = "adv";
   cfg.adversarial_offset = 0;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.adversarial_offset = 9;
@@ -382,6 +392,94 @@ TEST(Config, MechanismClassPredicates) {
   EXPECT_FALSE(is_source_adaptive(RoutingKind::kInTransitMm));
   EXPECT_TRUE(is_in_transit(RoutingKind::kInTransitRrg));
   EXPECT_FALSE(is_in_transit(RoutingKind::kMinimal));
+}
+
+TEST(Config, TopologyKeySelectsFamiliesAndValidatesArgs) {
+  SimConfig cfg = SimConfig::small(2);
+  cfg.apply_kv("topology", "flatbfly:4,3");
+  EXPECT_EQ(cfg.topology, "flatbfly:4,3");
+  EXPECT_NO_THROW(cfg.validate());
+
+  // Aliases resolve to the canonical family key.
+  cfg.apply_kv("topology", "dragonfly:2,4,2");
+  EXPECT_EQ(cfg.topology, "dfly:2,4,2");
+  EXPECT_NO_THROW(cfg.validate());
+
+  // Malformed built-in args fail at apply time, with the grammar.
+  EXPECT_THROW(cfg.apply_kv("topology", "flatbfly:1,9"),
+               std::invalid_argument);
+  EXPECT_THROW(cfg.apply_kv("topology", "dfly:2,4"), std::invalid_argument);
+  EXPECT_THROW(cfg.apply_kv("topology", "no-such-family:1,2"),
+               std::invalid_argument);
+
+  // The dragonfly shorthand keys reset the family: last writer wins.
+  cfg = SimConfig::small(2);
+  cfg.apply_kv("topology", "flatbfly:4,3");
+  cfg.apply_kv("h", "2");
+  EXPECT_TRUE(cfg.topology.empty());
+  cfg.apply_kv("topology", "flatbfly:4,3");
+  cfg.apply_kv("groups", "5");
+  EXPECT_TRUE(cfg.topology.empty());
+  EXPECT_EQ(cfg.topo.g, 5);
+  // ...but like explicit p/a, an explicit groups survives a later "h"
+  // (key order must not silently change the requested topology).
+  cfg.apply_kv("h", "2");
+  EXPECT_EQ(cfg.topo.g, 5);
+  EXPECT_EQ(cfg.topo.h, 2);
+}
+
+TEST(Config, ValidateRejectsArrangementTopologyMismatch) {
+  // An arrangement aimed at a non-dragonfly family is a config error
+  // (the knob would be silently ignored otherwise) and the diagnostic
+  // lists the valid combinations.
+  SimConfig cfg = SimConfig::small(2);
+  cfg.apply_kv("topology", "flatbfly:4,3");
+  cfg.apply_kv("arrangement", "consecutive");
+  try {
+    cfg.validate();
+    FAIL() << "expected the arrangement/topology mismatch to throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("consecutive"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("flatbfly"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid combinations"), std::string::npos) << msg;
+  }
+  // Even the default arrangement is rejected when named explicitly...
+  cfg = SimConfig::small(2);
+  cfg.apply_kv("topology", "flatbfly:4,3");
+  cfg.apply_kv("arrangement", "palmtree");
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // ...and a programmatic non-default arrangement is caught too.
+  cfg = SimConfig::small(2);
+  cfg.topology = "flatbfly:4,3";
+  cfg.arrangement = "consecutive";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // Arrangement + dragonfly stays valid, of course.
+  cfg = SimConfig::small(2);
+  cfg.apply_kv("topology", "dfly:2,4,2");
+  cfg.apply_kv("arrangement", "consecutive");
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, ValidateUsesDefaultedFlatbflyConcentration) {
+  // flatbfly:4,3 defaults concentration to k: 64 nodes. The shape the
+  // range checks see must use the default, not the 0 sentinel.
+  SimConfig cfg = SimConfig::small(2);
+  cfg.apply_kv("topology", "flatbfly:4,3");
+  cfg.traffic_name = "hotspot";
+  cfg.hotspot_node = 63;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.hotspot_node = 64;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, ValidateCoversParanoidKnob) {
+  SimConfig cfg = SimConfig::small(2);
+  cfg.apply_kv("sim.paranoid", "64");
+  EXPECT_EQ(cfg.sim_paranoid, 64);
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.sim_paranoid = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 }  // namespace

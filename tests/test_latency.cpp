@@ -1,5 +1,7 @@
 #include "metrics/latency.hpp"
 
+#include "topology/dragonfly.hpp"
+
 #include <gtest/gtest.h>
 
 #include "sim_test_util.hpp"

@@ -1,5 +1,7 @@
 #include "routing/policy.hpp"
 
+#include "topology/dragonfly.hpp"
+
 #include <gtest/gtest.h>
 
 #include <map>
@@ -16,14 +18,16 @@ class PolicyFixture : public ::testing::Test {
 
 TEST_F(PolicyFixture, CandidateCounts) {
   const auto& p = topo_.params();
-  EXPECT_EQ(candidate_count(topo_, MisroutePolicy::kRrg), p.a * p.h);
-  EXPECT_EQ(candidate_count(topo_, MisroutePolicy::kCrg), p.h);
-  EXPECT_EQ(candidate_count(topo_, MisroutePolicy::kNrg), (p.a - 1) * p.h);
+  const RouterId at = topo_.router_id(1, 2);
+  EXPECT_EQ(candidate_count(topo_, at, MisroutePolicy::kRrg), p.a * p.h);
+  EXPECT_EQ(candidate_count(topo_, at, MisroutePolicy::kCrg), p.h);
+  EXPECT_EQ(candidate_count(topo_, at, MisroutePolicy::kNrg),
+            (p.a - 1) * p.h);
 }
 
 TEST_F(PolicyFixture, CrgCandidatesAreOwnLinks) {
   const RouterId at = topo_.router_id(2, 3);
-  for (int i = 0; i < candidate_count(topo_, MisroutePolicy::kCrg); ++i) {
+  for (int i = 0; i < candidate_count(topo_, at, MisroutePolicy::kCrg); ++i) {
     const GlobalLinkRef ref = candidate_at(topo_, at, MisroutePolicy::kCrg, i);
     EXPECT_EQ(ref.router, at);
     EXPECT_EQ(topo_.global_target_group(ref.router, ref.port), ref.target);
@@ -33,7 +37,7 @@ TEST_F(PolicyFixture, CrgCandidatesAreOwnLinks) {
 TEST_F(PolicyFixture, NrgCandidatesExcludeOwnRouter) {
   const RouterId at = topo_.router_id(2, 3);
   std::set<RouterId> owners;
-  for (int i = 0; i < candidate_count(topo_, MisroutePolicy::kNrg); ++i) {
+  for (int i = 0; i < candidate_count(topo_, at, MisroutePolicy::kNrg); ++i) {
     const GlobalLinkRef ref = candidate_at(topo_, at, MisroutePolicy::kNrg, i);
     EXPECT_NE(ref.router, at);
     EXPECT_EQ(topo_.group_of_router(ref.router), topo_.group_of_router(at));
@@ -46,7 +50,7 @@ TEST_F(PolicyFixture, RrgCandidatesCoverEveryGroupLink) {
   const RouterId at = topo_.router_id(2, 3);
   std::set<std::pair<RouterId, PortId>> links;
   std::set<GroupId> targets;
-  for (int i = 0; i < candidate_count(topo_, MisroutePolicy::kRrg); ++i) {
+  for (int i = 0; i < candidate_count(topo_, at, MisroutePolicy::kRrg); ++i) {
     const GlobalLinkRef ref = candidate_at(topo_, at, MisroutePolicy::kRrg, i);
     links.insert({ref.router, ref.port});
     targets.insert(ref.target);

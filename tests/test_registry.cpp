@@ -65,13 +65,13 @@ TEST(Registry, UnknownNamesListValidOnes) {
 TEST(Registry, DuplicateRegistrationThrows) {
   EXPECT_THROW(traffic_registry().add(
                    "uniform",
-                   [](const DragonflyTopology& topo, const SimConfig&) {
+                   [](const Topology& topo, const SimConfig&) {
                      return make_uniform(topo);
                    }),
                std::logic_error);
   EXPECT_THROW(
       traffic_registry().add("brand-new",
-                             [](const DragonflyTopology& topo,
+                             [](const Topology& topo,
                                 const SimConfig&) {
                                return make_uniform(topo);
                              },
@@ -172,7 +172,7 @@ class AlwaysMinimal final : public RoutingAlgorithm {
 
 class NearestNeighbor final : public TrafficPattern {
  public:
-  explicit NearestNeighbor(const DragonflyTopology& topo) : topo_(topo) {}
+  explicit NearestNeighbor(const Topology& topo) : topo_(topo) {}
   std::string name() const override { return "test-nearest"; }
   NodeId destination(NodeId src, Rng& rng) const override {
     (void)rng;
@@ -180,14 +180,14 @@ class NearestNeighbor final : public TrafficPattern {
   }
 
  private:
-  const DragonflyTopology& topo_;
+  const Topology& topo_;
 };
 
 TEST(Registry, CustomRoutingAndPatternSimulateEndToEnd) {
   if (!routing_registry().contains("test-always-min")) {
     routing_registry().add(
         "test-always-min",
-        [](const DragonflyTopology& topo, const SimConfig& cfg)
+        [](const Topology& topo, const SimConfig& cfg)
             -> std::unique_ptr<RoutingAlgorithm> {
           return std::make_unique<AlwaysMinimal>(topo, cfg);
         });
@@ -195,7 +195,7 @@ TEST(Registry, CustomRoutingAndPatternSimulateEndToEnd) {
   if (!traffic_registry().contains("test-nearest")) {
     traffic_registry().add(
         "test-nearest",
-        [](const DragonflyTopology& topo, const SimConfig&) {
+        [](const Topology& topo, const SimConfig&) {
           return std::make_unique<NearestNeighbor>(topo);
         });
   }

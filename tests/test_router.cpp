@@ -1,6 +1,8 @@
 // Unit tests of the router model, driven through a mock event sink.
 #include "router/router.hpp"
 
+#include "topology/dragonfly.hpp"
+
 #include <gtest/gtest.h>
 
 #include <vector>

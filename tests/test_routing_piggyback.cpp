@@ -98,5 +98,22 @@ TEST(PiggybackRouting, NamesIdentifyPolicy) {
   EXPECT_EQ(crg.name(), "Src-CRG");
 }
 
+TEST(PiggybackTwoGroups, RrgFallsBackToMinimalInsteadOfSpinning) {
+  // G=2 (reachable through trimmed dragonflies and flatbfly:2,3): no
+  // intermediate group exists, so a saturated minimal path must fall
+  // back to MIN instead of looping over the group draw forever.
+  SimConfig cfg;
+  cfg.apply_kv("topology", "dfly:2,2,2,2");
+  cfg.routing_name = "pb-rrg";
+  cfg.traffic_name = "adv";
+  cfg.load = 0.9;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 1'200;
+  cfg.apply_vc_defaults();
+  SimResult r;
+  ASSERT_NO_THROW(r = run_simulation(cfg));
+  EXPECT_GT(r.delivered_packets, 0);
+}
+
 }  // namespace
 }  // namespace dragonfly

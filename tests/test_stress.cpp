@@ -18,6 +18,10 @@ TEST_P(StressParam, FullLoadRunsWithoutDeadlockOrCollapse) {
   SimConfig cfg = quick(routing, traffic, 1.0);
   cfg.warmup_cycles = 3'000;
   cfg.measure_cycles = 3'000;
+  // Paranoid mode: Network::check_invariants() sweeps the credit
+  // counters, the packet arena and the event ring every 64 cycles and
+  // throws (failing ASSERT_NO_THROW) on any violation.
+  cfg.sim_paranoid = 64;
   SimResult r;
   ASSERT_NO_THROW(r = run_simulation(cfg)) << to_string(routing);
   // Sustained delivery: at least the MIN/ADV worst-case capacity.
@@ -69,6 +73,7 @@ TEST(Stress, MinimumBufferConfiguration) {
   cfg.output_queue_size = 8;
   cfg.warmup_cycles = 2'000;
   cfg.measure_cycles = 3'000;
+  cfg.sim_paranoid = 32;  // tight credit loops: sweep invariants often
   SimResult r;
   ASSERT_NO_THROW(r = run_simulation(cfg));
   EXPECT_GT(r.accepted_load, 0.02);

@@ -1,5 +1,8 @@
 #include "topology/dragonfly.hpp"
 
+#include "sim/config.hpp"
+#include "topology/flatbfly.hpp"
+
 #include <gtest/gtest.h>
 
 namespace dragonfly {
@@ -145,6 +148,104 @@ TEST(Topology, LocalPortToRejectsNonLocalPairs) {
   EXPECT_THROW(topo.local_port_to(0, 0), std::invalid_argument);
   // Routers in different groups.
   EXPECT_THROW(topo.local_port_to(0, topo.params().a), std::invalid_argument);
+}
+
+TEST(Topology, TrimmedDragonflyShapesAndDeadSlots) {
+  // p=1, a=3, h=3 (L=9, odd), trimmed to 5 groups: the offset-pair
+  // wiring leaves the last slot of every router... only the unpaired
+  // trailing slot per group is dead; every group pair stays covered.
+  const DragonflyTopology topo({1, 3, 3, 5}, make_palmtree());
+  EXPECT_EQ(topo.num_groups(), 5);
+  EXPECT_EQ(topo.name(), "dfly:1,3,3,5");
+  EXPECT_NO_THROW(topo.validate());
+  int dead = 0;
+  for (RouterId r = 0; r < topo.num_routers(); ++r) {
+    for (int k = 0; k < topo.global_slots(); ++k) {
+      if (!topo.global_connected(r, topo.global_port(k))) ++dead;
+    }
+  }
+  EXPECT_EQ(dead, topo.num_groups());  // one unpaired slot per group
+  for (GroupId g = 0; g < topo.num_groups(); ++g) {
+    for (GroupId t2 = 0; t2 < topo.num_groups(); ++t2) {
+      if (g == t2) continue;
+      EXPECT_EQ(topo.group_of_router(topo.exit_router(g, t2)), g);
+    }
+  }
+}
+
+TEST(Topology, ExitLinkPrefersTheRoutersOwnPort) {
+  // Trimmed shape with parallel group links: when `at` owns a link to
+  // the target group, exit_link must take it (saving the local hop) and
+  // the minimal oracle must agree.
+  const DragonflyTopology topo({1, 2, 2, 3}, make_palmtree());
+  for (RouterId at = 0; at < topo.num_routers(); ++at) {
+    for (GroupId tgt = 0; tgt < topo.num_groups(); ++tgt) {
+      if (tgt == topo.group_of_router(at)) continue;
+      const GlobalLinkRef link = topo.exit_link(at, tgt);
+      EXPECT_EQ(link.target, tgt);
+      bool owns = false;
+      for (int i = 0; i < topo.router_link_count(at); ++i) {
+        owns = owns || topo.router_link(at, i).target == tgt;
+      }
+      EXPECT_EQ(owns, link.router == at);
+      // minimal_global_link walks the oracle and must land on a link of
+      // the same group, aimed at the same target.
+      const RouterId dst = topo.router_id(tgt, 0);
+      const GlobalLinkRef min_link = topo.minimal_global_link(at, dst);
+      EXPECT_EQ(topo.group_of_router(min_link.router),
+                topo.group_of_router(at));
+      EXPECT_EQ(min_link.target, tgt);
+    }
+  }
+}
+
+TEST(Topology, FlattenedButterflyShape) {
+  const FlatButterflyTopology topo({4, 3, 0});
+  EXPECT_EQ(topo.name(), "flatbfly:4,3");
+  EXPECT_EQ(topo.family(), "flatbfly");
+  EXPECT_EQ(topo.num_groups(), 4);
+  EXPECT_EQ(topo.num_routers(), 16);
+  EXPECT_EQ(topo.num_nodes(), 64);         // concentration defaults to k
+  EXPECT_EQ(topo.ports_per_router(), 10);  // 4 + 3 + 3
+  EXPECT_EQ(topo.max_minimal_hops(), 2);   // dimension-order: l then g
+  EXPECT_NO_THROW(topo.validate());
+  // Every group pair is joined by k parallel links, one per column.
+  for (GroupId g = 0; g < topo.num_groups(); ++g) {
+    EXPECT_EQ(topo.group_link_count(g),
+              topo.routers_per_group() * (topo.num_groups() - 1));
+  }
+  // Same-column routers reach each other with one global hop.
+  const PathLengths len = topo.minimal_lengths_router(
+      topo.router_id(0, 2), topo.router_id(3, 2));
+  EXPECT_EQ(len.local, 0);
+  EXPECT_EQ(len.global, 1);
+}
+
+TEST(Topology, SingleDimensionFlattenedButterflyHasNoGlobalLinks) {
+  const FlatButterflyTopology topo({8, 2, 0});
+  EXPECT_EQ(topo.num_groups(), 1);
+  EXPECT_EQ(topo.global_slots(), 0);
+  EXPECT_EQ(topo.max_minimal_hops(), 1);
+  EXPECT_NO_THROW(topo.validate());
+}
+
+TEST(Topology, RegistryBuildsFamiliesFromConfig) {
+  SimConfig cfg;
+  cfg.topology = "flatbfly:3,3";
+  const auto flat = make_topology(cfg);
+  EXPECT_EQ(flat->family(), "flatbfly");
+  EXPECT_EQ(flat->num_routers(), 9);
+
+  cfg.topology.clear();
+  cfg.topo = DragonflyParams::balanced(2);
+  const auto dfly = make_topology(cfg);
+  EXPECT_EQ(dfly->family(), "dfly");
+  EXPECT_EQ(dfly->name(), "dfly:2,4,2");
+  EXPECT_EQ(dfly->num_nodes(), DragonflyParams::balanced(2).num_nodes());
+
+  const auto shape = try_topology_shape(cfg);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->num_nodes(), dfly->num_nodes());
 }
 
 TEST(Topology, PaperScaleTableI) {

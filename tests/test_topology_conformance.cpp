@@ -1,0 +1,304 @@
+// Conformance suite (ctest label: conformance): every registered
+// topology family is pushed through the invariant-checking kit —
+// fixed canonical/unbalanced/trimmed dragonflies and flattened
+// butterflies, plus a seeded randomized shape sweep with shrinking.
+//
+// Environment knobs (the CI weekly long-fuzz raises them):
+//   CONFORMANCE_FUZZ_SHAPES  number of random shapes (default 30)
+//   CONFORMANCE_FUZZ_SEED    sweep seed (default 1)
+//   CONFORMANCE_FAIL_FILE    append failing shape specs here (artifact)
+#include "topology_conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/dragonfly.hpp"
+#include "topology/flatbfly.hpp"
+
+namespace dragonfly {
+namespace {
+
+using conformance::check_flit_conservation;
+using conformance::check_structure;
+
+SimConfig config_for(const std::string& topology_spec,
+                     const std::string& routing = "min",
+                     const std::string& traffic = "uniform",
+                     std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.apply_kv("topology", topology_spec);
+  cfg.routing_name = routing;
+  cfg.traffic_name = traffic;
+  cfg.load = 0.3;
+  cfg.seed = seed;
+  cfg.apply_vc_defaults();
+  return cfg;
+}
+
+void expect_conformant(const std::string& spec) {
+  const auto bad = check_structure(config_for(spec));
+  EXPECT_FALSE(bad.has_value()) << "shape " << spec << ": " << *bad;
+}
+
+TEST(Conformance, CanonicalDragonflies) {
+  for (const char* spec : {"dfly:1,2,1", "dfly:2,4,2", "dfly:3,6,3"}) {
+    expect_conformant(spec);
+  }
+}
+
+TEST(Conformance, UnbalancedDragonflies) {
+  // a != 2h, p != h: the shapes the balanced preset cannot reach.
+  for (const char* spec :
+       {"dfly:1,3,1", "dfly:2,3,1", "dfly:3,2,2", "dfly:2,6,2",
+        "dfly:1,2,3", "dfly:4,3,2"}) {
+    expect_conformant(spec);
+  }
+}
+
+TEST(Conformance, TrimmedDragonflies) {
+  // G < a*h+1: parallel group links; odd a*h leaves a dead slot.
+  for (const char* spec :
+       {"dfly:2,4,2,5", "dfly:1,3,2,4", "dfly:2,4,3,7", "dfly:1,3,3,5",
+        "dfly:3,3,3,2", "dfly:2,2,2,3"}) {
+    expect_conformant(spec);
+  }
+}
+
+TEST(Conformance, FlattenedButterflies) {
+  for (const char* spec : {"flatbfly:2,2", "flatbfly:4,2", "flatbfly:2,3",
+                           "flatbfly:3,3", "flatbfly:4,3", "flatbfly:4,3,2"}) {
+    expect_conformant(spec);
+  }
+}
+
+TEST(Conformance, FlitConservationAcrossFamiliesAndMechanisms) {
+  const struct {
+    const char* spec;
+    const char* routing;
+    const char* traffic;
+  } runs[] = {
+      {"dfly:2,4,2", "par-mm", "advc"},
+      {"dfly:2,4,2,5", "val-rrg", "uniform"},
+      // Odd a*h + trimmed G: router 2 of each group loses its only
+      // global slot; val-crg must degenerate to MIN there, not throw.
+      {"dfly:1,3,1,2", "val-crg", "uniform"},
+      {"dfly:1,3,1,2", "val-nrg", "uniform"},
+      {"dfly:2,6,2", "ugal-rrg", "advc"},
+      {"flatbfly:3,3", "pb-rrg", "uniform"},
+      {"flatbfly:4,3", "par-mm", "advc"},
+      {"flatbfly:4,2", "min", "uniform"},
+  };
+  for (const auto& run : runs) {
+    const auto bad = check_flit_conservation(
+        config_for(run.spec, run.routing, run.traffic, 11));
+    EXPECT_FALSE(bad.has_value())
+        << run.spec << " with " << run.routing << "/" << run.traffic << ": "
+        << *bad;
+  }
+}
+
+// The kit must be able to FAIL: a topology with a broken VC ladder (a
+// constant VC index, i.e. a cyclic channel dependency graph) has to be
+// flagged by the monotonicity check, and inconsistent wiring has to be
+// rejected at construction.
+class BrokenLadderTopology final : public Topology {
+ public:
+  BrokenLadderTopology() : Topology(/*p=*/1, /*a=*/3, /*groups=*/3, 2) {
+    // flatbfly:3,3-style column wiring (structurally sound).
+    for (GroupId y = 0; y < 3; ++y) {
+      for (int x = 0; x < 3; ++x) {
+        for (int s = 0; s < 2; ++s) {
+          const GroupId yp = s < y ? s : s + 1;
+          wire_global(y, x, s, yp, x, y < yp ? y : y - 1);
+        }
+      }
+    }
+    finalize();
+  }
+  std::string name() const override { return "broken-ladder"; }
+  std::string family() const override { return "broken"; }
+  VcId vc_for_hop(PortKind kind, GroupId, GroupId, GroupId, int, int,
+                  int) const override {
+    return kind == PortKind::kEjection ? 0 : 0;  // constant VC: cyclic CDG
+  }
+
+ protected:
+  PortId compute_minimal_output(RouterId at, RouterId dst) const override {
+    const GroupId gat = group_of_router(at);
+    const GroupId gdst = group_of_router(dst);
+    if (gat == gdst) return local_port_to(at, dst);
+    const int x_at = router_in_group(at);
+    const int x_dst = router_in_group(dst);
+    if (x_at != x_dst) return local_port_to(at, router_id(gat, x_dst));
+    return global_port(gdst < gat ? gdst : gdst - 1);
+  }
+};
+
+TEST(Conformance, KitCatchesALadderViolation) {
+  const BrokenLadderTopology topo;
+  EXPECT_FALSE(conformance::check_links(topo).has_value());
+  EXPECT_FALSE(conformance::check_minimal_routes(topo).has_value());
+  const auto bad = conformance::check_vc_ladder(topo);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_NE(bad->find("ladder rank not increasing"), std::string::npos)
+      << *bad;
+}
+
+class MiswiredTopology final : public Topology {
+ public:
+  MiswiredTopology() : Topology(1, 1, 3, 1) {
+    // A directed 3-cycle of "links": peers do not mirror each other.
+    wire_global(0, 0, 0, 1, 0, 0);
+    wire_global(1, 0, 0, 2, 0, 0);
+    wire_global(2, 0, 0, 0, 0, 0);
+    finalize();
+  }
+  std::string name() const override { return "miswired"; }
+  std::string family() const override { return "broken"; }
+
+ protected:
+  PortId compute_minimal_output(RouterId, RouterId) const override {
+    return global_port(0);
+  }
+};
+
+TEST(Conformance, NonInvolutiveWiringIsRejectedAtConstruction) {
+  EXPECT_THROW(MiswiredTopology{}, std::logic_error);
+}
+
+// --- randomized sweep with shrinking ------------------------------------
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atoi(value);
+}
+
+std::string random_shape(Rng& rng) {
+  if (rng.below(3) < 2) {
+    const int p = 1 + static_cast<int>(rng.below(4));
+    const int a = 1 + static_cast<int>(rng.below(6));
+    const int h = 1 + static_cast<int>(rng.below(4));
+    std::string spec = "dfly:" + std::to_string(p) + "," + std::to_string(a) +
+                       "," + std::to_string(h);
+    if (a * h >= 2 && rng.below(2) == 0) {
+      // Trim to a random G in [2, a*h].
+      const int g = 2 + static_cast<int>(
+                            rng.below(static_cast<std::uint64_t>(a * h - 1)));
+      spec += "," + std::to_string(g);
+    }
+    return spec;
+  }
+  const int k = 2 + static_cast<int>(rng.below(5));
+  const int n = 2 + static_cast<int>(rng.below(2));
+  const int p = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(k)));
+  return "flatbfly:" + std::to_string(k) + "," + std::to_string(n) + "," +
+         std::to_string(p);
+}
+
+/// Parse "family:v1,v2,..." into family + ints (the sweep generates
+/// well-formed specs; parse_spec_ints rejects anything else loudly).
+std::vector<int> shape_values(const std::string& spec, std::string* family) {
+  const auto [fam, args] = split_topology_spec(spec);
+  *family = fam;
+  return parse_spec_ints(args, "conformance shape \"" + spec + "\"");
+}
+
+std::string shape_spec(const std::string& family,
+                       const std::vector<int>& values) {
+  std::string spec = family + ":";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) spec += ",";
+    spec += std::to_string(values[i]);
+  }
+  return spec;
+}
+
+/// Greedy shrink: repeatedly try dropping the trailing optional value or
+/// decrementing one value; keep any simpler shape that still fails the
+/// probe. Returns the smallest failing spec found.
+std::string shrink_shape(
+    const std::string& spec,
+    const std::function<bool(const std::string&)>& still_fails) {
+  std::string family;
+  std::vector<int> values = shape_values(spec, &family);
+  const std::size_t required = family == "dfly" ? 3 : 2;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    if (values.size() > required) {
+      std::vector<int> cand(values.begin(), values.end() - 1);
+      if (still_fails(shape_spec(family, cand))) {
+        values = cand;
+        progressed = true;
+        continue;
+      }
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i] <= 1) continue;
+      std::vector<int> cand = values;
+      --cand[i];
+      if (still_fails(shape_spec(family, cand))) {
+        values = cand;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return shape_spec(family, values);
+}
+
+void report_failing_shape(const std::string& spec) {
+  const char* path = std::getenv("CONFORMANCE_FAIL_FILE");
+  if (path == nullptr) return;
+  std::ofstream out(path, std::ios::app);
+  out << spec << "\n";
+}
+
+TEST(Conformance, RandomizedShapeSweep) {
+  const int shapes = env_int("CONFORMANCE_FUZZ_SHAPES", 30);
+  const auto seed =
+      static_cast<std::uint64_t>(env_int("CONFORMANCE_FUZZ_SEED", 1));
+  Rng rng(seed);
+  const char* routings[] = {"min",    "val-rrg", "val-crg", "val-nrg",
+                            "pb-rrg", "pb-crg",  "par-mm",  "ugal-crg"};
+  for (int i = 0; i < shapes; ++i) {
+    const std::string spec = random_shape(rng);
+    SCOPED_TRACE("shape " + spec + " (seed " + std::to_string(seed) + ")");
+
+    if (const auto bad = check_structure(config_for(spec))) {
+      const std::string shrunk =
+          shrink_shape(spec, [](const std::string& cand) {
+            return check_structure(config_for(cand)).has_value();
+          });
+      report_failing_shape(shrunk);
+      ADD_FAILURE() << "shape " << spec << " fails structure checks: " << *bad
+                    << " (shrinks to " << shrunk << ")";
+      continue;
+    }
+    if (i % 3 == 0) {
+      const char* routing = routings[i / 3 % 8];
+      const auto cfg = config_for(spec, routing, "uniform", seed + i);
+      if (const auto bad = check_flit_conservation(cfg, 400)) {
+        const std::string shrunk =
+            shrink_shape(spec, [&](const std::string& cand) {
+              return check_flit_conservation(
+                         config_for(cand, routing, "uniform", seed + i), 400)
+                  .has_value();
+            });
+        report_failing_shape(shrunk);
+        ADD_FAILURE() << "shape " << spec << " with " << routing
+                      << " breaks conservation: " << *bad << " (shrinks to "
+                      << shrunk << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dragonfly

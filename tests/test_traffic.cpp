@@ -1,5 +1,7 @@
 #include "traffic/pattern.hpp"
 
+#include "topology/dragonfly.hpp"
+
 #include <gtest/gtest.h>
 
 #include <map>

@@ -34,8 +34,8 @@ class WedgeRouting final : public RoutingAlgorithm {
     (void)pkt;
     // Next router of the same group, always VC 0: a ring dependency the
     // VC ladder would normally forbid.
-    const DragonflyTopology& topo = topology();
-    const int a = topo.params().a;
+    const Topology& topo = topology();
+    const int a = topo.routers_per_group();
     const GroupId group = at.group();
     const RouterId next =
         topo.router_id(group, (topo.router_in_group(at.id()) + 1) % a);
@@ -48,7 +48,7 @@ class WedgeRouting final : public RoutingAlgorithm {
 
 const RoutingRegistry::Registrar kWedgeRegistrar{
     routing_registry(), "wedge",
-    [](const DragonflyTopology& topo, const SimConfig& cfg) {
+    [](const Topology& topo, const SimConfig& cfg) {
       return std::unique_ptr<RoutingAlgorithm>(new WedgeRouting(topo, cfg));
     }};
 

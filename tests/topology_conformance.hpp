@@ -1,0 +1,366 @@
+// Topology conformance kit: property checks ANY Topology implementation
+// (built-in or user-registered) must satisfy before routing can trust
+// it. Each check returns the first violation as a string (std::nullopt
+// = conformant), so test harnesses can assert on it directly and the
+// fuzz sweep can shrink failing shapes by re-probing candidates.
+//
+//   1. check_links            — port-layout partition, local/global peer
+//                               involution, link-enumeration consistency,
+//                               direct coverage of every group pair;
+//   2. check_minimal_routes   — the minimal oracle reaches every router
+//                               pair over connected links, within the
+//                               declared hop bound, with hop counts that
+//                               match minimal_lengths;
+//   3. check_vc_ladder        — the per-hop VC index is strictly
+//                               increasing in ladder rank along minimal
+//                               AND composed Valiant paths (the
+//                               deadlock-freedom precondition);
+//   4. check_flit_conservation— a short randomized simulation with
+//                               paranoid invariant sweeps: generated ==
+//                               delivered + live at all times, and the
+//                               network drains to empty.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "sim/config.hpp"
+#include "sim/network.hpp"
+#include "topology/topology.hpp"
+
+namespace dragonfly {
+namespace conformance {
+
+inline std::optional<std::string> check_links(const Topology& topo) {
+  std::ostringstream err;
+  const int R = topo.num_routers();
+  if (R < 1 || topo.num_nodes() < 1) return "topology has no routers/nodes";
+
+  for (RouterId r = 0; r < R; ++r) {
+    for (PortId port = 0; port < topo.ports_per_router(); ++port) {
+      // Port-kind partition must follow the shared layout.
+      const PortKind in = topo.input_port_kind(port);
+      const PortKind out = topo.output_port_kind(port);
+      const bool inj = port < topo.first_local_port();
+      const bool local = !inj && port < topo.first_global_port();
+      if (inj != (in == PortKind::kInjection) ||
+          inj != (out == PortKind::kEjection) ||
+          local != (in == PortKind::kLocal && out == PortKind::kLocal)) {
+        err << "port " << port << " of router " << r
+            << " has inconsistent kinds (" << to_string(in) << "/"
+            << to_string(out) << ")";
+        return err.str();
+      }
+    }
+    // Local links: complete graph, involutive port maps.
+    for (int l = 0; l < topo.local_ports_per_router(); ++l) {
+      const PortId port = topo.first_local_port() + l;
+      const RouterId peer = topo.local_peer(r, port);
+      if (topo.group_of_router(peer) != topo.group_of_router(r) ||
+          peer == r) {
+        err << "local port " << port << " of router " << r
+            << " reaches non-local router " << peer;
+        return err.str();
+      }
+      if (topo.local_port_to(r, peer) != port ||
+          topo.local_peer(peer, topo.local_port_to(peer, r)) != r) {
+        err << "local link " << r << "<->" << peer << " not involutive";
+        return err.str();
+      }
+    }
+    // Global links: bidirectional consistency.
+    for (int k = 0; k < topo.global_slots(); ++k) {
+      const PortId port = topo.global_port(k);
+      if (!topo.global_connected(r, port)) continue;
+      const RouterId peer = topo.global_peer(r, port);
+      const PortId peer_port = topo.global_peer_port(r, port);
+      if (!topo.global_connected(peer, peer_port) ||
+          topo.global_peer(peer, peer_port) != r ||
+          topo.global_peer_port(peer, peer_port) != port) {
+        err << "global link (" << r << "," << port << ") not involutive";
+        return err.str();
+      }
+      if (topo.global_target_group(r, port) == topo.group_of_router(r)) {
+        err << "global link (" << r << "," << port << ") stays in its group";
+        return err.str();
+      }
+    }
+    // Router-level link enumeration must list exactly the connected
+    // ports, in slot order.
+    int listed = 0;
+    for (int k = 0; k < topo.global_slots(); ++k) {
+      if (topo.global_connected(r, topo.global_port(k))) ++listed;
+    }
+    if (listed != topo.router_link_count(r)) {
+      err << "router " << r << " lists " << topo.router_link_count(r)
+          << " links but has " << listed << " connected ports";
+      return err.str();
+    }
+    for (int i = 0; i < topo.router_link_count(r); ++i) {
+      const GlobalLinkRef& link = topo.router_link(r, i);
+      if (link.router != r || !topo.global_connected(r, link.port) ||
+          topo.global_target_group(r, link.port) != link.target) {
+        err << "router " << r << " link " << i << " is inconsistent";
+        return err.str();
+      }
+    }
+  }
+  // Group-level enumeration = concatenation of its routers' runs, and
+  // every ordered group pair has a default exit link inside `from`.
+  for (GroupId g = 0; g < topo.num_groups(); ++g) {
+    int sum = 0;
+    for (int r = 0; r < topo.routers_per_group(); ++r) {
+      sum += topo.router_link_count(topo.router_id(g, r));
+    }
+    if (sum != topo.group_link_count(g)) {
+      err << "group " << g << " enumeration size " << topo.group_link_count(g)
+          << " != sum of router runs " << sum;
+      return err.str();
+    }
+    for (int i = 0; i < topo.group_link_count(g); ++i) {
+      if (topo.group_of_router(topo.group_link(g, i).router) != g) {
+        err << "group " << g << " enumerates a foreign link";
+        return err.str();
+      }
+    }
+    for (GroupId t = 0; t < topo.num_groups(); ++t) {
+      if (g == t) continue;
+      const GlobalLinkRef& exit = topo.group_exit_link(g, t);
+      if (topo.group_of_router(exit.router) != g || exit.target != t ||
+          topo.global_target_group(exit.router, exit.port) != t) {
+        err << "exit link " << g << "->" << t << " is inconsistent";
+        return err.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+inline std::optional<std::string> check_minimal_routes(const Topology& topo) {
+  std::ostringstream err;
+  const int R = topo.num_routers();
+  // Full router-pair sweep on conformance-sized shapes; stride-sampled
+  // beyond that so fuzz shapes stay fast.
+  const int stride = R > 256 ? R / 256 + 1 : 1;
+  for (RouterId src = 0; src < R; src += stride) {
+    for (RouterId dst = 0; dst < R; ++dst) {
+      if (src == dst) continue;
+      RouterId cur = src;
+      int local = 0;
+      int global = 0;
+      while (cur != dst) {
+        const NodeId dst_node = topo.node_id(dst, 0);
+        const PortId out = topo.minimal_output(cur, dst_node);
+        const PortKind kind = topo.output_port_kind(out);
+        if (kind == PortKind::kLocal) {
+          cur = topo.local_peer(cur, out);
+          ++local;
+        } else if (kind == PortKind::kGlobal) {
+          if (!topo.global_connected(cur, out)) {
+            err << "minimal route " << src << "->" << dst
+                << " crosses dead global port " << out << " at " << cur;
+            return err.str();
+          }
+          cur = topo.global_peer(cur, out);
+          ++global;
+        } else {
+          err << "minimal route " << src << "->" << dst
+              << " requests non-link port " << out << " at " << cur;
+          return err.str();
+        }
+        if (local + global > topo.max_minimal_hops()) {
+          err << "minimal route " << src << "->" << dst << " exceeds the "
+              << "declared hop bound " << topo.max_minimal_hops();
+          return err.str();
+        }
+      }
+      const PathLengths len = topo.minimal_lengths_router(src, dst);
+      if (len.local != local || len.global != global) {
+        err << "minimal_lengths(" << src << "," << dst << ") = ("
+            << len.local << "l," << len.global << "g) but the walk took ("
+            << local << "l," << global << "g)";
+        return err.str();
+      }
+      // Terminal hop: the ejection port of the destination node.
+      const NodeId dst_node = topo.node_id(dst, 0);
+      if (topo.minimal_output(dst, dst_node) !=
+          topo.ejection_port(topo.node_index_in_router(dst_node))) {
+        err << "minimal_output at the destination router is not ejection";
+        return err.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Walk the minimal route src->dst collecting ladder ranks; returns the
+/// violation or nullopt. `ghops` and `ranks` continue across the legs of
+/// a composed Valiant path.
+inline std::optional<std::string> ladder_walk(const Topology& topo,
+                                              RouterId cur, RouterId dst,
+                                              GroupId src_group,
+                                              GroupId dst_group, int& ghops,
+                                              int& last_rank, int local_vcs,
+                                              int global_vcs) {
+  std::ostringstream err;
+  while (cur != dst) {
+    const PortId out = topo.minimal_output(cur, topo.node_id(dst, 0));
+    const PortKind kind = topo.output_port_kind(out);
+    const VcId vc = topo.vc_for_hop(kind, topo.group_of_router(cur),
+                                    src_group, dst_group, ghops, local_vcs,
+                                    global_vcs);
+    const int max_vc = kind == PortKind::kGlobal ? global_vcs : local_vcs;
+    if (vc < 0 || vc >= max_vc) {
+      err << "vc " << vc << " out of range on a " << to_string(kind)
+          << " hop";
+      return err.str();
+    }
+    const int rank = Topology::vc_ladder_rank(kind, vc);
+    if (rank <= last_rank) {
+      err << "ladder rank not increasing: " << to_string(kind) << " vc "
+          << vc << " (rank " << rank << ") after rank " << last_rank;
+      return err.str();
+    }
+    last_rank = rank;
+    if (kind == PortKind::kGlobal) {
+      cur = topo.global_peer(cur, out);
+      ++ghops;
+    } else {
+      cur = topo.local_peer(cur, out);
+    }
+  }
+  return std::nullopt;
+}
+
+inline std::optional<std::string> check_vc_ladder(const Topology& topo,
+                                                  int local_vcs = 3,
+                                                  int global_vcs = 2) {
+  const int R = topo.num_routers();
+  const int stride = R > 64 ? R / 64 + 1 : 1;
+  for (RouterId src = 0; src < R; src += stride) {
+    const GroupId sg = topo.group_of_router(src);
+    for (RouterId dst = 0; dst < R; dst += stride) {
+      if (src == dst) continue;
+      const GroupId dg = topo.group_of_router(dst);
+      // Minimal path.
+      {
+        int ghops = 0;
+        int last = -1;
+        if (auto bad = ladder_walk(topo, src, dst, sg, dg, ghops, last,
+                                   local_vcs, global_vcs)) {
+          return "minimal " + std::to_string(src) + "->" +
+                 std::to_string(dst) + ": " + *bad;
+        }
+      }
+      // Valiant composites through every group-link candidate (the
+      // committed-non-minimal shape every mechanism produces).
+      if (dg == sg) continue;
+      const int links = topo.group_link_count(sg);
+      for (int i = 0; i < links; ++i) {
+        const GlobalLinkRef& link = topo.group_link(sg, i);
+        if (link.target == dg) continue;  // policies exclude the minimal one
+        int ghops = 0;
+        int last = -1;
+        std::ostringstream where;
+        where << "valiant " << src << "->" << link.target << "->" << dst;
+        // Leg 1: toward_link semantics — local to the owning router,
+        // then the committed global hop.
+        if (link.router != src) {
+          const VcId vc =
+              topo.vc_for_hop(PortKind::kLocal, sg, sg, dg, ghops,
+                              local_vcs, global_vcs);
+          last = Topology::vc_ladder_rank(PortKind::kLocal, vc);
+        }
+        const VcId gvc = topo.vc_for_hop(PortKind::kGlobal, sg, sg, dg,
+                                         ghops, local_vcs, global_vcs);
+        const int grank = Topology::vc_ladder_rank(PortKind::kGlobal, gvc);
+        if (grank <= last) {
+          return where.str() + ": committed global hop rank " +
+                 std::to_string(grank) + " after " + std::to_string(last);
+        }
+        last = grank;
+        ++ghops;
+        // Leg 2: minimal from the intermediate entry router.
+        RouterId entry = topo.global_peer(link.router, link.port);
+        if (entry == dst) continue;
+        if (auto bad = ladder_walk(topo, entry, dst, sg, dg, ghops, last,
+                                   local_vcs, global_vcs)) {
+          return where.str() + ": " + *bad;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Short randomized end-to-end run with paranoid invariant sweeps:
+/// generated == delivered + live throughout, and the drain empties the
+/// network. `cfg` selects topology, routing, traffic and seed.
+inline std::optional<std::string> check_flit_conservation(SimConfig cfg,
+                                                          Cycle cycles = 600) {
+  cfg.warmup_cycles = 1;
+  cfg.measure_cycles = cycles;
+  cfg.sim_paranoid = 16;
+  std::ostringstream err;
+  try {
+    Network net(cfg);
+    net.begin_measurement();
+    for (Cycle c = 0; c < cycles; ++c) net.step();
+    net.end_measurement();
+    if (net.generated_packets_total() !=
+        net.collector().delivered_packets_total() +
+            static_cast<std::int64_t>(net.packets().live())) {
+      err << "flit conservation broken: generated "
+          << net.generated_packets_total() << " != delivered "
+          << net.collector().delivered_packets_total() << " + live "
+          << net.packets().live();
+      return err.str();
+    }
+    // Drain: no new packets, the in-flight population must reach zero.
+    net.set_generation_enabled(false);
+    const Cycle budget = 50'000;
+    Cycle spent = 0;
+    while (net.packets().live() > 0 && spent < budget) {
+      net.step();
+      ++spent;
+    }
+    if (net.packets().live() > 0) {
+      err << net.packets().live() << " packets failed to drain within "
+          << budget << " cycles (possible deadlock or lost flit)";
+      return err.str();
+    }
+    if (net.generated_packets_total() !=
+        net.collector().delivered_packets_total()) {
+      err << "post-drain conservation broken: generated "
+          << net.generated_packets_total() << " != delivered "
+          << net.collector().delivered_packets_total();
+      return err.str();
+    }
+  } catch (const std::exception& e) {
+    return std::string("simulation threw: ") + e.what();
+  }
+  return std::nullopt;
+}
+
+/// Every structural check on the topology selected by `cfg` (no
+/// simulation; see check_flit_conservation for the dynamic part).
+inline std::optional<std::string> check_structure(const SimConfig& cfg) {
+  try {
+    const std::unique_ptr<Topology> topo = make_topology(cfg);
+    try {
+      topo->validate();
+    } catch (const std::exception& e) {
+      return std::string("validate() threw: ") + e.what();
+    }
+    if (auto bad = check_links(*topo)) return "links: " + *bad;
+    if (auto bad = check_minimal_routes(*topo)) return "minimal: " + *bad;
+    if (auto bad = check_vc_ladder(*topo)) return "vc ladder: " + *bad;
+  } catch (const std::exception& e) {
+    return std::string("construction threw: ") + e.what();
+  }
+  return std::nullopt;
+}
+
+}  // namespace conformance
+}  // namespace dragonfly
