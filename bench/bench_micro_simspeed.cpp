@@ -39,12 +39,19 @@ void BM_SeparableAllocator(benchmark::State& state) {
 }
 BENCHMARK(BM_SeparableAllocator)->Arg(11)->Arg(23);
 
-void BM_NetworkStepUniform(benchmark::State& state) {
+/// Steps one warmed-up uniform-traffic network. Args: (radix h, offered
+/// load in %, kernel: 0 = active, 1 = scan). The low-load points (5%)
+/// are where the active-set kernel shines — most routers/ports idle —
+/// and the 50% points sit at/near saturation. The scan rows keep the
+/// dense reference kernel honest and give CI a machine-independent
+/// active/scan speedup ratio.
+void NetworkStepUniform(benchmark::State& state, SimKernel kernel) {
   const int h = static_cast<int>(state.range(0));
   SimConfig cfg = SimConfig::small(h);
   cfg.routing_name = "par-mm";
   cfg.traffic_name = "uniform";
-  cfg.load = 0.5;
+  cfg.load = static_cast<double>(state.range(1)) / 100.0;
+  cfg.kernel = kernel;
   cfg.apply_vc_defaults();
   Network net(cfg);
   for (int i = 0; i < 500; ++i) net.step();  // warm the pipeline
@@ -52,7 +59,22 @@ void BM_NetworkStepUniform(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * net.num_routers());
   state.counters["nodes"] = net.num_nodes();
 }
-BENCHMARK(BM_NetworkStepUniform)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_NetworkStepUniform(benchmark::State& state) {
+  NetworkStepUniform(state, SimKernel::kActive);
+}
+BENCHMARK(BM_NetworkStepUniform)
+    ->Args({2, 5})
+    ->Args({3, 5})
+    ->Args({4, 5})
+    ->Args({2, 50})
+    ->Args({3, 50})
+    ->Args({4, 50});
+
+void BM_NetworkStepUniformScan(benchmark::State& state) {
+  NetworkStepUniform(state, SimKernel::kScan);
+}
+BENCHMARK(BM_NetworkStepUniformScan)->Args({3, 5})->Args({3, 50});
 
 void BM_NetworkStepAdvc(benchmark::State& state) {
   const int h = static_cast<int>(state.range(0));

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench baseline against the committed one.
+
+Used by the CI perf-smoke job:
+
+    bench/run_baseline.sh build current.json
+    bench/compare_baseline.py --baseline BENCH_5.json --current current.json
+
+Two classes of check:
+
+* absolute cycles/sec per benchmark, with a generous tolerance
+  (default 30%, --tolerance / $PERF_SMOKE_TOLERANCE) because CI runner
+  hardware varies;
+* the active/scan kernel speedup ratios, which are measured within one
+  process on one machine and therefore travel across hardware — these
+  guard the active-set kernel's actual advantage (--ratio-tolerance).
+
+Exits non-zero on any breach, printing a per-benchmark table either way.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dragonfly-bench-baseline-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    build_type = (doc.get("context") or {}).get("cmake_build_type", "")
+    if not str(build_type).startswith("Release"):
+        # A debug-tree baseline makes every future Release run pass the
+        # tolerance regardless of real regressions.
+        sys.exit(f"{path}: recorded from a {build_type!r} build; "
+                 "baselines must come from a Release tree")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("PERF_SMOKE_TOLERANCE", "0.30")),
+        help="allowed fractional cycles/sec regression per benchmark",
+    )
+    ap.add_argument(
+        "--ratio-tolerance",
+        type=float,
+        default=float(os.environ.get("PERF_SMOKE_RATIO_TOLERANCE", "0.30")),
+        help="allowed fractional drop of the active/scan speedup ratios",
+    )
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures = []
+
+    print(f"{'benchmark':45} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name, base in sorted(baseline["benchmarks"].items()):
+        cur = current["benchmarks"].get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = cur["cycles_per_sec"] / base["cycles_per_sec"]
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{name}: {cur['cycles_per_sec']:.0f} cycles/s vs baseline "
+                f"{base['cycles_per_sec']:.0f} ({ratio:.2f}x, tolerance "
+                f"{1.0 - args.tolerance:.2f}x)")
+        print(f"{name:45} {base['cycles_per_sec']:>12.0f} "
+              f"{cur['cycles_per_sec']:>12.0f} {ratio:>6.2f}x{flag}")
+
+    for key, base_ratio in (baseline.get("derived") or {}).items():
+        cur_ratio = (current.get("derived") or {}).get(key)
+        if base_ratio is None:
+            # A null ratio means the baseline was recorded without the
+            # scan-reference benches — the machine-independent guard
+            # would silently vanish. Refuse such a baseline.
+            failures.append(
+                f"derived.{key}: committed baseline has no ratio (was it "
+                "generated with a custom --benchmark_filter?)")
+            continue
+        if cur_ratio is None:
+            failures.append(f"derived.{key}: missing from current run")
+            continue
+        print(f"derived.{key}: baseline {base_ratio:.2f}x, "
+              f"current {cur_ratio:.2f}x")
+        if cur_ratio < base_ratio * (1.0 - args.ratio_tolerance):
+            failures.append(
+                f"derived.{key}: active/scan speedup fell to {cur_ratio:.2f}x "
+                f"(baseline {base_ratio:.2f}x, tolerance "
+                f"{1.0 - args.ratio_tolerance:.2f}x)")
+
+    if failures:
+        print("\nPERF-SMOKE FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Record the simulator-speed baseline: run the bench_micro_simspeed
+# google-benchmark binary (Release build) and distill its JSON output
+# into a committed BENCH_<pr>.json entry (see DESIGN.md "Bench baseline
+# format").
+#
+# Usage: bench/run_baseline.sh <build_dir> <out_json> [benchmark_filter]
+#
+# The default filter covers the cycle-kernel benches the CI perf-smoke
+# job tracks: BM_NetworkStepUniform (active + scan reference) and
+# BM_SessionStep.
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: run_baseline.sh <build_dir> <out_json> [filter]}
+OUT=${2:?usage: run_baseline.sh <build_dir> <out_json> [filter]}
+FILTER=${3:-'BM_NetworkStepUniform|BM_NetworkStepUniformScan|BM_SessionStep'}
+
+BIN="$BUILD_DIR/bench_micro_simspeed"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable (build with google-benchmark installed)" >&2
+  exit 1
+fi
+
+# A baseline from a non-Release tree would silently neuter the CI perf
+# guard (absolute numbers several times too low). Refuse to record one.
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)
+if [[ "$BUILD_TYPE" != Release* ]]; then
+  echo "error: $BUILD_DIR is a '$BUILD_TYPE' build; record baselines from a Release tree" >&2
+  exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+"$BIN" --benchmark_filter="$FILTER" --benchmark_format=json \
+  --benchmark_min_time=0.5 > "$RAW"
+
+CMAKE_BUILD_TYPE="$BUILD_TYPE" python3 - "$RAW" "$OUT" <<'EOF'
+import json
+import os
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+benchmarks = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    ns = b["real_time"]  # one iteration == one simulated cycle
+    assert b.get("time_unit", "ns") == "ns", b
+    benchmarks[b["name"]] = {
+        "ns_per_cycle": round(ns, 1),
+        "cycles_per_sec": round(1e9 / ns, 1),
+    }
+
+def speedup(active, scan):
+    if active in benchmarks and scan in benchmarks:
+        return round(benchmarks[scan]["ns_per_cycle"] /
+                     benchmarks[active]["ns_per_cycle"], 3)
+    return None
+
+out = {
+    "schema": "dragonfly-bench-baseline-v1",
+    "command": "bench/run_baseline.sh (bench_micro_simspeed, Release)",
+    "context": {
+        # cmake_build_type is the simulator's own tree (checked Release
+        # above); google-benchmark's library_build_type describes only
+        # the benchmark library package.
+        "cmake_build_type": os.environ.get("CMAKE_BUILD_TYPE", ""),
+        **{k: raw.get("context", {}).get(k)
+           for k in ("host_name", "num_cpus", "mhz_per_cpu")},
+    },
+    "benchmarks": benchmarks,
+    # Machine-independent health signals: the active kernel's speedup
+    # over the dense reference scan, measured in the same process.
+    "derived": {
+        "active_scan_speedup_lowload":
+            speedup("BM_NetworkStepUniform/3/5", "BM_NetworkStepUniformScan/3/5"),
+        "active_scan_speedup_saturation":
+            speedup("BM_NetworkStepUniform/3/50", "BM_NetworkStepUniformScan/3/50"),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
+EOF

@@ -37,7 +37,20 @@ class Rng {
   /// of distinct indices are statistically independent streams.
   Rng child(std::uint64_t index) const;
 
-  std::uint64_t next();
+  /// Inline: the cycle kernel draws one Bernoulli per generating node per
+  /// cycle and several bounded draws per adaptive routing decision — an
+  /// out-of-line call chain here dominates the low-load step cost.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
   result_type operator()() { return next(); }
 
   static constexpr result_type min() { return 0; }
@@ -47,16 +60,37 @@ class Rng {
 
   /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
   /// multiply-shift rejection method (unbiased).
-  std::uint64_t below(std::uint64_t bound);
+  std::uint64_t below(std::uint64_t bound) {
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) [[unlikely]] {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
 
-  /// Uniform double in [0, 1).
-  double uniform();
+  /// Uniform double in [0, 1): 53 top bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
-  /// Bernoulli trial with probability p (clamped to [0,1]).
-  bool bernoulli(double p);
+  /// Bernoulli trial with probability p (clamped to [0,1]). p <= 0 and
+  /// p >= 1 short-circuit without consuming a draw.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   /// Raw xoshiro state, for checkpoint/restore: a restored generator
   /// continues the exact stream of the saved one.
@@ -68,6 +102,10 @@ class Rng {
   }
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

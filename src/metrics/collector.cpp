@@ -1,5 +1,6 @@
 #include "metrics/collector.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/checkpoint.hpp"
@@ -30,6 +31,22 @@ void MetricsCollector::on_delivered(const Packet& pkt, Cycle when) {
   latency_.add(pkt, when, base);
 }
 
+void MetricsCollector::attach_routers(int num_routers) {
+  injected_total_.assign(static_cast<std::size_t>(num_routers), 0);
+  injected_measured_.assign(static_cast<std::size_t>(num_routers), 0);
+  forwarded_total_.assign(static_cast<std::size_t>(num_routers), 0);
+}
+
+std::int64_t MetricsCollector::forwarded_total_sum() const {
+  std::int64_t sum = 0;
+  for (const std::int64_t v : forwarded_total_) sum += v;
+  return sum;
+}
+
+void MetricsCollector::reset_measured_router_counters() {
+  std::fill(injected_measured_.begin(), injected_measured_.end(), 0);
+}
+
 double MetricsCollector::accepted_load(int generating_nodes) const {
   const Cycle window = measure_end_ - measure_start_;
   if (measuring_ || window <= 0 || generating_nodes <= 0) return 0.0;
@@ -54,6 +71,9 @@ void MetricsCollector::save(CheckpointWriter& ck) const {
   ck.f64(latency_sum_total_);
   p2_p50_.save(ck);
   p2_p99_.save(ck);
+  ck.vec(injected_total_, [&](std::int64_t v) { ck.i64(v); });
+  ck.vec(injected_measured_, [&](std::int64_t v) { ck.i64(v); });
+  ck.vec(forwarded_total_, [&](std::int64_t v) { ck.i64(v); });
 }
 
 void MetricsCollector::load(CheckpointReader& ck) {
@@ -72,6 +92,16 @@ void MetricsCollector::load(CheckpointReader& ck) {
   latency_sum_total_ = ck.f64();
   p2_p50_.load(ck);
   p2_p99_.load(ck);
+  const std::size_t routers = injected_total_.size();
+  ck.vec(injected_total_, [&] { return ck.i64(); });
+  ck.vec(injected_measured_, [&] { return ck.i64(); });
+  ck.vec(forwarded_total_, [&] { return ck.i64(); });
+  if (injected_total_.size() != routers ||
+      injected_measured_.size() != routers ||
+      forwarded_total_.size() != routers) {
+    throw std::runtime_error(
+        "checkpoint: per-router counter size mismatch (config drift)");
+  }
 }
 
 }  // namespace dragonfly

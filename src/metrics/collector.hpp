@@ -49,6 +49,27 @@ class MetricsCollector {
   /// Called by the network when a packet tail reaches its destination.
   void on_delivered(const Packet& pkt, Cycle when);
 
+  // --- per-router counters (SoA; routers bind slots via
+  // Router::bind_counters and increment them directly) -------------------
+  /// Size the per-router counter arrays (done once by Network::build).
+  void attach_routers(int num_routers);
+  std::int64_t* router_injected_total(RouterId r) {
+    return injected_total_.data() + static_cast<std::size_t>(r);
+  }
+  std::int64_t* router_injected_measured(RouterId r) {
+    return injected_measured_.data() + static_cast<std::size_t>(r);
+  }
+  std::int64_t* router_forwarded_total(RouterId r) {
+    return forwarded_total_.data() + static_cast<std::size_t>(r);
+  }
+  const std::vector<std::int64_t>& injected_measured_per_router() const {
+    return injected_measured_;
+  }
+  /// Sum of forwarded-packet counters (deadlock watchdog).
+  std::int64_t forwarded_total_sum() const;
+  /// Zero the measured-window injection counters (begin_measurement).
+  void reset_measured_router_counters();
+
   /// Streaming mode keeps the rolling P² percentile estimators updated
   /// on every delivery; off (the default) keeps the hot path identical
   /// to the fixed-window collector.
@@ -100,6 +121,11 @@ class MetricsCollector {
   double latency_sum_total_ = 0.0;
   P2Quantile p2_p50_;
   P2Quantile p2_p99_;
+  /// Per-router statistics, hoisted out of the Router objects so the
+  /// fairness/accounting reads are contiguous scans (see attach_routers).
+  std::vector<std::int64_t> injected_total_;
+  std::vector<std::int64_t> injected_measured_;
+  std::vector<std::int64_t> forwarded_total_;
 };
 
 }  // namespace dragonfly

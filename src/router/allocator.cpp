@@ -36,28 +36,41 @@ SeparableAllocator::SeparableAllocator(int num_inputs, int num_outputs,
       grants_out_(static_cast<std::size_t>(num_outputs), 0) {}
 
 void SeparableAllocator::allocate(std::vector<AllocRequest>& requests) {
-  for (auto& v : by_input_) v.clear();
-  std::fill(grants_in_.begin(), grants_in_.end(), 0);
-  std::fill(grants_out_.begin(), grants_out_.end(), 0);
+  if (requests.empty()) return;  // persistent pointers untouched
 
+  // Sparse request indexing: only the input/output ports that actually
+  // appear in `requests` are cleared, reset and iterated below. The
+  // touched lists are sorted so both stages visit ports in ascending
+  // id order — the order the old dense 0..radix scans produced — which
+  // keeps proposal order (and hence age-arbitration tie-breaks and
+  // round-robin updates) bit-identical.
+  touched_ins_.clear();
   for (int i = 0; i < static_cast<int>(requests.size()); ++i) {
-    by_input_[static_cast<std::size_t>(requests[static_cast<std::size_t>(i)]
-                                           .in_port)]
-        .push_back(i);
+    const auto& req = requests[static_cast<std::size_t>(i)];
+    auto& bucket = by_input_[static_cast<std::size_t>(req.in_port)];
+    if (bucket.empty()) {
+      touched_ins_.push_back(req.in_port);
+      grants_in_[static_cast<std::size_t>(req.in_port)] = 0;
+    }
+    bucket.push_back(i);
+    grants_out_[static_cast<std::size_t>(req.out_port)] = 0;
   }
+  std::sort(touched_ins_.begin(), touched_ins_.end());
 
   for (int iter = 0; iter < cfg_.iterations; ++iter) {
-    for (auto& v : proposals_) v.clear();
+    for (const int out : touched_outs_) {
+      proposals_[static_cast<std::size_t>(out)].clear();
+    }
+    touched_outs_.clear();
 
-    // Input stage: each input port proposes one still-valid request,
-    // chosen by a persistent round-robin pointer over its VCs.
-    for (int in = 0; in < num_inputs_; ++in) {
+    // Input stage: each requesting input port proposes one still-valid
+    // request, chosen by a persistent round-robin pointer over its VCs.
+    for (const int in : touched_ins_) {
       if (grants_in_[static_cast<std::size_t>(in)] >=
           cfg_.max_grants_per_input) {
         continue;
       }
       const auto& cand = by_input_[static_cast<std::size_t>(in)];
-      if (cand.empty()) continue;
       const auto n = static_cast<std::uint32_t>(cand.size());
       const std::uint32_t start = input_rr_[static_cast<std::size_t>(in)];
       for (std::uint32_t step = 0; step < n; ++step) {
@@ -68,13 +81,16 @@ void SeparableAllocator::allocate(std::vector<AllocRequest>& requests) {
             cfg_.max_grants_per_output) {
           continue;
         }
-        proposals_[static_cast<std::size_t>(req.out_port)].push_back(idx);
+        auto& props = proposals_[static_cast<std::size_t>(req.out_port)];
+        if (props.empty()) touched_outs_.push_back(req.out_port);
+        props.push_back(idx);
         break;  // one proposal per input port per iteration
       }
     }
+    std::sort(touched_outs_.begin(), touched_outs_.end());
 
-    // Output stage: each output port picks one winner among proposals.
-    for (int out = 0; out < num_outputs_; ++out) {
+    // Output stage: each proposed-to output port picks one winner.
+    for (const int out : touched_outs_) {
       auto& props = proposals_[static_cast<std::size_t>(out)];
       if (props.empty()) continue;
 
@@ -133,6 +149,13 @@ void SeparableAllocator::allocate(std::vector<AllocRequest>& requests) {
             static_cast<std::uint32_t>(num_inputs_);
       }
     }
+  }
+
+  // Leave the input buckets empty for the next call; the proposal
+  // buckets of the final iteration are cleared lazily by the next
+  // call's first iteration (touched_outs_ keeps naming them).
+  for (const int in : touched_ins_) {
+    by_input_[static_cast<std::size_t>(in)].clear();
   }
 }
 

@@ -70,11 +70,15 @@ class SeparableAllocator {
   // Persistent round-robin pointers.
   std::vector<std::uint32_t> input_rr_;
   std::vector<std::uint32_t> output_rr_;
-  // Scratch, reused across cycles.
+  // Scratch, reused across cycles. The per-port buckets are cleared and
+  // walked *sparsely* via the touched lists: a cycle with a handful of
+  // requests costs a handful of operations, not a full-radix scan.
   std::vector<std::vector<int>> by_input_;
   std::vector<std::vector<int>> proposals_;
   std::vector<int> grants_in_;
   std::vector<int> grants_out_;
+  std::vector<int> touched_ins_;
+  std::vector<int> touched_outs_;
 };
 
 }  // namespace dragonfly

@@ -1,7 +1,6 @@
 #include "router/buffer.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <stdexcept>
 #include <utility>
 
@@ -10,18 +9,20 @@
 namespace dragonfly {
 
 void VcFifo::push(PacketRef pkt, int size_phits) {
-  if (occupancy_ + size_phits > capacity_) {
+  if (*occ_ + size_phits > capacity_) {
     throw std::logic_error("VcFifo overflow: credit accounting broken");
   }
-  occupancy_ += size_phits;
+  *occ_ += size_phits;
   fifo_.push_back(pkt);
+  if (fifo_.size() == 1) *head_ = pkt;
 }
 
 int VcFifo::pop(int size_phits) {
   if (fifo_.empty()) throw std::logic_error("VcFifo::pop on empty FIFO");
   fifo_.pop_front();
-  occupancy_ -= size_phits;
-  if (occupancy_ < 0) throw std::logic_error("VcFifo negative occupancy");
+  *occ_ -= size_phits;
+  if (*occ_ < 0) throw std::logic_error("VcFifo negative occupancy");
+  *head_ = fifo_.empty() ? kNoPacket : fifo_.front();
   return size_phits;
 }
 
@@ -33,50 +34,91 @@ int InputPort::total_occupancy() const {
 
 void OutputPort::configure(PortKind kind, RouterId peer, PortId peer_port,
                            Cycle link_latency, int queue_capacity,
-                           std::vector<int> credits_per_vc) {
+                           std::vector<int> credits_per_vc,
+                           OutputHotSlots slots) {
   kind_ = kind;
   peer_ = peer;
   peer_port_ = peer_port;
   link_latency_ = link_latency;
   queue_capacity_ = queue_capacity;
-  credits_ = credits_per_vc;
-  credit_capacity_ = std::move(credits_per_vc);
+  num_vcs_ = static_cast<int>(credits_per_vc.size());
+  if (slots.credits != nullptr) {
+    credits_ = slots.credits;
+    credit_capacity_ = slots.credit_capacity;
+    queue_occupancy_ = slots.queue_occupancy;
+    link_free_ = slots.link_free;
+    own_credits_.clear();
+    own_capacity_.clear();
+  } else {
+    own_credits_.assign(credits_per_vc.begin(), credits_per_vc.end());
+    own_capacity_ = own_credits_;
+    credits_ = own_credits_.data();
+    credit_capacity_ = own_capacity_.data();
+    queue_occupancy_ = &own_queue_occupancy_;
+    link_free_ = &own_link_free_;
+  }
+  for (int v = 0; v < num_vcs_; ++v) {
+    credits_[v] = credits_per_vc[static_cast<std::size_t>(v)];
+    credit_capacity_[v] = credits_per_vc[static_cast<std::size_t>(v)];
+  }
+  *queue_occupancy_ = 0;
+  *link_free_ = 0;
+  queue_.clear();
+}
+
+void OutputPort::copy_from(const OutputPort& other) {
+  kind_ = other.kind_;
+  peer_ = other.peer_;
+  peer_port_ = other.peer_port_;
+  link_latency_ = other.link_latency_;
+  queue_capacity_ = other.queue_capacity_;
+  num_vcs_ = other.num_vcs_;
+  queue_ = other.queue_;
+  // A copy always owns its counters: the source's HotState binding (if
+  // any) belongs to the source's (router, port) slot.
+  own_credits_.assign(other.credits_, other.credits_ + other.num_vcs_);
+  own_capacity_.assign(other.credit_capacity_,
+                       other.credit_capacity_ + other.num_vcs_);
+  own_queue_occupancy_ = *other.queue_occupancy_;
+  own_link_free_ = *other.link_free_;
+  credits_ = own_credits_.data();
+  credit_capacity_ = own_capacity_.data();
+  queue_occupancy_ = &own_queue_occupancy_;
+  link_free_ = &own_link_free_;
 }
 
 void OutputPort::take_credits(VcId vc, int phits) {
-  auto& c = credits_[static_cast<std::size_t>(vc)];
-  c -= phits;
-  if (c < 0) throw std::logic_error("OutputPort: negative credits");
+  credits_[vc] -= phits;
+  if (credits_[vc] < 0) {
+    throw std::logic_error("OutputPort: negative credits");
+  }
 }
 
 void OutputPort::return_credits(VcId vc, int phits) {
-  auto& c = credits_[static_cast<std::size_t>(vc)];
-  c += phits;
-  if (c > credit_capacity_[static_cast<std::size_t>(vc)]) {
+  credits_[vc] += phits;
+  if (credits_[vc] > credit_capacity_[vc]) {
     throw std::logic_error("OutputPort: credit overflow");
   }
 }
 
 int OutputPort::reserved_phits() const {
   int reserved = 0;
-  for (std::size_t i = 0; i < credits_.size(); ++i) {
-    reserved += credit_capacity_[i] - credits_[i];
-  }
+  for (int v = 0; v < num_vcs_; ++v) reserved += credit_capacity_[v] - credits_[v];
   return reserved;
 }
 
 double OutputPort::occupancy_fraction() const {
   if (kind_ == PortKind::kEjection) return 0.0;
-  const int cap =
-      std::accumulate(credit_capacity_.begin(), credit_capacity_.end(), 0);
+  int cap = 0;
+  for (int v = 0; v < num_vcs_; ++v) cap += credit_capacity_[v];
   if (cap == 0 || queue_capacity_ == 0) return 0.0;
   // Two congestion signatures, whichever is stronger:
   //  - backlog in this router's output queue (serialization-bound link:
   //    grants outpace the 1 phit/cycle drain);
   //  - downstream buffer reservation (credit loop: the next router is not
   //    draining its input VC buffers).
-  const double queue_frac =
-      static_cast<double>(queue_occupancy_) / static_cast<double>(queue_capacity_);
+  const double queue_frac = static_cast<double>(*queue_occupancy_) /
+                            static_cast<double>(queue_capacity_);
   const double reserved_frac =
       static_cast<double>(reserved_phits()) / static_cast<double>(cap);
   return std::max(queue_frac, reserved_frac);
@@ -84,10 +126,9 @@ double OutputPort::occupancy_fraction() const {
 
 double OutputPort::vc_occupancy_fraction(VcId vc) const {
   if (kind_ == PortKind::kEjection) return 0.0;
-  const int cap = credit_capacity_[static_cast<std::size_t>(vc)];
+  const int cap = credit_capacity_[vc];
   if (cap == 0) return 0.0;
-  return static_cast<double>(cap - credits_[static_cast<std::size_t>(vc)]) /
-         static_cast<double>(cap);
+  return static_cast<double>(cap - credits_[vc]) / static_cast<double>(cap);
 }
 
 void OutputPort::enqueue(PacketRef pkt, VcId out_vc, Cycle ready,
@@ -95,39 +136,35 @@ void OutputPort::enqueue(PacketRef pkt, VcId out_vc, Cycle ready,
   if (!queue_has_space(size_phits)) {
     throw std::logic_error("OutputPort queue overflow: allocator must check");
   }
-  queue_occupancy_ += size_phits;
+  *queue_occupancy_ += size_phits;
   queue_.push_back(PendingTx{pkt, out_vc, ready});
 }
 
 bool OutputPort::can_transmit(Cycle now) const {
-  return !queue_.empty() && queue_.front().ready <= now && link_free_ <= now;
+  return !queue_.empty() && queue_.front().ready <= now && *link_free_ <= now;
 }
 
 PendingTx OutputPort::begin_transmission(Cycle now, int size_phits) {
   PendingTx tx = queue_.front();
   queue_.pop_front();
-  queue_occupancy_ -= size_phits;
-  link_free_ = now + size_phits;  // serialization: 1 phit/cycle
+  *queue_occupancy_ -= size_phits;
+  *link_free_ = now + size_phits;  // serialization: 1 phit/cycle
   return tx;
 }
 
 void VcFifo::save(CheckpointWriter& ck) const {
-  ck.i32(occupancy_);
   ck.u64(fifo_.size());
   for (const PacketRef ref : fifo_) ck.i32(ref);
 }
 
 void VcFifo::load(CheckpointReader& ck) {
-  occupancy_ = ck.i32();
   const std::uint64_t n = ck.u64();
   fifo_.clear();
   for (std::uint64_t i = 0; i < n; ++i) fifo_.push_back(ck.i32());
+  refresh_head();
 }
 
 void OutputPort::save(CheckpointWriter& ck) const {
-  ck.i32(queue_occupancy_);
-  ck.i64(link_free_);
-  ck.vec(credits_, [&](int c) { ck.i32(c); });
   ck.u64(queue_.size());
   for (const PendingTx& tx : queue_) {
     ck.i32(tx.pkt);
@@ -137,13 +174,6 @@ void OutputPort::save(CheckpointWriter& ck) const {
 }
 
 void OutputPort::load(CheckpointReader& ck) {
-  queue_occupancy_ = ck.i32();
-  link_free_ = ck.i64();
-  ck.vec(credits_, [&] { return ck.i32(); });
-  if (credits_.size() != credit_capacity_.size()) {
-    throw std::runtime_error(
-        "checkpoint: output-port VC count mismatch (config drift)");
-  }
   const std::uint64_t n = ck.u64();
   queue_.clear();
   for (std::uint64_t i = 0; i < n; ++i) {

@@ -4,6 +4,13 @@
 // reserves the whole packet in the downstream input VC buffer (credits
 // decrement at grant time); the credit returns when the packet is in turn
 // granted out of that buffer, delayed by the upstream link latency.
+//
+// Since the data-oriented kernel refactor the *hot* counters (credits,
+// queue occupancy, link busy-until, FIFO occupancy, head-of-line packet)
+// live in the Network-owned HotState structure-of-arrays; VcFifo and
+// OutputPort hold pointers into those arrays, bound at wiring time. Used
+// standalone (unit tests) they fall back to private storage, so the
+// class behaviour is unchanged either way — only the storage moves.
 #pragma once
 
 #include <deque>
@@ -20,15 +27,29 @@ class CheckpointReader;
 /// FIFO of arrived packets for one virtual channel of an input port.
 class VcFifo {
  public:
-  explicit VcFifo(int capacity_phits) : capacity_(capacity_phits) {}
+  /// Standalone: occupancy and head tracked in private members.
+  /// Bound (Router wiring): they live in the HotState slots passed here.
+  explicit VcFifo(int capacity_phits, std::int32_t* occupancy_slot = nullptr,
+                  PacketRef* head_slot = nullptr)
+      : capacity_(capacity_phits),
+        occ_(occupancy_slot ? occupancy_slot : &own_occupancy_),
+        head_(head_slot ? head_slot : &own_head_) {
+    *occ_ = 0;
+    *head_ = kNoPacket;
+  }
+  VcFifo(const VcFifo& other) { copy_from(other); }
+  VcFifo& operator=(const VcFifo& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
 
   int capacity() const { return capacity_; }
-  int occupancy() const { return occupancy_; }
-  int free_space() const { return capacity_ - occupancy_; }
+  int occupancy() const { return *occ_; }
+  int free_space() const { return capacity_ - *occ_; }
   bool empty() const { return fifo_.empty(); }
   std::size_t packets() const { return fifo_.size(); }
 
-  PacketRef head() const { return fifo_.empty() ? kNoPacket : fifo_.front(); }
+  PacketRef head() const { return *head_; }
   /// Buffered packets in arrival order (invariant sweeps, tests).
   const std::deque<PacketRef>& contents() const { return fifo_; }
 
@@ -36,14 +57,31 @@ class VcFifo {
   /// Pop the head; returns the freed phit count.
   int pop(int size_phits);
 
-  /// Checkpoint contents + occupancy (capacity is reconstructed by
-  /// wiring).
+  /// Checkpoint the FIFO ordering only; the occupancy counter lives in
+  /// the HotState arrays (a router-owned private HotState for
+  /// standalone routers) and is serialized there.
   void save(CheckpointWriter& ck) const;
   void load(CheckpointReader& ck);
+  /// Re-derive the head slot from the FIFO contents (checkpoint load).
+  void refresh_head() { *head_ = fifo_.empty() ? kNoPacket : fifo_.front(); }
 
  private:
-  int capacity_;
-  int occupancy_ = 0;
+  void copy_from(const VcFifo& other) {
+    capacity_ = other.capacity_;
+    fifo_ = other.fifo_;
+    own_occupancy_ = *other.occ_;
+    own_head_ = *other.head_;
+    // A copied fifo always owns its counters: the source's binding into a
+    // HotState (if any) belongs to the source's (router, port, vc) slot.
+    occ_ = &own_occupancy_;
+    head_ = &own_head_;
+  }
+
+  int capacity_ = 0;
+  std::int32_t own_occupancy_ = 0;
+  PacketRef own_head_ = kNoPacket;
+  std::int32_t* occ_ = nullptr;
+  PacketRef* head_ = nullptr;
   std::deque<PacketRef> fifo_;
 };
 
@@ -69,24 +107,39 @@ struct PendingTx {
   Cycle ready = 0;
 };
 
+/// Hot-state slots of one output port (see HotState). All null =
+/// standalone mode with private storage.
+struct OutputHotSlots {
+  std::int32_t* credits = nullptr;          ///< [num_vcs]
+  std::int32_t* credit_capacity = nullptr;  ///< [num_vcs]
+  std::int32_t* queue_occupancy = nullptr;
+  Cycle* link_free = nullptr;
+};
+
 /// One output port: downstream credit counters, the post-crossbar output
 /// queue and link serialization state.
 class OutputPort {
  public:
+  OutputPort() = default;
+  OutputPort(const OutputPort& other) { copy_from(other); }
+  OutputPort& operator=(const OutputPort& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+
   void configure(PortKind kind, RouterId peer, PortId peer_port,
                  Cycle link_latency, int queue_capacity,
-                 std::vector<int> credits_per_vc);
+                 std::vector<int> credits_per_vc,
+                 OutputHotSlots slots = {});
 
   PortKind kind() const { return kind_; }
   RouterId peer() const { return peer_; }
   PortId peer_port() const { return peer_port_; }
   Cycle link_latency() const { return link_latency_; }
 
-  int num_vcs() const { return static_cast<int>(credits_.size()); }
-  int credits(VcId vc) const { return credits_[static_cast<std::size_t>(vc)]; }
-  int credit_capacity(VcId vc) const {
-    return credit_capacity_[static_cast<std::size_t>(vc)];
-  }
+  int num_vcs() const { return num_vcs_; }
+  int credits(VcId vc) const { return credits_[vc]; }
+  int credit_capacity(VcId vc) const { return credit_capacity_[vc]; }
   void take_credits(VcId vc, int phits);
   void return_credits(VcId vc, int phits);
 
@@ -101,36 +154,56 @@ class OutputPort {
   int reserved_phits() const;
 
   bool queue_has_space(int phits) const {
-    return queue_occupancy_ + phits <= queue_capacity_;
+    return *queue_occupancy_ + phits <= queue_capacity_;
   }
-  int queue_occupancy() const { return queue_occupancy_; }
+  int queue_occupancy() const { return *queue_occupancy_; }
   void enqueue(PacketRef pkt, VcId out_vc, Cycle ready, int size_phits);
 
   bool can_transmit(Cycle now) const;
   /// Pop the head for transmission at `now`; marks the link busy for
   /// `size_phits` cycles (serialization at 1 phit/cycle).
   PendingTx begin_transmission(Cycle now, int size_phits);
-  Cycle link_free_at() const { return link_free_; }
+  Cycle link_free_at() const { return *link_free_; }
   const PendingTx& queue_head() const { return queue_.front(); }
+  bool queue_empty() const { return queue_.empty(); }
+  /// Earliest cycle the current head can go on the wire (meaningless on
+  /// an empty queue) — the event-driven kernel's exact fire time.
+  Cycle next_fire() const {
+    const Cycle ready = queue_.front().ready;
+    return ready > *link_free_ ? ready : *link_free_;
+  }
   /// Queued transmissions in grant order (invariant sweeps, tests).
   const std::deque<PendingTx>& pending() const { return queue_; }
 
-  /// Checkpoint mutable state: credits, queue contents, link
-  /// serialization deadline (wiring/capacities come from configure()).
+  /// Checkpoint the queue ordering only; the hot counters (credits,
+  /// queue occupancy, link deadline) live in the HotState arrays (a
+  /// router-owned private HotState for standalone routers) and are
+  /// serialized there.
   void save(CheckpointWriter& ck) const;
   void load(CheckpointReader& ck);
 
  private:
+  void copy_from(const OutputPort& other);
+
   PortKind kind_ = PortKind::kLocal;
   RouterId peer_ = kInvalidRouter;
   PortId peer_port_ = kInvalidPort;
   Cycle link_latency_ = 0;
   int queue_capacity_ = 0;
-  int queue_occupancy_ = 0;
-  Cycle link_free_ = 0;
+  int num_vcs_ = 0;
+  // Private fallback storage (standalone mode; see OutputHotSlots).
+  std::vector<std::int32_t> own_credits_;
+  std::vector<std::int32_t> own_capacity_;
+  std::int32_t own_queue_occupancy_ = 0;
+  Cycle own_link_free_ = 0;
+  // Hot counters, pointing either at HotState slots or at the private
+  // members above; configure() binds them (null until then, like the
+  // pre-SoA empty vectors).
+  std::int32_t* credits_ = nullptr;
+  std::int32_t* credit_capacity_ = nullptr;
+  std::int32_t* queue_occupancy_ = &own_queue_occupancy_;
+  Cycle* link_free_ = &own_link_free_;
   std::deque<PendingTx> queue_;
-  std::vector<int> credits_;
-  std::vector<int> credit_capacity_;
 };
 
 }  // namespace dragonfly

@@ -1,6 +1,7 @@
 #include "router/router.hpp"
 
 #include <array>
+#include <bit>
 #include <cstdio>
 #include <stdexcept>
 
@@ -22,7 +23,7 @@ AllocatorConfig allocator_config(const SimConfig& cfg) {
 
 Router::Router(const Topology& topo, const SimConfig& cfg,
                RouterId id, RoutingAlgorithm* routing, PacketStore* store,
-               EventSink* sink, Rng rng)
+               EventSink* sink, Rng rng, HotState* hot)
     : topo_(topo),
       cfg_(cfg),
       id_(id),
@@ -34,33 +35,31 @@ Router::Router(const Topology& topo, const SimConfig& cfg,
       outputs_(static_cast<std::size_t>(topo.ports_per_router())),
       allocator_(topo.ports_per_router(), topo.ports_per_router(),
                  allocator_config(cfg)) {
+  if (hot != nullptr) {
+    hot_ = hot;
+    hot_row_ = id;
+  } else {
+    own_hot_ = std::make_unique<HotState>(HotLayout::make(topo, cfg), 1);
+    hot_ = own_hot_.get();
+    hot_row_ = 0;
+  }
   requests_.reserve(64);
   decisions_.reserve(64);
 }
 
+// The VC-count / buffer-capacity rules live next to HotLayout::make
+// (sim/hot_state.cpp) so the SoA slot spans and the wiring below can
+// never drift apart.
 int Router::input_buffer_capacity(PortKind kind) const {
-  return kind == PortKind::kGlobal ? cfg_.global_input_buffer
-                                   : cfg_.local_input_buffer;
+  return input_buffer_capacity_for(cfg_, kind);
 }
 
 int Router::num_vcs_for_input(PortKind kind) const {
-  switch (kind) {
-    case PortKind::kInjection: return cfg_.injection_vcs;
-    case PortKind::kLocal: return cfg_.local_vcs;
-    case PortKind::kGlobal: return cfg_.global_vcs;
-    case PortKind::kEjection: break;
-  }
-  throw std::logic_error("ejection is not an input kind");
+  return input_vcs_for(cfg_, kind);
 }
 
 int Router::num_vcs_for_output(PortKind kind) const {
-  switch (kind) {
-    case PortKind::kEjection: return 1;
-    case PortKind::kLocal: return cfg_.local_vcs;
-    case PortKind::kGlobal: return cfg_.global_vcs;
-    case PortKind::kInjection: break;
-  }
-  throw std::logic_error("injection is not an output kind");
+  return output_vcs_for(cfg_, kind);
 }
 
 void Router::wire_output(PortId port, PortKind kind, RouterId peer,
@@ -72,9 +71,16 @@ void Router::wire_output(PortId port, PortKind kind, RouterId peer,
     // effectively unbounded credit pool.
     c = kind == PortKind::kEjection ? 1 << 28 : input_buffer_capacity(kind);
   }
+  const HotLayout& l = hot_->layout();
+  OutputHotSlots slots;
+  slots.credits = hot_->credits(hot_row_) + l.out_vc_index(port, 0);
+  slots.credit_capacity =
+      hot_->credit_capacity(hot_row_) + l.out_vc_index(port, 0);
+  slots.queue_occupancy = hot_->queue_occupancy(hot_row_) + port;
+  slots.link_free = hot_->link_free(hot_row_) + port;
   outputs_[static_cast<std::size_t>(port)].configure(
       kind, peer, peer_port, link_latency, cfg_.output_queue_size,
-      std::move(credits));
+      std::move(credits), slots);
 }
 
 void Router::wire_input(PortId port, PortKind kind, RouterId upstream,
@@ -85,11 +91,23 @@ void Router::wire_input(PortId port, PortKind kind, RouterId upstream,
   in.upstream_port = upstream_port;
   in.credit_latency = credit_latency;
   const int vcs = num_vcs_for_input(kind);
+  const HotLayout& l = hot_->layout();
   in.vcs.clear();
   in.vcs.reserve(static_cast<std::size_t>(vcs));
   for (int v = 0; v < vcs; ++v) {
-    in.vcs.emplace_back(input_buffer_capacity(kind));
+    const int flat = l.in_vc_index(port, v);
+    in.vcs.emplace_back(input_buffer_capacity(kind),
+                        hot_->in_occupancy(hot_row_) + flat,
+                        hot_->in_head(hot_row_) + flat);
   }
+}
+
+void Router::bind_counters(std::int64_t* injected_total,
+                           std::int64_t* injected_measured,
+                           std::int64_t* forwarded_total) {
+  injected_total_ = injected_total;
+  injected_measured_ = injected_measured;
+  forwarded_total_ = forwarded_total;
 }
 
 void Router::packet_arrival(PortId in_port, VcId vc, PacketRef ref,
@@ -103,6 +121,7 @@ void Router::packet_arrival(PortId in_port, VcId vc, PacketRef ref,
   routing_->on_arrival(*this, pkt, prev_group);
   inputs_[static_cast<std::size_t>(in_port)].vcs[static_cast<std::size_t>(vc)]
       .push(ref, pkt.size_phits);
+  set_in_mask(hot_->layout().in_vc_index(in_port, vc));
   ++buffered_packets_;
 }
 
@@ -126,6 +145,7 @@ void Router::inject(PortId inj_port, VcId vc, PacketRef ref, Cycle now) {
   pkt.t_arrival = now;
   inputs_[static_cast<std::size_t>(inj_port)].vcs[static_cast<std::size_t>(vc)]
       .push(ref, pkt.size_phits);
+  set_in_mask(hot_->layout().in_vc_index(inj_port, vc));
   ++buffered_packets_;
 }
 
@@ -135,25 +155,41 @@ void Router::allocate(Cycle now) {
   decisions_.clear();
   considered_.clear();
 
-  const int ports = topo_.ports_per_router();
-  for (PortId in_port = 0; in_port < ports; ++in_port) {
-    InputPort& in = inputs_[static_cast<std::size_t>(in_port)];
-    for (VcId vc = 0; vc < static_cast<VcId>(in.vcs.size()); ++vc) {
-      const PacketRef head = in.vcs[static_cast<std::size_t>(vc)].head();
-      if (head == kNoPacket) continue;
+  // Walk only the non-empty input VCs: the per-router bitmask visits
+  // them in flat (port, vc) order — the exact order of the old dense
+  // port/VC scan — so requests, routing calls and RNG draws are
+  // bit-identical to the dense kernel.
+  const HotLayout& l = hot_->layout();
+  const std::uint64_t* mask = hot_->in_mask(hot_row_);
+  const PacketRef* heads = hot_->in_head(hot_row_);
+  const std::int32_t* credits = hot_->credits(hot_row_);
+  const std::int32_t* qocc = hot_->queue_occupancy(hot_row_);
+  const int words = l.in_mask_words();
+  const int inj_end = topo_.first_local_port();
+  for (int w = 0; w < words; ++w) {
+    std::uint64_t bits = mask[w];
+    while (bits != 0) {
+      const int flat = w * 64 + std::countr_zero(bits);
+      bits &= bits - 1;
+      const PortId in_port = l.port_of_in_vc[static_cast<std::size_t>(flat)];
+      const VcId vc =
+          static_cast<VcId>(flat - l.in_vc_off[static_cast<std::size_t>(
+                                       in_port)]);
+      const PacketRef head = heads[flat];
       Packet& pkt = (*store_)[head];
       considered_.push_back(head);
       const RoutingDecision d = routing_->route(*this, pkt);
       if (!d.valid()) continue;
-      const OutputPort& out = outputs_[static_cast<std::size_t>(d.out_port)];
-      if (out.credits(d.out_vc) < pkt.size_phits) continue;
-      if (!out.queue_has_space(pkt.size_phits)) continue;
+      if (credits[l.out_vc_index(d.out_port, d.out_vc)] < pkt.size_phits) {
+        continue;
+      }
+      if (qocc[d.out_port] + pkt.size_phits > cfg_.output_queue_size) continue;
       AllocRequest req;
       req.in_port = in_port;
       req.in_vc = vc;
       req.out_port = d.out_port;
       req.out_vc = d.out_vc;
-      req.is_injection = in.kind == PortKind::kInjection;
+      req.is_injection = in_port < inj_end;
       req.age = pkt.t_gen;
       requests_.push_back(req);
       decisions_.push_back(d);
@@ -206,6 +242,9 @@ void Router::execute_grant(const AllocRequest& req, const RoutingDecision& d,
     }
   }
   fifo.pop(pkt.size_phits);
+  if (fifo.empty()) {
+    clear_in_mask(hot_->layout().in_vc_index(req.in_port, req.in_vc));
+  }
   --buffered_packets_;
   pkt.denied_cycles = 0;
 
@@ -224,10 +263,10 @@ void Router::execute_grant(const AllocRequest& req, const RoutingDecision& d,
     sink_->schedule_credit(in.upstream_router, in.upstream_port, req.in_vc,
                            pkt.size_phits, now + in.credit_latency);
   } else {
-    ++injected_total_;
-    if (measuring_) ++injected_measured_;
+    ++*injected_total_;
+    if (measuring_) ++*injected_measured_;
   }
-  ++forwarded_total_;
+  ++*forwarded_total_;
 
   routing_->on_grant(*this, pkt, d);
 
@@ -251,6 +290,12 @@ void Router::execute_grant(const AllocRequest& req, const RoutingDecision& d,
   out.take_credits(d.out_vc, pkt.size_phits);
   out.enqueue(ref, d.out_vc, now + cfg_.pipeline_latency, pkt.size_phits);
   ++pending_tx_;
+  if (event_tx_ && out.pending().size() == 1) {
+    // The queue was empty, so no fire is outstanding for this port. The
+    // head's wire time is exact: the pipeline-ready cycle, or the link
+    // becoming free, whichever is later.
+    sink_->schedule_port_ready(id_, d.out_port, out.next_fire());
+  }
 }
 
 void Router::transmit(Cycle now) {
@@ -259,27 +304,37 @@ void Router::transmit(Cycle now) {
   for (PortId port = 0; port < ports; ++port) {
     OutputPort& out = outputs_[static_cast<std::size_t>(port)];
     if (!out.can_transmit(now)) continue;
-    const PendingTx head = out.queue_head();
-    Packet& pkt = (*store_)[head.pkt];
-    const PendingTx tx = out.begin_transmission(now, pkt.size_phits);
-    --pending_tx_;
+    transmit_due(port, now);
+  }
+}
 
-    // Waiting in the output queue for the link (serialization backlog):
-    // congestion attributed to the link class being traversed.
-    const Cycle qwait = now - tx.ready;
-    switch (out.kind()) {
-      case PortKind::kGlobal: pkt.wait_global += qwait; break;
-      case PortKind::kLocal:
-      case PortKind::kEjection: pkt.wait_local += qwait; break;
-      case PortKind::kInjection: break;
-    }
+void Router::transmit_due(PortId port, Cycle now) {
+  OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+  const PendingTx head = out.queue_head();
+  Packet& pkt = (*store_)[head.pkt];
+  const PendingTx tx = out.begin_transmission(now, pkt.size_phits);
+  --pending_tx_;
 
-    if (out.kind() == PortKind::kEjection) {
-      sink_->schedule_delivery(tx.pkt, now + pkt.size_phits);
-    } else {
-      sink_->schedule_packet(out.peer(), out.peer_port(), tx.out_vc, tx.pkt,
-                             now + out.link_latency());
-    }
+  // Waiting in the output queue for the link (serialization backlog):
+  // congestion attributed to the link class being traversed.
+  const Cycle qwait = now - tx.ready;
+  switch (out.kind()) {
+    case PortKind::kGlobal: pkt.wait_global += qwait; break;
+    case PortKind::kLocal:
+    case PortKind::kEjection: pkt.wait_local += qwait; break;
+    case PortKind::kInjection: break;
+  }
+
+  if (out.kind() == PortKind::kEjection) {
+    sink_->schedule_delivery(tx.pkt, now + pkt.size_phits);
+  } else {
+    sink_->schedule_packet(out.peer(), out.peer_port(), tx.out_vc, tx.pkt,
+                           now + out.link_latency());
+  }
+  if (event_tx_ && !out.queue_empty()) {
+    // Next head: ready is fixed since its grant, the link frees at
+    // now + size — both known now, so the fire time is exact.
+    sink_->schedule_port_ready(id_, port, out.next_fire());
   }
 }
 
@@ -305,8 +360,6 @@ double Router::mean_global_occupancy() const {
   return sum / static_cast<double>(last - first);
 }
 
-void Router::reset_measured_counters() { injected_measured_ = 0; }
-
 void Router::save(CheckpointWriter& ck) const {
   ck.tag("Router");
   const auto rng_state = rng_.state();
@@ -320,9 +373,16 @@ void Router::save(CheckpointWriter& ck) const {
   ck.boolean(measuring_);
   ck.i32(buffered_packets_);
   ck.i32(pending_tx_);
-  ck.i64(injected_measured_);
-  ck.i64(injected_total_);
-  ck.i64(forwarded_total_);
+  // A private HotState / private statistics counters (standalone
+  // router) are not covered by a Network checkpoint: serialize them
+  // inline. Network-owned routers carry both in the Network stream
+  // (HotState block, collector counter arrays).
+  if (own_hot_ != nullptr) {
+    own_hot_->save(ck);
+    ck.i64(*injected_measured_);
+    ck.i64(*injected_total_);
+    ck.i64(*forwarded_total_);
+  }
 }
 
 void Router::load(CheckpointReader& ck) {
@@ -342,9 +402,25 @@ void Router::load(CheckpointReader& ck) {
   measuring_ = ck.boolean();
   buffered_packets_ = ck.i32();
   pending_tx_ = ck.i32();
-  injected_measured_ = ck.i64();
-  injected_total_ = ck.i64();
-  forwarded_total_ = ck.i64();
+  if (own_hot_ != nullptr) {
+    own_hot_->load(ck);
+    *injected_measured_ = ck.i64();
+    *injected_total_ = ck.i64();
+    *forwarded_total_ = ck.i64();
+  }
+  // Re-derive the non-empty-VC mask from the restored FIFOs (VcFifo::load
+  // already refreshed the head slots).
+  const HotLayout& l = hot_->layout();
+  std::uint64_t* mask = hot_->in_mask(hot_row_);
+  for (int w = 0; w < l.in_mask_words(); ++w) mask[w] = 0;
+  for (PortId port = 0; port < l.ports; ++port) {
+    const InputPort& in = inputs_[static_cast<std::size_t>(port)];
+    for (VcId vc = 0; vc < static_cast<VcId>(in.vcs.size()); ++vc) {
+      if (!in.vcs[static_cast<std::size_t>(vc)].empty()) {
+        set_in_mask(l.in_vc_index(port, vc));
+      }
+    }
+  }
 }
 
 }  // namespace dragonfly

@@ -1,9 +1,16 @@
 // Input-output-buffered high-radix router model (paper Sec. IV-A):
 // 5-cycle pipeline, iterative separable batch allocator, 2x internal
 // speedup, virtual cut-through, credit-based flow control.
+//
+// Hot state (credits, queue occupancies, link deadlines, input-VC
+// occupancy/heads and the non-empty-VC bitmask) lives in a HotState
+// structure-of-arrays owned by the Network; the router binds its row at
+// construction. A router built without a shared HotState (unit tests)
+// owns a private single-row instance — behaviour is identical.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -13,6 +20,7 @@
 #include "router/packet.hpp"
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
+#include "sim/hot_state.hpp"
 #include "topology/topology.hpp"
 
 namespace dragonfly {
@@ -32,13 +40,24 @@ class EventSink {
                                int phits, Cycle when) = 0;
   /// Packet tail reaches its destination node at `when`.
   virtual void schedule_delivery(PacketRef pkt, Cycle when) = 0;
+  /// Event-driven transmit (sim.kernel=active): output (router, port)
+  /// can put its queue head on the wire exactly at `when`. Only emitted
+  /// after Router::set_event_driven_tx(true); the default ignores it so
+  /// scan-kernel networks and test sinks need no handling.
+  virtual void schedule_port_ready(RouterId router, PortId port, Cycle when) {
+    (void)router;
+    (void)port;
+    (void)when;
+  }
 };
 
 class Router {
  public:
+  /// `hot` is the Network-owned SoA (row = `id`); nullptr makes the
+  /// router own a private single-row HotState (standalone fixtures).
   Router(const Topology& topo, const SimConfig& cfg, RouterId id,
          RoutingAlgorithm* routing, PacketStore* store, EventSink* sink,
-         Rng rng);
+         Rng rng, HotState* hot = nullptr);
 
   RouterId id() const { return id_; }
   GroupId group() const { return topo_.group_of_router(id_); }
@@ -52,6 +71,14 @@ class Router {
                    Cycle link_latency);
   void wire_input(PortId port, PortKind kind, RouterId upstream,
                   PortId upstream_port, Cycle credit_latency);
+  /// Route per-router statistics into the collector's contiguous counter
+  /// arrays (standalone routers keep private fallbacks).
+  void bind_counters(std::int64_t* injected_total,
+                     std::int64_t* injected_measured,
+                     std::int64_t* forwarded_total);
+  /// sim.kernel=active: emit schedule_port_ready() fire times instead of
+  /// relying on the per-cycle transmit() poll.
+  void set_event_driven_tx(bool on) { event_tx_ = on; }
 
   // --- event handlers ------------------------------------------------------
   void packet_arrival(PortId in_port, VcId vc, PacketRef pkt, Cycle now);
@@ -63,7 +90,14 @@ class Router {
 
   // --- per-cycle steps (called by Network) -----------------------------------
   void allocate(Cycle now);
+  /// Dense-scan link transfer: poll every output port (sim.kernel=scan
+  /// and standalone fixtures).
   void transmit(Cycle now);
+  /// Event-driven link transfer: fire one output port whose
+  /// schedule_port_ready() deadline is `now` (sim.kernel=active).
+  void transmit_due(PortId port, Cycle now);
+  /// Packets buffered in input VCs (the allocate active-set predicate).
+  bool has_buffered() const { return buffered_packets_ > 0; }
 
   // --- congestion queries (used by adaptive routing) ---------------------------
   /// Combined (queue backlog + downstream reservation) congestion signal,
@@ -101,17 +135,24 @@ class Router {
   const InputPort& input(PortId port) const {
     return inputs_[static_cast<std::size_t>(port)];
   }
+  /// This router's row in the shared HotState (invariant sweeps).
+  const HotState& hot() const { return *hot_; }
+  RouterId hot_row() const { return hot_row_; }
 
   // --- statistics ---------------------------------------------------------------
   void set_measuring(bool on) { measuring_ = on; }
-  void reset_measured_counters();
-  std::int64_t injected_packets_measured() const { return injected_measured_; }
-  std::int64_t injected_packets_total() const { return injected_total_; }
-  std::int64_t forwarded_packets_total() const { return forwarded_total_; }
+  void reset_measured_counters() { *injected_measured_ = 0; }
+  std::int64_t injected_packets_measured() const {
+    return *injected_measured_;
+  }
+  std::int64_t injected_packets_total() const { return *injected_total_; }
+  std::int64_t forwarded_packets_total() const { return *forwarded_total_; }
 
   // --- checkpoint -----------------------------------------------------------
-  /// Serialize all mutable state (buffers, credits, arbiter pointers,
-  /// RNG, counters); wiring/capacities are rebuilt from config.
+  /// Serialize the cold mutable state (FIFO/queue orderings, arbiter
+  /// pointers, RNG); the hot counters live in the HotState block and the
+  /// per-router statistics in the collector's. load() re-derives the
+  /// head/mask hot state from the restored FIFOs.
   void save(CheckpointWriter& ck) const;
   void load(CheckpointReader& ck);
 
@@ -121,6 +162,12 @@ class Router {
   int input_buffer_capacity(PortKind kind) const;
   int num_vcs_for_input(PortKind kind) const;
   int num_vcs_for_output(PortKind kind) const;
+  void set_in_mask(int flat_vc) {
+    hot_->in_mask(hot_row_)[flat_vc >> 6] |= 1ull << (flat_vc & 63);
+  }
+  void clear_in_mask(int flat_vc) {
+    hot_->in_mask(hot_row_)[flat_vc >> 6] &= ~(1ull << (flat_vc & 63));
+  }
 
   const Topology& topo_;
   const SimConfig& cfg_;
@@ -130,6 +177,11 @@ class Router {
   EventSink* sink_;
   Rng rng_;
 
+  /// Private HotState when constructed without a shared one.
+  std::unique_ptr<HotState> own_hot_;
+  HotState* hot_ = nullptr;
+  RouterId hot_row_ = 0;
+
   std::vector<InputPort> inputs_;
   std::vector<OutputPort> outputs_;
   SeparableAllocator allocator_;
@@ -138,15 +190,21 @@ class Router {
   std::vector<PacketRef> considered_;
 
   bool measuring_ = false;
+  bool event_tx_ = false;
   /// Packets currently sitting in this router's input VC buffers; lets
   /// allocate() skip the whole port/VC scan on idle routers.
   int buffered_packets_ = 0;
   /// Packets in output queues not yet put on the wire; lets transmit()
   /// return immediately on idle routers.
   int pending_tx_ = 0;
-  std::int64_t injected_measured_ = 0;
-  std::int64_t injected_total_ = 0;
-  std::int64_t forwarded_total_ = 0;
+  /// Fallback counter storage for standalone routers; Network rebinds
+  /// the pointers into MetricsCollector's arrays (bind_counters).
+  std::int64_t own_injected_measured_ = 0;
+  std::int64_t own_injected_total_ = 0;
+  std::int64_t own_forwarded_total_ = 0;
+  std::int64_t* injected_measured_ = &own_injected_measured_;
+  std::int64_t* injected_total_ = &own_injected_total_;
+  std::int64_t* forwarded_total_ = &own_forwarded_total_;
 };
 
 }  // namespace dragonfly

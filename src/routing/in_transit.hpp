@@ -38,6 +38,9 @@ class InTransitRouting final : public RoutingAlgorithm {
 
   void on_inject(Router& source, Packet& pkt, Rng& rng) override;
   RoutingDecision route(Router& at, Packet& pkt) override;
+  /// Congestion is read from local credit counters at route() time; no
+  /// per-cycle global state, so the kernel skips refresh() entirely.
+  bool wants_refresh() const override { return false; }
 
  private:
   /// Policy in force for a packet at `at` (MM switches on whether the

@@ -13,6 +13,8 @@ class MinimalRouting final : public RoutingAlgorithm {
 
   void on_inject(Router& source, Packet& pkt, Rng& rng) override;
   RoutingDecision route(Router& at, Packet& pkt) override;
+  /// No per-cycle global state: the kernel skips refresh() entirely.
+  bool wants_refresh() const override { return false; }
 };
 
 }  // namespace dragonfly

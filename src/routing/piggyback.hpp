@@ -36,6 +36,8 @@ class PiggybackRouting final : public RoutingAlgorithm {
   void on_inject(Router& source, Packet& pkt, Rng& rng) override;
   RoutingDecision route(Router& at, Packet& pkt) override;
   void refresh(std::span<const std::unique_ptr<Router>> routers) override;
+  /// The in-group broadcast really is per-cycle global state.
+  bool wants_refresh() const override { return true; }
 
   /// Saturation bit of global link k of router `r` (for tests).
   bool global_link_saturated(RouterId r, int k) const {

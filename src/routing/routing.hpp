@@ -62,6 +62,11 @@ class RoutingAlgorithm {
   virtual void on_grant(Router& at, Packet& pkt, const RoutingDecision& d);
   virtual void on_arrival(Router& at, Packet& pkt, GroupId previous_group);
   virtual void refresh(std::span<const std::unique_ptr<Router>> routers);
+  /// Whether refresh() must run every cycle. Defaults to true so a
+  /// user-registered mechanism that overrides refresh() keeps working;
+  /// built-ins without per-cycle global state override this to false and
+  /// the kernel skips the call entirely.
+  virtual bool wants_refresh() const { return true; }
 
   const Topology& topology() const { return topo_; }
 

@@ -29,6 +29,9 @@ class UgalRouting final : public RoutingAlgorithm {
 
   void on_inject(Router& source, Packet& pkt, Rng& rng) override;
   RoutingDecision route(Router& at, Packet& pkt) override;
+  /// UGAL-L reads local queue estimates at route() time; no per-cycle
+  /// global state, so the kernel skips refresh() entirely.
+  bool wants_refresh() const override { return false; }
 
  private:
   MisroutePolicy policy_;

@@ -145,6 +145,21 @@ TrafficKind traffic_kind_from_string(const std::string& name) {
                               spelling_list(kTrafficNames));
 }
 
+const char* to_string(SimKernel kernel) {
+  switch (kernel) {
+    case SimKernel::kActive: return "active";
+    case SimKernel::kScan: return "scan";
+  }
+  return "?";
+}
+
+SimKernel sim_kernel_from_string(const std::string& name) {
+  if (name == "active") return SimKernel::kActive;
+  if (name == "scan") return SimKernel::kScan;
+  throw std::invalid_argument("unknown sim kernel \"" + name +
+                              "\"; valid names: active | scan");
+}
+
 const char* to_string(StopMode mode) {
   switch (mode) {
     case StopMode::kFixed: return "fixed";
@@ -585,6 +600,10 @@ const KvEntry kKvEntries[] = {
      [](SimConfig& c, const std::string& k, const std::string& v) {
        c.sim_paranoid = parse_int(k, v);
      }},
+    {"sim.kernel",
+     [](SimConfig& c, const std::string&, const std::string& v) {
+       c.kernel = sim_kernel_from_string(v);
+     }},
     {"seed",
      [](SimConfig& c, const std::string& k, const std::string& v) {
        std::size_t pos = 0;
@@ -678,6 +697,9 @@ constexpr KvDesc kKvDescs[] = {
     {"warmup_cycles", "cycles simulated before measurement starts"},
     {"measure_cycles", "measured window; the cap in stop.mode=ci"},
     {"seed", "root RNG seed (replicas derive from it)"},
+    {"sim.kernel",
+     "cycle kernel: active (active-set scheduling) | scan (dense "
+     "reference; bit-identical)"},
     {"sim.paranoid", "check network invariants every N cycles (0 = off)"},
     {"stop.mode", "fixed = exact window | ci = stop when CIs converge"},
     {"stop.rel_hw", "CI target: relative half-width of accepted/latency"},
@@ -846,6 +868,7 @@ void SimConfig::write_to(CheckpointWriter& ck) const {
   ck.i64(measure_cycles);
   ck.u64(seed);
   ck.i32(sim_paranoid);
+  ck.u8(static_cast<std::uint8_t>(kernel));
   ck.u8(static_cast<std::uint8_t>(stop.mode));
   ck.f64(stop.rel_hw);
   ck.i32(stop.batches);
@@ -907,6 +930,7 @@ void SimConfig::read_from(CheckpointReader& ck) {
   measure_cycles = ck.i64();
   seed = ck.u64();
   sim_paranoid = ck.i32();
+  kernel = static_cast<SimKernel>(ck.u8());
   stop.mode = static_cast<StopMode>(ck.u8());
   stop.rel_hw = ck.f64();
   stop.batches = ck.i32();

@@ -71,6 +71,17 @@ const char* registry_key(TrafficKind kind);
 class CheckpointWriter;
 class CheckpointReader;
 
+/// Which cycle-kernel implementation Network::step() runs. Both operate
+/// on the same structure-of-arrays state and produce bit-identical
+/// results; `scan` is the dense reference path kept for cross-checking.
+enum class SimKernel : std::uint8_t {
+  kActive,  ///< active-set scheduling + event-driven link transfer
+  kScan,    ///< dense scan over every router/node/port each cycle
+};
+
+const char* to_string(SimKernel kernel);
+SimKernel sim_kernel_from_string(const std::string& name);
+
 /// How the Session decides when the Measure phase ends.
 enum class StopMode : std::uint8_t {
   kFixed,  ///< the paper's fixed window: exactly measure_cycles
@@ -172,6 +183,9 @@ struct SimConfig {
   /// Paranoid self-checking: run Network::check_invariants() every N
   /// cycles (`sim.paranoid` key; 0 = off, the default — no overhead).
   int sim_paranoid = 0;
+  /// Cycle-kernel selector (`sim.kernel` key): the active-set kernel
+  /// (default) or the dense reference scan. Bit-identical results.
+  SimKernel kernel = SimKernel::kActive;
 
   // --- session lifecycle (sim/session.hpp) -----------------------------------
   /// Adaptive stopping for the Measure phase (`stop.*` keys).

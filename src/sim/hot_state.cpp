@@ -1,0 +1,95 @@
+#include "sim/hot_state.hpp"
+
+#include <stdexcept>
+
+#include "common/checkpoint.hpp"
+#include "sim/config.hpp"
+#include "topology/topology.hpp"
+
+namespace dragonfly {
+
+int input_vcs_for(const SimConfig& cfg, PortKind kind) {
+  switch (kind) {
+    case PortKind::kInjection: return cfg.injection_vcs;
+    case PortKind::kLocal: return cfg.local_vcs;
+    case PortKind::kGlobal: return cfg.global_vcs;
+    case PortKind::kEjection: break;
+  }
+  throw std::logic_error("ejection is not an input kind");
+}
+
+int output_vcs_for(const SimConfig& cfg, PortKind kind) {
+  switch (kind) {
+    case PortKind::kEjection: return 1;
+    case PortKind::kLocal: return cfg.local_vcs;
+    case PortKind::kGlobal: return cfg.global_vcs;
+    case PortKind::kInjection: break;
+  }
+  throw std::logic_error("injection is not an output kind");
+}
+
+int input_buffer_capacity_for(const SimConfig& cfg, PortKind kind) {
+  return kind == PortKind::kGlobal ? cfg.global_input_buffer
+                                   : cfg.local_input_buffer;
+}
+
+HotLayout HotLayout::make(const Topology& topo, const SimConfig& cfg) {
+  HotLayout l;
+  l.ports = topo.ports_per_router();
+  l.in_vc_off.resize(static_cast<std::size_t>(l.ports) + 1, 0);
+  l.out_vc_off.resize(static_cast<std::size_t>(l.ports) + 1, 0);
+  for (PortId port = 0; port < l.ports; ++port) {
+    const int in_vcs = input_vcs_for(cfg, topo.input_port_kind(port));
+    const int out_vcs = output_vcs_for(cfg, topo.output_port_kind(port));
+    l.in_vc_off[static_cast<std::size_t>(port) + 1] =
+        l.in_vc_off[static_cast<std::size_t>(port)] + in_vcs;
+    l.out_vc_off[static_cast<std::size_t>(port) + 1] =
+        l.out_vc_off[static_cast<std::size_t>(port)] + out_vcs;
+    for (int v = 0; v < in_vcs; ++v) l.port_of_in_vc.push_back(port);
+  }
+  return l;
+}
+
+HotState::HotState(HotLayout layout, int num_routers)
+    : layout_(std::move(layout)),
+      num_routers_(num_routers),
+      ports_(static_cast<std::size_t>(layout_.ports)),
+      in_stride_(static_cast<std::size_t>(layout_.in_stride())),
+      out_stride_(static_cast<std::size_t>(layout_.out_stride())),
+      mask_words_(static_cast<std::size_t>(layout_.in_mask_words())) {
+  const auto R = static_cast<std::size_t>(num_routers);
+  credits_.assign(R * out_stride_, 0);
+  credit_capacity_.assign(R * out_stride_, 0);
+  queue_occupancy_.assign(R * ports_, 0);
+  link_free_.assign(R * ports_, 0);
+  in_occupancy_.assign(R * in_stride_, 0);
+  in_head_.assign(R * in_stride_, kNoPacket);
+  in_mask_.assign(R * mask_words_, 0);
+}
+
+void HotState::save(CheckpointWriter& ck) const {
+  ck.tag("HotState");
+  ck.vec(credits_, [&](std::int32_t v) { ck.i32(v); });
+  ck.vec(queue_occupancy_, [&](std::int32_t v) { ck.i32(v); });
+  ck.vec(link_free_, [&](Cycle v) { ck.i64(v); });
+  ck.vec(in_occupancy_, [&](std::int32_t v) { ck.i32(v); });
+}
+
+void HotState::load(CheckpointReader& ck) {
+  ck.tag("HotState");
+  const std::size_t credits_n = credits_.size();
+  const std::size_t qocc_n = queue_occupancy_.size();
+  const std::size_t link_n = link_free_.size();
+  const std::size_t inocc_n = in_occupancy_.size();
+  ck.vec(credits_, [&] { return ck.i32(); });
+  ck.vec(queue_occupancy_, [&] { return ck.i32(); });
+  ck.vec(link_free_, [&] { return static_cast<Cycle>(ck.i64()); });
+  ck.vec(in_occupancy_, [&] { return ck.i32(); });
+  if (credits_.size() != credits_n || queue_occupancy_.size() != qocc_n ||
+      link_free_.size() != link_n || in_occupancy_.size() != inocc_n) {
+    throw std::runtime_error(
+        "checkpoint: hot-state array size mismatch (config drift)");
+  }
+}
+
+}  // namespace dragonfly

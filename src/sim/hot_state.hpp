@@ -1,0 +1,160 @@
+// Structure-of-arrays hot state for the cycle kernel.
+//
+// The per-cycle inner loops (allocation feasibility, transmit scheduling,
+// congestion queries, the paranoid invariant sweep) read and write a
+// handful of small counters per (router, port, vc): downstream credits,
+// output-queue occupancancy, link busy-until cycles, input-VC occupancy and
+// the head-of-line packet of every input VC. Keeping them inside
+// per-object `Router`/`OutputPort`/`VcFifo` members spreads that state
+// over the heap; `HotState` hoists it into contiguous arrays owned by
+// `Network` and indexed by a flat (router, port, vc) id derived from the
+// `Topology` port tables, so the kernel walks cache-dense memory and the
+// checkpoint writer serializes it in a few block writes.
+//
+// The cold state (the FIFO orderings themselves, wiring, arbiter
+// pointers) stays in the owning objects; `VcFifo`/`OutputPort` receive
+// pointers into these arrays at wiring time and fall back to private
+// storage when used standalone (unit tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/packet.hpp"
+
+namespace dragonfly {
+
+class Topology;
+struct SimConfig;
+class CheckpointWriter;
+class CheckpointReader;
+
+/// Canonical port-kind -> VC-count / buffer-capacity rules, shared by
+/// the HotState layout and Router wiring so the SoA slot spans and the
+/// per-port configuration can never drift apart.
+int input_vcs_for(const SimConfig& cfg, PortKind kind);
+int output_vcs_for(const SimConfig& cfg, PortKind kind);
+int input_buffer_capacity_for(const SimConfig& cfg, PortKind kind);
+
+/// Flat-index layout shared by every router of one network: per-port VC
+/// offsets for the input and output directions (VC counts differ by port
+/// kind), plus reverse tables for mask iteration. Derived once from
+/// (Topology, SimConfig); identical for all routers.
+struct HotLayout {
+  int ports = 0;
+  /// Prefix sums over ports: input/output flat-VC offset of each port
+  /// (size ports+1; the last entry is the per-router stride).
+  std::vector<int> in_vc_off;
+  std::vector<int> out_vc_off;
+  /// Reverse map: flat input-VC index within a router -> port id.
+  std::vector<PortId> port_of_in_vc;
+
+  int in_stride() const { return in_vc_off.empty() ? 0 : in_vc_off.back(); }
+  int out_stride() const { return out_vc_off.empty() ? 0 : out_vc_off.back(); }
+  /// 64-bit words per router in the non-empty input-VC bitmask.
+  int in_mask_words() const { return (in_stride() + 63) / 64; }
+
+  int in_vc_index(PortId port, VcId vc) const {
+    return in_vc_off[static_cast<std::size_t>(port)] + vc;
+  }
+  int out_vc_index(PortId port, VcId vc) const {
+    return out_vc_off[static_cast<std::size_t>(port)] + vc;
+  }
+
+  static HotLayout make(const Topology& topo, const SimConfig& cfg);
+};
+
+/// The arrays. One instance per Network (routers bind spans of it); a
+/// standalone Router owns a single-router instance so unit fixtures keep
+/// working without a Network.
+class HotState {
+ public:
+  HotState(HotLayout layout, int num_routers);
+
+  const HotLayout& layout() const { return layout_; }
+  int num_routers() const { return num_routers_; }
+
+  // --- output side, per (router, out-vc) ---------------------------------
+  std::int32_t* credits(RouterId r) {
+    return credits_.data() + static_cast<std::size_t>(r) * out_stride_;
+  }
+  const std::int32_t* credits(RouterId r) const {
+    return credits_.data() + static_cast<std::size_t>(r) * out_stride_;
+  }
+  std::int32_t* credit_capacity(RouterId r) {
+    return credit_capacity_.data() + static_cast<std::size_t>(r) * out_stride_;
+  }
+  const std::int32_t* credit_capacity(RouterId r) const {
+    return credit_capacity_.data() + static_cast<std::size_t>(r) * out_stride_;
+  }
+
+  // --- output side, per (router, port) -----------------------------------
+  std::int32_t* queue_occupancy(RouterId r) {
+    return queue_occupancy_.data() + static_cast<std::size_t>(r) * ports_;
+  }
+  Cycle* link_free(RouterId r) {
+    return link_free_.data() + static_cast<std::size_t>(r) * ports_;
+  }
+
+  // --- input side, per (router, in-vc) ------------------------------------
+  std::int32_t* in_occupancy(RouterId r) {
+    return in_occupancy_.data() + static_cast<std::size_t>(r) * in_stride_;
+  }
+  const std::int32_t* in_occupancy(RouterId r) const {
+    return in_occupancy_.data() + static_cast<std::size_t>(r) * in_stride_;
+  }
+  PacketRef* in_head(RouterId r) {
+    return in_head_.data() + static_cast<std::size_t>(r) * in_stride_;
+  }
+  const PacketRef* in_head(RouterId r) const {
+    return in_head_.data() + static_cast<std::size_t>(r) * in_stride_;
+  }
+  /// Non-empty input-VC bitmask words of one router; bit k of word w is
+  /// flat input VC w*64+k. Maintained by Router push/pop sites.
+  std::uint64_t* in_mask(RouterId r) {
+    return in_mask_.data() + static_cast<std::size_t>(r) * mask_words_;
+  }
+  const std::uint64_t* in_mask(RouterId r) const {
+    return in_mask_.data() + static_cast<std::size_t>(r) * mask_words_;
+  }
+
+  /// Whole-array views for contiguous scans (invariants, checkpoint).
+  const std::vector<std::int32_t>& all_credits() const { return credits_; }
+  const std::vector<std::int32_t>& all_credit_capacity() const {
+    return credit_capacity_;
+  }
+  const std::vector<std::int32_t>& all_queue_occupancy() const {
+    return queue_occupancy_;
+  }
+  const std::vector<Cycle>& all_link_free() const { return link_free_; }
+  const std::vector<std::int32_t>& all_in_occupancy() const {
+    return in_occupancy_;
+  }
+
+  /// Checkpoint the mutable arrays (credits, occupancies, link deadlines)
+  /// as contiguous blocks. Capacities, heads and masks are derived state:
+  /// capacities come from wiring, heads/masks are rebuilt from the FIFO
+  /// contents after the owning routers load.
+  void save(CheckpointWriter& ck) const;
+  void load(CheckpointReader& ck);
+
+ private:
+  HotLayout layout_;
+  int num_routers_ = 0;
+  // Cached strides (hot-loop friendly copies of layout_ sums).
+  std::size_t ports_ = 0;
+  std::size_t in_stride_ = 0;
+  std::size_t out_stride_ = 0;
+  std::size_t mask_words_ = 0;
+
+  std::vector<std::int32_t> credits_;
+  std::vector<std::int32_t> credit_capacity_;
+  std::vector<std::int32_t> queue_occupancy_;
+  std::vector<Cycle> link_free_;
+  std::vector<std::int32_t> in_occupancy_;
+  std::vector<PacketRef> in_head_;
+  std::vector<std::uint64_t> in_mask_;
+};
+
+}  // namespace dragonfly

@@ -1,19 +1,33 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "common/checkpoint.hpp"
 
 namespace dragonfly {
 
+namespace {
+/// Validate before any member construction: HotLayout/HotState sizing
+/// depends on the VC-count knobs, and a malformed config must fail
+/// with validate()'s diagnostic, not a length_error from a negative
+/// prefix sum cast to an allocation size.
+const SimConfig& validated(const SimConfig& cfg) {
+  cfg.validate();
+  return cfg;
+}
+}  // namespace
+
 Network::Network(const SimConfig& cfg)
-    : cfg_(cfg),
+    : cfg_(validated(cfg)),
       topo_(make_topology(cfg_)),
       routing_(make_routing(*topo_, cfg_)),
       traffic_(make_traffic(*topo_, cfg_)),
-      collector_(*topo_, cfg_) {
-  cfg_.validate();
+      collector_(*topo_, cfg_),
+      hot_(HotLayout::make(*topo_, cfg_), topo_->num_routers()) {
+  active_kernel_ = cfg_.kernel == SimKernel::kActive;
+  routing_wants_refresh_ = routing_->wants_refresh();
   // Size the event ring past the largest scheduling delay (packet/credit
   // link latencies and delivery serialization) so it never grows in
   // steady state.
@@ -22,6 +36,9 @@ Network::Network(const SimConfig& cfg)
                 static_cast<Cycle>(cfg_.packet_size),
                 static_cast<Cycle>(cfg_.pipeline_latency), Cycle{1}});
   grow_ring(horizon);
+  // The transmit calendar only spans pipeline + serialization delays.
+  grow_tx_ring(std::max({static_cast<Cycle>(cfg_.pipeline_latency),
+                         static_cast<Cycle>(cfg_.packet_size), Cycle{1}}));
   build();
 }
 
@@ -31,11 +48,16 @@ void Network::build() {
   const int N = topo_->num_nodes();
   const int p = topo_->concentration();
 
+  collector_.attach_routers(R);
   routers_.reserve(static_cast<std::size_t>(R));
   for (RouterId r = 0; r < R; ++r) {
     routers_.push_back(std::make_unique<Router>(
         *topo_, cfg_, r, routing_.get(), &store_, this,
-        root.child(0x1000000ull + static_cast<std::uint64_t>(r))));
+        root.child(0x1000000ull + static_cast<std::uint64_t>(r)), &hot_));
+    routers_.back()->bind_counters(collector_.router_injected_total(r),
+                                   collector_.router_injected_measured(r),
+                                   collector_.router_forwarded_total(r));
+    routers_.back()->set_event_driven_tx(active_kernel_);
   }
 
   // Wiring. Input port X of a router mirrors output port X of its peer.
@@ -76,39 +98,148 @@ void Network::build() {
   }
 
   nodes_.reserve(static_cast<std::size_t>(N));
+  router_of_node_.reserve(static_cast<std::size_t>(N));
   for (NodeId n = 0; n < N; ++n) {
     nodes_.emplace_back(n, routers_[static_cast<std::size_t>(
                                topo_->router_of_node(n))].get(),
                         traffic_.get(), routing_.get(), &store_, &cfg_,
                         root.child(static_cast<std::uint64_t>(n)));
-    if (nodes_.back().generates()) ++generating_nodes_;
+    router_of_node_.push_back(topo_->router_of_node(n));
+  }
+
+  alloc_active_.assign((static_cast<std::size_t>(R) + 63) / 64, 0);
+  gen_mask_.assign((static_cast<std::size_t>(N) + 63) / 64, 0);
+  queue_mask_.assign((static_cast<std::size_t>(N) + 63) / 64, 0);
+  rebuild_node_masks();
+}
+
+void Network::rebuild_node_masks() {
+  std::fill(gen_mask_.begin(), gen_mask_.end(), 0);
+  std::fill(queue_mask_.begin(), queue_mask_.end(), 0);
+  generating_nodes_ = 0;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].generates()) {
+      ++generating_nodes_;
+      gen_mask_[n >> 6] |= 1ull << (n & 63);
+    }
+    if (nodes_[n].queue_length() > 0) {
+      queue_mask_[n >> 6] |= 1ull << (n & 63);
+    }
+  }
+}
+
+void Network::rebuild_activation() {
+  rebuild_node_masks();
+  std::fill(alloc_active_.begin(), alloc_active_.end(), 0);
+  for (const auto& router : routers_) {
+    if (router->has_buffered()) mark_alloc_active(router->id());
+  }
+  for (auto& bucket : tx_ring_) bucket.clear();
+  if (!active_kernel_) return;
+  // Re-derive the transmit calendar: every non-empty output queue has
+  // exactly one outstanding fire at its head's exact wire time. A fire
+  // in the past is impossible for state saved between cycles (the
+  // transmit phase would have consumed it), so treat it as corruption.
+  const int ports = hot_.layout().ports;
+  for (const auto& router : routers_) {
+    for (PortId port = 0; port < ports; ++port) {
+      const OutputPort& out = router->output(port);
+      if (out.queue_empty()) continue;
+      const Cycle fire = out.next_fire();
+      if (fire < now_) {
+        throw std::runtime_error(
+            "checkpoint: transmit deadline in the past (corrupt stream)");
+      }
+      schedule_port_ready(router->id(), port, fire);
+    }
   }
 }
 
 void Network::step() {
-  // 0. Paranoid-mode invariant sweep (sim.paranoid=N; free when off).
+  // Paranoid-mode invariant sweep (sim.paranoid=N; free when off).
   if (cfg_.sim_paranoid > 0 && now_ % cfg_.sim_paranoid == 0) {
     check_invariants();
   }
-  // 1. Dispatch the events due this cycle, in insertion order (the
-  // deterministic tie-break). The bucket is swapped out before
-  // dispatching so a handler that schedules an event (and possibly grows
-  // the ring, invalidating bucket references) can never dangle this
-  // iteration; swapping back next cycle recycles the bucket's storage.
+  // Phase 0: dispatch the events due this cycle — packet arrivals,
+  // credit returns, deliveries — in insertion order (the deterministic
+  // tie-break). The bucket is swapped out before dispatching so a
+  // handler that schedules an event (and possibly grows the ring,
+  // invalidating bucket references) can never dangle this iteration;
+  // swapping back next cycle recycles the bucket's storage. Packet
+  // arrivals activate their router for the allocation phase.
   due_scratch_.clear();
   due_scratch_.swap(ring_[static_cast<std::size_t>(now_) & ring_mask_]);
   for (const Event& ev : due_scratch_) dispatch(ev);
   dispatched_events_ += static_cast<std::int64_t>(due_scratch_.size());
-  // 2. Global routing state (PiggyBack's in-group broadcast).
-  routing_->refresh(std::span<const std::unique_ptr<Router>>(routers_));
-  // 3. Traffic generation and injection (generation gated off while the
-  // Session drains).
+  // Phase 1: global routing state (PiggyBack's in-group broadcast);
+  // skipped entirely for mechanisms without per-cycle global state.
+  if (routing_wants_refresh_) {
+    routing_->refresh(std::span<const std::unique_ptr<Router>>(routers_));
+  }
   const bool measuring = collector_.measuring();
-  for (auto& node : nodes_) node.step(now_, measuring, generation_enabled_);
-  // 4. Switch allocation in every router.
-  for (auto& router : routers_) router->allocate(now_);
-  // 5. Link transmission.
-  for (auto& router : routers_) router->transmit(now_);
+  if (!active_kernel_) {
+    // Dense reference kernel: scan everything every cycle.
+    for (auto& node : nodes_) node.step(now_, measuring, generation_enabled_);
+    for (auto& router : routers_) router->allocate(now_);
+    for (auto& router : routers_) router->transmit(now_);
+    ++now_;
+    return;
+  }
+  // Phase 2: traffic generation and injection over the active nodes —
+  // generators (while generation is on) plus nodes with queued packets.
+  // Skipped nodes are exact no-ops (no RNG draw, no state change), so
+  // results match the dense scan bit for bit.
+  for (std::size_t w = 0; w < queue_mask_.size(); ++w) {
+    std::uint64_t bits =
+        (generation_enabled_ ? gen_mask_[w] : 0) | queue_mask_[w];
+    while (bits != 0) {
+      const auto n = (w << 6) + static_cast<std::size_t>(
+                                    std::countr_zero(bits));
+      bits &= bits - 1;
+      Node& node = nodes_[n];
+      if (node.step(now_, measuring, generation_enabled_)) {
+        mark_alloc_active(router_of_node_[n]);
+      }
+      const std::uint64_t bit = 1ull << (n & 63);
+      if (node.queue_length() > 0) {
+        queue_mask_[w] |= bit;
+      } else {
+        queue_mask_[w] &= ~bit;
+      }
+    }
+  }
+  // Phase 3: switch allocation over the active routers, ascending id —
+  // the dense-scan visit order, so per-router RNG draws and downstream
+  // event insertion order are unchanged. A router leaves the set once
+  // its input buffers drain.
+  for (std::size_t w = 0; w < alloc_active_.size(); ++w) {
+    std::uint64_t bits = alloc_active_[w];
+    if (bits == 0) continue;
+    std::uint64_t keep = bits;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto r = static_cast<RouterId>((w << 6) + static_cast<std::size_t>(b));
+      Router& router = *routers_[static_cast<std::size_t>(r)];
+      router.allocate(now_);
+      if (!router.has_buffered()) keep &= ~(1ull << b);
+    }
+    alloc_active_[w] = keep;
+  }
+  // Phase 4: link transfer, event-driven. Every entry in this cycle's
+  // transmit bucket is an output port whose head goes on the wire
+  // exactly now; sorting the flat (router, port) ids reproduces the
+  // dense scan's (router, port) processing order.
+  tx_scratch_.clear();
+  tx_scratch_.swap(tx_ring_[static_cast<std::size_t>(now_) & tx_ring_mask_]);
+  if (!tx_scratch_.empty()) {
+    std::sort(tx_scratch_.begin(), tx_scratch_.end());
+    const int ports = hot_.layout().ports;
+    for (const std::int32_t rp : tx_scratch_) {
+      routers_[static_cast<std::size_t>(rp / ports)]->transmit_due(
+          rp % ports, now_);
+    }
+  }
   ++now_;
 }
 
@@ -117,6 +248,7 @@ void Network::dispatch(const Event& ev) {
     case Event::Type::kPacket:
       routers_[static_cast<std::size_t>(ev.router)]->packet_arrival(
           ev.port, ev.vc, ev.pkt, ev.when);
+      mark_alloc_active(ev.router);
       break;
     case Event::Type::kCredit:
       routers_[static_cast<std::size_t>(ev.router)]->credit_arrival(
@@ -133,10 +265,8 @@ void Network::dispatch(const Event& ev) {
 
 void Network::begin_measurement() {
   collector_.begin_measurement(now_);
-  for (auto& router : routers_) {
-    router->reset_measured_counters();
-    router->set_measuring(true);
-  }
+  collector_.reset_measured_router_counters();
+  for (auto& router : routers_) router->set_measuring(true);
   for (auto& node : nodes_) node.reset_measured_counters();
 }
 
@@ -150,7 +280,9 @@ void Network::check_invariants() const {
     throw std::logic_error("check_invariants @" + std::to_string(now_) +
                            ": " + what);
   };
-  const int ports = topo_->ports_per_router();
+  const HotLayout& l = hot_.layout();
+  const int ports = l.ports;
+  const int R = topo_->num_routers();
   std::vector<int> refs(store_.capacity(), 0);
   auto note = [&](PacketRef ref, const char* where) {
     if (ref < 0 || static_cast<std::size_t>(ref) >= refs.size()) {
@@ -160,39 +292,94 @@ void Network::check_invariants() const {
     ++refs[static_cast<std::size_t>(ref)];
   };
 
-  for (const auto& router : routers_) {
-    for (PortId port = 0; port < ports; ++port) {
-      // Credit accounting: every output VC within [0, capacity].
-      const OutputPort& out = router->output(port);
-      for (VcId vc = 0; vc < out.num_vcs(); ++vc) {
-        if (out.credits(vc) < 0 || out.credits(vc) > out.credit_capacity(vc)) {
-          fail("router " + std::to_string(router->id()) + " port " +
-               std::to_string(port) + " vc " + std::to_string(vc) +
-               " credits " + std::to_string(out.credits(vc)) +
-               " outside [0, " + std::to_string(out.credit_capacity(vc)) +
-               "]");
-        }
-      }
-      for (const PendingTx& tx : out.pending()) note(tx.pkt, "output queue");
-      // Buffered input packets, plus FIFO phit-occupancy consistency.
-      const InputPort& in = router->input(port);
-      for (const VcFifo& fifo : in.vcs) {
-        int phits = 0;
-        for (const PacketRef ref : fifo.contents()) {
-          note(ref, "input fifo");
-          phits += store_[ref].size_phits;
-        }
-        if (phits != fifo.occupancy() || phits > fifo.capacity()) {
-          fail("input fifo occupancy " + std::to_string(fifo.occupancy()) +
-               " != buffered phits " + std::to_string(phits) +
-               " (capacity " + std::to_string(fifo.capacity()) + ")");
-        }
+  // Credit accounting: every output VC within [0, capacity]. One
+  // contiguous pass over the SoA arrays instead of an object walk.
+  {
+    const auto& credits = hot_.all_credits();
+    const auto& caps = hot_.all_credit_capacity();
+    for (std::size_t i = 0; i < credits.size(); ++i) {
+      if (credits[i] < 0 || credits[i] > caps[i]) {
+        fail("flat output VC " + std::to_string(i) + " credits " +
+             std::to_string(credits[i]) + " outside [0, " +
+             std::to_string(caps[i]) + "]");
       }
     }
   }
+
+  // Input FIFOs: occupancy array vs mask vs contents. Only non-empty
+  // VCs (mask bits) pay the object walk; the contiguous occupancy scan
+  // catches a non-empty FIFO whose mask bit was lost.
+  for (RouterId r = 0; r < R; ++r) {
+    const Router& router = *routers_[static_cast<std::size_t>(r)];
+    const std::int32_t* occ = hot_.in_occupancy(r);
+    const PacketRef* heads = hot_.in_head(r);
+    const std::uint64_t* mask = hot_.in_mask(r);
+    int buffered = 0;
+    for (int flat = 0; flat < l.in_stride(); ++flat) {
+      const bool bit = (mask[flat >> 6] >> (flat & 63)) & 1;
+      if ((occ[flat] > 0) != bit) {
+        fail("router " + std::to_string(r) + " flat input VC " +
+             std::to_string(flat) + " occupancy " +
+             std::to_string(occ[flat]) + " inconsistent with mask bit " +
+             std::to_string(bit));
+      }
+      if (!bit) continue;
+      const PortId port = l.port_of_in_vc[static_cast<std::size_t>(flat)];
+      const VcId vc = static_cast<VcId>(
+          flat - l.in_vc_off[static_cast<std::size_t>(port)]);
+      const VcFifo& fifo =
+          router.input(port).vcs[static_cast<std::size_t>(vc)];
+      int phits = 0;
+      for (const PacketRef ref : fifo.contents()) {
+        note(ref, "input fifo");
+        phits += store_[ref].size_phits;
+      }
+      buffered += static_cast<int>(fifo.packets());
+      if (phits != occ[flat] || phits > fifo.capacity()) {
+        fail("input fifo occupancy " + std::to_string(occ[flat]) +
+             " != buffered phits " + std::to_string(phits) +
+             " (capacity " + std::to_string(fifo.capacity()) + ")");
+      }
+      if (heads[flat] != fifo.contents().front()) {
+        fail("router " + std::to_string(r) + " flat input VC " +
+             std::to_string(flat) + " head slot " +
+             std::to_string(heads[flat]) + " != FIFO front " +
+             std::to_string(fifo.contents().front()));
+      }
+    }
+    if (active_kernel_ && buffered > 0 &&
+        ((alloc_active_[static_cast<std::size_t>(r) >> 6] >>
+          (static_cast<std::size_t>(r) & 63) & 1) == 0)) {
+      fail("router " + std::to_string(r) +
+           " has buffered packets but is not in the allocation set");
+    }
+  }
+
+  // Output queues: walk contents only where the occupancy counter says
+  // there is a backlog.
+  for (RouterId r = 0; r < R; ++r) {
+    const Router& router = *routers_[static_cast<std::size_t>(r)];
+    for (PortId port = 0; port < ports; ++port) {
+      const OutputPort& out = router.output(port);
+      if (out.queue_occupancy() == 0 && out.queue_empty()) continue;
+      int phits = 0;
+      for (const PendingTx& tx : out.pending()) {
+        note(tx.pkt, "output queue");
+        phits += store_[tx.pkt].size_phits;
+      }
+      if (phits != out.queue_occupancy()) {
+        fail("router " + std::to_string(r) + " port " + std::to_string(port) +
+             " queue occupancy " + std::to_string(out.queue_occupancy()) +
+             " != queued phits " + std::to_string(phits));
+      }
+    }
+  }
+
+  // Node source queues.
   for (const Node& node : nodes_) {
     for (const PacketRef ref : node.source_queue()) note(ref, "node queue");
   }
+
   // Pending events: packets in flight / awaiting delivery, and the ring
   // horizon (a clamped event may carry when <= now, but nothing may be
   // booked past the ring's span).
@@ -206,6 +393,48 @@ void Network::check_invariants() const {
       if (ev.type != Event::Type::kCredit) note(ev.pkt, "event ring");
     }
   }
+
+  // Transmit calendar (active kernel): every non-empty output queue has
+  // exactly one outstanding fire, booked at its head's exact wire time.
+  if (active_kernel_) {
+    std::vector<std::uint8_t> fires(
+        static_cast<std::size_t>(R) * static_cast<std::size_t>(ports), 0);
+    for (std::size_t k = 0; k < tx_ring_.size(); ++k) {
+      const auto t = static_cast<Cycle>(static_cast<std::size_t>(now_) + k);
+      for (const std::int32_t rp :
+           tx_ring_[static_cast<std::size_t>(t) & tx_ring_mask_]) {
+        const auto r = static_cast<RouterId>(rp / ports);
+        const auto port = static_cast<PortId>(rp % ports);
+        const OutputPort& out =
+            routers_[static_cast<std::size_t>(r)]->output(port);
+        if (out.queue_empty()) {
+          fail("transmit fire for empty queue (router " + std::to_string(r) +
+               " port " + std::to_string(port) + ")");
+        }
+        if (out.next_fire() != t) {
+          fail("transmit fire @" + std::to_string(t) + " but router " +
+               std::to_string(r) + " port " + std::to_string(port) +
+               " head is due @" + std::to_string(out.next_fire()));
+        }
+        ++fires[static_cast<std::size_t>(rp)];
+      }
+    }
+    for (RouterId r = 0; r < R; ++r) {
+      for (PortId port = 0; port < ports; ++port) {
+        const OutputPort& out =
+            routers_[static_cast<std::size_t>(r)]->output(port);
+        const std::uint8_t n =
+            fires[static_cast<std::size_t>(r) * static_cast<std::size_t>(ports) +
+                  static_cast<std::size_t>(port)];
+        if (!out.queue_empty() && n != 1) {
+          fail("router " + std::to_string(r) + " port " +
+               std::to_string(port) + " has " + std::to_string(n) +
+               " outstanding transmit fires (want 1)");
+        }
+      }
+    }
+  }
+
   // Orphan sweep: every live arena slot referenced exactly once, every
   // dead slot unreferenced.
   const std::vector<char> live = store_.live_mask();
@@ -249,6 +478,23 @@ void Network::grow_ring(Cycle min_horizon) {
   ring_mask_ = size - 1;
 }
 
+void Network::grow_tx_ring(Cycle min_horizon) {
+  std::size_t size = tx_ring_.empty() ? 2 : tx_ring_.size();
+  while (static_cast<Cycle>(size) <= min_horizon) size *= 2;
+  std::vector<std::vector<std::int32_t>> fresh(size);
+  if (!tx_ring_.empty()) {
+    const std::size_t old_mask = tx_ring_mask_;
+    // Bucket `now_` may hold same-cycle fires booked during the current
+    // allocation phase, so unlike the event ring the copy starts at k=0.
+    for (std::size_t k = 0; k < tx_ring_.size(); ++k) {
+      const auto t = static_cast<std::size_t>(now_) + k;
+      fresh[t & (size - 1)] = std::move(tx_ring_[t & old_mask]);
+    }
+  }
+  tx_ring_ = std::move(fresh);
+  tx_ring_mask_ = size - 1;
+}
+
 void Network::schedule_packet(RouterId router, PortId port, VcId vc,
                               PacketRef pkt, Cycle when) {
   Event ev;
@@ -281,6 +527,18 @@ void Network::schedule_delivery(PacketRef pkt, Cycle when) {
   push_event(when, ev);
 }
 
+void Network::schedule_port_ready(RouterId router, PortId port, Cycle when) {
+  // Exact by construction: fires land at `now_` only from the allocation
+  // phase (pipeline latency 0 with a free link), which the same cycle's
+  // transmit phase consumes.
+  const Cycle due = when < now_ ? now_ : when;
+  if (due - now_ >= static_cast<Cycle>(tx_ring_.size())) {
+    grow_tx_ring(due - now_);
+  }
+  tx_ring_[static_cast<std::size_t>(due) & tx_ring_mask_].push_back(
+      router * hot_.layout().ports + port);
+}
+
 std::int64_t Network::generated_packets_total() const {
   std::int64_t sum = 0;
   for (const auto& node : nodes_) sum += node.generated_total();
@@ -294,34 +552,28 @@ std::int64_t Network::generated_packets_measured() const {
 }
 
 std::vector<std::int64_t> Network::injections_per_router() const {
-  std::vector<std::int64_t> out;
-  out.reserve(routers_.size());
-  for (const auto& router : routers_) {
-    out.push_back(router->injected_packets_measured());
-  }
-  return out;
+  return collector_.injected_measured_per_router();
 }
 
 std::int64_t Network::total_forward_progress() const {
-  std::int64_t sum = 0;
-  for (const auto& router : routers_) sum += router->forwarded_packets_total();
-  return sum;
+  return collector_.forwarded_total_sum();
 }
 
 std::vector<double> Network::measured_injection_counts() const {
   // Fairness over routers whose nodes generate traffic (all of them for
   // UN/ADV/ADVc; the placement pattern keeps outside routers silent).
+  const std::vector<std::int64_t>& injected =
+      collector_.injected_measured_per_router();
   std::vector<double> counts;
-  counts.reserve(routers_.size());
+  counts.reserve(injected.size());
   for (RouterId r = 0; r < topo_->num_routers(); ++r) {
     bool any = false;
     for (int i = 0; i < topo_->concentration() && !any; ++i) {
       any = traffic_->generates(topo_->node_id(r, i));
     }
     if (any) {
-      counts.push_back(static_cast<double>(
-          routers_[static_cast<std::size_t>(r)]
-              ->injected_packets_measured()));
+      counts.push_back(
+          static_cast<double>(injected[static_cast<std::size_t>(r)]));
     }
   }
   return counts;
@@ -338,11 +590,8 @@ void Network::set_offered_load(double load) {
 void Network::set_traffic(const std::string& registry_name) {
   cfg_.traffic_name = traffic_registry().resolve(registry_name);
   traffic_ = make_traffic(*topo_, cfg_);
-  generating_nodes_ = 0;
-  for (auto& node : nodes_) {
-    node.set_pattern(traffic_.get());
-    if (node.generates()) ++generating_nodes_;
-  }
+  for (auto& node : nodes_) node.set_pattern(traffic_.get());
+  rebuild_node_masks();
 }
 
 void Network::save(CheckpointWriter& ck) const {
@@ -357,6 +606,9 @@ void Network::save(CheckpointWriter& ck) const {
   ck.i64(dispatched_events_);
   // Event ring, in dispatch order from the current cycle. Every pending
   // event is due within ring_.size() cycles of now_ by construction.
+  // The transmit calendar is *not* serialized: it is derived state,
+  // rebuilt from the output queues on load (rebuild_activation), which
+  // also makes checkpoint streams kernel-independent.
   std::uint64_t pending = 0;
   for (const auto& bucket : ring_) pending += bucket.size();
   ck.u64(pending);
@@ -374,6 +626,7 @@ void Network::save(CheckpointWriter& ck) const {
   }
   store_.save(ck);
   collector_.save(ck);
+  hot_.save(ck);
   for (const auto& router : routers_) router->save(ck);
   for (const auto& node : nodes_) node.save(ck);
 }
@@ -410,8 +663,12 @@ void Network::load(CheckpointReader& ck) {
   }
   store_.load(ck);
   collector_.load(ck);
+  hot_.load(ck);
   for (auto& router : routers_) router->load(ck);
   for (auto& node : nodes_) node.load(ck);
+  // Re-derive the activation caches (alloc set, node masks, transmit
+  // calendar) from the restored authoritative state.
+  rebuild_activation();
 }
 
 }  // namespace dragonfly

@@ -1,5 +1,31 @@
 // Network: builds the full dragonfly (topology, routers, nodes, wiring),
 // owns the event queue and advances the simulation cycle by cycle.
+//
+// Since the data-oriented kernel refactor the per-cycle work is split
+// into explicit phases over *active* state (sim.kernel=active, the
+// default):
+//
+//   0. event dispatch  — packet arrivals, credit returns, deliveries due
+//                        this cycle (the calendar ring feeds activations:
+//                        a packet arrival marks its router allocatable);
+//   1. routing refresh — only when the mechanism has per-cycle global
+//                        state (PiggyBack's in-group broadcast);
+//   2. injection       — only nodes that generate traffic or hold queued
+//                        packets step (skipped nodes draw no RNG);
+//   3. allocation      — only routers with buffered packets arbitrate,
+//                        visited in ascending id order (the dense-scan
+//                        order, so RNG draws and event insertion order —
+//                        the deterministic tie-breaks — are unchanged);
+//   4. link transfer   — event-driven: a transmission's wire time is an
+//                        exact function of its grant cycle and the link
+//                        serialization deadline, so output ports fire
+//                        from a transmit calendar instead of being
+//                        polled; fires are processed in (router, port)
+//                        order, again matching the dense scan.
+//
+// sim.kernel=scan keeps the dense reference path (walk every node,
+// router and port each cycle) over the same structure-of-arrays state;
+// both kernels are bit-identical, which the conformance tests assert.
 #pragma once
 
 #include <memory>
@@ -11,6 +37,7 @@
 #include "router/router.hpp"
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
+#include "sim/hot_state.hpp"
 #include "sim/node.hpp"
 #include "topology/topology.hpp"
 #include "traffic/pattern.hpp"
@@ -26,8 +53,7 @@ class Network final : public EventSink {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Advance one link-clock cycle: dispatch due events, refresh global
-  /// routing state, step nodes, allocate and transmit in every router.
+  /// Advance one link-clock cycle (see the phase list above).
   void step();
   Cycle now() const { return now_; }
 
@@ -38,8 +64,13 @@ class Network final : public EventSink {
   /// credit counters within [0, capacity], every live packet in the
   /// arena referenced exactly once (input VC FIFOs, output queues, node
   /// source queues, in-flight events), pending events within the ring
-  /// horizon. Throws std::logic_error on the first violation. Runs every
-  /// N cycles from step() when the knob is set; free when it is 0.
+  /// horizon, and the active-set/hot-state caches (occupancy counters,
+  /// head-of-line slots, non-empty masks, transmit calendar) consistent
+  /// with the FIFO contents. Throws std::logic_error on the first
+  /// violation. Cost scales with *active* state: idle ports and empty
+  /// FIFOs are skipped via the hot-state masks, so `sim.paranoid=1` is
+  /// usable on large shapes. Runs every N cycles from step() when the
+  /// knob is set; free when it is 0.
   void check_invariants() const;
 
   // --- scripted-phase mutations (Session segment boundaries) --------------
@@ -59,6 +90,7 @@ class Network final : public EventSink {
   void schedule_credit(RouterId router, PortId out_port, VcId vc, int phits,
                        Cycle when) override;
   void schedule_delivery(PacketRef pkt, Cycle when) override;
+  void schedule_port_ready(RouterId router, PortId port, Cycle when) override;
 
   // --- accessors -------------------------------------------------------------
   const SimConfig& config() const { return cfg_; }
@@ -68,6 +100,7 @@ class Network final : public EventSink {
   MetricsCollector& collector() { return collector_; }
   const MetricsCollector& collector() const { return collector_; }
   PacketStore& packets() { return store_; }
+  const HotState& hot() const { return hot_; }
   Router& router(RouterId id) { return *routers_[static_cast<std::size_t>(id)]; }
   const Router& router(RouterId id) const {
     return *routers_[static_cast<std::size_t>(id)];
@@ -93,10 +126,12 @@ class Network final : public EventSink {
 
   // --- checkpoint -----------------------------------------------------------
   /// Serialize all mutable network state: clock, event ring, packet
-  /// arena, routers, nodes, collector, plus the live load/traffic
-  /// selection (scripted phases may have diverged from the constructor
-  /// config). load() expects a network freshly built from the same
-  /// config.
+  /// arena, hot-state arrays (contiguous blocks), routers, nodes,
+  /// collector, plus the live load/traffic selection (scripted phases
+  /// may have diverged from the constructor config). load() expects a
+  /// network freshly built from the same config (sim.kernel may differ:
+  /// the serialized state is kernel-independent and the active-set /
+  /// transmit-calendar caches are re-derived on load).
   void save(CheckpointWriter& ck) const;
   void load(CheckpointReader& ck);
 
@@ -116,6 +151,17 @@ class Network final : public EventSink {
   void dispatch(const Event& ev);
   void push_event(Cycle when, const Event& ev);
   void grow_ring(Cycle min_horizon);
+  void grow_tx_ring(Cycle min_horizon);
+  /// Re-derive every activation cache from the authoritative state:
+  /// alloc-active bitmap from buffered packets, node masks from the
+  /// traffic pattern and source queues, the transmit calendar from the
+  /// output queues (checkpoint load; also used at build time).
+  void rebuild_activation();
+  void rebuild_node_masks();
+  void mark_alloc_active(RouterId r) {
+    alloc_active_[static_cast<std::size_t>(r) >> 6] |=
+        1ull << (static_cast<std::size_t>(r) & 63);
+  }
 
   SimConfig cfg_;
   std::unique_ptr<Topology> topo_;
@@ -123,6 +169,8 @@ class Network final : public EventSink {
   std::unique_ptr<TrafficPattern> traffic_;
   PacketStore store_;
   MetricsCollector collector_;
+  /// Structure-of-arrays hot state; routers bind their rows at build.
+  HotState hot_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<Node> nodes_;
   /// Calendar event queue: bucket `t & ring_mask_` holds the events due at
@@ -137,6 +185,28 @@ class Network final : public EventSink {
   /// duration of the drain (see step()).
   std::vector<Event> due_scratch_;
   std::size_t ring_mask_ = 0;
+
+  // --- active-set kernel state (sim.kernel=active) -------------------------
+  bool active_kernel_ = true;
+  bool routing_wants_refresh_ = true;
+  /// Routers with buffered input packets (bit per router, ascending-id
+  /// iteration). Set on packet arrival / node injection, cleared when a
+  /// router drains in the allocation phase.
+  std::vector<std::uint64_t> alloc_active_;
+  /// Nodes whose traffic pattern generates (bit per node; gated on
+  /// generation_enabled_ at use) and nodes with queued packets.
+  std::vector<std::uint64_t> gen_mask_;
+  std::vector<std::uint64_t> queue_mask_;
+  /// Transmit calendar: bucket `t & tx_ring_mask_` holds the flat
+  /// (router * ports + port) ids whose output queue head goes on the
+  /// wire exactly at cycle t. Sorted before processing so fires happen
+  /// in (router, port) order — the dense-scan order.
+  std::vector<std::vector<std::int32_t>> tx_ring_;
+  std::vector<std::int32_t> tx_scratch_;
+  std::size_t tx_ring_mask_ = 0;
+  /// Node id -> router id (hot injection-path lookup).
+  std::vector<RouterId> router_of_node_;
+
   std::int64_t dispatched_events_ = 0;
   Cycle now_ = 0;
   int generating_nodes_ = 0;

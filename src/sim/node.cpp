@@ -9,42 +9,40 @@ namespace dragonfly {
 Node::Node(NodeId id, Router* router, const TrafficPattern* pattern,
            RoutingAlgorithm* routing, PacketStore* store, const SimConfig* cfg,
            Rng rng)
-    : id_(id),
+    : rng_(rng),
+      gen_prob_(cfg->load / static_cast<double>(cfg->packet_size)),
+      queue_cap_(cfg->node_queue_capacity),
+      generates_(pattern->generates(id)),
+      id_(id),
+      inj_port_(router->topology().injection_port(
+          router->topology().node_index_in_router(id))),
       router_(router),
       pattern_(pattern),
       routing_(routing),
       store_(store),
-      cfg_(cfg),
-      rng_(rng),
-      generates_(pattern->generates(id)),
-      gen_prob_(cfg->load / static_cast<double>(cfg->packet_size)),
-      inj_port_(router->topology().injection_port(
-          router->topology().node_index_in_router(id))) {}
+      cfg_(cfg) {}
 
-void Node::step(Cycle now, bool measuring, bool generate) {
-  // --- generation (Bernoulli process in packets) -------------------------
-  if (generate && generates_ &&
-      queue_.size() < static_cast<std::size_t>(cfg_->node_queue_capacity) &&
-      rng_.bernoulli(gen_prob_)) {
-    const NodeId dst = pattern_->destination(id_, rng_);
-    if (dst != kInvalidNode) {
-      const PacketRef ref = store_->create();
-      Packet& pkt = (*store_)[ref];
-      pkt.id = (static_cast<PacketId>(id_) << 32) | generated_total_;
-      pkt.src = id_;
-      pkt.dst = dst;
-      pkt.size_phits = cfg_->packet_size;
-      pkt.t_gen = now;
-      pkt.current_router = router_->id();
-      routing_->on_inject(*router_, pkt, rng_);
-      queue_.push_back(ref);
-      ++generated_total_;
-      if (measuring) ++generated_measured_;
-    }
-  }
+void Node::generate_packet(Cycle now, bool measuring) {
+  // Bernoulli hit (the inline step() gate already drew it).
+  const NodeId dst = pattern_->destination(id_, rng_);
+  if (dst == kInvalidNode) return;
+  const PacketRef ref = store_->create();
+  Packet& pkt = (*store_)[ref];
+  pkt.id = (static_cast<PacketId>(id_) << 32) | generated_total_;
+  pkt.src = id_;
+  pkt.dst = dst;
+  pkt.size_phits = cfg_->packet_size;
+  pkt.t_gen = now;
+  pkt.current_router = router_->id();
+  routing_->on_inject(*router_, pkt, rng_);
+  queue_.push_back(ref);
+  ++queue_len_;
+  ++generated_total_;
+  if (measuring) ++generated_measured_;
+}
 
-  // --- injection into the router (1 phit/cycle node link) -----------------
-  if (queue_.empty() || now < next_inject_allowed_) return;
+bool Node::inject_head(Cycle now) {
+  // Injection into the router (1 phit/cycle node link).
   const PacketRef head = queue_.front();
   const int size = (*store_)[head].size_phits;
   // The injection port's VC buffers act as one logical injection queue:
@@ -53,7 +51,7 @@ void Node::step(Cycle now, bool measuring, bool generate) {
   // injection queue (FOGSim behaves the same way; see DESIGN.md).
   if (router_->input(inj_port_).total_occupancy() + size >
       cfg_->local_input_buffer) {
-    return;
+    return false;
   }
   // Spread packets over the injection VCs round-robin; take the first one
   // with room, starting from the rotating pointer.
@@ -62,11 +60,13 @@ void Node::step(Cycle now, bool measuring, bool generate) {
     if (router_->can_accept_injection(inj_port_, vc, size)) {
       router_->inject(inj_port_, vc, head, now);
       queue_.pop_front();
+      --queue_len_;
       next_vc_ = static_cast<VcId>((vc + 1) % cfg_->injection_vcs);
       next_inject_allowed_ = now + size;
-      return;
+      return true;
     }
   }
+  return false;
 }
 
 void Node::save(CheckpointWriter& ck) const {
@@ -87,6 +87,7 @@ void Node::load(CheckpointReader& ck) {
   const std::uint64_t n = ck.u64();
   queue_.clear();
   for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(ck.i32());
+  queue_len_ = static_cast<std::int32_t>(queue_.size());
   next_vc_ = ck.i32();
   next_inject_allowed_ = ck.i64();
   generated_total_ = ck.i64();

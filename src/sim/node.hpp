@@ -31,12 +31,27 @@ class Node {
   /// router (at most one packet every packet_size cycles: the node link
   /// carries one phit per cycle). With `generate` false only the
   /// injection half runs — the Session's Drain phase flushes in-flight
-  /// traffic without admitting new packets.
-  void step(Cycle now, bool measuring, bool generate = true);
-
+  /// traffic without admitting new packets. Returns true when a packet
+  /// was injected into the router this cycle (the active-set kernel
+  /// marks the router for allocation).
+  ///
+  /// Inline gate over out-of-line slow paths: the kernel calls this for
+  /// every active node every cycle, and in the common case (no Bernoulli
+  /// hit, nothing to inject) it is a handful of loads plus one inline
+  /// RNG draw.
+  bool step(Cycle now, bool measuring, bool generate = true) {
+    if (generate && generates_ && queue_len_ < queue_cap_ &&
+        rng_.bernoulli(gen_prob_)) {
+      generate_packet(now, measuring);
+    }
+    if (queue_len_ == 0 || now < next_inject_allowed_) return false;
+    return inject_head(now);
+  }
   std::int64_t generated_total() const { return generated_total_; }
   std::int64_t generated_measured() const { return generated_measured_; }
-  std::size_t queue_length() const { return queue_.size(); }
+  std::size_t queue_length() const {
+    return static_cast<std::size_t>(queue_len_);
+  }
   /// Queued (generated, not yet injected) packets — the invariant sweep
   /// counts their arena references.
   const std::deque<PacketRef>& source_queue() const { return queue_; }
@@ -60,21 +75,38 @@ class Node {
   void load(CheckpointReader& ck);
 
  private:
+  /// Bernoulli hit: create a packet towards the pattern's destination
+  /// and append it to the source queue.
+  void generate_packet(Cycle now, bool measuring);
+  /// Move the queue head into an injection VC buffer if the router can
+  /// take it; returns true on injection.
+  bool inject_head(Cycle now);
+
+  // Hot fields first: the step() gate runs for every active node every
+  // cycle and should touch one cache line in the common case (no
+  // Bernoulli hit, empty source queue).
+  Rng rng_;
+  /// Per-cycle Bernoulli generation probability load/packet_size, hoisted
+  /// out of the hot step() loop.
+  double gen_prob_;
+  Cycle next_inject_allowed_ = 0;
+  /// queue_.size(), mirrored as a plain int so the gate avoids the
+  /// deque-iterator arithmetic (and the deque's cache lines).
+  std::int32_t queue_len_ = 0;
+  /// cfg_->node_queue_capacity, cached to skip the config pointer chase.
+  std::int32_t queue_cap_;
+  bool generates_;
+
+  // Cold fields: touched on generation hits, injections and bookkeeping.
   NodeId id_;
+  PortId inj_port_;
+  VcId next_vc_ = 0;
   Router* router_;
   const TrafficPattern* pattern_;
   RoutingAlgorithm* routing_;
   PacketStore* store_;
   const SimConfig* cfg_;
-  Rng rng_;
-  bool generates_;
-  /// Per-cycle Bernoulli generation probability load/packet_size, hoisted
-  /// out of the hot step() loop.
-  double gen_prob_;
-  PortId inj_port_;
   std::deque<PacketRef> queue_;
-  VcId next_vc_ = 0;
-  Cycle next_inject_allowed_ = 0;
   std::int64_t generated_total_ = 0;
   std::int64_t generated_measured_ = 0;
 };

@@ -29,7 +29,12 @@ constexpr const char* kCheckpointMagic = "dragonfly-session-checkpoint";
 /// Bump whenever the serialized layout changes so stale files fail with
 /// the version diagnostic instead of a garbled read. v2: SimConfig
 /// gained topology / topo.g / arrangement_explicit / sim.paranoid.
-constexpr std::uint32_t kCheckpointVersion = 2;
+/// v3: data-oriented kernel — the hot counters (credits, queue/FIFO
+/// occupancy, link deadlines) moved into one contiguous HotState block,
+/// per-router statistics into the collector, SimConfig gained
+/// sim.kernel; streams are kernel-independent (the transmit calendar
+/// and activation sets are re-derived on load).
+constexpr std::uint32_t kCheckpointVersion = 3;
 
 }  // namespace
 

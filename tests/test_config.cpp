@@ -343,6 +343,28 @@ TEST(Config, SessionKnobsReachableFromKv) {
   EXPECT_EQ(stop_mode_from_string("fixed"), StopMode::kFixed);
 }
 
+TEST(Config, SimKernelKnobRoundTrips) {
+  SimConfig cfg;
+  EXPECT_EQ(cfg.kernel, SimKernel::kActive);  // active-set is the default
+  cfg.apply_kv("sim.kernel", "scan");
+  EXPECT_EQ(cfg.kernel, SimKernel::kScan);
+  cfg.apply_kv("sim.kernel", "active");
+  EXPECT_EQ(cfg.kernel, SimKernel::kActive);
+  EXPECT_THROW(cfg.apply_kv("sim.kernel", "turbo"), std::invalid_argument);
+  EXPECT_EQ(to_string(SimKernel::kActive), std::string("active"));
+  EXPECT_EQ(to_string(SimKernel::kScan), std::string("scan"));
+  EXPECT_EQ(sim_kernel_from_string("scan"), SimKernel::kScan);
+
+  cfg.kernel = SimKernel::kScan;
+  std::stringstream buffer;
+  CheckpointWriter writer(buffer);
+  cfg.write_to(writer);
+  SimConfig copy;
+  CheckpointReader reader(buffer);
+  copy.read_from(reader);
+  EXPECT_EQ(copy.kernel, SimKernel::kScan);
+}
+
 TEST(Config, EveryKvKeyHasAListDescription) {
   const auto descriptions = SimConfig::kv_key_descriptions();
   EXPECT_EQ(descriptions.size(), SimConfig::kv_keys().size());

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
+#include "common/checkpoint.hpp"
 #include "routing/minimal.hpp"
 
 namespace dragonfly {
@@ -49,28 +51,32 @@ class RouterFixture : public ::testing::Test {
         cfg_(make_config()),
         routing_(topo_, cfg_),
         router_(topo_, cfg_, /*id=*/0, &routing_, &store_, &sink_, Rng(1)) {
-    // Wire like Network does, but without peers (the mock records events).
+    wire_like_network(router_);
+  }
+
+  /// Wire like Network does, but without peers (the mock records events).
+  void wire_like_network(Router& router) {
     const auto& p = topo_.params();
     for (int i = 0; i < p.p; ++i) {
-      router_.wire_input(i, PortKind::kInjection, kInvalidRouter, kInvalidPort,
+      router.wire_input(i, PortKind::kInjection, kInvalidRouter, kInvalidPort,
+                        0);
+      router.wire_output(i, PortKind::kEjection, kInvalidRouter, kInvalidPort,
                          0);
-      router_.wire_output(i, PortKind::kEjection, kInvalidRouter, kInvalidPort,
-                          0);
     }
     for (PortId port = topo_.first_local_port();
          port < topo_.first_global_port(); ++port) {
-      router_.wire_output(port, PortKind::kLocal, topo_.local_peer(0, port),
-                          port, cfg_.local_latency);
-      router_.wire_input(port, PortKind::kLocal, topo_.local_peer(0, port),
+      router.wire_output(port, PortKind::kLocal, topo_.local_peer(0, port),
                          port, cfg_.local_latency);
+      router.wire_input(port, PortKind::kLocal, topo_.local_peer(0, port),
+                        port, cfg_.local_latency);
     }
     for (PortId port = topo_.first_global_port();
          port < topo_.ports_per_router(); ++port) {
-      router_.wire_output(port, PortKind::kGlobal, topo_.global_peer(0, port),
-                          topo_.global_peer_port(0, port),
-                          cfg_.global_latency);
-      router_.wire_input(port, PortKind::kGlobal, topo_.global_peer(0, port),
-                         topo_.global_peer_port(0, port), cfg_.global_latency);
+      router.wire_output(port, PortKind::kGlobal, topo_.global_peer(0, port),
+                         topo_.global_peer_port(0, port),
+                         cfg_.global_latency);
+      router.wire_input(port, PortKind::kGlobal, topo_.global_peer(0, port),
+                        topo_.global_peer_port(0, port), cfg_.global_latency);
     }
   }
 
@@ -250,6 +256,35 @@ TEST_F(RouterFixture, OccupancyQueries) {
   const PortId out = topo_.local_port_to(0, 1);
   EXPECT_FALSE(router_.output_congested(out, 0));
   EXPECT_FALSE(router_.credits_exhausted(out, 0, 8));
+}
+
+TEST_F(RouterFixture, StandaloneCheckpointRoundTripsCountersAndHotState) {
+  // A router without a Network owns its HotState and statistics
+  // counters; save/load must round-trip them (Network-owned routers
+  // carry both in the Network stream instead).
+  router_.set_measuring(true);
+  router_.inject(0, 0, make_packet(0, 1), 0);
+  router_.allocate(0);
+  router_.inject(1, 0, make_packet(1, 9), 1);  // left buffered
+  ASSERT_EQ(router_.injected_packets_total(), 1);
+  ASSERT_TRUE(router_.has_buffered());
+
+  std::stringstream stream;
+  CheckpointWriter writer(stream);
+  router_.save(writer);
+
+  Router fresh(topo_, cfg_, /*id=*/0, &routing_, &store_, &sink_, Rng(99));
+  // Wire identically (the fixture's wiring), then restore.
+  wire_like_network(fresh);
+  CheckpointReader reader(stream);
+  fresh.load(reader);
+  EXPECT_EQ(fresh.injected_packets_total(), 1);
+  EXPECT_EQ(fresh.injected_packets_measured(), 1);
+  EXPECT_EQ(fresh.forwarded_packets_total(), 1);
+  EXPECT_TRUE(fresh.has_buffered());
+  EXPECT_EQ(fresh.input(1).vcs[0].head(), router_.input(1).vcs[0].head());
+  const PortId out = topo_.local_port_to(0, 1);
+  EXPECT_EQ(fresh.output(out).credits(0), router_.output(out).credits(0));
 }
 
 }  // namespace

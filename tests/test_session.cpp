@@ -238,6 +238,39 @@ TEST(Session, CheckpointRestoreRoundTripsBitIdentically) {
   expect_identical(uninterrupted, from_restored);
 }
 
+TEST(Session, KernelsProduceIdenticalResults) {
+  // sim.kernel=active (default) and the dense reference scan agree on
+  // the final SimResult bit for bit.
+  SimConfig cfg =
+      quick(RoutingKind::kInTransitMm, TrafficKind::kAdvConsecutive, 0.3);
+  cfg.kernel = SimKernel::kActive;
+  const SimResult active = run_simulation(cfg);
+  cfg.kernel = SimKernel::kScan;
+  const SimResult scan = run_simulation(cfg);
+  expect_identical(active, scan);
+}
+
+TEST(Session, CheckpointRoundTripsOnBothKernels) {
+  // Mid-Measure save/restore resumes bit-for-bit on the active-set
+  // kernel, and a scan-kernel session restored from its own stream
+  // lands on the same result — checkpoint state is kernel-independent.
+  for (const SimKernel kernel : {SimKernel::kActive, SimKernel::kScan}) {
+    SimConfig cfg =
+        quick(RoutingKind::kInTransitMm, TrafficKind::kAdvConsecutive, 0.3);
+    cfg.kernel = kernel;
+    const SimResult uninterrupted = run_simulation(cfg);
+
+    Session original(cfg);
+    original.advance_to(SessionPhase::kMeasure);
+    original.step(cfg.measure_cycles / 2);
+    ASSERT_EQ(original.phase(), SessionPhase::kMeasure);
+    std::stringstream stream;
+    original.checkpoint(stream);
+    const SimResult from_restored = Session::restore(stream)->run();
+    expect_identical(uninterrupted, from_restored);
+  }
+}
+
 TEST(Session, CheckpointRestoreMatchesThreadedSweep) {
   // The satellite's "any thread count" clause: a restored session must
   // agree with the same point produced by the parallel runner.

@@ -3,6 +3,8 @@
 // collapse into livelock (delivery keeps pace in steady state).
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "sim_test_util.hpp"
 
 namespace dragonfly {
@@ -124,6 +126,30 @@ TEST(Stress, AgeArbitrationUnderExtremeLoad) {
   SimResult r;
   ASSERT_NO_THROW(r = run_simulation(cfg));
   EXPECT_GT(r.accepted_load, 0.1);
+}
+
+TEST(Stress, ParanoidEveryCycleStaysUsableOnLargerShapes) {
+  // check_invariants() costs O(active state): empty FIFOs and idle
+  // ports are skipped via the hot-state masks, the credit bounds are
+  // one contiguous array pass. sim.paranoid=1 — a sweep every cycle —
+  // must therefore stay practical on a larger shape. The wall-clock
+  // bound is deliberately generous (an order of magnitude above the
+  // expected time on slow hardware); it exists to catch an accidental
+  // return to O(all ports x VCs x occupancy) sweeps, which would blow
+  // far past it.
+  SimConfig cfg = quick(RoutingKind::kInTransitMm, TrafficKind::kUniform,
+                        0.3, /*h=*/3);
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 1'000;
+  cfg.sim_paranoid = 1;
+  const auto start = std::chrono::steady_clock::now();
+  SimResult r;
+  ASSERT_NO_THROW(r = run_simulation(cfg));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GT(r.delivered_packets, 0);
+  EXPECT_LT(seconds, 60.0) << "paranoid-mode sweeps are no longer O(active)";
 }
 
 }  // namespace
