@@ -76,6 +76,39 @@ void BM_NetworkStepUniformScan(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkStepUniformScan)->Args({3, 5})->Args({3, 50});
 
+/// Sharded stepping. Args: (radix h, offered load in %, sim.shards).
+/// Bit-identical to the serial rows — only wall-clock may move. The
+/// saturated h=4 rows are the headline scaling measurement
+/// (run_baseline.sh derives the shards>1 vs shards=1 throughput ratios
+/// that CI's perf-smoke guards); shards=1 goes through the same kernel
+/// with the mailbox path disabled, isolating the sharding overhead.
+void BM_NetworkStepUniformSharded(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  SimConfig cfg = SimConfig::small(h);
+  cfg.routing_name = "par-mm";
+  cfg.traffic_name = "uniform";
+  cfg.load = static_cast<double>(state.range(1)) / 100.0;
+  cfg.kernel = SimKernel::kActive;
+  cfg.shards = static_cast<int>(state.range(2));
+  cfg.apply_vc_defaults();
+  Network net(cfg);
+  for (int i = 0; i < 500; ++i) net.step();
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations() * net.num_routers());
+  state.counters["nodes"] = net.num_nodes();
+  state.counters["shards"] = static_cast<double>(net.num_shards());
+}
+// UseRealTime: wall-clock is the honest metric for a multi-threaded
+// step (the pool's CPU time is spread across workers).
+BENCHMARK(BM_NetworkStepUniformSharded)
+    ->Args({4, 50, 1})
+    ->Args({4, 50, 2})
+    ->Args({4, 50, 4})
+    ->Args({4, 50, 8})
+    ->Args({5, 50, 1})
+    ->Args({5, 50, 4})
+    ->UseRealTime();
+
 void BM_NetworkStepAdvc(benchmark::State& state) {
   const int h = static_cast<int>(state.range(0));
   SimConfig cfg = SimConfig::small(h);

@@ -15,6 +15,15 @@ Two classes of check:
   process on one machine and therefore travel across hardware — these
   guard the active-set kernel's actual advantage (--ratio-tolerance).
 
+The sharded-kernel throughput ratios (derived.shards_speedup_*) are
+deliberately *excluded* from the baseline-relative comparison: they
+depend on the runner's core count (a 1-CPU container measures pure
+sharding overhead), so comparing them against a baseline recorded
+elsewhere would be meaningless. Instead --shards-min (or
+$PERF_SMOKE_SHARDS_MIN) asserts an absolute floor on the *current* run's
+best shards>1 ratio at saturated h=4 — CI's multi-core perf-smoke job
+sets it; leave it unset on single-core hosts.
+
 Exits non-zero on any breach, printing a per-benchmark table either way.
 """
 import argparse
@@ -53,6 +62,15 @@ def main():
         default=float(os.environ.get("PERF_SMOKE_RATIO_TOLERANCE", "0.30")),
         help="allowed fractional drop of the active/scan speedup ratios",
     )
+    shards_min_env = os.environ.get("PERF_SMOKE_SHARDS_MIN", "")
+    ap.add_argument(
+        "--shards-min",
+        type=float,
+        default=float(shards_min_env) if shards_min_env else None,
+        help="required minimum of the current run's best "
+             "derived.shards_speedup_h4_50 ratio (multi-core hosts only; "
+             "unset = skip)",
+    )
     args = ap.parse_args()
 
     baseline = load(args.baseline)
@@ -77,6 +95,11 @@ def main():
               f"{cur['cycles_per_sec']:>12.0f} {ratio:>6.2f}x{flag}")
 
     for key, base_ratio in (baseline.get("derived") or {}).items():
+        if isinstance(base_ratio, dict):
+            # Shard scaling ratios: machine-dependent (core count), so
+            # never compared against the committed baseline — see
+            # --shards-min below for the absolute guard.
+            continue
         cur_ratio = (current.get("derived") or {}).get(key)
         if base_ratio is None:
             # A null ratio means the baseline was recorded without the
@@ -96,6 +119,24 @@ def main():
                 f"derived.{key}: active/scan speedup fell to {cur_ratio:.2f}x "
                 f"(baseline {base_ratio:.2f}x, tolerance "
                 f"{1.0 - args.ratio_tolerance:.2f}x)")
+
+    shard_ratios = (current.get("derived") or {}).get(
+        "shards_speedup_h4_50") or {}
+    shown = {s: r for s, r in sorted(shard_ratios.items())
+             if r is not None}
+    if shown:
+        print("derived.shards_speedup_h4_50 (current run): " +
+              ", ".join(f"shards={s}: {r:.2f}x" for s, r in shown.items()))
+    if args.shards_min is not None:
+        best = max(shown.values(), default=None)
+        if best is None:
+            failures.append(
+                "shards-min: current run has no shards_speedup_h4_50 ratios "
+                "(was bench_micro_simspeed run with a custom filter?)")
+        elif best < args.shards_min:
+            failures.append(
+                f"shards-min: best shards>1 throughput ratio at saturated "
+                f"h=4 is {best:.2f}x < required {args.shards_min:.2f}x")
 
     if failures:
         print("\nPERF-SMOKE FAILURES:", file=sys.stderr)

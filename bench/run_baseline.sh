@@ -13,7 +13,7 @@ set -euo pipefail
 
 BUILD_DIR=${1:?usage: run_baseline.sh <build_dir> <out_json> [filter]}
 OUT=${2:?usage: run_baseline.sh <build_dir> <out_json> [filter]}
-FILTER=${3:-'BM_NetworkStepUniform|BM_NetworkStepUniformScan|BM_SessionStep'}
+FILTER=${3:-'BM_NetworkStepUniform|BM_NetworkStepUniformScan|BM_NetworkStepUniformSharded|BM_SessionStep'}
 
 BIN="$BUILD_DIR/bench_micro_simspeed"
 if [[ ! -x "$BIN" ]]; then
@@ -73,12 +73,29 @@ out = {
     },
     "benchmarks": benchmarks,
     # Machine-independent health signals: the active kernel's speedup
-    # over the dense reference scan, measured in the same process.
+    # over the dense reference scan, measured in the same process, plus
+    # the sharded kernel's throughput ratios vs its own shards=1 row
+    # (same process, same machine — but NOTE: the shard ratios are only
+    # meaningful on a multi-core host; a 1-CPU container measures pure
+    # sharding overhead, so they are reported here and guarded in CI's
+    # multi-core perf-smoke job via PERF_SMOKE_SHARDS_MIN rather than
+    # compared against the committed baseline).
     "derived": {
         "active_scan_speedup_lowload":
             speedup("BM_NetworkStepUniform/3/5", "BM_NetworkStepUniformScan/3/5"),
         "active_scan_speedup_saturation":
             speedup("BM_NetworkStepUniform/3/50", "BM_NetworkStepUniformScan/3/50"),
+        "shards_speedup_h4_50": {
+            str(s): speedup(
+                f"BM_NetworkStepUniformSharded/4/50/{s}/real_time",
+                "BM_NetworkStepUniformSharded/4/50/1/real_time")
+            for s in (2, 4, 8)
+        },
+        "shards_speedup_h5_50": {
+            "4": speedup(
+                "BM_NetworkStepUniformSharded/5/50/4/real_time",
+                "BM_NetworkStepUniformSharded/5/50/1/real_time"),
+        },
     },
 }
 with open(out_path, "w") as f:

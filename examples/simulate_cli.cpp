@@ -51,6 +51,9 @@ int usage(std::ostream& os, int exit_code) {
         "  --load X | A:B:STEP | X,Y,Z   offered load(s) (default 0.3)\n"
         "  --seeds N             replicas averaged per point (default 1)\n"
         "  --threads N           worker threads (default: hardware)\n"
+        "  --shards N            step each network in N parallel router\n"
+        "                        shards (sim.shards; bit-identical results\n"
+        "                        for any N, 1 = serial)\n"
         "topology & run control:\n"
         "  --h N                 balanced dragonfly radix (default 3)\n"
         "  --seed N --warmup N --measure N\n"
@@ -193,6 +196,8 @@ int main(int argc, char** argv) {
         spec.apply_kv("seeds", need_value(i));
       } else if (!std::strcmp(arg, "--threads")) {
         spec.apply_kv("threads", need_value(i));
+      } else if (!std::strcmp(arg, "--shards")) {
+        spec.apply_kv("sim.shards", need_value(i));
       } else if (!std::strcmp(arg, "--h")) {
         spec.apply_kv("h", need_value(i));
       } else if (!std::strcmp(arg, "--seed")) {

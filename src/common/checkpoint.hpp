@@ -10,11 +10,23 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dragonfly {
+
+/// Translates a packet reference while a checkpoint stream is written or
+/// read. Since format v4, packet references are serialized as *canonical
+/// indices* (the packet's position in the arena's canonical traversal
+/// order) instead of raw arena slots, making streams independent of the
+/// arena partition (sim.shards) and of free-list history. The Network
+/// installs the translator on the writer/reader before serializing the
+/// structures that hold references; negative refs (kNoPacket) pass
+/// through untranslated.
+using PacketRefXlat = std::function<std::int32_t(std::int32_t)>;
 
 /// Writes primitives to an underlying std::ostream. Throws
 /// std::runtime_error when the stream fails.
@@ -35,6 +47,13 @@ class CheckpointWriter {
   /// save/load pair fails at the section boundary, not megabytes later.
   void tag(const char* name);
 
+  /// Serialize a packet reference through the installed translator (raw
+  /// when none is installed — standalone fixtures).
+  void pkt(std::int32_t ref) {
+    i32(pkt_xlat_ && ref >= 0 ? pkt_xlat_(ref) : ref);
+  }
+  void set_packet_xlat(PacketRefXlat fn) { pkt_xlat_ = std::move(fn); }
+
   template <class T, class Fn>
   void vec(const std::vector<T>& v, Fn&& write_one) {
     u64(v.size());
@@ -44,6 +63,7 @@ class CheckpointWriter {
  private:
   void raw(const void* data, std::size_t n);
   std::ostream& os_;
+  PacketRefXlat pkt_xlat_;
 };
 
 /// Reads primitives written by CheckpointWriter. Throws
@@ -63,6 +83,14 @@ class CheckpointReader {
 
   void tag(const char* name);
 
+  /// Read a packet reference through the installed translator (raw when
+  /// none is installed — standalone fixtures).
+  std::int32_t pkt() {
+    const std::int32_t ref = i32();
+    return pkt_xlat_ && ref >= 0 ? pkt_xlat_(ref) : ref;
+  }
+  void set_packet_xlat(PacketRefXlat fn) { pkt_xlat_ = std::move(fn); }
+
   template <class T, class Fn>
   void vec(std::vector<T>& v, Fn&& read_one) {
     const std::uint64_t n = u64();
@@ -77,6 +105,7 @@ class CheckpointReader {
  private:
   void raw(void* data, std::size_t n);
   std::istream& is_;
+  PacketRefXlat pkt_xlat_;
 };
 
 }  // namespace dragonfly

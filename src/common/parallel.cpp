@@ -1,0 +1,25 @@
+#include "common/parallel.hpp"
+
+#include "common/thread_pool.hpp"
+
+namespace dragonfly {
+
+void SerialRunner::run(std::size_t n,
+                       const std::function<void(std::size_t)>& body) {
+  // Ascending order: the lowest failing index is simply the first one.
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+PoolRunner::PoolRunner(int threads)
+    : pool_(std::make_unique<ThreadPool>(threads)) {}
+
+PoolRunner::~PoolRunner() = default;
+
+int PoolRunner::concurrency() const { return pool_->size(); }
+
+void PoolRunner::run(std::size_t n,
+                     const std::function<void(std::size_t)>& body) {
+  pool_->run_indexed(n, body);
+}
+
+}  // namespace dragonfly

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "common/checkpoint.hpp"   // IWYU pragma: export
+#include "common/parallel.hpp"     // IWYU pragma: export
 #include "common/rng.hpp"          // IWYU pragma: export
 #include "common/stats.hpp"        // IWYU pragma: export
 #include "common/table.hpp"        // IWYU pragma: export

@@ -48,14 +48,14 @@ AveragedResult average_results(std::span<const SimResult> runs) {
 
 
 AveragedResult run_averaged(const SimConfig& base, int num_seeds,
-                            int threads, RunObserver* observer) {
-  return run_configs(std::span<const SimConfig>(&base, 1), num_seeds, threads,
+                            ParallelRunner& runner, RunObserver* observer) {
+  return run_configs(std::span<const SimConfig>(&base, 1), num_seeds, runner,
                      observer)
       .front();
 }
 
 std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
-                                        int num_seeds, int threads,
+                                        int num_seeds, ParallelRunner& runner,
                                         RunObserver* observer) {
   if (configs.empty()) return {};
   if (num_seeds < 1) throw std::invalid_argument("run_configs: num_seeds < 1");
@@ -71,10 +71,8 @@ std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
   const std::size_t jobs = configs.size() * seeds;
   if (observer != nullptr) observer->on_start(jobs, configs.size());
   std::atomic<std::size_t> finished{0};
-  ThreadPool pool(static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(ThreadPool::resolve(threads)), jobs)));
   const bool stream = observer != nullptr && observer->wants_stream();
-  pool.run_indexed(jobs, [&](std::size_t i) {
+  runner.run(jobs, [&](std::size_t i) {
     const std::size_t c = i / seeds;
     const std::size_t s = i % seeds;
     SimConfig cfg = configs[c];
@@ -103,7 +101,7 @@ std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
 
 std::vector<AveragedResult> run_sweep(const SimConfig& base,
                                       std::span<const double> loads,
-                                      int num_seeds, int threads,
+                                      int num_seeds, ParallelRunner& runner,
                                       RunObserver* observer) {
   std::vector<SimConfig> configs;
   configs.reserve(loads.size());
@@ -112,7 +110,43 @@ std::vector<AveragedResult> run_sweep(const SimConfig& base,
     cfg.load = load;
     configs.push_back(cfg);
   }
-  return run_configs(configs, num_seeds, threads, observer);
+  return run_configs(configs, num_seeds, runner, observer);
+}
+
+// --- int-threads compatibility shims ----------------------------------------
+
+namespace {
+/// Shim pool sizing: never spawn more workers than jobs (a sweep of 3
+/// jobs on a 64-core box should not park 61 idle threads).
+PoolRunner make_pool(int threads, std::size_t jobs) {
+  return PoolRunner(static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(ThreadPool::resolve(threads)),
+      std::max<std::size_t>(jobs, 1))));
+}
+}  // namespace
+
+AveragedResult run_averaged(const SimConfig& base, int num_seeds,
+                            int threads, RunObserver* observer) {
+  PoolRunner pool = make_pool(threads, static_cast<std::size_t>(
+                                           std::max(num_seeds, 1)));
+  return run_averaged(base, num_seeds, pool, observer);
+}
+
+std::vector<AveragedResult> run_sweep(const SimConfig& base,
+                                      std::span<const double> loads,
+                                      int num_seeds, int threads,
+                                      RunObserver* observer) {
+  PoolRunner pool = make_pool(
+      threads, loads.size() * static_cast<std::size_t>(std::max(num_seeds, 1)));
+  return run_sweep(base, loads, num_seeds, pool, observer);
+}
+
+std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
+                                        int num_seeds, int threads,
+                                        RunObserver* observer) {
+  PoolRunner pool = make_pool(threads, configs.size() * static_cast<std::size_t>(
+                                           std::max(num_seeds, 1)));
+  return run_configs(configs, num_seeds, pool, observer);
 }
 
 std::span<const RoutingKind> paper_routings() {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "metrics/fairness.hpp"
 #include "metrics/tap.hpp"
 #include "sim/engine.hpp"
@@ -111,21 +112,41 @@ class ObserverTap final : public MetricTap {
 };
 
 /// Run `base` once per replica (seed = derive_seed(base.seed, i)) on
-/// `threads` workers and average. Results are bit-identical for any
-/// thread count.
+/// `runner` and average. Results are bit-identical for any runner /
+/// concurrency.
+AveragedResult run_averaged(const SimConfig& base, int num_seeds,
+                            ParallelRunner& runner,
+                            RunObserver* observer = nullptr);
+
+/// Run a load sweep; (point, seed) jobs execute through `runner`.
+/// Bit-identical for any runner / concurrency.
+std::vector<AveragedResult> run_sweep(const SimConfig& base,
+                                      std::span<const double> loads,
+                                      int num_seeds, ParallelRunner& runner,
+                                      RunObserver* observer = nullptr);
+
+/// Run arbitrary configs in parallel (ablation grids) through `runner`.
+/// Bit-identical for any runner / concurrency.
+std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
+                                        int num_seeds, ParallelRunner& runner,
+                                        RunObserver* observer = nullptr);
+
+// --- int-threads compatibility shims ----------------------------------------
+// Thin wrappers that build an internal PoolRunner with
+// min(ThreadPool::resolve(threads), jobs) workers and forward to the
+// runner overloads above. Prefer those: a caller-provided runner can be
+// shared across calls, swapped for SerialRunner in debuggers, or backed
+// by an external scheduler (CallbackRunner) — the experiment layer no
+// longer reaches into ThreadPool directly.
+
 AveragedResult run_averaged(const SimConfig& base, int num_seeds,
                             int threads = 0, RunObserver* observer = nullptr);
 
-/// Run a load sweep; (point, seed) jobs execute in parallel on `threads`
-/// workers (threads <= 0 selects the hardware concurrency). Bit-identical
-/// for any thread count.
 std::vector<AveragedResult> run_sweep(const SimConfig& base,
                                       std::span<const double> loads,
                                       int num_seeds, int threads = 0,
                                       RunObserver* observer = nullptr);
 
-/// Run arbitrary configs in parallel (ablation grids). Bit-identical for
-/// any thread count.
 std::vector<AveragedResult> run_configs(std::span<const SimConfig> configs,
                                         int num_seeds, int threads = 0,
                                         RunObserver* observer = nullptr);

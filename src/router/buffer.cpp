@@ -154,20 +154,20 @@ PendingTx OutputPort::begin_transmission(Cycle now, int size_phits) {
 
 void VcFifo::save(CheckpointWriter& ck) const {
   ck.u64(fifo_.size());
-  for (const PacketRef ref : fifo_) ck.i32(ref);
+  for (const PacketRef ref : fifo_) ck.pkt(ref);
 }
 
 void VcFifo::load(CheckpointReader& ck) {
   const std::uint64_t n = ck.u64();
   fifo_.clear();
-  for (std::uint64_t i = 0; i < n; ++i) fifo_.push_back(ck.i32());
+  for (std::uint64_t i = 0; i < n; ++i) fifo_.push_back(ck.pkt());
   refresh_head();
 }
 
 void OutputPort::save(CheckpointWriter& ck) const {
   ck.u64(queue_.size());
   for (const PendingTx& tx : queue_) {
-    ck.i32(tx.pkt);
+    ck.pkt(tx.pkt);
     ck.i32(tx.out_vc);
     ck.i64(tx.ready);
   }
@@ -178,7 +178,7 @@ void OutputPort::load(CheckpointReader& ck) {
   queue_.clear();
   for (std::uint64_t i = 0; i < n; ++i) {
     PendingTx tx;
-    tx.pkt = ck.i32();
+    tx.pkt = ck.pkt();
     tx.out_vc = ck.i32();
     tx.ready = ck.i64();
     queue_.push_back(tx);

@@ -1,5 +1,8 @@
 #include "router/packet.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/checkpoint.hpp"
 
 namespace dragonfly {
@@ -54,41 +57,103 @@ void Packet::load(CheckpointReader& ck) {
   structural = ck.i64();
 }
 
+void PacketStore::configure(int arenas) {
+  if (arenas < 1 || arenas > kMaxArenas) {
+    throw std::invalid_argument("PacketStore: arena count " +
+                                std::to_string(arenas) + " out of range [1, " +
+                                std::to_string(kMaxArenas) + "]");
+  }
+  arenas_.clear();
+  arenas_.resize(static_cast<std::size_t>(arenas));
+  // Reserving the outer block vector up front is what makes cross-arena
+  // reads safe while an arena's owner appends a block: push_back below
+  // never reallocates, so block pointers other threads chase stay valid.
+  for (Arena& a : arenas_) a.blocks.reserve(kMaxBlocks);
+}
+
+std::size_t PacketStore::live() const {
+  std::size_t n = 0;
+  for (const Arena& a : arenas_) n += a.size - a.free.size();
+  return n;
+}
+
+std::size_t PacketStore::capacity() const {
+  std::size_t n = 0;
+  for (const Arena& a : arenas_) n += a.size;
+  return n;
+}
+
+std::size_t PacketStore::dense_index(PacketRef ref) const {
+  std::size_t base = 0;
+  const int arena = arena_of(ref);
+  for (int a = 0; a < arena; ++a) {
+    base += arenas_[static_cast<std::size_t>(a)].size;
+  }
+  return base + slot_of(ref);
+}
+
 std::vector<char> PacketStore::live_mask() const {
-  std::vector<char> live(slots_.size(), 1);
-  for (const PacketRef ref : free_) {
-    live[static_cast<std::size_t>(ref)] = 0;
+  std::vector<char> live(capacity(), 1);
+  std::size_t base = 0;
+  for (const Arena& a : arenas_) {
+    for (const std::uint32_t slot : a.free) {
+      live[base + slot] = 0;
+    }
+    base += a.size;
   }
   return live;
 }
 
 void PacketStore::save(CheckpointWriter& ck) const {
   ck.tag("PacketStore");
-  ck.vec(slots_, [&](const Packet& p) { p.save(ck); });
-  ck.vec(free_, [&](PacketRef r) { ck.i32(r); });
+  ck.u32(static_cast<std::uint32_t>(arenas_.size()));
+  for (const Arena& a : arenas_) {
+    ck.u32(a.size);
+    for (std::uint32_t s = 0; s < a.size; ++s) {
+      a.blocks[s >> kBlockShift][s & kBlockMask].save(ck);
+    }
+    ck.u64(a.free.size());
+    for (const std::uint32_t slot : a.free) ck.u32(slot);
+  }
 }
 
 void PacketStore::load(CheckpointReader& ck) {
   ck.tag("PacketStore");
-  ck.vec(slots_, [&] {
-    Packet p;
-    p.load(ck);
-    return p;
-  });
-  ck.vec(free_, [&] { return ck.i32(); });
-}
-
-PacketRef PacketStore::create() {
-  if (!free_.empty()) {
-    const PacketRef ref = free_.back();
-    free_.pop_back();
-    slots_[static_cast<std::size_t>(ref)] = Packet{};
-    return ref;
+  const int arenas = static_cast<int>(ck.u32());
+  configure(arenas);
+  for (Arena& a : arenas_) {
+    const std::uint32_t size = ck.u32();
+    for (std::uint32_t s = 0; s < size; ++s) {
+      if ((a.size & kBlockMask) == 0) {
+        a.blocks.push_back(std::make_unique<Packet[]>(kBlockSize));
+      }
+      a.blocks[s >> kBlockShift][s & kBlockMask].load(ck);
+      ++a.size;
+    }
+    const std::uint64_t frees = ck.u64();
+    a.free.clear();
+    a.free.reserve(static_cast<std::size_t>(frees));
+    for (std::uint64_t i = 0; i < frees; ++i) a.free.push_back(ck.u32());
   }
-  slots_.emplace_back();
-  return static_cast<PacketRef>(slots_.size() - 1);
 }
 
-void PacketStore::destroy(PacketRef ref) { free_.push_back(ref); }
+PacketRef PacketStore::create(int arena) {
+  Arena& a = arenas_[static_cast<std::size_t>(arena)];
+  if (!a.free.empty()) {
+    const std::uint32_t slot = a.free.back();
+    a.free.pop_back();
+    a.blocks[slot >> kBlockShift][slot & kBlockMask] = Packet{};
+    return make_ref(arena, slot);
+  }
+  if ((a.size & kBlockMask) == 0) {
+    a.blocks.push_back(std::make_unique<Packet[]>(kBlockSize));
+  }
+  const std::uint32_t slot = a.size++;
+  return make_ref(arena, slot);
+}
+
+void PacketStore::destroy(PacketRef ref) {
+  arenas_[static_cast<std::size_t>(arena_of(ref))].free.push_back(slot_of(ref));
+}
 
 }  // namespace dragonfly

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
@@ -78,38 +79,103 @@ struct Packet {
   void load(CheckpointReader& ck);
 };
 
-/// Index-based packet arena with a free list. Queues hold `PacketRef`
-/// (int32) indices; the arena keeps packets contiguous and recycles slots
-/// so steady-state simulation does no allocation.
+/// Index-based packet arena with per-arena free lists. Queues hold
+/// `PacketRef` (int32) indices; the store keeps packets in chunked blocks
+/// and recycles slots so steady-state simulation does no allocation.
+///
+/// A ref encodes (arena, slot): the high bits select the owning arena,
+/// the low kArenaShift bits the slot inside it. A sharded Network gives
+/// every shard its own arena so concurrent packet creation never
+/// contends; arena 0 is the default for unsharded use, and a
+/// default-constructed store has exactly one arena.
 using PacketRef = std::int32_t;
 inline constexpr PacketRef kNoPacket = -1;
 
+/// Bits reserved for the slot index within an arena (4M slots/arena).
+inline constexpr int kArenaShift = 22;
+inline constexpr PacketRef kArenaSlotMask = (PacketRef{1} << kArenaShift) - 1;
+/// Keeps every encoded ref a positive int32 (bit 31 clear).
+inline constexpr int kMaxArenas = 1 << (31 - kArenaShift);
+
 class PacketStore {
  public:
-  PacketRef create();
-  void destroy(PacketRef ref);
+  PacketStore() { configure(1); }
+  PacketStore(PacketStore&&) = default;
+  PacketStore& operator=(PacketStore&&) = default;
 
-  Packet& operator[](PacketRef ref) { return slots_[static_cast<std::size_t>(ref)]; }
-  const Packet& operator[](PacketRef ref) const {
-    return slots_[static_cast<std::size_t>(ref)];
+  /// Reset the store to `arenas` empty arenas (1..kMaxArenas). Every
+  /// outstanding ref is invalidated; the Network calls this once at build
+  /// time with its shard count.
+  void configure(int arenas);
+  int arenas() const { return static_cast<int>(arenas_.size()); }
+
+  static constexpr PacketRef make_ref(int arena, std::uint32_t slot) {
+    return (static_cast<PacketRef>(arena) << kArenaShift) |
+           static_cast<PacketRef>(slot);
+  }
+  static constexpr int arena_of(PacketRef ref) { return ref >> kArenaShift; }
+  static constexpr std::uint32_t slot_of(PacketRef ref) {
+    return static_cast<std::uint32_t>(ref & kArenaSlotMask);
   }
 
-  /// Number of live (created, not destroyed) packets.
-  std::size_t live() const { return slots_.size() - free_.size(); }
-  std::size_t capacity() const { return slots_.size(); }
+  PacketRef create(int arena = 0);
+  void destroy(PacketRef ref);
 
-  /// Per-slot liveness (1 = created and not destroyed), for the
-  /// orphaned-flit invariant sweep.
+  /// Thread-safety of concurrent access while one shard creates packets
+  /// in its own arena: the outer block vector is reserved up front
+  /// (kMaxBlocks), so appending a block never moves existing block
+  /// pointers, and lookup never reads the vector's size — other shards
+  /// can safely dereference refs to packets that already existed.
+  Packet& operator[](PacketRef ref) {
+    return arenas_[static_cast<std::size_t>(arena_of(ref))]
+        .blocks.data()[slot_of(ref) >> kBlockShift][slot_of(ref) & kBlockMask];
+  }
+  const Packet& operator[](PacketRef ref) const {
+    return arenas_[static_cast<std::size_t>(arena_of(ref))]
+        .blocks.data()[slot_of(ref) >> kBlockShift][slot_of(ref) & kBlockMask];
+  }
+
+  /// Number of live (created, not destroyed) packets, over all arenas.
+  std::size_t live() const;
+  /// Total slots ever materialized, over all arenas.
+  std::size_t capacity() const;
+
+  /// Slots materialized in one arena (dense traversals iterate arenas in
+  /// ascending order, slots ascending within each).
+  std::uint32_t arena_size(int arena) const {
+    return arenas_[static_cast<std::size_t>(arena)].size;
+  }
+
+  /// Position of `ref` in the dense (arena-ascending, slot-ascending)
+  /// enumeration of materialized slots. dense_capacity() == capacity().
+  std::size_t dense_index(PacketRef ref) const;
+  std::size_t dense_capacity() const { return capacity(); }
+
+  /// Per-slot liveness (1 = created and not destroyed) in dense order,
+  /// for the orphaned-flit invariant sweep.
   std::vector<char> live_mask() const;
 
-  /// Checkpoint the whole arena (slots + free list), so every PacketRef
-  /// held in queues and events stays valid across restore.
+  /// Checkpoint the whole store (slots + free lists) with raw refs.
+  /// Standalone-fixture convenience; Network::save instead serializes
+  /// live packets in canonical order (format v4) so streams stay
+  /// independent of the arena partition.
   void save(CheckpointWriter& ck) const;
   void load(CheckpointReader& ck);
 
  private:
-  std::vector<Packet> slots_;
-  std::vector<PacketRef> free_;
+  static constexpr int kBlockShift = 12;  ///< 4096 packets per block
+  static constexpr std::uint32_t kBlockSize = 1u << kBlockShift;
+  static constexpr std::uint32_t kBlockMask = kBlockSize - 1;
+  static constexpr std::size_t kMaxBlocks = std::size_t{1}
+                                            << (kArenaShift - kBlockShift);
+
+  struct Arena {
+    std::vector<std::unique_ptr<Packet[]>> blocks;
+    std::uint32_t size = 0;  ///< slots materialized (blocks may hold more)
+    std::vector<std::uint32_t> free;
+  };
+
+  std::vector<Arena> arenas_;
 };
 
 }  // namespace dragonfly

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/checkpoint.hpp"
+#include "router/packet.hpp"
 #include "routing/routing.hpp"
 #include "topology/topology.hpp"
 #include "traffic/pattern.hpp"
@@ -298,6 +299,12 @@ void SimConfig::validate() const {
     throw std::invalid_argument("sim.paranoid must be >= 0 (cycles between "
                                 "invariant sweeps; 0 disables them)");
   }
+  if (shards < 1 || shards > kMaxArenas) {
+    throw std::invalid_argument(
+        "sim.shards is " + std::to_string(shards) +
+        "; valid values: 1.." + std::to_string(kMaxArenas) +
+        " (and at most one shard per router of the selected topology)");
+  }
   if (!phase_script.empty() && stop.mode == StopMode::kCi) {
     throw std::invalid_argument(
         "stop.mode=ci cannot be combined with a phase script: scripted "
@@ -325,6 +332,14 @@ void SimConfig::validate() const {
   }
   const std::string traffic_sel = traffic_registry().resolve(traffic_key());
   if (shape) {
+    if (shards > shape->num_routers()) {
+      throw std::invalid_argument(
+          "sim.shards is " + std::to_string(shards) +
+          " but the topology has only " +
+          std::to_string(shape->num_routers()) +
+          " routers; valid values: 1.." +
+          std::to_string(std::min(shape->num_routers(), kMaxArenas)));
+    }
     if (traffic_sel == "hotspot" &&
         (hotspot_node < 0 || hotspot_node >= shape->num_nodes())) {
       throw std::invalid_argument(
@@ -604,6 +619,10 @@ const KvEntry kKvEntries[] = {
      [](SimConfig& c, const std::string&, const std::string& v) {
        c.kernel = sim_kernel_from_string(v);
      }},
+    {"sim.shards",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.shards = parse_int(k, v);
+     }},
     {"seed",
      [](SimConfig& c, const std::string& k, const std::string& v) {
        std::size_t pos = 0;
@@ -701,6 +720,9 @@ constexpr KvDesc kKvDescs[] = {
      "cycle kernel: active (active-set scheduling) | scan (dense "
      "reference; bit-identical)"},
     {"sim.paranoid", "check network invariants every N cycles (0 = off)"},
+    {"sim.shards",
+     "step the network in N parallel router shards (bit-identical; "
+     "1 = serial)"},
     {"stop.mode", "fixed = exact window | ci = stop when CIs converge"},
     {"stop.rel_hw", "CI target: relative half-width of accepted/latency"},
     {"stop.batches", "minimum completed batches before testing the CI"},
@@ -869,6 +891,7 @@ void SimConfig::write_to(CheckpointWriter& ck) const {
   ck.u64(seed);
   ck.i32(sim_paranoid);
   ck.u8(static_cast<std::uint8_t>(kernel));
+  ck.i32(shards);
   ck.u8(static_cast<std::uint8_t>(stop.mode));
   ck.f64(stop.rel_hw);
   ck.i32(stop.batches);
@@ -931,6 +954,7 @@ void SimConfig::read_from(CheckpointReader& ck) {
   seed = ck.u64();
   sim_paranoid = ck.i32();
   kernel = static_cast<SimKernel>(ck.u8());
+  shards = ck.i32();
   stop.mode = static_cast<StopMode>(ck.u8());
   stop.rel_hw = ck.f64();
   stop.batches = ck.i32();

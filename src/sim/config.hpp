@@ -186,6 +186,13 @@ struct SimConfig {
   /// Cycle-kernel selector (`sim.kernel` key): the active-set kernel
   /// (default) or the dense reference scan. Bit-identical results.
   SimKernel kernel = SimKernel::kActive;
+  /// Shard count (`sim.shards` key): partition the routers into this
+  /// many contiguous ranges and step them concurrently within each
+  /// cycle (conservative lookahead: link latency >= 1). Results are
+  /// bit-identical for any value; 1 (the default) keeps the
+  /// single-threaded path. Validated against the topology: at most one
+  /// shard per router.
+  int shards = 1;
 
   // --- session lifecycle (sim/session.hpp) -----------------------------------
   /// Adaptive stopping for the Measure phase (`stop.*` keys).

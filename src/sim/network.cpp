@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <span>
 #include <stdexcept>
+#include <tuple>
 
 #include "common/checkpoint.hpp"
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dragonfly {
 
@@ -28,31 +32,114 @@ Network::Network(const SimConfig& cfg)
       hot_(HotLayout::make(*topo_, cfg_), topo_->num_routers()) {
   active_kernel_ = cfg_.kernel == SimKernel::kActive;
   routing_wants_refresh_ = routing_->wants_refresh();
-  // Size the event ring past the largest scheduling delay (packet/credit
-  // link latencies and delivery serialization) so it never grows in
-  // steady state.
+  build();
+}
+
+Network::~Network() = default;
+
+void Network::build_shards() {
+  const int R = topo_->num_routers();
+  const int N = topo_->num_nodes();
+  const int S = cfg_.shards;
+  if (S > R) {
+    // validate() already rejects this when the topology family exposes a
+    // cheap shape; custom families land here.
+    throw std::invalid_argument(
+        "sim.shards is " + std::to_string(S) + " but the topology has only " +
+        std::to_string(R) + " routers; valid values: 1.." +
+        std::to_string(std::min(R, kMaxArenas)));
+  }
+  // The shard of a node is the shard of its router, and each shard's
+  // slice of hot state, bitmaps and packet arena is addressed by
+  // contiguous ranges — so the node->router map must be monotone. Every
+  // topology in the registry lays nodes out router-major; a custom one
+  // that does not cannot be sharded.
+  for (NodeId n = 1; n < N; ++n) {
+    if (topo_->router_of_node(n) < topo_->router_of_node(n - 1)) {
+      throw std::invalid_argument(
+          "sim.shards: topology assigns nodes to routers non-contiguously "
+          "(router_of_node not monotone); sharding needs router-major node "
+          "numbering");
+    }
+  }
+
+  shards_.clear();
+  shards_.resize(static_cast<std::size_t>(S));
+  shard_of_router_.assign(static_cast<std::size_t>(R), 0);
+  // Balanced contiguous partition: the first R%S shards get one extra
+  // router.
+  const int base = R / S;
+  const int extra = R % S;
+  RouterId r0 = 0;
+  NodeId n0 = 0;
   const Cycle horizon =
       std::max({cfg_.local_latency, cfg_.global_latency,
                 static_cast<Cycle>(cfg_.packet_size),
                 static_cast<Cycle>(cfg_.pipeline_latency), Cycle{1}});
-  grow_ring(horizon);
-  // The transmit calendar only spans pipeline + serialization delays.
-  grow_tx_ring(std::max({static_cast<Cycle>(cfg_.pipeline_latency),
-                         static_cast<Cycle>(cfg_.packet_size), Cycle{1}}));
-  build();
+  for (int s = 0; s < S; ++s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    const int len = base + (s < extra ? 1 : 0);
+    sh.r_begin = r0;
+    sh.r_end = r0 + len;
+    r0 = sh.r_end;
+    for (RouterId r = sh.r_begin; r < sh.r_end; ++r) {
+      shard_of_router_[static_cast<std::size_t>(r)] =
+          static_cast<std::int32_t>(s);
+    }
+    sh.n_begin = n0;
+    while (n0 < N && topo_->router_of_node(n0) < sh.r_end) ++n0;
+    sh.n_end = n0;
+    sh.alloc_active.assign((static_cast<std::size_t>(len) + 63) / 64, 0);
+    const auto nlen = static_cast<std::size_t>(sh.n_end - sh.n_begin);
+    sh.gen_mask.assign((nlen + 63) / 64, 0);
+    sh.queue_mask.assign((nlen + 63) / 64, 0);
+    sh.out_credits.resize(static_cast<std::size_t>(S));
+    sh.out_packets.resize(static_cast<std::size_t>(S));
+    // Size the event ring past the largest scheduling delay (packet and
+    // credit link latencies) so it never grows in steady state; the
+    // transmit calendar only spans pipeline + serialization delays.
+    grow_shard_ring(sh, horizon);
+    grow_shard_tx_ring(sh,
+                       std::max({static_cast<Cycle>(cfg_.pipeline_latency),
+                                 static_cast<Cycle>(cfg_.packet_size),
+                                 Cycle{1}}));
+  }
+  // Deliveries are due exactly packet_size cycles after transmission
+  // starts.
+  grow_delivery_ring(std::max(static_cast<Cycle>(cfg_.packet_size), Cycle{1}));
+
+  // Emission proxies; sized once here so the pointers handed to routers
+  // stay stable.
+  shard_sinks_.clear();
+  shard_sinks_.resize(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    shard_sinks_[static_cast<std::size_t>(s)].net = this;
+    shard_sinks_[static_cast<std::size_t>(s)].shard = s;
+  }
+  store_.configure(S);
 }
 
 void Network::build() {
+  build_shards();
   const Rng root(cfg_.seed);
   const int R = topo_->num_routers();
   const int N = topo_->num_nodes();
   const int p = topo_->concentration();
+  const bool sharded = shards_.size() > 1;
 
   collector_.attach_routers(R);
   routers_.reserve(static_cast<std::size_t>(R));
   for (RouterId r = 0; r < R; ++r) {
+    // With one shard the Network itself is the sink (events go straight
+    // into the calendar, no mailbox hop); sharded routers emit through
+    // their shard's proxy so everything lands in shard-owned storage.
+    EventSink* sink =
+        sharded ? static_cast<EventSink*>(
+                      &shard_sinks_[static_cast<std::size_t>(
+                          shard_of_router_[static_cast<std::size_t>(r)])])
+                : static_cast<EventSink*>(this);
     routers_.push_back(std::make_unique<Router>(
-        *topo_, cfg_, r, routing_.get(), &store_, this,
+        *topo_, cfg_, r, routing_.get(), &store_, sink,
         root.child(0x1000000ull + static_cast<std::uint64_t>(r)), &hot_));
     routers_.back()->bind_counters(collector_.router_injected_total(r),
                                    collector_.router_injected_measured(r),
@@ -100,43 +187,46 @@ void Network::build() {
   nodes_.reserve(static_cast<std::size_t>(N));
   router_of_node_.reserve(static_cast<std::size_t>(N));
   for (NodeId n = 0; n < N; ++n) {
-    nodes_.emplace_back(n, routers_[static_cast<std::size_t>(
-                               topo_->router_of_node(n))].get(),
+    const RouterId r = topo_->router_of_node(n);
+    nodes_.emplace_back(n, routers_[static_cast<std::size_t>(r)].get(),
                         traffic_.get(), routing_.get(), &store_, &cfg_,
                         root.child(static_cast<std::uint64_t>(n)));
-    router_of_node_.push_back(topo_->router_of_node(n));
+    nodes_.back().set_arena(shard_of_router_[static_cast<std::size_t>(r)]);
+    router_of_node_.push_back(r);
   }
 
-  alloc_active_.assign((static_cast<std::size_t>(R) + 63) / 64, 0);
-  gen_mask_.assign((static_cast<std::size_t>(N) + 63) / 64, 0);
-  queue_mask_.assign((static_cast<std::size_t>(N) + 63) / 64, 0);
   rebuild_node_masks();
 }
 
 void Network::rebuild_node_masks() {
-  std::fill(gen_mask_.begin(), gen_mask_.end(), 0);
-  std::fill(queue_mask_.begin(), queue_mask_.end(), 0);
   generating_nodes_ = 0;
-  for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    if (nodes_[n].generates()) {
-      ++generating_nodes_;
-      gen_mask_[n >> 6] |= 1ull << (n & 63);
-    }
-    if (nodes_[n].queue_length() > 0) {
-      queue_mask_[n >> 6] |= 1ull << (n & 63);
+  for (Shard& sh : shards_) {
+    std::fill(sh.gen_mask.begin(), sh.gen_mask.end(), 0);
+    std::fill(sh.queue_mask.begin(), sh.queue_mask.end(), 0);
+    for (NodeId n = sh.n_begin; n < sh.n_end; ++n) {
+      const auto bit = static_cast<std::size_t>(n - sh.n_begin);
+      if (nodes_[static_cast<std::size_t>(n)].generates()) {
+        ++generating_nodes_;
+        sh.gen_mask[bit >> 6] |= 1ull << (bit & 63);
+      }
+      if (nodes_[static_cast<std::size_t>(n)].queue_length() > 0) {
+        sh.queue_mask[bit >> 6] |= 1ull << (bit & 63);
+      }
     }
   }
 }
 
 void Network::rebuild_activation() {
   rebuild_node_masks();
-  std::fill(alloc_active_.begin(), alloc_active_.end(), 0);
+  for (Shard& sh : shards_) {
+    std::fill(sh.alloc_active.begin(), sh.alloc_active.end(), 0);
+    for (auto& bucket : sh.tx_ring) bucket.clear();
+  }
   for (const auto& router : routers_) {
     if (router->has_buffered()) mark_alloc_active(router->id());
   }
-  for (auto& bucket : tx_ring_) bucket.clear();
   if (!active_kernel_) return;
-  // Re-derive the transmit calendar: every non-empty output queue has
+  // Re-derive the transmit calendars: every non-empty output queue has
   // exactly one outstanding fire at its head's exact wire time. A fire
   // in the past is impossible for state saved between cycles (the
   // transmit phase would have consumed it), so treat it as corruption.
@@ -160,87 +250,201 @@ void Network::step() {
   if (cfg_.sim_paranoid > 0 && now_ % cfg_.sim_paranoid == 0) {
     check_invariants();
   }
-  // Phase 0: dispatch the events due this cycle — packet arrivals,
-  // credit returns, deliveries — in insertion order (the deterministic
-  // tie-break). The bucket is swapped out before dispatching so a
-  // handler that schedules an event (and possibly grows the ring,
-  // invalidating bucket references) can never dangle this iteration;
-  // swapping back next cycle recycles the bucket's storage. Packet
-  // arrivals activate their router for the allocation phase.
-  due_scratch_.clear();
-  due_scratch_.swap(ring_[static_cast<std::size_t>(now_) & ring_mask_]);
-  for (const Event& ev : due_scratch_) dispatch(ev);
-  dispatched_events_ += static_cast<std::int64_t>(due_scratch_.size());
-  // Phase 1: global routing state (PiggyBack's in-group broadcast);
-  // skipped entirely for mechanisms without per-cycle global state.
-  if (routing_wants_refresh_) {
-    routing_->refresh(std::span<const std::unique_ptr<Router>>(routers_));
-  }
+  // Deliveries due this cycle, drained serially before anything else:
+  // the collector's floating-point accumulation is order-sensitive, and
+  // delivery dispatch commutes with packet/credit dispatch (disjoint
+  // state), so pulling it out of the shard calendars is behaviour-
+  // neutral and keeps the order canonical for every shard count.
+  drain_deliveries();
   const bool measuring = collector_.measuring();
+  const std::size_t S = shards_.size();
   if (!active_kernel_) {
-    // Dense reference kernel: scan everything every cycle.
+    // Dense reference kernel: scan everything every cycle, serially (at
+    // any shard count: emissions route through the shard sinks and the
+    // barrier merge exactly like the active path, so scan remains the
+    // bit-identical cross-check for sharded runs).
+    for (Shard& sh : shards_) shard_dispatch(sh);
+    if (routing_wants_refresh_) {
+      routing_->refresh(std::span<const std::unique_ptr<Router>>(routers_));
+    }
     for (auto& node : nodes_) node.step(now_, measuring, generation_enabled_);
     for (auto& router : routers_) router->allocate(now_);
     for (auto& router : routers_) router->transmit(now_);
-    ++now_;
-    return;
+  } else if (S == 1) {
+    Shard& sh = shards_[0];
+    shard_dispatch(sh);
+    if (routing_wants_refresh_) {
+      routing_->refresh(std::span<const std::unique_ptr<Router>>(routers_));
+    }
+    shard_inject(sh, measuring);
+    shard_allocate(sh);
+    shard_transmit(sh);
+  } else if (routing_wants_refresh_) {
+    // The refresh reads every router's occupancy and accumulates
+    // floating-point group means, so it stays serial between the
+    // dispatch and injection phase fan-outs.
+    ParallelRunner& runner = effective_runner();
+    runner.run(S, [this](std::size_t s) { shard_dispatch(shards_[s]); });
+    routing_->refresh(std::span<const std::unique_ptr<Router>>(routers_));
+    runner.run(S, [this, measuring](std::size_t s) {
+      Shard& sh = shards_[s];
+      shard_inject(sh, measuring);
+      shard_allocate(sh);
+      shard_transmit(sh);
+    });
+  } else {
+    // No per-cycle routing state: all four phases fuse into one fan-out
+    // (phase 0 writes only own-shard routers, and phases 2-4 read only
+    // own-shard state, so shards at different phases never conflict).
+    ParallelRunner& runner = effective_runner();
+    runner.run(S, [this, measuring](std::size_t s) {
+      Shard& sh = shards_[s];
+      shard_dispatch(sh);
+      shard_inject(sh, measuring);
+      shard_allocate(sh);
+      shard_transmit(sh);
+    });
   }
-  // Phase 2: traffic generation and injection over the active nodes —
-  // generators (while generation is on) plus nodes with queued packets.
-  // Skipped nodes are exact no-ops (no RNG draw, no state change), so
-  // results match the dense scan bit for bit.
-  for (std::size_t w = 0; w < queue_mask_.size(); ++w) {
+  // Cycle barrier: fold the shard-local dispatch counts, then exchange
+  // cross-shard traffic. Everything in the outboxes is due >= now_+1
+  // (link, credit and serialization delays are all >= 1 — the
+  // conservative lookahead), so nothing merged here was missed this
+  // cycle.
+  for (Shard& sh : shards_) {
+    dispatched_events_ += sh.dispatched;
+    sh.dispatched = 0;
+  }
+  if (S > 1) merge_outboxes();
+  ++now_;
+}
+
+void Network::shard_dispatch(Shard& sh) {
+  // Dispatch the events due this cycle — packet arrivals and credit
+  // returns — in insertion order (the deterministic tie-break). The
+  // bucket is swapped out before dispatching so a handler that
+  // schedules an event (and possibly grows the ring, invalidating
+  // bucket references) can never dangle this iteration; swapping back
+  // next cycle recycles the bucket's storage. Packet arrivals activate
+  // their router for the allocation phase.
+  sh.due_scratch.clear();
+  sh.due_scratch.swap(sh.ring[static_cast<std::size_t>(now_) & sh.ring_mask]);
+  for (const Event& ev : sh.due_scratch) dispatch(ev);
+  sh.dispatched += static_cast<std::int64_t>(sh.due_scratch.size());
+}
+
+void Network::shard_inject(Shard& sh, bool measuring) {
+  // Traffic generation and injection over the active nodes — generators
+  // (while generation is on) plus nodes with queued packets. Skipped
+  // nodes are exact no-ops (no RNG draw, no state change), so results
+  // match the dense scan bit for bit.
+  for (std::size_t w = 0; w < sh.queue_mask.size(); ++w) {
     std::uint64_t bits =
-        (generation_enabled_ ? gen_mask_[w] : 0) | queue_mask_[w];
+        (generation_enabled_ ? sh.gen_mask[w] : 0) | sh.queue_mask[w];
     while (bits != 0) {
-      const auto n = (w << 6) + static_cast<std::size_t>(
-                                    std::countr_zero(bits));
+      const int b = std::countr_zero(bits);
       bits &= bits - 1;
+      const auto n = static_cast<std::size_t>(sh.n_begin) + (w << 6) +
+                     static_cast<std::size_t>(b);
       Node& node = nodes_[n];
       if (node.step(now_, measuring, generation_enabled_)) {
         mark_alloc_active(router_of_node_[n]);
       }
-      const std::uint64_t bit = 1ull << (n & 63);
+      const std::uint64_t bit = 1ull << b;
       if (node.queue_length() > 0) {
-        queue_mask_[w] |= bit;
+        sh.queue_mask[w] |= bit;
       } else {
-        queue_mask_[w] &= ~bit;
+        sh.queue_mask[w] &= ~bit;
       }
     }
   }
-  // Phase 3: switch allocation over the active routers, ascending id —
-  // the dense-scan visit order, so per-router RNG draws and downstream
+}
+
+void Network::shard_allocate(Shard& sh) {
+  // Switch allocation over the active routers, ascending id — the
+  // dense-scan visit order, so per-router RNG draws and downstream
   // event insertion order are unchanged. A router leaves the set once
   // its input buffers drain.
-  for (std::size_t w = 0; w < alloc_active_.size(); ++w) {
-    std::uint64_t bits = alloc_active_[w];
+  for (std::size_t w = 0; w < sh.alloc_active.size(); ++w) {
+    std::uint64_t bits = sh.alloc_active[w];
     if (bits == 0) continue;
     std::uint64_t keep = bits;
     while (bits != 0) {
       const int b = std::countr_zero(bits);
       bits &= bits - 1;
-      const auto r = static_cast<RouterId>((w << 6) + static_cast<std::size_t>(b));
+      const auto r = static_cast<RouterId>(
+          static_cast<std::size_t>(sh.r_begin) + (w << 6) +
+          static_cast<std::size_t>(b));
       Router& router = *routers_[static_cast<std::size_t>(r)];
       router.allocate(now_);
       if (!router.has_buffered()) keep &= ~(1ull << b);
     }
-    alloc_active_[w] = keep;
+    sh.alloc_active[w] = keep;
   }
-  // Phase 4: link transfer, event-driven. Every entry in this cycle's
-  // transmit bucket is an output port whose head goes on the wire
-  // exactly now; sorting the flat (router, port) ids reproduces the
-  // dense scan's (router, port) processing order.
-  tx_scratch_.clear();
-  tx_scratch_.swap(tx_ring_[static_cast<std::size_t>(now_) & tx_ring_mask_]);
-  if (!tx_scratch_.empty()) {
-    std::sort(tx_scratch_.begin(), tx_scratch_.end());
-    const int ports = hot_.layout().ports;
-    for (const std::int32_t rp : tx_scratch_) {
-      routers_[static_cast<std::size_t>(rp / ports)]->transmit_due(
-          rp % ports, now_);
+}
+
+void Network::shard_transmit(Shard& sh) {
+  // Link transfer, event-driven. Every entry in this cycle's transmit
+  // bucket is an output port whose head goes on the wire exactly now;
+  // sorting the flat (router, port) ids reproduces the dense scan's
+  // (router, port) processing order.
+  sh.tx_scratch.clear();
+  sh.tx_scratch.swap(
+      sh.tx_ring[static_cast<std::size_t>(now_) & sh.tx_ring_mask]);
+  if (sh.tx_scratch.empty()) return;
+  std::sort(sh.tx_scratch.begin(), sh.tx_scratch.end());
+  const int ports = hot_.layout().ports;
+  for (const std::int32_t rp : sh.tx_scratch) {
+    routers_[static_cast<std::size_t>(rp / ports)]->transmit_due(rp % ports,
+                                                                 now_);
+  }
+}
+
+void Network::drain_deliveries() {
+  delivery_scratch_.clear();
+  delivery_scratch_.swap(
+      delivery_ring_[static_cast<std::size_t>(now_) & delivery_mask_]);
+  for (const Event& ev : delivery_scratch_) {
+    const Packet& pkt = store_[ev.pkt];
+    collector_.on_delivered(pkt, ev.when);
+    store_.destroy(ev.pkt);
+  }
+  dispatched_events_ += static_cast<std::int64_t>(delivery_scratch_.size());
+}
+
+void Network::merge_outboxes() {
+  // Canonical merge: for every destination, all credit streams in
+  // ascending source-shard order, then all packet streams. Shard ranges
+  // are contiguous and ascending and each stream is appended in
+  // emission order, so the concatenation is exactly the serial kernel's
+  // bucket insertion order — all phase-3 credits in ascending router
+  // order, then all phase-4 packets in ascending (router, port) order.
+  const std::size_t S = shards_.size();
+  for (std::size_t dst = 0; dst < S; ++dst) {
+    Shard& d = shards_[dst];
+    for (std::size_t src = 0; src < S; ++src) {
+      auto& box = shards_[src].out_credits[dst];
+      for (const Event& ev : box) push_shard_event(d, ev.when, ev);
+      box.clear();
+    }
+    for (std::size_t src = 0; src < S; ++src) {
+      auto& box = shards_[src].out_packets[dst];
+      for (const Event& ev : box) push_shard_event(d, ev.when, ev);
+      box.clear();
     }
   }
-  ++now_;
+  for (Shard& sh : shards_) {
+    for (const Event& ev : sh.out_deliveries) push_delivery(ev.pkt, ev.when);
+    sh.out_deliveries.clear();
+  }
+}
+
+ParallelRunner& Network::effective_runner() {
+  if (runner_ != nullptr) return *runner_;
+  if (!owned_runner_) {
+    owned_runner_ = std::make_unique<PoolRunner>(
+        std::min(num_shards(), ThreadPool::resolve(0)));
+  }
+  return *owned_runner_;
 }
 
 void Network::dispatch(const Event& ev) {
@@ -254,12 +458,9 @@ void Network::dispatch(const Event& ev) {
       routers_[static_cast<std::size_t>(ev.router)]->credit_arrival(
           ev.port, ev.vc, ev.phits);
       break;
-    case Event::Type::kDelivery: {
-      const Packet& pkt = store_[ev.pkt];
-      collector_.on_delivered(pkt, ev.when);
-      store_.destroy(ev.pkt);
-      break;
-    }
+    case Event::Type::kDelivery:
+      // Deliveries live on their own calendar (drain_deliveries).
+      throw std::logic_error("delivery event in a shard calendar");
   }
 }
 
@@ -283,13 +484,21 @@ void Network::check_invariants() const {
   const HotLayout& l = hot_.layout();
   const int ports = l.ports;
   const int R = topo_->num_routers();
-  std::vector<int> refs(store_.capacity(), 0);
+  std::vector<int> refs(store_.dense_capacity(), 0);
   auto note = [&](PacketRef ref, const char* where) {
-    if (ref < 0 || static_cast<std::size_t>(ref) >= refs.size()) {
+    if (ref < 0 || PacketStore::arena_of(ref) >= store_.arenas() ||
+        PacketStore::slot_of(ref) >=
+            store_.arena_size(PacketStore::arena_of(ref))) {
       fail(std::string(where) + " holds out-of-range packet ref " +
            std::to_string(ref));
     }
-    ++refs[static_cast<std::size_t>(ref)];
+    ++refs[store_.dense_index(ref)];
+  };
+  auto alloc_bit = [this](RouterId r) {
+    const Shard& sh = shards_[static_cast<std::size_t>(
+        shard_of_router_[static_cast<std::size_t>(r)])];
+    const auto bit = static_cast<std::size_t>(r - sh.r_begin);
+    return (sh.alloc_active[bit >> 6] >> (bit & 63)) & 1;
   };
 
   // Credit accounting: every output VC within [0, capacity]. One
@@ -347,9 +556,7 @@ void Network::check_invariants() const {
              std::to_string(fifo.contents().front()));
       }
     }
-    if (active_kernel_ && buffered > 0 &&
-        ((alloc_active_[static_cast<std::size_t>(r) >> 6] >>
-          (static_cast<std::size_t>(r) & 63) & 1) == 0)) {
+    if (active_kernel_ && buffered > 0 && alloc_bit(r) == 0) {
       fail("router " + std::to_string(r) +
            " has buffered packets but is not in the allocation set");
     }
@@ -380,43 +587,74 @@ void Network::check_invariants() const {
     for (const PacketRef ref : node.source_queue()) note(ref, "node queue");
   }
 
-  // Pending events: packets in flight / awaiting delivery, and the ring
-  // horizon (a clamped event may carry when <= now, but nothing may be
-  // booked past the ring's span).
-  for (const auto& bucket : ring_) {
-    for (const Event& ev : bucket) {
-      if (ev.when > now_ + static_cast<Cycle>(ring_.size())) {
-        fail("event due @" + std::to_string(ev.when) +
-             " is beyond the ring horizon of " +
-             std::to_string(ring_.size()) + " cycles");
+  // Pending events: packets in flight, and the per-shard ring horizons
+  // (a clamped event may carry when <= now, but nothing may be booked
+  // past a ring's span). Deliveries live on their own calendar.
+  for (const Shard& sh : shards_) {
+    for (const auto& bucket : sh.ring) {
+      for (const Event& ev : bucket) {
+        if (ev.when > now_ + static_cast<Cycle>(sh.ring.size())) {
+          fail("event due @" + std::to_string(ev.when) +
+               " is beyond the ring horizon of " +
+               std::to_string(sh.ring.size()) + " cycles");
+        }
+        if (ev.type == Event::Type::kDelivery) {
+          fail("delivery event in a shard calendar");
+        }
+        if (ev.type == Event::Type::kPacket) note(ev.pkt, "event ring");
+        if (shard_of_router_[static_cast<std::size_t>(ev.router)] !=
+            shard_of_router_[static_cast<std::size_t>(sh.r_begin)]) {
+          fail("event for router " + std::to_string(ev.router) +
+               " booked in a foreign shard's calendar");
+        }
       }
-      if (ev.type != Event::Type::kCredit) note(ev.pkt, "event ring");
+    }
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      if (!sh.out_credits[dst].empty() || !sh.out_packets[dst].empty()) {
+        fail("non-empty outbox between cycles (merge missed)");
+      }
+    }
+    if (!sh.out_deliveries.empty()) {
+      fail("non-empty delivery outbox between cycles (merge missed)");
+    }
+  }
+  for (const auto& bucket : delivery_ring_) {
+    for (const Event& ev : bucket) {
+      if (ev.when > now_ + static_cast<Cycle>(delivery_ring_.size())) {
+        fail("delivery due @" + std::to_string(ev.when) +
+             " is beyond the delivery ring horizon of " +
+             std::to_string(delivery_ring_.size()) + " cycles");
+      }
+      note(ev.pkt, "delivery ring");
     }
   }
 
-  // Transmit calendar (active kernel): every non-empty output queue has
-  // exactly one outstanding fire, booked at its head's exact wire time.
+  // Transmit calendars (active kernel): every non-empty output queue
+  // has exactly one outstanding fire, booked at its head's exact wire
+  // time.
   if (active_kernel_) {
     std::vector<std::uint8_t> fires(
         static_cast<std::size_t>(R) * static_cast<std::size_t>(ports), 0);
-    for (std::size_t k = 0; k < tx_ring_.size(); ++k) {
-      const auto t = static_cast<Cycle>(static_cast<std::size_t>(now_) + k);
-      for (const std::int32_t rp :
-           tx_ring_[static_cast<std::size_t>(t) & tx_ring_mask_]) {
-        const auto r = static_cast<RouterId>(rp / ports);
-        const auto port = static_cast<PortId>(rp % ports);
-        const OutputPort& out =
-            routers_[static_cast<std::size_t>(r)]->output(port);
-        if (out.queue_empty()) {
-          fail("transmit fire for empty queue (router " + std::to_string(r) +
-               " port " + std::to_string(port) + ")");
+    for (const Shard& sh : shards_) {
+      for (std::size_t k = 0; k < sh.tx_ring.size(); ++k) {
+        const auto t = static_cast<Cycle>(static_cast<std::size_t>(now_) + k);
+        for (const std::int32_t rp :
+             sh.tx_ring[static_cast<std::size_t>(t) & sh.tx_ring_mask]) {
+          const auto r = static_cast<RouterId>(rp / ports);
+          const auto port = static_cast<PortId>(rp % ports);
+          const OutputPort& out =
+              routers_[static_cast<std::size_t>(r)]->output(port);
+          if (out.queue_empty()) {
+            fail("transmit fire for empty queue (router " + std::to_string(r) +
+                 " port " + std::to_string(port) + ")");
+          }
+          if (out.next_fire() != t) {
+            fail("transmit fire @" + std::to_string(t) + " but router " +
+                 std::to_string(r) + " port " + std::to_string(port) +
+                 " head is due @" + std::to_string(out.next_fire()));
+          }
+          ++fires[static_cast<std::size_t>(rp)];
         }
-        if (out.next_fire() != t) {
-          fail("transmit fire @" + std::to_string(t) + " but router " +
-               std::to_string(r) + " port " + std::to_string(port) +
-               " head is due @" + std::to_string(out.next_fire()));
-        }
-        ++fires[static_cast<std::size_t>(rp)];
       }
     }
     for (RouterId r = 0; r < R; ++r) {
@@ -436,64 +674,100 @@ void Network::check_invariants() const {
   }
 
   // Orphan sweep: every live arena slot referenced exactly once, every
-  // dead slot unreferenced.
+  // dead slot unreferenced (dense arena-major enumeration).
   const std::vector<char> live = store_.live_mask();
-  for (std::size_t slot = 0; slot < refs.size(); ++slot) {
-    if (live[slot] && refs[slot] != 1) {
-      fail("live packet " + std::to_string(store_[static_cast<PacketRef>(
-               slot)].id) + " in slot " + std::to_string(slot) +
-           " referenced " + std::to_string(refs[slot]) +
-           " times (orphaned or duplicated)");
-    }
-    if (!live[slot] && refs[slot] != 0) {
-      fail("freed slot " + std::to_string(slot) + " still referenced " +
-           std::to_string(refs[slot]) + " times");
+  std::size_t d = 0;
+  for (int a = 0; a < store_.arenas(); ++a) {
+    for (std::uint32_t slot = 0; slot < store_.arena_size(a); ++slot, ++d) {
+      if (live[d] && refs[d] != 1) {
+        fail("live packet " +
+             std::to_string(store_[PacketStore::make_ref(a, slot)].id) +
+             " in arena " + std::to_string(a) + " slot " +
+             std::to_string(slot) + " referenced " + std::to_string(refs[d]) +
+             " times (orphaned or duplicated)");
+      }
+      if (!live[d] && refs[d] != 0) {
+        fail("freed arena " + std::to_string(a) + " slot " +
+             std::to_string(slot) + " still referenced " +
+             std::to_string(refs[d]) + " times");
+      }
     }
   }
 }
 
-void Network::push_event(Cycle when, const Event& ev) {
+void Network::push_shard_event(Shard& sh, Cycle when, const Event& ev) {
   // Valid configs (link latencies and packet sizes >= 1, enforced by
   // SimConfig::validate) always book events in the future, making bucket
   // order identical to the old (when, seq) priority-queue order. The
   // defensive clamp keeps a stray past event from landing in a stale
   // bucket; its stored `when` is preserved for the handlers.
   const Cycle due = when <= now_ ? now_ + 1 : when;
-  if (due - now_ >= static_cast<Cycle>(ring_.size())) grow_ring(due - now_);
-  ring_[static_cast<std::size_t>(due) & ring_mask_].push_back(ev);
+  if (due - now_ >= static_cast<Cycle>(sh.ring.size())) {
+    grow_shard_ring(sh, due - now_);
+  }
+  sh.ring[static_cast<std::size_t>(due) & sh.ring_mask].push_back(ev);
 }
 
-void Network::grow_ring(Cycle min_horizon) {
-  std::size_t size = ring_.empty() ? 2 : ring_.size();
+void Network::grow_shard_ring(Shard& sh, Cycle min_horizon) {
+  std::size_t size = sh.ring.empty() ? 2 : sh.ring.size();
   while (static_cast<Cycle>(size) <= min_horizon) size *= 2;
   std::vector<std::vector<Event>> fresh(size);
-  if (!ring_.empty()) {
-    const std::size_t old_mask = ring_mask_;
-    for (std::size_t k = 1; k <= ring_.size(); ++k) {
+  if (!sh.ring.empty()) {
+    const std::size_t old_mask = sh.ring_mask;
+    for (std::size_t k = 1; k <= sh.ring.size(); ++k) {
       const auto t = static_cast<std::size_t>(now_) + k;
-      fresh[t & (size - 1)] = std::move(ring_[t & old_mask]);
+      fresh[t & (size - 1)] = std::move(sh.ring[t & old_mask]);
     }
   }
-  ring_ = std::move(fresh);
-  ring_mask_ = size - 1;
+  sh.ring = std::move(fresh);
+  sh.ring_mask = size - 1;
 }
 
-void Network::grow_tx_ring(Cycle min_horizon) {
-  std::size_t size = tx_ring_.empty() ? 2 : tx_ring_.size();
+void Network::grow_shard_tx_ring(Shard& sh, Cycle min_horizon) {
+  std::size_t size = sh.tx_ring.empty() ? 2 : sh.tx_ring.size();
   while (static_cast<Cycle>(size) <= min_horizon) size *= 2;
   std::vector<std::vector<std::int32_t>> fresh(size);
-  if (!tx_ring_.empty()) {
-    const std::size_t old_mask = tx_ring_mask_;
+  if (!sh.tx_ring.empty()) {
+    const std::size_t old_mask = sh.tx_ring_mask;
     // Bucket `now_` may hold same-cycle fires booked during the current
     // allocation phase, so unlike the event ring the copy starts at k=0.
-    for (std::size_t k = 0; k < tx_ring_.size(); ++k) {
+    for (std::size_t k = 0; k < sh.tx_ring.size(); ++k) {
       const auto t = static_cast<std::size_t>(now_) + k;
-      fresh[t & (size - 1)] = std::move(tx_ring_[t & old_mask]);
+      fresh[t & (size - 1)] = std::move(sh.tx_ring[t & old_mask]);
     }
   }
-  tx_ring_ = std::move(fresh);
-  tx_ring_mask_ = size - 1;
+  sh.tx_ring = std::move(fresh);
+  sh.tx_ring_mask = size - 1;
 }
+
+void Network::push_delivery(PacketRef pkt, Cycle when) {
+  const Cycle due = when <= now_ ? now_ + 1 : when;
+  if (due - now_ >= static_cast<Cycle>(delivery_ring_.size())) {
+    grow_delivery_ring(due - now_);
+  }
+  Event ev;
+  ev.when = when;
+  ev.type = Event::Type::kDelivery;
+  ev.pkt = pkt;
+  delivery_ring_[static_cast<std::size_t>(due) & delivery_mask_].push_back(ev);
+}
+
+void Network::grow_delivery_ring(Cycle min_horizon) {
+  std::size_t size = delivery_ring_.empty() ? 2 : delivery_ring_.size();
+  while (static_cast<Cycle>(size) <= min_horizon) size *= 2;
+  std::vector<std::vector<Event>> fresh(size);
+  if (!delivery_ring_.empty()) {
+    const std::size_t old_mask = delivery_mask_;
+    for (std::size_t k = 1; k <= delivery_ring_.size(); ++k) {
+      const auto t = static_cast<std::size_t>(now_) + k;
+      fresh[t & (size - 1)] = std::move(delivery_ring_[t & old_mask]);
+    }
+  }
+  delivery_ring_ = std::move(fresh);
+  delivery_mask_ = size - 1;
+}
+
+// --- serial sink (shards=1 routers; rebuild/restore paths) -----------------
 
 void Network::schedule_packet(RouterId router, PortId port, VcId vc,
                               PacketRef pkt, Cycle when) {
@@ -504,7 +778,9 @@ void Network::schedule_packet(RouterId router, PortId port, VcId vc,
   ev.port = port;
   ev.vc = vc;
   ev.pkt = pkt;
-  push_event(when, ev);
+  push_shard_event(shards_[static_cast<std::size_t>(
+                       shard_of_router_[static_cast<std::size_t>(router)])],
+                   when, ev);
 }
 
 void Network::schedule_credit(RouterId router, PortId out_port, VcId vc,
@@ -516,28 +792,96 @@ void Network::schedule_credit(RouterId router, PortId out_port, VcId vc,
   ev.port = out_port;
   ev.vc = vc;
   ev.phits = phits;
-  push_event(when, ev);
+  push_shard_event(shards_[static_cast<std::size_t>(
+                       shard_of_router_[static_cast<std::size_t>(router)])],
+                   when, ev);
 }
 
 void Network::schedule_delivery(PacketRef pkt, Cycle when) {
+  push_delivery(pkt, when);
+}
+
+void Network::schedule_port_ready(RouterId router, PortId port, Cycle when) {
+  shard_schedule_port_ready(
+      shard_of_router_[static_cast<std::size_t>(router)], router, port, when);
+}
+
+// --- shard sinks (parallel phases; shard-owned storage only) ---------------
+
+void Network::shard_schedule_packet(int src, RouterId router, PortId port,
+                                    VcId vc, PacketRef pkt, Cycle when) {
+  Event ev;
+  ev.when = when;
+  ev.type = Event::Type::kPacket;
+  ev.router = router;
+  ev.port = port;
+  ev.vc = vc;
+  ev.pkt = pkt;
+  shards_[static_cast<std::size_t>(src)]
+      .out_packets[static_cast<std::size_t>(
+          shard_of_router_[static_cast<std::size_t>(router)])]
+      .push_back(ev);
+}
+
+void Network::shard_schedule_credit(int src, RouterId router, PortId out_port,
+                                    VcId vc, int phits, Cycle when) {
+  Event ev;
+  ev.when = when;
+  ev.type = Event::Type::kCredit;
+  ev.router = router;
+  ev.port = out_port;
+  ev.vc = vc;
+  ev.phits = phits;
+  shards_[static_cast<std::size_t>(src)]
+      .out_credits[static_cast<std::size_t>(
+          shard_of_router_[static_cast<std::size_t>(router)])]
+      .push_back(ev);
+}
+
+void Network::shard_schedule_delivery(int src, PacketRef pkt, Cycle when) {
   Event ev;
   ev.when = when;
   ev.type = Event::Type::kDelivery;
   ev.pkt = pkt;
-  push_event(when, ev);
+  shards_[static_cast<std::size_t>(src)].out_deliveries.push_back(ev);
 }
 
-void Network::schedule_port_ready(RouterId router, PortId port, Cycle when) {
+void Network::shard_schedule_port_ready(int src, RouterId router, PortId port,
+                                        Cycle when) {
+  // Always the emitting router's own port (grant pipeline-ready and
+  // next-transmission fires), so the calendar is shard-local.
+  Shard& sh = shards_[static_cast<std::size_t>(src)];
   // Exact by construction: fires land at `now_` only from the allocation
   // phase (pipeline latency 0 with a free link), which the same cycle's
   // transmit phase consumes.
   const Cycle due = when < now_ ? now_ : when;
-  if (due - now_ >= static_cast<Cycle>(tx_ring_.size())) {
-    grow_tx_ring(due - now_);
+  if (due - now_ >= static_cast<Cycle>(sh.tx_ring.size())) {
+    grow_shard_tx_ring(sh, due - now_);
   }
-  tx_ring_[static_cast<std::size_t>(due) & tx_ring_mask_].push_back(
+  sh.tx_ring[static_cast<std::size_t>(due) & sh.tx_ring_mask].push_back(
       router * hot_.layout().ports + port);
 }
+
+void Network::ShardSink::schedule_packet(RouterId router, PortId port,
+                                         VcId vc, PacketRef pkt, Cycle when) {
+  net->shard_schedule_packet(shard, router, port, vc, pkt, when);
+}
+
+void Network::ShardSink::schedule_credit(RouterId router, PortId out_port,
+                                         VcId vc, int phits, Cycle when) {
+  net->shard_schedule_credit(shard, router, out_port, vc, phits, when);
+}
+
+void Network::ShardSink::schedule_delivery(PacketRef pkt, Cycle when) {
+  net->shard_schedule_delivery(shard, pkt, when);
+}
+
+void Network::ShardSink::schedule_port_ready(RouterId router, PortId port,
+                                             Cycle when) {
+  net->shard_schedule_port_ready(shard, router, port, when);
+}
+
+// --- statistics ------------------------------------------------------------
 
 std::int64_t Network::generated_packets_total() const {
   std::int64_t sum = 0;
@@ -594,6 +938,23 @@ void Network::set_traffic(const std::string& registry_name) {
   rebuild_node_masks();
 }
 
+// --- checkpoint (format v4: partition-independent canonical form) ----------
+//
+// Packet references are serialized as canonical indices: a packet's
+// position in the canonical traversal (sorted pending events, delivery
+// calendar, routers ascending, nodes ascending), which depends only on
+// the simulation state — not on arena layout, free-list history or
+// shard count. Pending packet/credit events are written sorted by
+// (when, type, router, port, vc, phits): dispatching a bucket in any
+// order yields the same state, because same-bucket handlers touch
+// disjoint state (a packet arrival writes one input VC; a credit return
+// writes one output VC's counter) and the commutative accumulations
+// (buffered counts, activation bits) are order-free — so a restore
+// dispatching sorted buckets is bit-identical to the uninterrupted run.
+// Delivery events are NOT sorted: their stored order IS the canonical
+// collector accumulation order (it is partition-independent by the
+// outbox merge rule).
+
 void Network::save(CheckpointWriter& ck) const {
   ck.tag("Network");
   // Live scenario selection first: scripted phases may have moved it
@@ -604,31 +965,107 @@ void Network::save(CheckpointWriter& ck) const {
   ck.boolean(generation_enabled_);
   ck.i64(now_);
   ck.i64(dispatched_events_);
-  // Event ring, in dispatch order from the current cycle. Every pending
-  // event is due within ring_.size() cycles of now_ by construction.
-  // The transmit calendar is *not* serialized: it is derived state,
-  // rebuilt from the output queues on load (rebuild_activation), which
-  // also makes checkpoint streams kernel-independent.
-  std::uint64_t pending = 0;
-  for (const auto& bucket : ring_) pending += bucket.size();
-  ck.u64(pending);
-  for (std::size_t k = 0; k < ring_.size(); ++k) {
-    const auto t = static_cast<std::size_t>(now_) + k;
-    for (const Event& ev : ring_[t & ring_mask_]) {
-      ck.i64(ev.when);
-      ck.u8(static_cast<std::uint8_t>(ev.type));
-      ck.i32(ev.router);
-      ck.i32(ev.port);
-      ck.i32(ev.vc);
-      ck.i32(ev.phits);
-      ck.i32(ev.pkt);
+
+  // Gather pending packet/credit events across all shard calendars and
+  // sort them into the canonical order. The transmit calendar is *not*
+  // serialized: it is derived state, rebuilt from the output queues on
+  // load (rebuild_activation), which also makes checkpoint streams
+  // kernel-independent.
+  std::vector<Event> events;
+  for (const Shard& sh : shards_) {
+    for (std::size_t k = 0; k < sh.ring.size(); ++k) {
+      const auto t = static_cast<std::size_t>(now_) + k;
+      for (const Event& ev : sh.ring[t & sh.ring_mask]) {
+        events.push_back(ev);
+      }
     }
   }
-  store_.save(ck);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return std::tie(a.when, a.type, a.router, a.port, a.vc,
+                                     a.phits) <
+                            std::tie(b.when, b.type, b.router, b.port, b.vc,
+                                     b.phits);
+                   });
+  // Delivery calendar in stored (canonical) order.
+  std::vector<Event> deliveries;
+  for (std::size_t k = 0; k < delivery_ring_.size(); ++k) {
+    const auto t = static_cast<std::size_t>(now_) + k;
+    for (const Event& ev : delivery_ring_[t & delivery_mask_]) {
+      deliveries.push_back(ev);
+    }
+  }
+
+  // Canonical packet numbering: order of first (and only — the
+  // invariant sweep enforces single ownership) appearance in the
+  // canonical traversal.
+  std::vector<std::int32_t> canon(store_.dense_capacity(), -1);
+  std::vector<PacketRef> order;
+  order.reserve(store_.live());
+  auto visit = [&](PacketRef ref) {
+    std::int32_t& c = canon[store_.dense_index(ref)];
+    if (c < 0) {
+      c = static_cast<std::int32_t>(order.size());
+      order.push_back(ref);
+    }
+  };
+  for (const Event& ev : events) {
+    if (ev.type == Event::Type::kPacket) visit(ev.pkt);
+  }
+  for (const Event& ev : deliveries) visit(ev.pkt);
+  const int ports = hot_.layout().ports;
+  for (const auto& router : routers_) {
+    for (PortId p = 0; p < ports; ++p) {
+      for (const VcFifo& vcf : router->input(p).vcs) {
+        for (const PacketRef ref : vcf.contents()) visit(ref);
+      }
+    }
+    for (PortId p = 0; p < ports; ++p) {
+      for (const PendingTx& tx : router->output(p).pending()) visit(tx.pkt);
+    }
+  }
+  for (const Node& node : nodes_) {
+    for (const PacketRef ref : node.source_queue()) visit(ref);
+  }
+  if (order.size() != store_.live()) {
+    throw std::logic_error(
+        "checkpoint: live packet not reachable from any holder (" +
+        std::to_string(order.size()) + " reachable, " +
+        std::to_string(store_.live()) + " live)");
+  }
+
+  // Live packets, in canonical order. Arena assignment on load is
+  // re-derived from pkt.src under the restoring network's partition.
+  ck.tag("Packets");
+  ck.u64(order.size());
+  for (const PacketRef ref : order) store_[ref].save(ck);
+
+  ck.set_packet_xlat([&canon, this](std::int32_t ref) {
+    return canon[store_.dense_index(ref)];
+  });
+  ck.tag("Events");
+  ck.u64(events.size());
+  for (const Event& ev : events) {
+    ck.i64(ev.when);
+    ck.u8(static_cast<std::uint8_t>(ev.type));
+    ck.i32(ev.router);
+    ck.i32(ev.port);
+    ck.i32(ev.vc);
+    ck.i32(ev.phits);
+    ck.pkt(ev.pkt);
+  }
+  ck.tag("Deliveries");
+  ck.u64(deliveries.size());
+  for (const Event& ev : deliveries) {
+    ck.i64(ev.when);
+    ck.pkt(ev.pkt);
+  }
+
   collector_.save(ck);
   hot_.save(ck);
   for (const auto& router : routers_) router->save(ck);
   for (const auto& node : nodes_) node.save(ck);
+  ck.set_packet_xlat(nullptr);
 }
 
 void Network::load(CheckpointReader& ck) {
@@ -640,8 +1077,41 @@ void Network::load(CheckpointReader& ck) {
   generation_enabled_ = ck.boolean();
   now_ = ck.i64();
   dispatched_events_ = ck.i64();
+
+  // Recreate the live packets under *this* network's partition: each
+  // packet goes into the arena of the shard owning its source node.
+  ck.tag("Packets");
+  store_.configure(static_cast<int>(shards_.size()));
+  const std::uint64_t live = ck.u64();
+  std::vector<PacketRef> canon2ref;
+  canon2ref.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(live, 1u << 20)));
+  for (std::uint64_t i = 0; i < live; ++i) {
+    Packet p;
+    p.load(ck);
+    if (p.src < 0 || static_cast<std::size_t>(p.src) >= nodes_.size()) {
+      throw std::runtime_error("checkpoint: packet with invalid source node");
+    }
+    const int arena = shard_of_router_[static_cast<std::size_t>(
+        router_of_node_[static_cast<std::size_t>(p.src)])];
+    const PacketRef ref = store_.create(arena);
+    store_[ref] = p;
+    canon2ref.push_back(ref);
+  }
+  ck.set_packet_xlat([table = std::move(canon2ref)](std::int32_t c) {
+    if (c < 0 || static_cast<std::size_t>(c) >= table.size()) {
+      throw std::runtime_error(
+          "checkpoint: canonical packet index out of range");
+    }
+    return table[static_cast<std::size_t>(c)];
+  });
+
+  ck.tag("Events");
   const std::uint64_t pending = ck.u64();
-  for (auto& bucket : ring_) bucket.clear();
+  for (Shard& sh : shards_) {
+    for (auto& bucket : sh.ring) bucket.clear();
+  }
+  for (auto& bucket : delivery_ring_) bucket.clear();
   for (std::uint64_t i = 0; i < pending; ++i) {
     Event ev;
     ev.when = ck.i64();
@@ -650,22 +1120,43 @@ void Network::load(CheckpointReader& ck) {
     ev.port = ck.i32();
     ev.vc = ck.i32();
     ev.phits = ck.i32();
-    ev.pkt = ck.i32();
-    if (ev.when < now_ || ev.when - now_ >= static_cast<Cycle>(ring_.size())) {
-      // The save-side ring always spans its pending events; a fresh
-      // network of the same config sizes the ring identically, so this
-      // only trips on a corrupt stream.
-      throw std::runtime_error("checkpoint: event outside ring horizon");
+    ev.pkt = ck.pkt();
+    if (ev.when < now_ || ev.type == Event::Type::kDelivery ||
+        ev.router < 0 ||
+        static_cast<std::size_t>(ev.router) >= shard_of_router_.size()) {
+      throw std::runtime_error("checkpoint: malformed pending event");
     }
-    // Direct placement preserves the saved dispatch order (push_event
-    // would clamp events already due this cycle into the next one).
-    ring_[static_cast<std::size_t>(ev.when) & ring_mask_].push_back(ev);
+    Shard& sh = shards_[static_cast<std::size_t>(
+        shard_of_router_[static_cast<std::size_t>(ev.router)])];
+    if (ev.when - now_ >= static_cast<Cycle>(sh.ring.size())) {
+      grow_shard_ring(sh, ev.when - now_);
+    }
+    // Direct placement: the events arrive in canonical (sorted) order
+    // and dispatch within a bucket is order-free (see the format note).
+    sh.ring[static_cast<std::size_t>(ev.when) & sh.ring_mask].push_back(ev);
   }
-  store_.load(ck);
+  ck.tag("Deliveries");
+  const std::uint64_t n_deliveries = ck.u64();
+  for (std::uint64_t i = 0; i < n_deliveries; ++i) {
+    Event ev;
+    ev.when = ck.i64();
+    ev.type = Event::Type::kDelivery;
+    ev.pkt = ck.pkt();
+    if (ev.when < now_) {
+      throw std::runtime_error("checkpoint: delivery event in the past");
+    }
+    if (ev.when - now_ >= static_cast<Cycle>(delivery_ring_.size())) {
+      grow_delivery_ring(ev.when - now_);
+    }
+    delivery_ring_[static_cast<std::size_t>(ev.when) & delivery_mask_]
+        .push_back(ev);
+  }
+
   collector_.load(ck);
   hot_.load(ck);
   for (auto& router : routers_) router->load(ck);
   for (auto& node : nodes_) node.load(ck);
+  ck.set_packet_xlat(nullptr);
   // Re-derive the activation caches (alloc set, node masks, transmit
   // calendar) from the restored authoritative state.
   rebuild_activation();

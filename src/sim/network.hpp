@@ -1,13 +1,17 @@
 // Network: builds the full dragonfly (topology, routers, nodes, wiring),
-// owns the event queue and advances the simulation cycle by cycle.
+// owns the event calendars and advances the simulation cycle by cycle.
 //
 // Since the data-oriented kernel refactor the per-cycle work is split
 // into explicit phases over *active* state (sim.kernel=active, the
 // default):
 //
-//   0. event dispatch  — packet arrivals, credit returns, deliveries due
-//                        this cycle (the calendar ring feeds activations:
-//                        a packet arrival marks its router allocatable);
+//   0. event dispatch  — packet arrivals and credit returns due this
+//                        cycle (the calendar ring feeds activations: a
+//                        packet arrival marks its router allocatable);
+//                        deliveries live on a separate calendar drained
+//                        serially at the top of the cycle, so the
+//                        order-sensitive collector accumulation never
+//                        depends on the execution layout;
 //   1. routing refresh — only when the mechanism has per-cycle global
 //                        state (PiggyBack's in-group broadcast);
 //   2. injection       — only nodes that generate traffic or hold queued
@@ -26,6 +30,24 @@
 // sim.kernel=scan keeps the dense reference path (walk every node,
 // router and port each cycle) over the same structure-of-arrays state;
 // both kernels are bit-identical, which the conformance tests assert.
+//
+// --- sharded stepping (sim.shards > 1) -----------------------------------
+//
+// The routers are partitioned into contiguous shards; each shard owns
+// its range of routers, nodes, SoA hot-state rows, a private event and
+// transmit calendar, a private packet arena, and per-destination-shard
+// outboxes. Within a cycle the phases run shard-parallel through a
+// ParallelRunner; this is conservative parallel discrete-event
+// simulation with one cycle of lookahead — every cross-router effect
+// (packet, credit, delivery) is due at least one cycle in the future
+// because link latencies, credit latencies and packet serialization are
+// all >= 1 — so shards never need each other's current-cycle state.
+// At the cycle barrier the outboxes are merged in canonical order
+// (per emission cycle: all credit streams in ascending source-shard
+// order, then all packet streams — which, with contiguous ascending
+// shard ranges, reproduces exactly the serial kernel's bucket insertion
+// order), keeping results bit-identical for ANY shard count. See
+// DESIGN.md "Parallel kernel & ParallelRunner".
 #pragma once
 
 #include <memory>
@@ -46,10 +68,12 @@ namespace dragonfly {
 
 class CheckpointWriter;
 class CheckpointReader;
+class ParallelRunner;
 
 class Network final : public EventSink {
  public:
   explicit Network(const SimConfig& cfg);
+  ~Network() override;
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -84,13 +108,25 @@ class Network final : public EventSink {
   void set_generation_enabled(bool on) { generation_enabled_ = on; }
   bool generation_enabled() const { return generation_enabled_; }
 
-  // --- EventSink -----------------------------------------------------------
+  // --- EventSink (the serial sink: shards=1 routers, rebuild paths) --------
   void schedule_packet(RouterId router, PortId port, VcId vc, PacketRef pkt,
                        Cycle when) override;
   void schedule_credit(RouterId router, PortId out_port, VcId vc, int phits,
                        Cycle when) override;
   void schedule_delivery(PacketRef pkt, Cycle when) override;
   void schedule_port_ready(RouterId router, PortId port, Cycle when) override;
+
+  // --- execution ------------------------------------------------------------
+  /// Inject the runner sharded stepping uses (non-owning; nullptr resets
+  /// to the internally owned default). With sim.shards=1 the runner is
+  /// never consulted. An injected runner must outlive the network or be
+  /// reset before it is destroyed.
+  void set_runner(ParallelRunner* runner) { runner_ = runner; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Shard owning a router (contiguous ascending ranges).
+  int shard_of_router(RouterId r) const {
+    return shard_of_router_[static_cast<std::size_t>(r)];
+  }
 
   // --- accessors -------------------------------------------------------------
   const SimConfig& config() const { return cfg_; }
@@ -125,12 +161,17 @@ class Network final : public EventSink {
   std::int64_t dispatched_events() const { return dispatched_events_; }
 
   // --- checkpoint -----------------------------------------------------------
-  /// Serialize all mutable network state: clock, event ring, packet
-  /// arena, hot-state arrays (contiguous blocks), routers, nodes,
-  /// collector, plus the live load/traffic selection (scripted phases
-  /// may have diverged from the constructor config). load() expects a
-  /// network freshly built from the same config (sim.kernel may differ:
-  /// the serialized state is kernel-independent and the active-set /
+  /// Serialize all mutable network state (format v4): clock, live
+  /// packets in canonical order, pending events in canonical order,
+  /// collector, hot-state blocks, routers, nodes, plus the live
+  /// load/traffic selection (scripted phases may have diverged from the
+  /// constructor config). Packet references are written as canonical
+  /// indices and events sorted by a partition-independent key, so the
+  /// stream is identical for any sim.shards value and restores
+  /// bit-exact into a network built with a *different* shard count.
+  /// load() expects a network freshly built from the same config
+  /// (sim.kernel and sim.shards may differ: the serialized state is
+  /// kernel- and partition-independent; the active-set /
   /// transmit-calendar caches are re-derived on load).
   void save(CheckpointWriter& ck) const;
   void load(CheckpointReader& ck);
@@ -147,20 +188,110 @@ class Network final : public EventSink {
     PacketRef pkt = kNoPacket;
   };
 
+  /// Per-shard emission proxy: routers of shard `shard` push events
+  /// through this sink during the parallel phases. Everything lands in
+  /// shard-owned storage (outboxes, the shard's transmit calendar), so
+  /// no locking is needed; nested class, so it reaches Network privates.
+  struct ShardSink final : public EventSink {
+    Network* net = nullptr;
+    std::int32_t shard = 0;
+    void schedule_packet(RouterId router, PortId port, VcId vc, PacketRef pkt,
+                         Cycle when) override;
+    void schedule_credit(RouterId router, PortId out_port, VcId vc, int phits,
+                         Cycle when) override;
+    void schedule_delivery(PacketRef pkt, Cycle when) override;
+    void schedule_port_ready(RouterId router, PortId port,
+                             Cycle when) override;
+  };
+
+  /// One router shard: a contiguous [r_begin, r_end) x [n_begin, n_end)
+  /// slice of the network with private calendars, activation bitmaps
+  /// (bit index is relative to the range start, so shards never share a
+  /// bitmap word) and per-destination-shard outboxes.
+  struct Shard {
+    RouterId r_begin = 0, r_end = 0;
+    NodeId n_begin = 0, n_end = 0;
+    /// Calendar event queue: bucket `t & ring_mask` holds the
+    /// packet/credit events due at cycle t in insertion order. Link and
+    /// credit delays are small and bounded, so a power-of-two ring sized
+    /// past the largest delay covers all pending events; it grows if a
+    /// longer delay ever appears. Buckets are reused, so steady-state
+    /// scheduling does no allocation.
+    std::vector<std::vector<Event>> ring;
+    /// The bucket being dispatched, swapped out of the ring for the
+    /// duration of the drain (see step()).
+    std::vector<Event> due_scratch;
+    std::size_t ring_mask = 0;
+    /// Transmit calendar: bucket `t & tx_ring_mask` holds the flat
+    /// (router * ports + port) ids whose output queue head goes on the
+    /// wire exactly at cycle t. Sorted before processing so fires happen
+    /// in (router, port) order — the dense-scan order.
+    std::vector<std::vector<std::int32_t>> tx_ring;
+    std::vector<std::int32_t> tx_scratch;
+    std::size_t tx_ring_mask = 0;
+    /// Routers with buffered input packets (bit r - r_begin). Set on
+    /// packet arrival / node injection, cleared when a router drains in
+    /// the allocation phase.
+    std::vector<std::uint64_t> alloc_active;
+    /// Nodes whose traffic pattern generates (bit n - n_begin; gated on
+    /// generation_enabled_ at use) and nodes with queued packets.
+    std::vector<std::uint64_t> gen_mask;
+    std::vector<std::uint64_t> queue_mask;
+    /// Cycle-boundary mailboxes, one per destination shard. Credits and
+    /// packets are kept in separate streams: the canonical merge order
+    /// is "every shard's credits, then every shard's packets", matching
+    /// the serial kernel's phase-3-before-phase-4 emission order.
+    std::vector<std::vector<Event>> out_credits;
+    std::vector<std::vector<Event>> out_packets;
+    std::vector<Event> out_deliveries;
+    /// Events dispatched by this shard's phase 0 this cycle; summed into
+    /// dispatched_events_ at the barrier.
+    std::int64_t dispatched = 0;
+  };
+
   void build();
+  void build_shards();
   void dispatch(const Event& ev);
-  void push_event(Cycle when, const Event& ev);
-  void grow_ring(Cycle min_horizon);
-  void grow_tx_ring(Cycle min_horizon);
+
+  // --- per-shard phase bodies (run under the ParallelRunner at S>1) -------
+  void shard_dispatch(Shard& sh);
+  void shard_inject(Shard& sh, bool measuring);
+  void shard_allocate(Shard& sh);
+  void shard_transmit(Shard& sh);
+  /// Serial top-of-cycle delivery drain (order-sensitive collector).
+  void drain_deliveries();
+  /// Serial cycle barrier: move outbox contents into the destination
+  /// shards' calendars in canonical order.
+  void merge_outboxes();
+  ParallelRunner& effective_runner();
+
+  // --- calendar plumbing ---------------------------------------------------
+  void push_shard_event(Shard& sh, Cycle when, const Event& ev);
+  void grow_shard_ring(Shard& sh, Cycle min_horizon);
+  void grow_shard_tx_ring(Shard& sh, Cycle min_horizon);
+  void push_delivery(PacketRef pkt, Cycle when);
+  void grow_delivery_ring(Cycle min_horizon);
+
+  // --- ShardSink entry points (shard-owned storage only) -------------------
+  void shard_schedule_packet(int src, RouterId router, PortId port, VcId vc,
+                             PacketRef pkt, Cycle when);
+  void shard_schedule_credit(int src, RouterId router, PortId out_port,
+                             VcId vc, int phits, Cycle when);
+  void shard_schedule_delivery(int src, PacketRef pkt, Cycle when);
+  void shard_schedule_port_ready(int src, RouterId router, PortId port,
+                                 Cycle when);
+
   /// Re-derive every activation cache from the authoritative state:
-  /// alloc-active bitmap from buffered packets, node masks from the
-  /// traffic pattern and source queues, the transmit calendar from the
+  /// alloc-active bitmaps from buffered packets, node masks from the
+  /// traffic pattern and source queues, the transmit calendars from the
   /// output queues (checkpoint load; also used at build time).
   void rebuild_activation();
   void rebuild_node_masks();
   void mark_alloc_active(RouterId r) {
-    alloc_active_[static_cast<std::size_t>(r) >> 6] |=
-        1ull << (static_cast<std::size_t>(r) & 63);
+    Shard& sh = shards_[static_cast<std::size_t>(
+        shard_of_router_[static_cast<std::size_t>(r)])];
+    const auto bit = static_cast<std::size_t>(r - sh.r_begin);
+    sh.alloc_active[bit >> 6] |= 1ull << (bit & 63);
   }
 
   SimConfig cfg_;
@@ -173,39 +304,28 @@ class Network final : public EventSink {
   HotState hot_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<Node> nodes_;
-  /// Calendar event queue: bucket `t & ring_mask_` holds the events due at
-  /// cycle t in insertion order — the same (when, insertion seq) dispatch
-  /// order the old priority queue produced, without the heap churn. Link,
-  /// credit and delivery delays are small and bounded, so a power-of-two
-  /// ring sized past the largest delay covers all pending events; the ring
-  /// grows if a longer delay ever appears. Buckets are reused, so
-  /// steady-state scheduling does no allocation.
-  std::vector<std::vector<Event>> ring_;
-  /// The bucket being dispatched, swapped out of the ring for the
-  /// duration of the drain (see step()).
-  std::vector<Event> due_scratch_;
-  std::size_t ring_mask_ = 0;
-
-  // --- active-set kernel state (sim.kernel=active) -------------------------
-  bool active_kernel_ = true;
-  bool routing_wants_refresh_ = true;
-  /// Routers with buffered input packets (bit per router, ascending-id
-  /// iteration). Set on packet arrival / node injection, cleared when a
-  /// router drains in the allocation phase.
-  std::vector<std::uint64_t> alloc_active_;
-  /// Nodes whose traffic pattern generates (bit per node; gated on
-  /// generation_enabled_ at use) and nodes with queued packets.
-  std::vector<std::uint64_t> gen_mask_;
-  std::vector<std::uint64_t> queue_mask_;
-  /// Transmit calendar: bucket `t & tx_ring_mask_` holds the flat
-  /// (router * ports + port) ids whose output queue head goes on the
-  /// wire exactly at cycle t. Sorted before processing so fires happen
-  /// in (router, port) order — the dense-scan order.
-  std::vector<std::vector<std::int32_t>> tx_ring_;
-  std::vector<std::int32_t> tx_scratch_;
-  std::size_t tx_ring_mask_ = 0;
   /// Node id -> router id (hot injection-path lookup).
   std::vector<RouterId> router_of_node_;
+
+  // --- sharding -------------------------------------------------------------
+  std::vector<Shard> shards_;
+  std::vector<ShardSink> shard_sinks_;
+  std::vector<std::int32_t> shard_of_router_;
+  /// Delivery calendar, global across shards (the collector's floating-
+  /// point accumulation is order-sensitive, so deliveries are always
+  /// drained serially in canonical order at the top of the cycle —
+  /// regardless of kernel or shard count).
+  std::vector<std::vector<Event>> delivery_ring_;
+  std::vector<Event> delivery_scratch_;
+  std::size_t delivery_mask_ = 0;
+
+  /// Injected runner (set_runner) > lazily created PoolRunner (S>1) >
+  /// unused (S=1).
+  ParallelRunner* runner_ = nullptr;
+  std::unique_ptr<ParallelRunner> owned_runner_;
+
+  bool active_kernel_ = true;
+  bool routing_wants_refresh_ = true;
 
   std::int64_t dispatched_events_ = 0;
   Cycle now_ = 0;

@@ -26,7 +26,7 @@ void Node::generate_packet(Cycle now, bool measuring) {
   // Bernoulli hit (the inline step() gate already drew it).
   const NodeId dst = pattern_->destination(id_, rng_);
   if (dst == kInvalidNode) return;
-  const PacketRef ref = store_->create();
+  const PacketRef ref = store_->create(arena_);
   Packet& pkt = (*store_)[ref];
   pkt.id = (static_cast<PacketId>(id_) << 32) | generated_total_;
   pkt.src = id_;
@@ -73,7 +73,7 @@ void Node::save(CheckpointWriter& ck) const {
   const auto rng_state = rng_.state();
   for (const std::uint64_t word : rng_state) ck.u64(word);
   ck.u64(queue_.size());
-  for (const PacketRef ref : queue_) ck.i32(ref);
+  for (const PacketRef ref : queue_) ck.pkt(ref);
   ck.i32(next_vc_);
   ck.i64(next_inject_allowed_);
   ck.i64(generated_total_);
@@ -86,7 +86,7 @@ void Node::load(CheckpointReader& ck) {
   rng_.set_state(rng_state);
   const std::uint64_t n = ck.u64();
   queue_.clear();
-  for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(ck.i32());
+  for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(ck.pkt());
   queue_len_ = static_cast<std::int32_t>(queue_.size());
   next_vc_ = ck.i32();
   next_inject_allowed_ = ck.i64();

@@ -68,6 +68,9 @@ class Node {
     pattern_ = pattern;
     generates_ = pattern->generates(id_);
   }
+  /// PacketStore arena this node creates packets in (the owning shard's,
+  /// set by Network at build time; defaults to arena 0).
+  void set_arena(int arena) { arena_ = arena; }
 
   /// Checkpoint mutable state (RNG, source queue, injection bookkeeping,
   /// counters); identity/wiring come from construction.
@@ -101,6 +104,7 @@ class Node {
   NodeId id_;
   PortId inj_port_;
   VcId next_vc_ = 0;
+  int arena_ = 0;
   Router* router_;
   const TrafficPattern* pattern_;
   RoutingAlgorithm* routing_;

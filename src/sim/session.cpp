@@ -34,7 +34,12 @@ constexpr const char* kCheckpointMagic = "dragonfly-session-checkpoint";
 /// per-router statistics into the collector, SimConfig gained
 /// sim.kernel; streams are kernel-independent (the transmit calendar
 /// and activation sets are re-derived on load).
-constexpr std::uint32_t kCheckpointVersion = 3;
+/// v4: sharded kernel — packet references are canonical traversal
+/// indices and pending events are sorted into a canonical order, so a
+/// stream is partition-independent: a checkpoint taken at sim.shards=K
+/// restores bit-exactly at any other shard count (Session::restore's
+/// shards_override); SimConfig gained sim.shards.
+constexpr std::uint32_t kCheckpointVersion = 4;
 
 }  // namespace
 
@@ -395,7 +400,8 @@ void Session::checkpoint(std::ostream& os) const {
   net_.save(ck);
 }
 
-std::unique_ptr<Session> Session::restore(std::istream& is) {
+std::unique_ptr<Session> Session::restore(std::istream& is,
+                                          int shards_override) {
   CheckpointReader ck(is);
   if (ck.str() != kCheckpointMagic) {
     throw std::runtime_error("checkpoint: not a session checkpoint stream");
@@ -407,6 +413,9 @@ std::unique_ptr<Session> Session::restore(std::istream& is) {
   }
   SimConfig cfg;
   cfg.read_from(ck);
+  // The v4 stream is partition-independent, so the restoring side may
+  // pick any shard count (0 keeps the one embedded at save time).
+  if (shards_override > 0) cfg.shards = shards_override;
   // Reject a corrupt config section *before* sizing a network from it:
   // a bit-flipped topology field must surface as a loud error, not an
   // OOM-scale allocation in the Network constructor.
@@ -454,10 +463,11 @@ void Session::checkpoint_file(const std::string& path) const {
   checkpoint(os);
 }
 
-std::unique_ptr<Session> Session::restore_file(const std::string& path) {
+std::unique_ptr<Session> Session::restore_file(const std::string& path,
+                                               int shards_override) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open checkpoint file " + path);
-  return restore(is);
+  return restore(is, shards_override);
 }
 
 }  // namespace dragonfly

@@ -107,14 +107,25 @@ class Session {
   const Network& network() const { return net_; }
   const SimConfig& config() const { return cfg_; }
 
+  /// Inject the runner used for sharded stepping (sim.shards > 1);
+  /// pass-through to Network::set_runner. Not owned; nullptr reverts to
+  /// the network's internal pool.
+  void set_runner(ParallelRunner* runner) { net_.set_runner(runner); }
+
   // --- checkpoint / restore -------------------------------------------------
   /// Serialize config + full mutable state. The stream restores to a
   /// session that continues bit-identically (same RNG draws, same event
-  /// order, same final SimResult).
+  /// order, same final SimResult). The format (v4) is shard-partition-
+  /// independent: `shards_override` > 0 restores under that shard count
+  /// instead of the one embedded at save time — still bit-identical,
+  /// so a run can be checkpointed on a laptop at sim.shards=1 and
+  /// resumed on a many-core box at sim.shards=8 (or vice versa).
   void checkpoint(std::ostream& os) const;
   void checkpoint_file(const std::string& path) const;
-  static std::unique_ptr<Session> restore(std::istream& is);
-  static std::unique_ptr<Session> restore_file(const std::string& path);
+  static std::unique_ptr<Session> restore(std::istream& is,
+                                          int shards_override = 0);
+  static std::unique_ptr<Session> restore_file(const std::string& path,
+                                               int shards_override = 0);
 
  private:
   void check_progress();

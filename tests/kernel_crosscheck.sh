@@ -2,9 +2,11 @@
 # Cycle-kernel cross-check: the active-set kernel (sim.kernel=active,
 # the default) and the dense reference scan (sim.kernel=scan) must
 # produce byte-identical CSV output — same RNG draws, same event order,
-# same metrics. Runs the smoke spec both ways for two seeds, plus one
-# off-spec scenario (pb-crg/adv, exercising the refresh path that only
-# PiggyBack keeps).
+# same metrics — and so must the sharded kernel (sim.shards > 1) at
+# every shard count. Runs the smoke spec both ways for two seeds, plus
+# one off-spec scenario (pb-crg/adv, exercising the refresh path that
+# only PiggyBack keeps); each scenario is repeated at sim.shards 2, 4
+# and 7 against the serial active baseline.
 #
 # usage: kernel_crosscheck.sh <simulate_cli binary> <repo root>
 set -euo pipefail
@@ -26,6 +28,17 @@ run_pair() {
     diff "$tmp/${label}_active.csv" "$tmp/${label}_scan.csv" >&2 || true
     status=1
   fi
+  for shards in 2 4 7; do
+    "$cli" "$@" --set sim.kernel=active --set "sim.shards=$shards" \
+      --out csv --quiet > "$tmp/${label}_shards$shards.csv"
+    if ! cmp -s "$tmp/${label}_active.csv" "$tmp/${label}_shards$shards.csv"
+    then
+      echo "shard mismatch ($label): shards=1 vs shards=$shards differ" >&2
+      diff "$tmp/${label}_active.csv" "$tmp/${label}_shards$shards.csv" \
+        >&2 || true
+      status=1
+    fi
+  done
 }
 
 for seed in 1 2; do
@@ -38,6 +51,7 @@ run_pair "pbcrg_adv" \
   --warmup 600 --measure 1200
 
 if [ "$status" -eq 0 ]; then
-  echo "kernel cross-check OK: active and scan kernels byte-identical"
+  echo "kernel cross-check OK: active, scan and sharded kernels" \
+       "byte-identical"
 fi
 exit "$status"

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Shard conformance matrix: every registered routing x traffic pair must
+# produce sha256-identical CSVs for sim.shards in {1, 2, 4, 7} and for
+# the dense scan kernel — all five against the committed pre-sharding
+# hashes in tests/golden/matrix_sha256.txt (one "routing traffic sha256"
+# line per pair, generated at --h 2 --load 0.35 --warmup 500
+# --measure 1000 --seeds 1; regenerate by running this script with
+# REGEN=1 after an *intentional* behavior change).
+#
+# usage: shard_conformance.sh <simulate_cli binary> <repo root>
+set -euo pipefail
+cli="$1"
+root="$2"
+golden="$root/tests/golden/matrix_sha256.txt"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+routings="$("$cli" --list | sed -n 's/^routings://p')"
+traffics="$("$cli" --list | sed -n 's/^traffic patterns://p')"
+if [ -z "$routings" ] || [ -z "$traffics" ]; then
+  echo "shard_conformance: could not read registries from --list" >&2
+  exit 1
+fi
+
+run_csv() {  # routing traffic extra-args... > csv
+  local routing="$1" traffic="$2"
+  shift 2
+  "$cli" --routing "$routing" --traffic "$traffic" \
+    --h 2 --load 0.35 --warmup 500 --measure 1000 --seeds 1 \
+    --out csv --quiet "$@"
+}
+
+if [ "${REGEN:-0}" = "1" ]; then
+  : > "$golden"
+  for routing in $routings; do
+    for traffic in $traffics; do
+      hash="$(run_csv "$routing" "$traffic" | sha256sum | cut -d' ' -f1)"
+      echo "$routing $traffic $hash" >> "$golden"
+    done
+  done
+  echo "regenerated $golden ($(wc -l < "$golden") pairs)"
+  exit 0
+fi
+
+status=0
+pairs=0
+for routing in $routings; do
+  for traffic in $traffics; do
+    pairs=$((pairs + 1))
+    want="$(awk -v r="$routing" -v t="$traffic" \
+      '$1 == r && $2 == t { print $3 }' "$golden")"
+    if [ -z "$want" ]; then
+      echo "MISSING golden hash for $routing/$traffic" \
+           "(REGEN=1 to add it)" >&2
+      status=1
+      continue
+    fi
+    run_csv "$routing" "$traffic" > "$tmp/base.csv"
+    got="$(sha256sum < "$tmp/base.csv" | cut -d' ' -f1)"
+    if [ "$got" != "$want" ]; then
+      echo "GOLDEN MISMATCH $routing/$traffic: want $want got $got" >&2
+      status=1
+      continue
+    fi
+    # The serial run matches the committed hash; every variant must now
+    # match it byte for byte.
+    for variant in "scan:--set sim.kernel=scan" \
+                   "shards2:--set sim.shards=2" \
+                   "shards4:--set sim.shards=4" \
+                   "shards7:--set sim.shards=7"; do
+      label="${variant%%:*}"
+      args="${variant#*:}"
+      # shellcheck disable=SC2086
+      run_csv "$routing" "$traffic" $args > "$tmp/variant.csv"
+      if ! cmp -s "$tmp/base.csv" "$tmp/variant.csv"; then
+        echo "VARIANT MISMATCH $routing/$traffic ($label)" >&2
+        diff "$tmp/base.csv" "$tmp/variant.csv" >&2 || true
+        status=1
+      fi
+    done
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "shard conformance OK: $pairs routing x traffic pairs," \
+       "5 variants each, all sha256-identical to the committed hashes"
+fi
+exit "$status"

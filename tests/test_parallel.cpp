@@ -1,0 +1,89 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dragonfly {
+namespace {
+
+TEST(SerialRunner, RunsAllIndicesAscendingInline) {
+  SerialRunner runner;
+  EXPECT_EQ(runner.concurrency(), 1);
+  std::vector<std::size_t> order;
+  const auto caller = std::this_thread::get_id();
+  runner.run(5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SerialRunner, ZeroJobsIsANoOp) {
+  SerialRunner runner;
+  runner.run(0, [](std::size_t) { FAIL() << "body invoked for n=0"; });
+}
+
+TEST(PoolRunner, CoversAllIndicesOnce) {
+  for (int workers : {1, 3}) {
+    PoolRunner runner(workers);
+    EXPECT_EQ(runner.concurrency(), workers);
+    std::vector<std::atomic<int>> hits(97);
+    runner.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(PoolRunner, RethrowsLowestFailingIndex) {
+  PoolRunner runner(4);
+  try {
+    runner.run(32, [](std::size_t i) {
+      if (i == 7 || i == 23) {
+        throw std::runtime_error("job " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 7");
+  }
+}
+
+TEST(CallbackRunner, DelegatesToTheProvidedFunction) {
+  int batches = 0;
+  CallbackRunner runner(
+      [&](std::size_t n, const std::function<void(std::size_t)>& body) {
+        ++batches;
+        for (std::size_t i = 0; i < n; ++i) body(i);
+      },
+      3);
+  EXPECT_EQ(runner.concurrency(), 3);
+  std::vector<int> hits(10, 0);
+  runner.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(batches, 1);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(CallbackRunner, ZeroJobsSkipsTheCallback) {
+  CallbackRunner runner(
+      [](std::size_t, const std::function<void(std::size_t)>&) {
+        FAIL() << "callback invoked for n=0";
+      },
+      1);
+  runner.run(0, [](std::size_t) {});
+}
+
+TEST(CallbackRunner, ConcurrencyClampedToAtLeastOne) {
+  CallbackRunner runner(
+      [](std::size_t n, const std::function<void(std::size_t)>& body) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+      },
+      0);
+  EXPECT_EQ(runner.concurrency(), 1);
+}
+
+}  // namespace
+}  // namespace dragonfly

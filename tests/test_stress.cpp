@@ -50,6 +50,24 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+TEST(Stress, ShardedFullLoadRunsWithoutDeadlockOrCollapse) {
+  // The sharded kernel under the same extreme-load + paranoid regime,
+  // with real thread-pool stepping (this is the test the TSan CI job
+  // leans on to prove the shard phases are race-free). Uneven shard
+  // counts included: 7 does not divide h=2's 36 routers.
+  for (int shards : {4, 7}) {
+    SimConfig cfg =
+        quick(RoutingKind::kInTransitMm, TrafficKind::kAdvConsecutive, 1.0);
+    cfg.warmup_cycles = 3'000;
+    cfg.measure_cycles = 3'000;
+    cfg.sim_paranoid = 64;
+    cfg.shards = shards;
+    SimResult r;
+    ASSERT_NO_THROW(r = run_simulation(cfg)) << shards;
+    EXPECT_GT(r.accepted_load, 0.04) << shards;
+  }
+}
+
 TEST(Stress, SmallestDragonflyFullMatrix) {
   // h=1: 2 routers/group, 3 groups, 6 nodes — degenerate corner sizes.
   for (RoutingKind routing :
