@@ -4,8 +4,11 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/api.hpp"
+#include "service/engine.hpp"
 
 namespace {
 
@@ -162,6 +165,63 @@ void BM_SessionCheckpoint(benchmark::State& state) {
   state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
 }
 BENCHMARK(BM_SessionCheckpoint)->Arg(2)->Arg(3);
+
+// --- sweep-service request paths --------------------------------------------
+
+/// The small request every service bench uses: one point, two replicas.
+std::vector<std::string> service_items(int measure_cycles) {
+  return {"topology=dfly:2,4,2",
+          "routing=min",
+          "traffic=uniform",
+          "load=0.2",
+          "seeds=2",
+          "warmup_cycles=200",
+          "measure_cycles=" + std::to_string(measure_cycles)};
+}
+
+/// Cold path: every iteration is a fresh service (empty caches), so the
+/// request pays topology construction + warmup + measurement.
+void BM_ServiceRequestMiss(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    SweepService service(ServiceOptions{.workers = 1});
+    state.ResumeTiming();
+    const RequestReport rep = service.execute(service_items(300));
+    benchmark::DoNotOptimize(rep.points[0].result.accepted_load);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceRequestMiss)->Unit(benchmark::kMicrosecond);
+
+/// Served-from-cache path: the steady state of a re-requested sweep.
+/// The gap to BM_ServiceRequestMiss is the cache's whole value.
+void BM_ServiceRequestHit(benchmark::State& state) {
+  SweepService service(ServiceOptions{.workers = 1});
+  service.execute(service_items(300));  // prime
+  for (auto _ : state) {
+    const RequestReport rep = service.execute(service_items(300));
+    benchmark::DoNotOptimize(rep.points[0].result.accepted_load);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceRequestHit)->Unit(benchmark::kMicrosecond);
+
+/// Warm-start path: alternate two refined windows through a one-entry
+/// result cache, so every iteration misses the result cache but
+/// resumes the cached Measure-boundary checkpoint (restore + ~300
+/// measured cycles, no warmup).
+void BM_ServiceRequestWarm(benchmark::State& state) {
+  SweepService service(ServiceOptions{.workers = 1, .result_entries = 1});
+  service.execute(service_items(300));  // prime the warm checkpoint
+  bool flip = false;
+  for (auto _ : state) {
+    flip = !flip;
+    const RequestReport rep = service.execute(service_items(flip ? 301 : 302));
+    benchmark::DoNotOptimize(rep.points[0].result.accepted_load);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceRequestWarm)->Unit(benchmark::kMicrosecond);
 
 void BM_MinimalOutputOracle(benchmark::State& state) {
   const DragonflyTopology topo = DragonflyTopology::balanced_palmtree(6);

@@ -13,7 +13,7 @@ set -euo pipefail
 
 BUILD_DIR=${1:?usage: run_baseline.sh <build_dir> <out_json> [filter]}
 OUT=${2:?usage: run_baseline.sh <build_dir> <out_json> [filter]}
-FILTER=${3:-'BM_NetworkStepUniform|BM_NetworkStepUniformScan|BM_NetworkStepUniformSharded|BM_SessionStep'}
+FILTER=${3:-'BM_NetworkStepUniform|BM_NetworkStepUniformScan|BM_NetworkStepUniformSharded|BM_SessionStep|BM_ServiceRequest'}
 
 BIN="$BUILD_DIR/bench_micro_simspeed"
 if [[ ! -x "$BIN" ]]; then
@@ -44,11 +44,14 @@ with open(raw_path) as f:
     raw = json.load(f)
 
 benchmarks = {}
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 for b in raw.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
-    ns = b["real_time"]  # one iteration == one simulated cycle
-    assert b.get("time_unit", "ns") == "ns", b
+    # One iteration == one simulated cycle for the kernel benches, one
+    # served request for the BM_ServiceRequest* benches; either way the
+    # baseline stores ns/iteration and iterations/sec.
+    ns = b["real_time"] * UNIT_NS[b.get("time_unit", "ns")]
     benchmarks[b["name"]] = {
         "ns_per_cycle": round(ns, 1),
         "cycles_per_sec": round(1e9 / ns, 1),
@@ -81,6 +84,12 @@ out = {
     # multi-core perf-smoke job via PERF_SMOKE_SHARDS_MIN rather than
     # compared against the committed baseline).
     "derived": {
+        # Same-process service-path ratios: what the canonical-hash
+        # result cache and warm starts buy over a cold request.
+        "service_hit_speedup":
+            speedup("BM_ServiceRequestHit", "BM_ServiceRequestMiss"),
+        "service_warm_speedup":
+            speedup("BM_ServiceRequestWarm", "BM_ServiceRequestMiss"),
         "active_scan_speedup_lowload":
             speedup("BM_NetworkStepUniform/3/5", "BM_NetworkStepUniformScan/3/5"),
         "active_scan_speedup_saturation":

@@ -33,6 +33,7 @@
 #include <string>
 
 #include "core/api.hpp"
+#include "service/server.hpp"
 
 namespace {
 
@@ -72,6 +73,13 @@ int usage(std::ostream& os, int exit_code) {
         "  --config FILE         read `key = value` spec lines (applied\n"
         "                        first; other flags override the file)\n"
         "  --set KEY=VALUE       apply any spec/config key (repeatable)\n"
+        "service:\n"
+        "  --serve PORT          run as a sweep service on 127.0.0.1:PORT\n"
+        "                        (0 = ephemeral, printed on stdout): RUN/\n"
+        "                        STREAM/HASH requests over a line protocol,\n"
+        "                        canonical-hash result cache, warm starts\n"
+        "                        (--threads sizes the worker pool; see\n"
+        "                        DESIGN.md \"Sweep service\")\n"
         "output:\n"
         "  --out FORMAT          table | csv | json (default table)\n"
         "  --out-file PATH       also write the results to PATH\n"
@@ -153,6 +161,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::string stream_path;
   std::string checkpoint_path;
+  int serve_port = -1;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -216,6 +225,11 @@ int main(int argc, char** argv) {
         stream_path = need_value(i);
       } else if (!std::strcmp(arg, "--checkpoint")) {
         checkpoint_path = need_value(i);
+      } else if (!std::strcmp(arg, "--serve")) {
+        serve_port = std::stoi(need_value(i));
+        if (serve_port < 0 || serve_port > 65535) {
+          throw std::invalid_argument("--serve PORT must be 0..65535");
+        }
       } else if (!std::strcmp(arg, "--out")) {
         spec.apply_kv("out", need_value(i));
       } else if (!std::strcmp(arg, "--out-file")) {
@@ -238,6 +252,32 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
+  }
+
+  if (serve_port >= 0) {
+    try {
+      ServiceOptions opts;
+      opts.workers = spec.threads;
+      SweepService service(opts);
+      SweepServer server(service, static_cast<std::uint16_t>(serve_port));
+      std::cout << "sweep service listening on 127.0.0.1:" << server.port()
+                << "\n"
+                << std::flush;
+      server.wait_shutdown();
+      server.stop();
+      const ServiceStats stats = service.stats();
+      if (!quiet) {
+        std::cerr << "served " << stats.requests << " request(s), "
+                  << stats.points << " point(s): " << stats.result_hits
+                  << " hit, " << stats.coalesced << " coalesced, "
+                  << stats.warm_starts << " warm, " << stats.cold_runs
+                  << " cold\n";
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
 
   try {

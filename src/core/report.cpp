@@ -130,6 +130,20 @@ void write_csv_table(std::ostream& os,
   }
 }
 
+std::vector<Table::Cell> result_cells(const std::string& label,
+                                      const AveragedResult& r) {
+  return {label, r.offered_load, r.accepted_load,
+          r.avg_latency, r.components.base, r.components.misroute,
+          r.components.local_queue, r.components.global_queue,
+          r.components.injection_queue, r.avg_local_hops,
+          r.avg_global_hops, r.fairness.min_injections,
+          r.fairness.max_injections, r.fairness.max_over_min,
+          r.fairness.cov, r.fairness.jain,
+          static_cast<std::int64_t>(r.seeds),
+          static_cast<std::int64_t>(r.measured_cycles + 0.5),
+          static_cast<std::int64_t>(r.converged ? 1 : 0)};
+}
+
 std::ofstream open_for_write(const std::string& path) {
   const std::filesystem::path parent =
       std::filesystem::path(path).parent_path();
@@ -164,22 +178,31 @@ std::vector<std::string> ResultWriter::columns() {
           "seeds",        "measured_cycles", "converged"};
 }
 
+std::string ResultWriter::csv_header() {
+  std::string line;
+  for (const std::string& col : columns()) {
+    if (!line.empty()) line += ',';
+    line += col;
+  }
+  return line;
+}
+
+std::string ResultWriter::csv_row(const std::string& label,
+                                  const AveragedResult& result) {
+  std::string line;
+  for (const Table::Cell& cell : result_cells(label, result)) {
+    if (!line.empty()) line += ',';
+    line += encode_cell(cell, OutputFormat::kCsv);
+  }
+  return line;
+}
+
 void ResultWriter::write(std::ostream& os, OutputFormat format) const {
   const std::vector<std::string> cols = columns();
   std::vector<std::vector<Table::Cell>> cells;
   cells.reserve(rows_.size());
   for (const Row& row : rows_) {
-    const AveragedResult& r = row.result;
-    cells.push_back({row.label, r.offered_load, r.accepted_load,
-                     r.avg_latency, r.components.base, r.components.misroute,
-                     r.components.local_queue, r.components.global_queue,
-                     r.components.injection_queue, r.avg_local_hops,
-                     r.avg_global_hops, r.fairness.min_injections,
-                     r.fairness.max_injections, r.fairness.max_over_min,
-                     r.fairness.cov, r.fairness.jain,
-                     static_cast<std::int64_t>(r.seeds),
-                     static_cast<std::int64_t>(r.measured_cycles + 0.5),
-                     static_cast<std::int64_t>(r.converged ? 1 : 0)});
+    cells.push_back(result_cells(row.label, row.result));
   }
   switch (format) {
     case OutputFormat::kTable: {

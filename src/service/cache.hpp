@@ -1,0 +1,104 @@
+// Bounded LRU cache keyed by canonical-config hashes. Two independent
+// budgets — entry count and byte total — because the sweep service runs
+// one instance over small AveragedResults (count-bound) and one over
+// multi-megabyte warm-start checkpoint blobs (byte-bound). Values are
+// shared_ptr<const V>: an evicted entry stays alive for readers that
+// already hold it, so eviction never races a reply in flight.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace dragonfly {
+
+template <typename V>
+class LruCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Budgets of 0 mean "unlimited" on that axis. A single value larger
+  /// than max_bytes is still admitted alone (the cache would otherwise
+  /// thrash to empty); it is evicted as soon as anything newer arrives.
+  explicit LruCache(std::size_t max_entries, std::size_t max_bytes = 0)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+  /// The value for `key` (refreshing its recency), or nullptr.
+  std::shared_ptr<const V> get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return it->second->value;
+  }
+
+  /// Insert (or refresh) `key`; `bytes` is the caller's accounting of
+  /// the value's footprint against the byte budget.
+  void put(const std::string& key, std::shared_ptr<const V> value,
+           std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      bytes_ -= it->second->bytes;
+      order_.erase(it->second);
+      map_.erase(it);
+    }
+    order_.push_front(Entry{key, std::move(value), bytes});
+    map_[key] = order_.begin();
+    bytes_ += bytes;
+    while (map_.size() > 1 &&
+           ((max_entries_ > 0 && map_.size() > max_entries_) ||
+            (max_bytes_ > 0 && bytes_ > max_bytes_))) {
+      const Entry& victim = order_.back();
+      bytes_ -= victim.bytes;
+      map_.erase(victim.key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Stats{hits_, misses_, evictions_, map_.size(), bytes_};
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    order_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const V> value;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::size_t max_bytes_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> map_;
+  std::size_t bytes_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace dragonfly

@@ -1,6 +1,7 @@
 #include "sim/config.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -732,6 +733,258 @@ constexpr KvDesc kKvDescs[] = {
     {"stream.interval", "MetricTap sampling interval, cycles"},
 };
 
+// --- canonical serialization (sweep-service cache keys) ----------------------
+
+/// Fixed-format numeric renderers: every canonical value must serialize
+/// identically on every platform and build, so the cache keys travel.
+std::string canon_num(std::int64_t v) { return std::to_string(v); }
+
+std::string canon_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string canon_bool(bool v) { return v ? "1" : "0"; }
+
+std::string canon_phases(const std::vector<ScriptedSegment>& script) {
+  std::string out;
+  for (const ScriptedSegment& seg : script) {
+    if (!out.empty()) out += ",";
+    out += seg.name + ":" + canon_num(static_cast<std::int64_t>(seg.cycles));
+    if (seg.load >= 0.0) out += "@load=" + canon_num(seg.load);
+    if (!seg.traffic.empty()) out += "@traffic=" + seg.traffic;
+  }
+  return out;
+}
+
+/// Canonical value of every kv-table key. The topology keys normalize
+/// through the resolved shape so spelling variants ("topology=dfly:2,4,2"
+/// vs "p=2,a=4,h=2") serialize identically; custom families without a
+/// cheap shape fall back to the resolved spec string and mark the
+/// dragonfly fields not-applicable.
+struct CanonEntry {
+  const char* key;
+  std::string (*value)(const SimConfig&);
+};
+
+std::optional<TopologyShape> canon_shape(const SimConfig& c) {
+  try {
+    return try_topology_shape(c);
+  } catch (const std::exception&) {
+    // Malformed built-in args: fall back to the raw spelling below —
+    // validate() rejects the config before anything caches it.
+    return std::nullopt;
+  }
+}
+
+const CanonEntry kCanonEntries[] = {
+    {"topology",
+     [](const SimConfig& c) {
+       std::string family;
+       try {
+         family = topology_family(c);
+       } catch (const std::exception&) {
+         return c.topology;  // unknown family: raw spelling, fails validate()
+       }
+       // dfly args are fully absorbed by the shape entries below; other
+       // families keep their full arg spelling (the shape alone may not
+       // determine the wiring).
+       return family == "dfly" ? std::string("dfly")
+                               : (c.topology.empty() ? family : c.topology);
+     }},
+    {"h",
+     [](const SimConfig& c) {
+       const auto shape = canon_shape(c);
+       return shape ? canon_num(static_cast<std::int64_t>(shape->global_slots))
+                    : std::string("-");
+     }},
+    {"p",
+     [](const SimConfig& c) {
+       const auto shape = canon_shape(c);
+       return shape ? canon_num(static_cast<std::int64_t>(shape->p))
+                    : std::string("-");
+     }},
+    {"a",
+     [](const SimConfig& c) {
+       const auto shape = canon_shape(c);
+       return shape ? canon_num(static_cast<std::int64_t>(shape->a))
+                    : std::string("-");
+     }},
+    {"groups",
+     [](const SimConfig& c) {
+       const auto shape = canon_shape(c);
+       return shape ? canon_num(static_cast<std::int64_t>(shape->groups))
+                    : std::string("-");
+     }},
+    {"arrangement", [](const SimConfig& c) { return c.arrangement; }},
+    {"routing", [](const SimConfig& c) { return c.routing_key(); }},
+    {"traffic", [](const SimConfig& c) { return c.traffic_key(); }},
+    {"local_latency",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.local_latency));
+     }},
+    {"global_latency",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.global_latency));
+     }},
+    {"pipeline_latency",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.pipeline_latency));
+     }},
+    {"packet_size",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.packet_size));
+     }},
+    {"output_queue_size",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.output_queue_size));
+     }},
+    {"local_input_buffer",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.local_input_buffer));
+     }},
+    {"global_input_buffer",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.global_input_buffer));
+     }},
+    {"global_vcs",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.global_vcs));
+     }},
+    {"local_vcs",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.local_vcs));
+     }},
+    {"injection_vcs",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.injection_vcs));
+     }},
+    {"allocator_iterations",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.allocator_iterations));
+     }},
+    {"max_grants_per_output",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.max_grants_per_output));
+     }},
+    {"max_grants_per_input",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.max_grants_per_input));
+     }},
+    {"transit_priority",
+     [](const SimConfig& c) { return canon_bool(c.transit_priority); }},
+    {"age_arbitration",
+     [](const SimConfig& c) { return canon_bool(c.age_arbitration); }},
+    {"intransit_threshold",
+     [](const SimConfig& c) { return canon_num(c.intransit_threshold); }},
+    {"pb_threshold_local",
+     [](const SimConfig& c) { return canon_num(c.pb_threshold_local); }},
+    {"pb_threshold_global",
+     [](const SimConfig& c) { return canon_num(c.pb_threshold_global); }},
+    {"adversarial_offset",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.adversarial_offset));
+     }},
+    {"placement_first_group",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.placement_first_group));
+     }},
+    {"placement_num_groups",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.placement_num_groups));
+     }},
+    {"shift_offset_nodes",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.shift_offset_nodes));
+     }},
+    {"hotspot_fraction",
+     [](const SimConfig& c) { return canon_num(c.hotspot_fraction); }},
+    {"hotspot_node",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.hotspot_node));
+     }},
+    {"load", [](const SimConfig& c) { return canon_num(c.load); }},
+    {"node_queue_capacity",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.node_queue_capacity));
+     }},
+    {"warmup_cycles",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.warmup_cycles));
+     }},
+    {"measure_cycles",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.measure_cycles));
+     }},
+    {"seed", [](const SimConfig& c) { return std::to_string(c.seed); }},
+    {"sim.paranoid",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.sim_paranoid));
+     }},
+    {"sim.kernel",
+     [](const SimConfig& c) { return std::string(to_string(c.kernel)); }},
+    {"sim.shards",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.shards));
+     }},
+    {"stop.mode",
+     [](const SimConfig& c) { return std::string(to_string(c.stop.mode)); }},
+    {"stop.rel_hw",
+     [](const SimConfig& c) { return canon_num(c.stop.rel_hw); }},
+    {"stop.batches",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.stop.batches));
+     }},
+    {"stop.batch_cycles",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.stop.batch_cycles));
+     }},
+    {"phases", [](const SimConfig& c) { return canon_phases(c.phase_script); }},
+    {"drain.max_cycles",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.drain_max_cycles));
+     }},
+    {"stream.interval",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.stream_interval));
+     }},
+};
+
+/// Knobs a refinement request may change on a warm start (see
+/// SimConfig::refinement_key).
+constexpr const char* kRefinementKeys[] = {
+    "measure_cycles", "stop.mode",       "stop.rel_hw",
+    "stop.batches",   "stop.batch_cycles", "drain.max_cycles",
+    "stream.interval", "sim.kernel",     "sim.shards",
+    "sim.paranoid",
+};
+
+std::uint64_t fnv1a64(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hash_entries(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    bool skip_refinement) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const auto& [key, value] : entries) {
+    if (skip_refinement && SimConfig::refinement_key(key)) continue;
+    h = fnv1a64(h, key);
+    h = fnv1a64(h, "=");
+    h = fnv1a64(h, value);
+    h = fnv1a64(h, "\n");
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 std::string joined_kv_keys() {
   std::string out;
   for (const std::string& key : SimConfig::kv_keys()) {
@@ -799,6 +1052,75 @@ SimConfig::kv_key_descriptions() {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::pair<std::string, std::string>> SimConfig::canonical_kv()
+    const {
+  // Driven by the kv table, not by kCanonEntries, so a knob added to
+  // kKvEntries without a canonical serializer fails loudly here — the
+  // silent-cache-poisoning guard (a knob that changes results but not
+  // the hash would alias distinct configs onto one cache entry).
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(std::size(kKvEntries));
+  for (const KvEntry& entry : kKvEntries) {
+    const CanonEntry* canon = nullptr;
+    for (const CanonEntry& c : kCanonEntries) {
+      if (std::string(c.key) == entry.key) {
+        canon = &c;
+        break;
+      }
+    }
+    if (canon == nullptr) {
+      throw std::logic_error(std::string("config key \"") + entry.key +
+                             "\" has no canonical serializer — add it to "
+                             "kCanonEntries so the result cache can key on "
+                             "it");
+    }
+    out.emplace_back(entry.key, canon->value(*this));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string SimConfig::canonical_hash() const {
+  return hash_entries(canonical_kv(), /*skip_refinement=*/false);
+}
+
+bool SimConfig::refinement_key(const std::string& key) {
+  for (const char* k : kRefinementKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+std::string SimConfig::warm_hash() const {
+  return hash_entries(canonical_kv(), /*skip_refinement=*/true);
+}
+
+std::string SimConfig::warm_incompatibility(const SimConfig& refined) const {
+  const auto mine = canonical_kv();
+  const auto theirs = refined.canonical_kv();
+  // Same kv table on both sides, sorted by key: walk in lockstep.
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    if (refinement_key(mine[i].first)) continue;
+    if (mine[i].second != theirs[i].second) {
+      return "knob \"" + mine[i].first + "\" is \"" + mine[i].second +
+             "\" in the warm-start checkpoint but \"" + theirs[i].second +
+             "\" in the request; only the measurement window and stop rule "
+             "may differ on a warm start";
+    }
+  }
+  return "";
+}
+
+void SimConfig::apply_refinements(const SimConfig& refined) {
+  measure_cycles = refined.measure_cycles;
+  stop = refined.stop;
+  drain_max_cycles = refined.drain_max_cycles;
+  stream_interval = refined.stream_interval;
+  kernel = refined.kernel;
+  shards = refined.shards;
+  sim_paranoid = refined.sim_paranoid;
 }
 
 std::vector<ScriptedSegment> parse_phase_script(const std::string& text) {

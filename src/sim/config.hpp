@@ -252,6 +252,51 @@ struct SimConfig {
   /// Every key apply_kv understands, sorted (for diagnostics and docs).
   static std::vector<std::string> kv_keys();
 
+  // --- canonical identity (sweep-service result cache) ----------------------
+  /// Canonical (key, value) serialization of the *semantic* knob table:
+  /// one entry per kv_keys() key, sorted by key, values rendered in a
+  /// fixed format. Two configs that select the same simulation — via a
+  /// different key order, an alias spelling, or by explicitly setting a
+  /// knob to its default — serialize identically; the bookkeeping flags
+  /// (vcs_explicit, topo_*_explicit) and spec-level concerns are
+  /// excluded. The topology entries are normalized through the resolved
+  /// shape, so "topology=dfly:2,4,2" and "p=2,a=4,h=2" agree. A knob
+  /// added to the kv table without a canonical serializer throws
+  /// std::logic_error here (the cache-poisoning guard the unit tests
+  /// pin).
+  std::vector<std::pair<std::string, std::string>> canonical_kv() const;
+
+  /// FNV-1a 64-bit hash of canonical_kv(), as a 16-digit hex string —
+  /// the sweep-service result-cache key. Every knob in the kv table
+  /// (and the seed) perturbs it; key order and default-vs-explicit
+  /// spelling do not.
+  std::string canonical_hash() const;
+
+  /// True for knobs a *refinement* request may change while still
+  /// resuming from a warm-start checkpoint taken at the Measure
+  /// boundary: the measurement window and stop rule (measure_cycles,
+  /// stop.*), post-measure concerns (drain.max_cycles,
+  /// stream.interval), and the execution-only knobs that are
+  /// bit-identity-neutral by construction (sim.kernel, sim.shards,
+  /// sim.paranoid). Everything else — topology, routing, traffic,
+  /// load, seed, buffers, warmup — defines the warmed-up state and
+  /// must match exactly.
+  static bool refinement_key(const std::string& key);
+
+  /// canonical_hash() over the non-refinement keys only — the
+  /// warm-start checkpoint cache key: two configs with equal warm_hash
+  /// share the same warmed-up network state bit-for-bit.
+  std::string warm_hash() const;
+
+  /// "" when `refined` may warm-start from a checkpoint of *this*
+  /// config; otherwise a diagnostic naming the first incompatible knob
+  /// and both values.
+  std::string warm_incompatibility(const SimConfig& refined) const;
+
+  /// Copy every refinement_key() knob from `refined` into this config
+  /// (the restore-side half of a warm start).
+  void apply_refinements(const SimConfig& refined);
+
   /// (key, one-line description) for every key, sorted by key — the
   /// table `simulate_cli --list` prints.
   static std::vector<std::pair<std::string, std::string>>

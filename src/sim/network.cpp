@@ -21,11 +21,35 @@ const SimConfig& validated(const SimConfig& cfg) {
   cfg.validate();
   return cfg;
 }
+
+/// Use the injected shared topology, or build a private one. An injected
+/// topology must match the shape the config selects: a shared instance
+/// of the wrong shape would mis-wire every router silently, so when the
+/// family exposes a cheap shape the dimensions are cross-checked here.
+std::shared_ptr<const Topology> adopt_topology(
+    const SimConfig& cfg, std::shared_ptr<const Topology> topo) {
+  if (topo == nullptr) return make_topology(cfg);
+  if (const auto shape = try_topology_shape(cfg)) {
+    if (shape->num_routers() != topo->num_routers() ||
+        shape->num_nodes() != topo->num_nodes()) {
+      throw std::invalid_argument(
+          "shared topology mismatch: config selects " +
+          std::to_string(shape->num_routers()) + " routers / " +
+          std::to_string(shape->num_nodes()) +
+          " nodes but the injected topology has " +
+          std::to_string(topo->num_routers()) + " / " +
+          std::to_string(topo->num_nodes()));
+    }
+  }
+  return topo;
+}
 }  // namespace
 
-Network::Network(const SimConfig& cfg)
+Network::Network(const SimConfig& cfg) : Network(cfg, nullptr) {}
+
+Network::Network(const SimConfig& cfg, std::shared_ptr<const Topology> topo)
     : cfg_(validated(cfg)),
-      topo_(make_topology(cfg_)),
+      topo_(adopt_topology(cfg_, std::move(topo))),
       routing_(make_routing(*topo_, cfg_)),
       traffic_(make_traffic(*topo_, cfg_)),
       collector_(*topo_, cfg_),

@@ -73,6 +73,15 @@ class ParallelRunner;
 class Network final : public EventSink {
  public:
   explicit Network(const SimConfig& cfg);
+
+  /// Build over a pre-constructed shared topology (nullptr builds a
+  /// private one from cfg). Topologies are immutable after finalize(),
+  /// so one instance may back any number of concurrent networks — the
+  /// sweep service shares them through TopologyCache to amortize the
+  /// O(links²) construction on big shapes. The injected topology must
+  /// describe the shape cfg selects (checked against try_topology_shape
+  /// when the family provides one; mismatch throws).
+  Network(const SimConfig& cfg, std::shared_ptr<const Topology> topo);
   ~Network() override;
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -295,7 +304,9 @@ class Network final : public EventSink {
   }
 
   SimConfig cfg_;
-  std::unique_ptr<Topology> topo_;
+  /// Shared and immutable: possibly co-owned by other networks (and the
+  /// TopologyCache) in this process.
+  std::shared_ptr<const Topology> topo_;
   std::unique_ptr<RoutingAlgorithm> routing_;
   std::unique_ptr<TrafficPattern> traffic_;
   PacketStore store_;

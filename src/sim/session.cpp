@@ -55,6 +55,9 @@ const char* to_string(SessionPhase phase) {
 
 Session::Session(const SimConfig& cfg) : cfg_(cfg), net_(cfg) {}
 
+Session::Session(const SimConfig& cfg, std::shared_ptr<const Topology> topo)
+    : cfg_(cfg), net_(cfg_, std::move(topo)) {}
+
 const std::string& Session::segment() const {
   static const std::string kEmpty;
   if (phase_ != SessionPhase::kMeasure || cfg_.phase_script.empty() ||
@@ -401,7 +404,9 @@ void Session::checkpoint(std::ostream& os) const {
 }
 
 std::unique_ptr<Session> Session::restore(std::istream& is,
-                                          int shards_override) {
+                                          int shards_override,
+                                          const SimConfig* refine,
+                                          std::shared_ptr<const Topology> topo) {
   CheckpointReader ck(is);
   if (ck.str() != kCheckpointMagic) {
     throw std::runtime_error("checkpoint: not a session checkpoint stream");
@@ -413,6 +418,18 @@ std::unique_ptr<Session> Session::restore(std::istream& is,
   }
   SimConfig cfg;
   cfg.read_from(ck);
+  // Warm-start refinement: the caller wants this checkpoint's state but
+  // a different measurement window / stop rule. Anything beyond the
+  // refinement keys would make the resumed run a physically different
+  // experiment wearing a cached network's state, so re-validate the
+  // request against the embedded config and refuse loudly on mismatch.
+  if (refine != nullptr) {
+    const std::string why = cfg.warm_incompatibility(*refine);
+    if (!why.empty()) {
+      throw std::runtime_error("checkpoint: warm start rejected: " + why);
+    }
+    cfg.apply_refinements(*refine);
+  }
   // The v4 stream is partition-independent, so the restoring side may
   // pick any shard count (0 keeps the one embedded at save time).
   if (shards_override > 0) cfg.shards = shards_override;
@@ -425,7 +442,7 @@ std::unique_ptr<Session> Session::restore(std::istream& is,
     throw std::runtime_error(
         std::string("checkpoint: embedded config invalid: ") + e.what());
   }
-  auto session = std::make_unique<Session>(cfg);
+  auto session = std::make_unique<Session>(cfg, std::move(topo));
   ck.tag("Session");
   session->phase_ = static_cast<SessionPhase>(ck.u8());
   session->phase_armed_ = ck.boolean();

@@ -65,6 +65,12 @@ class Session {
  public:
   explicit Session(const SimConfig& cfg);
 
+  /// Build over a pre-constructed shared topology (see
+  /// Network::Network(cfg, topo)); nullptr builds a private one. The
+  /// sweep service passes TopologyCache entries here so concurrent
+  /// sessions on one shape share the wiring and oracle tables.
+  Session(const SimConfig& cfg, std::shared_ptr<const Topology> topo);
+
   // --- phase machine --------------------------------------------------------
   SessionPhase phase() const { return phase_; }
   /// Active scripted segment name ("" outside scripted segments).
@@ -120,10 +126,22 @@ class Session {
   /// instead of the one embedded at save time — still bit-identical,
   /// so a run can be checkpointed on a laptop at sim.shards=1 and
   /// resumed on a many-core box at sim.shards=8 (or vice versa).
+  /// `refine`, when non-null, is a *warm-start refinement*: the restored
+  /// session adopts the refinement keys (measurement window, stop rule,
+  /// drain cap, stream interval, kernel/shards/paranoid — see
+  /// SimConfig::refinement_key) from `refine` while keeping the
+  /// checkpoint's physical config. Every non-refinement knob must match
+  /// the embedded config's canonical form; any mismatch throws
+  /// std::runtime_error carrying SimConfig::warm_incompatibility's
+  /// diagnostic, so a service can never silently resume a checkpoint
+  /// into a physically different experiment. `topo` optionally supplies
+  /// the shared topology for the rebuilt network (nullptr = private).
   void checkpoint(std::ostream& os) const;
   void checkpoint_file(const std::string& path) const;
-  static std::unique_ptr<Session> restore(std::istream& is,
-                                          int shards_override = 0);
+  static std::unique_ptr<Session> restore(
+      std::istream& is, int shards_override = 0,
+      const SimConfig* refine = nullptr,
+      std::shared_ptr<const Topology> topo = nullptr);
   static std::unique_ptr<Session> restore_file(const std::string& path,
                                                int shards_override = 0);
 

@@ -1,0 +1,56 @@
+#include "topology/topology_cache.hpp"
+
+#include "sim/config.hpp"
+
+namespace dragonfly {
+
+std::string topology_cache_key(const SimConfig& cfg) {
+  // Reuse the canonical knob serialization so spelling variants
+  // ("topology=dfly:2,4,2" vs "p=2,a=4,h=2") share one entry; only the
+  // topology-defining keys participate.
+  std::string key;
+  for (const auto& [k, v] : cfg.canonical_kv()) {
+    if (k == "topology" || k == "h" || k == "p" || k == "a" ||
+        k == "groups" || k == "arrangement") {
+      key += k + "=" + v + ";";
+    }
+  }
+  return key;
+}
+
+std::shared_ptr<const Topology> TopologyCache::acquire(const SimConfig& cfg) {
+  const std::string key = topology_cache_key(cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Build outside the lock: construction is the expensive part and two
+  // concurrent first-acquires of the same shape are rare; the second
+  // insert loses and adopts the first entry.
+  std::shared_ptr<const Topology> built = make_topology(cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = map_.emplace(key, std::move(built));
+  ++misses_;
+  return it->second;
+}
+
+TopologyCache::Stats TopologyCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, map_.size()};
+}
+
+void TopologyCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+TopologyCache& TopologyCache::process_cache() {
+  static TopologyCache* cache = new TopologyCache();
+  return *cache;
+}
+
+}  // namespace dragonfly
