@@ -126,6 +126,56 @@ void BM_NetworkStepAdvc(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkStepAdvc)->Arg(3);
 
+/// Workload-driver cost, collective mode: a 16-rank ring allreduce
+/// dependency-stepped by the serial driver on top of the active
+/// kernel; the other nodes idle. Arg: radix h. run_baseline.sh derives
+/// the uniform/allreduce step-time ratio at h=3 so a regression in the
+/// driver's on_cycle/on_delivered path (run every cycle, serial) shows
+/// up machine-independently in CI's perf-smoke job.
+void BM_NetworkStepAllreduce(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  SimConfig cfg = SimConfig::small(h);
+  cfg.routing_name = "par-mm";
+  cfg.traffic_name = "uniform";
+  cfg.load = 0.5;
+  cfg.workload.mode = "collective";
+  cfg.workload.collective = "ring";
+  cfg.workload.participants = 16;
+  cfg.apply_vc_defaults();
+  Network net(cfg);
+  for (int i = 0; i < 500; ++i) net.step();
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations() * net.num_routers());
+  state.counters["nodes"] = net.num_nodes();
+}
+BENCHMARK(BM_NetworkStepAllreduce)->Arg(2)->Arg(3);
+
+/// Workload-driver cost, churn mode: jobs arrive, get placed on router
+/// blocks, run per-job rank-space mixes and depart — exercising the
+/// placement, pattern-rebind, node-gate flip and per-job metrics
+/// attribution paths every few hundred cycles while every in-job node
+/// injects at the offered load. Comparable to BM_NetworkStepUniform at
+/// the same (h, 50%) point; run_baseline.sh derives the ratio.
+void BM_NetworkStepChurn(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  SimConfig cfg = SimConfig::small(h);
+  cfg.routing_name = "par-mm";
+  cfg.traffic_name = "uniform";
+  cfg.load = 0.5;
+  cfg.workload.mode = "churn";
+  cfg.workload.jobs = 3;
+  cfg.workload.arrival_cycles = 300;
+  cfg.workload.job_cycles = 1'500;
+  cfg.workload.mix = "uniform,shift";
+  cfg.apply_vc_defaults();
+  Network net(cfg);
+  for (int i = 0; i < 500; ++i) net.step();
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations() * net.num_routers());
+  state.counters["nodes"] = net.num_nodes();
+}
+BENCHMARK(BM_NetworkStepChurn)->Arg(2)->Arg(3);
+
 void BM_SessionStep(benchmark::State& state) {
   // Phase-machine overhead over raw Network::step — must stay noise.
   const int h = static_cast<int>(state.range(0));

@@ -13,7 +13,7 @@ set -euo pipefail
 
 BUILD_DIR=${1:?usage: run_baseline.sh <build_dir> <out_json> [filter]}
 OUT=${2:?usage: run_baseline.sh <build_dir> <out_json> [filter]}
-FILTER=${3:-'BM_NetworkStepUniform|BM_NetworkStepUniformScan|BM_NetworkStepUniformSharded|BM_SessionStep|BM_ServiceRequest'}
+FILTER=${3:-'BM_NetworkStepUniform|BM_NetworkStepUniformScan|BM_NetworkStepUniformSharded|BM_NetworkStepAllreduce|BM_NetworkStepChurn|BM_SessionStep|BM_ServiceRequest'}
 
 BIN="$BUILD_DIR/bench_micro_simspeed"
 if [[ ! -x "$BIN" ]]; then
@@ -90,6 +90,14 @@ out = {
             speedup("BM_ServiceRequestHit", "BM_ServiceRequestMiss"),
         "service_warm_speedup":
             speedup("BM_ServiceRequestWarm", "BM_ServiceRequestMiss"),
+        # Workload-driver step-time ratios (uniform ns / workload ns at
+        # the same h=3, 50% point, same process): a regression in the
+        # serial WorkloadDriver::on_cycle / per-job attribution path
+        # drives these down, which the ratio-tolerance check guards.
+        "workload_allreduce_step_ratio":
+            speedup("BM_NetworkStepAllreduce/3", "BM_NetworkStepUniform/3/50"),
+        "workload_churn_step_ratio":
+            speedup("BM_NetworkStepChurn/3", "BM_NetworkStepUniform/3/50"),
         "active_scan_speedup_lowload":
             speedup("BM_NetworkStepUniform/3/5", "BM_NetworkStepUniformScan/3/5"),
         "active_scan_speedup_saturation":

@@ -118,7 +118,8 @@ class CliObserver final : public RunObserver {
       : progress_(std::cerr), quiet_(quiet), stream_(stream) {
     if (stream_ != nullptr) {
       *stream_ << "config,seed,phase,segment,t_begin,t_end,offered,accepted,"
-                  "latency,p50,p99,delivered,live,fairness_cov,fairness_jain"
+                  "latency,p50,p99,delivered,live,fairness_cov,fairness_jain,"
+                  "live_jobs,jain_jobs"
                << "\n";
     }
   }
@@ -141,7 +142,8 @@ class CliObserver final : public RunObserver {
              << s.accepted_load << ',' << s.avg_latency << ','
              << s.p50_latency << ',' << s.p99_latency << ','
              << s.delivered_packets << ',' << s.live_packets << ','
-             << s.fairness_cov << ',' << s.fairness_jain << "\n";
+             << s.fairness_cov << ',' << s.fairness_jain << ','
+             << s.live_jobs << ',' << s.jain_jobs << "\n";
   }
 
  private:
@@ -297,6 +299,7 @@ int main(int argc, char** argv) {
     CliObserver observer(quiet, stream);
 
     ResultWriter writer(spec.label);
+    std::vector<AveragedResult> collected;
     std::string label =
         spec.base.routing_key() + "/" + spec.base.traffic_key();
 
@@ -339,14 +342,24 @@ int main(int argc, char** argv) {
       ObserverTap tap(&observer, 0, 0);
       if (stream != nullptr) session->set_tap(&tap);
       const SimResult result = session->run();
-      writer.add(label,
-                 average_results(std::span<const SimResult>(&result, 1)));
+      collected.push_back(
+          average_results(std::span<const SimResult>(&result, 1)));
+      writer.add(label, collected.back());
     } else {
-      const std::vector<AveragedResult> results = run_spec(spec, &observer);
-      for (const AveragedResult& r : results) writer.add(label, r);
+      collected = run_spec(spec, &observer);
+      for (const AveragedResult& r : collected) writer.add(label, r);
     }
 
     writer.write(std::cout, spec.format);
+    // Workload runs append the per-job battery table (human-readable
+    // output only — csv/json stdout stays one parseable document).
+    if (spec.format == OutputFormat::kTable) {
+      for (const AveragedResult& r : collected) {
+        if (r.jobs.empty()) continue;
+        std::cout << "\n";
+        report_job_table(std::cout, spec.label + " — jobs", "", r.jobs);
+      }
+    }
     if (!spec.out_path.empty()) {
       writer.write_file(spec.out_path, spec.format);
       if (!quiet) {

@@ -42,7 +42,12 @@ AveragedResult average_results(std::span<const SimResult> runs) {
       avg.injections_per_router[i] +=
           static_cast<double>(r.injections_per_router[i]) * inv;
     }
+    avg.p999_latency += r.p999_latency * inv;
+    avg.saturation_margin += r.saturation_margin * inv;
+    avg.jain_jobs += r.jain_jobs * inv;
+    avg.jain_groups += r.jain_groups * inv;
   }
+  if (runs.size() == 1) avg.jobs = runs.front().jobs;
   return avg;
 }
 

@@ -38,6 +38,15 @@ struct AveragedResult {
   double measured_cycles = 0.0;
   /// True when every seed's CI stop converged before the cap.
   bool converged = false;
+  // --- workload metrics battery (seed-averaged) -------------------------
+  double p999_latency = 0.0;
+  double saturation_margin = 0.0;
+  double jain_jobs = 0.0;
+  double jain_groups = 0.0;
+  /// Per-job results, passed through verbatim for single-seed runs
+  /// (churn job populations differ across seeds, so multi-seed runs
+  /// leave this empty rather than average incomparable job sets).
+  std::vector<JobResult> jobs;
 };
 
 /// Average per-seed results into one curve point (exposed for callers

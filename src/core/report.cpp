@@ -141,7 +141,10 @@ std::vector<Table::Cell> result_cells(const std::string& label,
           r.fairness.cov, r.fairness.jain,
           static_cast<std::int64_t>(r.seeds),
           static_cast<std::int64_t>(r.measured_cycles + 0.5),
-          static_cast<std::int64_t>(r.converged ? 1 : 0)};
+          static_cast<std::int64_t>(r.converged ? 1 : 0),
+          r.p999_latency, r.saturation_margin,
+          r.jain_jobs, r.jain_groups,
+          static_cast<std::int64_t>(r.jobs.size())};
 }
 
 std::ofstream open_for_write(const std::string& path) {
@@ -175,7 +178,9 @@ std::vector<std::string> ResultWriter::columns() {
           "lat_base",     "lat_misroute",  "lat_local_q", "lat_global_q",
           "lat_inj_q",    "local_hops",    "global_hops", "min_inj",
           "max_inj",      "max_over_min",  "cov",         "jain",
-          "seeds",        "measured_cycles", "converged"};
+          "seeds",        "measured_cycles", "converged",
+          "p999",         "sat_margin",    "jain_jobs",  "jain_groups",
+          "jobs"};
 }
 
 std::string ResultWriter::csv_header() {
@@ -338,6 +343,27 @@ void report_injections_per_router(std::ostream& os, const std::string& title,
   table.print(os);
   os << "\n";
   mirror_table(table, stem);
+}
+
+void report_job_table(std::ostream& os, const std::string& title,
+                      const std::string& stem,
+                      std::span<const JobResult> jobs) {
+  Table table({"job", "label", "nodes", "start", "end", "delivered",
+               "accepted", "latency", "p99", "max_lat", "iters",
+               "iter_cycles"});
+  table.set_title(title);
+  for (const JobResult& j : jobs) {
+    table.add_row({static_cast<std::int64_t>(j.id), j.label,
+                   static_cast<std::int64_t>(j.nodes),
+                   static_cast<std::int64_t>(j.start),
+                   static_cast<std::int64_t>(j.end),
+                   j.delivered_packets, j.accepted_load, j.avg_latency,
+                   j.p99_latency, j.max_latency, j.iterations,
+                   j.mean_iteration_cycles});
+  }
+  table.print(os);
+  os << "\n";
+  if (!stem.empty()) mirror_table(table, stem);
 }
 
 void report_fairness_table(std::ostream& os, const std::string& title,

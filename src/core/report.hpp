@@ -100,6 +100,14 @@ void report_injections_per_router(std::ostream& os, const std::string& title,
                                   std::span<const Curve> curves,
                                   GroupId group, int routers_per_group);
 
+/// Workload battery: one row per job (id, mix/collective label, node
+/// count, lifetime, window accepted load, latency tail, collective
+/// iteration stats). Mirrors to `<stem>.csv` / `<stem>.json` when
+/// `stem` is non-empty.
+void report_job_table(std::ostream& os, const std::string& title,
+                      const std::string& stem,
+                      std::span<const JobResult> jobs);
+
 /// Tables II/III: Min inj / Max-Min / CoV per routing configuration.
 void report_fairness_table(std::ostream& os, const std::string& title,
                            const std::string& stem,

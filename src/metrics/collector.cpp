@@ -19,6 +19,18 @@ void MetricsCollector::on_delivered(const Packet& pkt, Cycle when) {
   if (!measuring_) return;
   ++delivered_packets_measured_;
   delivered_phits_measured_ += pkt.size_phits;
+  p2_p999_.add(latency);
+  if (pkt.job >= 0) {
+    const auto it = job_index_.find(pkt.job);
+    if (it != job_index_.end()) {
+      JobRecord& job = jobs_[it->second];
+      ++job.delivered_packets;
+      job.delivered_phits += pkt.size_phits;
+      job.latency_sum += latency;
+      job.max_latency = std::max(job.max_latency, latency);
+      job.p99.add(latency);
+    }
+  }
   const Cycle base = base_latency(topo_, cfg_, pkt.src, pkt.dst);
   // Exact decomposition invariant (see metrics/latency.hpp). A violation
   // means the structural/wait bookkeeping in Router drifted.
@@ -29,6 +41,39 @@ void MetricsCollector::on_delivered(const Packet& pkt, Cycle when) {
     throw std::logic_error("latency decomposition identity violated");
   }
   latency_.add(pkt, when, base);
+}
+
+void MetricsCollector::on_job_start(std::int32_t id, const std::string& label,
+                                    int nodes, Cycle now) {
+  JobRecord job;
+  job.id = id;
+  job.label = label;
+  job.nodes = nodes;
+  job.start = now;
+  job_index_[id] = jobs_.size();
+  jobs_.push_back(std::move(job));
+}
+
+void MetricsCollector::on_job_end(std::int32_t id, Cycle now) {
+  const auto it = job_index_.find(id);
+  if (it != job_index_.end()) jobs_[it->second].end = now;
+}
+
+void MetricsCollector::on_iteration(std::int32_t id, Cycle duration) {
+  if (!measuring_) return;
+  const auto it = job_index_.find(id);
+  if (it == job_index_.end()) return;
+  JobRecord& job = jobs_[it->second];
+  ++job.iterations;
+  job.iteration_cycles += static_cast<double>(duration);
+}
+
+std::int64_t MetricsCollector::live_jobs() const {
+  std::int64_t n = 0;
+  for (const JobRecord& job : jobs_) {
+    if (job.end < 0) ++n;
+  }
+  return n;
 }
 
 void MetricsCollector::attach_routers(int num_routers) {
@@ -74,6 +119,23 @@ void MetricsCollector::save(CheckpointWriter& ck) const {
   ck.vec(injected_total_, [&](std::int64_t v) { ck.i64(v); });
   ck.vec(injected_measured_, [&](std::int64_t v) { ck.i64(v); });
   ck.vec(forwarded_total_, [&](std::int64_t v) { ck.i64(v); });
+  // appended in checkpoint format v5: per-job battery
+  p2_p999_.save(ck);
+  ck.u32(static_cast<std::uint32_t>(jobs_.size()));
+  for (const JobRecord& job : jobs_) {
+    ck.i32(job.id);
+    ck.str(job.label);
+    ck.i32(job.nodes);
+    ck.i64(job.start);
+    ck.i64(job.end);
+    ck.i64(job.delivered_packets);
+    ck.i64(job.delivered_phits);
+    ck.f64(job.latency_sum);
+    ck.f64(job.max_latency);
+    job.p99.save(ck);
+    ck.i64(job.iterations);
+    ck.f64(job.iteration_cycles);
+  }
 }
 
 void MetricsCollector::load(CheckpointReader& ck) {
@@ -101,6 +163,27 @@ void MetricsCollector::load(CheckpointReader& ck) {
       forwarded_total_.size() != routers) {
     throw std::runtime_error(
         "checkpoint: per-router counter size mismatch (config drift)");
+  }
+  p2_p999_.load(ck);
+  const std::uint32_t n_jobs = ck.u32();
+  jobs_.clear();
+  job_index_.clear();
+  for (std::uint32_t i = 0; i < n_jobs; ++i) {
+    JobRecord job;
+    job.id = ck.i32();
+    job.label = ck.str();
+    job.nodes = ck.i32();
+    job.start = ck.i64();
+    job.end = ck.i64();
+    job.delivered_packets = ck.i64();
+    job.delivered_phits = ck.i64();
+    job.latency_sum = ck.f64();
+    job.max_latency = ck.f64();
+    job.p99.load(ck);
+    job.iterations = ck.i64();
+    job.iteration_cycles = ck.f64();
+    job_index_[job.id] = jobs_.size();
+    jobs_.push_back(std::move(job));
   }
 }
 

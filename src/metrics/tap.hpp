@@ -42,6 +42,10 @@ struct StreamSample {
   std::int64_t live_packets = 0;       ///< in flight at t_end
   double fairness_cov = 0.0;   ///< over measured per-router injections
   double fairness_jain = 0.0;
+  std::int64_t live_jobs = 0;  ///< workload jobs live at t_end
+  /// Jain fairness over per-job accepted loads so far (0 without jobs
+  /// or before measurement).
+  double jain_jobs = 0.0;
 };
 
 /// Session observer. on_sample fires every stream.interval cycles from

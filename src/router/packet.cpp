@@ -30,6 +30,7 @@ void Packet::save(CheckpointWriter& ck) const {
   ck.i64(wait_local);
   ck.i64(wait_global);
   ck.i64(structural);
+  ck.i32(job);  // appended in checkpoint format v5
 }
 
 void Packet::load(CheckpointReader& ck) {
@@ -55,6 +56,7 @@ void Packet::load(CheckpointReader& ck) {
   wait_local = ck.i64();
   wait_global = ck.i64();
   structural = ck.i64();
+  job = ck.i32();
 }
 
 void PacketStore::configure(int arenas) {

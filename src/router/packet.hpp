@@ -30,6 +30,10 @@ struct Packet {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   std::int32_t size_phits = 8;
+  /// Owning workload job (-1 = none). Stamped at generation, carried to
+  /// delivery so MetricsCollector can attribute accepted load and
+  /// latency per tenant (checkpoint format v5).
+  std::int32_t job = -1;
 
   // --- routing state ----------------------------------------------------
   Phase phase = Phase::kSourceFlex;

@@ -97,7 +97,8 @@ std::string format_sample(const std::string& label, std::size_t point,
                      "," + num(s.p50_latency) + "," + num(s.p99_latency) +
                      "," + std::to_string(s.delivered_packets) + "," +
                      std::to_string(s.live_packets) + "," +
-                     num(s.fairness_cov) + "," + num(s.fairness_jain);
+                     num(s.fairness_cov) + "," + num(s.fairness_jain) + "," +
+                     std::to_string(s.live_jobs) + "," + num(s.jain_jobs);
   return line;
 }
 

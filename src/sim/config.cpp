@@ -66,7 +66,58 @@ std::string spelling_list(const Names& names) {
   return out;
 }
 
+// Closed workload-knob vocabularies (src/workload). Validated both at
+// key=value apply time (early diagnostics) and in validate() (configs
+// built in code).
+constexpr const char* kWorkloadModes[] = {"off", "collective", "bursty",
+                                          "churn"};
+constexpr const char* kWorkloadCollectives[] = {"ring", "tree", "alltoall",
+                                                "halo"};
+constexpr const char* kWorkloadPlacements[] = {"contiguous", "random"};
+constexpr const char* kWorkloadMixes[] = {"uniform", "ring", "shift",
+                                          "hotspot"};
+
+template <std::size_t N>
+const std::string& check_choice(const char* key, const std::string& value,
+                                const char* const (&valid)[N]) {
+  for (const char* v : valid) {
+    if (value == v) return value;
+  }
+  std::string list;
+  for (const char* v : valid) {
+    if (!list.empty()) list += " | ";
+    list += v;
+  }
+  throw std::invalid_argument(std::string(key) + ": unknown value \"" + value +
+                              "\"; valid values: " + list);
+}
+
+std::vector<std::string> split_mix(const std::string& mix) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(mix);
+  while (std::getline(is, item, ',')) {
+    const auto from = item.find_first_not_of(" \t");
+    const auto to = item.find_last_not_of(" \t");
+    out.push_back(from == std::string::npos
+                      ? std::string()
+                      : item.substr(from, to - from + 1));
+  }
+  return out;
+}
+
 }  // namespace
+
+std::vector<std::string> workload_mix_entries(const std::string& mix) {
+  std::vector<std::string> out = split_mix(mix);
+  for (const std::string& entry : out) {
+    check_choice("workload.mix", entry, kWorkloadMixes);
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("workload.mix: empty mix list");
+  }
+  return out;
+}
 
 const char* to_string(RoutingKind kind) {
   for (const RoutingName& n : kRoutingNames) {
@@ -375,6 +426,49 @@ void SimConfig::validate() const {
                                   std::to_string(shape->groups) + ")");
     }
   }
+  // --- workload subsystem ---------------------------------------------------
+  check_choice("workload.mode", workload.mode, kWorkloadModes);
+  check_choice("workload.collective", workload.collective,
+               kWorkloadCollectives);
+  check_choice("workload.placement", workload.placement, kWorkloadPlacements);
+  (void)workload_mix_entries(workload.mix);
+  if (workload.participants < 0 || workload.participants == 1) {
+    throw std::invalid_argument(
+        "workload.participants must be 0 (= every node) or >= 2 "
+        "(a one-rank collective has no communication)");
+  }
+  if (shape && workload.participants > shape->num_nodes()) {
+    throw std::invalid_argument(
+        "workload.participants is " + std::to_string(workload.participants) +
+        " but the topology has only " + std::to_string(shape->num_nodes()) +
+        " nodes");
+  }
+  if (workload.burst_cycles < 1 || workload.idle_cycles < 1) {
+    throw std::invalid_argument(
+        "workload.burst_cycles and workload.idle_cycles must be >= 1");
+  }
+  if (workload.jobs < 1) {
+    throw std::invalid_argument("workload.jobs must be >= 1");
+  }
+  if (workload.arrival_cycles < 1 || workload.job_cycles < 1) {
+    throw std::invalid_argument(
+        "workload.arrival_cycles and workload.job_cycles must be >= 1");
+  }
+  if (workload.job_routers < 0) {
+    throw std::invalid_argument(
+        "workload.job_routers must be >= 0 (0 = one group of routers)");
+  }
+  if (shape && workload.job_routers > shape->num_routers()) {
+    throw std::invalid_argument(
+        "workload.job_routers is " + std::to_string(workload.job_routers) +
+        " but the topology has only " + std::to_string(shape->num_routers()) +
+        " routers");
+  }
+  if (workload.mode == "churn" && !phase_script.empty()) {
+    throw std::invalid_argument(
+        "workload.mode=churn cannot be combined with a phase script: both "
+        "would mutate the live traffic assignment");
+  }
   // --- registry names ------------------------------------------------------
   // Resolve now so an unknown name fails with the full valid-name list
   // before a simulation (or a whole sweep) starts.
@@ -669,6 +763,52 @@ const KvEntry kKvEntries[] = {
      [](SimConfig& c, const std::string& k, const std::string& v) {
        c.stream_interval = parse_int(k, v);
      }},
+    // workload subsystem (src/workload)
+    {"workload.mode",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.mode = check_choice(k.c_str(), v, kWorkloadModes);
+     }},
+    {"workload.collective",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.collective = check_choice(k.c_str(), v, kWorkloadCollectives);
+     }},
+    {"workload.participants",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.participants = parse_int(k, v);
+     }},
+    {"workload.burst_cycles",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.burst_cycles = parse_int(k, v);
+     }},
+    {"workload.idle_cycles",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.idle_cycles = parse_int(k, v);
+     }},
+    {"workload.jobs",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.jobs = parse_int(k, v);
+     }},
+    {"workload.arrival_cycles",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.arrival_cycles = parse_int(k, v);
+     }},
+    {"workload.job_cycles",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.job_cycles = parse_int(k, v);
+     }},
+    {"workload.job_routers",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.job_routers = parse_int(k, v);
+     }},
+    {"workload.placement",
+     [](SimConfig& c, const std::string& k, const std::string& v) {
+       c.workload.placement = check_choice(k.c_str(), v, kWorkloadPlacements);
+     }},
+    {"workload.mix",
+     [](SimConfig& c, const std::string&, const std::string& v) {
+       (void)workload_mix_entries(v);  // fail on unknown names now
+       c.workload.mix = v;
+     }},
 };
 
 /// One-line descriptions for --list; kv_key_descriptions() asserts this
@@ -731,6 +871,20 @@ constexpr KvDesc kKvDescs[] = {
     {"phases", "scripted Measure segments name:cycles[@load=X][@traffic=T]"},
     {"drain.max_cycles", "post-measure drain budget, cycles (0 = skip)"},
     {"stream.interval", "MetricTap sampling interval, cycles"},
+    {"workload.mode",
+     "workload driver: off | collective | bursty | churn"},
+    {"workload.collective",
+     "collective kind: ring | tree | alltoall | halo"},
+    {"workload.participants", "collective ranks (0 = every node)"},
+    {"workload.burst_cycles", "bursty: mean ON dwell, cycles"},
+    {"workload.idle_cycles", "bursty: mean OFF dwell, cycles"},
+    {"workload.jobs", "churn: maximum concurrent jobs"},
+    {"workload.arrival_cycles", "churn: mean job inter-arrival gap, cycles"},
+    {"workload.job_cycles", "churn: mean job lifetime, cycles"},
+    {"workload.job_routers", "churn: routers per job (0 = one group)"},
+    {"workload.placement", "churn job placement: contiguous | random"},
+    {"workload.mix",
+     "churn per-job mixes, cycled: uniform | ring | shift | hotspot"},
 };
 
 // --- canonical serialization (sweep-service cache keys) ----------------------
@@ -948,6 +1102,50 @@ const CanonEntry kCanonEntries[] = {
     {"stream.interval",
      [](const SimConfig& c) {
        return canon_num(static_cast<std::int64_t>(c.stream_interval));
+     }},
+    {"workload.mode", [](const SimConfig& c) { return c.workload.mode; }},
+    {"workload.collective",
+     [](const SimConfig& c) { return c.workload.collective; }},
+    {"workload.participants",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.workload.participants));
+     }},
+    {"workload.burst_cycles",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.workload.burst_cycles));
+     }},
+    {"workload.idle_cycles",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.workload.idle_cycles));
+     }},
+    {"workload.jobs",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.workload.jobs));
+     }},
+    {"workload.arrival_cycles",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.workload.arrival_cycles));
+     }},
+    {"workload.job_cycles",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.workload.job_cycles));
+     }},
+    {"workload.job_routers",
+     [](const SimConfig& c) {
+       return canon_num(static_cast<std::int64_t>(c.workload.job_routers));
+     }},
+    {"workload.placement",
+     [](const SimConfig& c) { return c.workload.placement; }},
+    {"workload.mix",
+     [](const SimConfig& c) {
+       // Normalize the comma list (whitespace-insensitive spellings of
+       // the same mix hash identically).
+       std::string out;
+       for (const std::string& entry : workload_mix_entries(c.workload.mix)) {
+         if (!out.empty()) out += ",";
+         out += entry;
+       }
+       return out;
      }},
 };
 
@@ -1230,6 +1428,18 @@ void SimConfig::write_to(CheckpointWriter& ck) const {
   ck.boolean(topo_p_explicit);
   ck.boolean(topo_a_explicit);
   ck.boolean(topo_g_explicit);
+  // workload subsystem (appended in checkpoint format v5)
+  ck.str(workload.mode);
+  ck.str(workload.collective);
+  ck.i32(workload.participants);
+  ck.i64(workload.burst_cycles);
+  ck.i64(workload.idle_cycles);
+  ck.i32(workload.jobs);
+  ck.i64(workload.arrival_cycles);
+  ck.i64(workload.job_cycles);
+  ck.i32(workload.job_routers);
+  ck.str(workload.placement);
+  ck.str(workload.mix);
 }
 
 void SimConfig::read_from(CheckpointReader& ck) {
@@ -1295,6 +1505,17 @@ void SimConfig::read_from(CheckpointReader& ck) {
   topo_p_explicit = ck.boolean();
   topo_a_explicit = ck.boolean();
   topo_g_explicit = ck.boolean();
+  workload.mode = ck.str();
+  workload.collective = ck.str();
+  workload.participants = ck.i32();
+  workload.burst_cycles = ck.i64();
+  workload.idle_cycles = ck.i64();
+  workload.jobs = ck.i32();
+  workload.arrival_cycles = ck.i64();
+  workload.job_cycles = ck.i64();
+  workload.job_routers = ck.i32();
+  workload.placement = ck.str();
+  workload.mix = ck.str();
 }
 
 std::pair<std::string, std::string> split_kv(const std::string& item) {

@@ -115,6 +115,36 @@ struct ScriptedSegment {
   std::string traffic;  ///< new traffic registry name; empty keeps current
 };
 
+/// Workload-subsystem knobs (`workload.*` keys, src/workload). Mode
+/// "off" (the default) bypasses the subsystem entirely: the open-loop
+/// Bernoulli generators behave exactly as before. The other modes put
+/// a serially-stepped WorkloadDriver in charge of who generates what:
+///   collective — dependency-stepped ring/tree allreduce, all-to-all or
+///                halo-exchange iterations over the first `participants`
+///                nodes, one completion-time sample per iteration;
+///   bursty     — ON-OFF modulation of the configured traffic pattern
+///                with per-node geometric dwell times;
+///   churn      — a multi-tenant job model: jobs arrive, get placed on
+///                contiguous or random router sets, run a rank-space
+///                traffic mix for a sampled lifetime, then depart.
+struct WorkloadConfig {
+  std::string mode = "off";        ///< off | collective | bursty | churn
+  std::string collective = "ring"; ///< ring | tree | alltoall | halo
+  int participants = 0;            ///< collective ranks (0 = every node)
+  Cycle burst_cycles = 200;        ///< bursty: mean ON dwell, cycles
+  Cycle idle_cycles = 200;         ///< bursty: mean OFF dwell, cycles
+  int jobs = 4;                    ///< churn: max concurrent jobs
+  Cycle arrival_cycles = 500;      ///< churn: mean job inter-arrival gap
+  Cycle job_cycles = 2'000;        ///< churn: mean job lifetime, cycles
+  int job_routers = 0;             ///< churn: routers per job (0 = one group)
+  std::string placement = "contiguous";  ///< contiguous | random router sets
+  /// Comma list of per-job rank-space mixes, cycled by job index:
+  /// uniform | ring | shift | hotspot (all within the job's own nodes).
+  std::string mix = "uniform";
+
+  bool enabled() const { return mode != "off"; }
+};
+
 struct SimConfig {
   // --- topology (Table I: h=6, a=12, p=6, 73 groups, 5256 nodes) ---------
   /// Topology spec "family[:args]" from the registry
@@ -204,6 +234,9 @@ struct SimConfig {
   Cycle drain_max_cycles = 0;
   /// MetricTap sampling interval in cycles (`stream.interval`).
   Cycle stream_interval = 1'000;
+
+  // --- workload subsystem (src/workload, `workload.*` keys) ------------------
+  WorkloadConfig workload;
 
   /// Set when a key=value override touched the VC counts, so spec
   /// finalization knows not to clobber them with apply_vc_defaults().
@@ -318,5 +351,9 @@ std::vector<ScriptedSegment> parse_phase_script(const std::string& text);
 /// Split "key=value" (first '='); throws std::invalid_argument when
 /// there is no '='.
 std::pair<std::string, std::string> split_kv(const std::string& item);
+
+/// Parse and validate the `workload.mix` comma list; throws
+/// std::invalid_argument on an unknown mix name or an empty list.
+std::vector<std::string> workload_mix_entries(const std::string& mix);
 
 }  // namespace dragonfly

@@ -9,6 +9,7 @@
 #include "common/checkpoint.hpp"
 #include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
+#include "workload/workload.hpp"
 
 namespace dragonfly {
 
@@ -220,6 +221,11 @@ void Network::build() {
   }
 
   rebuild_node_masks();
+
+  if (cfg_.workload.enabled()) {
+    workload_ = std::make_unique<WorkloadDriver>(*this, Rng(cfg_.seed));
+    workload_->initialize();
+  }
 }
 
 void Network::rebuild_node_masks() {
@@ -280,6 +286,11 @@ void Network::step() {
   // state), so pulling it out of the shard calendars is behaviour-
   // neutral and keeps the order canonical for every shard count.
   drain_deliveries();
+  // The workload driver reacts to this cycle's deliveries (collective
+  // dependency steps, bursty dwells, job arrivals/departures) before
+  // the injection phase runs. Serial, so bit-identical for any kernel,
+  // thread or shard count.
+  if (workload_ != nullptr) workload_->on_cycle(now_, collector_.measuring());
   const bool measuring = collector_.measuring();
   const std::size_t S = shards_.size();
   if (!active_kernel_) {
@@ -430,6 +441,7 @@ void Network::drain_deliveries() {
   for (const Event& ev : delivery_scratch_) {
     const Packet& pkt = store_[ev.pkt];
     collector_.on_delivered(pkt, ev.when);
+    if (workload_ != nullptr) workload_->on_delivered(pkt, ev.when);
     store_.destroy(ev.pkt);
   }
   dispatched_events_ += static_cast<std::int64_t>(delivery_scratch_.size());
@@ -962,6 +974,42 @@ void Network::set_traffic(const std::string& registry_name) {
   rebuild_node_masks();
 }
 
+int Network::generating_nodes() const {
+  if (workload_ != nullptr) return workload_->accepted_denominator();
+  return generating_nodes_;
+}
+
+bool Network::workload_post_send(NodeId src, NodeId dst, bool measuring,
+                                 std::int32_t job) {
+  Node& node = nodes_[static_cast<std::size_t>(src)];
+  if (!node.post_send(dst, now_, measuring, job)) return false;
+  // The sender is usually outside the generator mask (its Bernoulli
+  // source is parked), so the injection phase only sees the new packet
+  // through the queue bit.
+  Shard& sh = shards_[static_cast<std::size_t>(shard_of_router_[
+      static_cast<std::size_t>(router_of_node_[static_cast<std::size_t>(src)])])];
+  const auto bit = static_cast<std::size_t>(src - sh.n_begin);
+  sh.queue_mask[bit >> 6] |= 1ull << (bit & 63);
+  return true;
+}
+
+void Network::refresh_node_activation(NodeId n) {
+  Shard& sh = shards_[static_cast<std::size_t>(shard_of_router_[
+      static_cast<std::size_t>(router_of_node_[static_cast<std::size_t>(n)])])];
+  const auto bit = static_cast<std::size_t>(n - sh.n_begin);
+  const std::uint64_t mask = 1ull << (bit & 63);
+  std::uint64_t& word = sh.gen_mask[bit >> 6];
+  const bool was = (word & mask) != 0;
+  const bool gen = nodes_[static_cast<std::size_t>(n)].generates();
+  if (gen && !was) {
+    word |= mask;
+    ++generating_nodes_;
+  } else if (!gen && was) {
+    word &= ~mask;
+    --generating_nodes_;
+  }
+}
+
 // --- checkpoint (format v4: partition-independent canonical form) ----------
 //
 // Packet references are serialized as canonical indices: a packet's
@@ -1088,6 +1136,10 @@ void Network::save(CheckpointWriter& ck) const {
   collector_.save(ck);
   hot_.save(ck);
   for (const auto& router : routers_) router->save(ck);
+  // v5: workload driver state precedes the nodes — Node::load re-derives
+  // its generates() flag against the pattern pointers the driver's load
+  // re-binds (churn jobs own their patterns).
+  if (workload_ != nullptr) workload_->save(ck);
   for (const auto& node : nodes_) node.save(ck);
   ck.set_packet_xlat(nullptr);
 }
@@ -1179,6 +1231,7 @@ void Network::load(CheckpointReader& ck) {
   collector_.load(ck);
   hot_.load(ck);
   for (auto& router : routers_) router->load(ck);
+  if (workload_ != nullptr) workload_->load(ck);
   for (auto& node : nodes_) node.load(ck);
   ck.set_packet_xlat(nullptr);
   // Re-derive the activation caches (alloc set, node masks, transmit

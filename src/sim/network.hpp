@@ -69,6 +69,7 @@ namespace dragonfly {
 class CheckpointWriter;
 class CheckpointReader;
 class ParallelRunner;
+class WorkloadDriver;
 
 class Network final : public EventSink {
  public:
@@ -153,8 +154,29 @@ class Network final : public EventSink {
   Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
   int num_routers() const { return topo_->num_routers(); }
   int num_nodes() const { return topo_->num_nodes(); }
-  /// Nodes that generate traffic under the configured pattern.
-  int generating_nodes() const { return generating_nodes_; }
+  /// Accepted-load denominator: nodes that generate traffic under the
+  /// configured pattern — or, with a workload driver attached, the
+  /// driver's stable participant population (the instantaneous mask
+  /// count fluctuates under bursty modulation and job churn).
+  int generating_nodes() const;
+
+  // --- workload-driver plumbing (serial call sites only) --------------------
+  /// The workload subsystem driver (nullptr unless cfg.workload.mode is
+  /// set); stepped serially at the top of every cycle.
+  WorkloadDriver* workload() { return workload_.get(); }
+  const WorkloadDriver* workload() const { return workload_.get(); }
+  /// Directed collective send: Node::post_send plus the shard queue-mask
+  /// update the injection phase needs to see the new packet (the node is
+  /// typically not in the generator mask).
+  bool workload_post_send(NodeId src, NodeId dst, bool measuring,
+                          std::int32_t job);
+  /// Incremental generator-mask update after a Node workload-gate flip
+  /// (bursty toggles, job arrival/departure) — the O(1) alternative to a
+  /// full rebuild_node_masks() sweep.
+  void refresh_node_activation(NodeId n);
+  /// Re-derive the per-shard generator/queue bitmaps and the generating-
+  /// node count from node state (serial; also used at build and load).
+  void rebuild_node_masks();
 
   std::int64_t generated_packets_total() const;
   std::int64_t generated_packets_measured() const;
@@ -295,7 +317,6 @@ class Network final : public EventSink {
   /// traffic pattern and source queues, the transmit calendars from the
   /// output queues (checkpoint load; also used at build time).
   void rebuild_activation();
-  void rebuild_node_masks();
   void mark_alloc_active(RouterId r) {
     Shard& sh = shards_[static_cast<std::size_t>(
         shard_of_router_[static_cast<std::size_t>(r)])];
@@ -317,6 +338,11 @@ class Network final : public EventSink {
   std::vector<Node> nodes_;
   /// Node id -> router id (hot injection-path lookup).
   std::vector<RouterId> router_of_node_;
+  /// Workload subsystem (src/workload): non-null only when
+  /// cfg.workload.mode != "off". Stepped serially right after the
+  /// delivery drain, so its effects are bit-identical for any kernel,
+  /// thread or shard count.
+  std::unique_ptr<WorkloadDriver> workload_;
 
   // --- sharding -------------------------------------------------------------
   std::vector<Shard> shards_;

@@ -32,6 +32,7 @@ void Node::generate_packet(Cycle now, bool measuring) {
   pkt.src = id_;
   pkt.dst = dst;
   pkt.size_phits = cfg_->packet_size;
+  pkt.job = job_;
   pkt.t_gen = now;
   pkt.current_router = router_->id();
   routing_->on_inject(*router_, pkt, rng_);
@@ -39,6 +40,30 @@ void Node::generate_packet(Cycle now, bool measuring) {
   ++queue_len_;
   ++generated_total_;
   if (measuring) ++generated_measured_;
+}
+
+bool Node::post_send(NodeId dst, Cycle now, bool measuring,
+                     std::int32_t job) {
+  // Collective sends respect the same finite source queue as Bernoulli
+  // generation; a full queue is backpressure the driver observes.
+  if (queue_len_ >= queue_cap_ || dst == id_ || dst == kInvalidNode) {
+    return false;
+  }
+  const PacketRef ref = store_->create(arena_);
+  Packet& pkt = (*store_)[ref];
+  pkt.id = (static_cast<PacketId>(id_) << 32) | generated_total_;
+  pkt.src = id_;
+  pkt.dst = dst;
+  pkt.size_phits = cfg_->packet_size;
+  pkt.job = job;
+  pkt.t_gen = now;
+  pkt.current_router = router_->id();
+  routing_->on_inject(*router_, pkt, rng_);
+  queue_.push_back(ref);
+  ++queue_len_;
+  ++generated_total_;
+  if (measuring) ++generated_measured_;
+  return true;
 }
 
 bool Node::inject_head(Cycle now) {
@@ -78,6 +103,9 @@ void Node::save(CheckpointWriter& ck) const {
   ck.i64(next_inject_allowed_);
   ck.i64(generated_total_);
   ck.i64(generated_measured_);
+  // appended in checkpoint format v5
+  ck.boolean(workload_on_);
+  ck.i32(job_);
 }
 
 void Node::load(CheckpointReader& ck) {
@@ -92,6 +120,13 @@ void Node::load(CheckpointReader& ck) {
   next_inject_allowed_ = ck.i64();
   generated_total_ = ck.i64();
   generated_measured_ = ck.i64();
+  workload_on_ = ck.boolean();
+  job_ = ck.i32();
+  // generates_ is derived state: the pattern was bound at build time (or
+  // re-bound by the workload driver just before nodes load — the v5
+  // stream serializes the driver section first).
+  generates_ =
+      workload_on_ && pattern_ != nullptr && pattern_->generates(id_);
 }
 
 }  // namespace dragonfly

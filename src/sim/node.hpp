@@ -66,11 +66,32 @@ class Node {
   /// Switch to a new pattern instance (re-evaluates generates()).
   void set_pattern(const TrafficPattern* pattern) {
     pattern_ = pattern;
-    generates_ = pattern->generates(id_);
+    generates_ = workload_on_ && pattern->generates(id_);
   }
   /// PacketStore arena this node creates packets in (the owning shard's,
   /// set by Network at build time; defaults to arena 0).
   void set_arena(int arena) { arena_ = arena; }
+
+  // --- workload-driver hooks (src/workload, serial call sites only) --------
+  /// ON-OFF gate layered over the pattern's generates(): the bursty
+  /// modulator and the churn job model park nodes without touching the
+  /// pattern. OFF nodes fail the generates_ gate before the Bernoulli
+  /// draw, so their RNG streams stay untouched (bit-identity with the
+  /// workload off).
+  void set_workload_on(bool on) {
+    workload_on_ = on;
+    generates_ = on && pattern_ != nullptr && pattern_->generates(id_);
+  }
+  bool workload_on() const { return workload_on_; }
+  /// Job id stamped into every packet this node generates (-1 = none).
+  void set_job(std::int32_t job) { job_ = job; }
+  std::int32_t job() const { return job_; }
+  /// Directed send for collective generators: enqueue one packet to
+  /// `dst` (bypassing the Bernoulli gate and the pattern), stamped with
+  /// `job`. Returns false when the finite source queue is full — the
+  /// driver retries next cycle. Serial call sites only: uses this
+  /// node's RNG for the routing injection decision.
+  bool post_send(NodeId dst, Cycle now, bool measuring, std::int32_t job);
 
   /// Checkpoint mutable state (RNG, source queue, injection bookkeeping,
   /// counters); identity/wiring come from construction.
@@ -105,6 +126,11 @@ class Node {
   PortId inj_port_;
   VcId next_vc_ = 0;
   int arena_ = 0;
+  /// Workload-driver gate over generates_ (bursty OFF dwell, node not in
+  /// any churn job). True (transparent) when the workload is off.
+  bool workload_on_ = true;
+  /// Job id stamped into generated packets (-1 outside any job).
+  std::int32_t job_ = -1;
   Router* router_;
   const TrafficPattern* pattern_;
   RoutingAlgorithm* routing_;

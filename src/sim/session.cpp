@@ -39,7 +39,36 @@ constexpr const char* kCheckpointMagic = "dragonfly-session-checkpoint";
 /// stream is partition-independent: a checkpoint taken at sim.shards=K
 /// restores bit-exactly at any other shard count (Session::restore's
 /// shards_override); SimConfig gained sim.shards.
-constexpr std::uint32_t kCheckpointVersion = 4;
+/// v5: workload subsystem — Packet carries a job id, Node gained the
+/// workload gate (workload_on_/job_), the collector appends the p99.9
+/// estimator and the per-job battery, and a Workload driver section
+/// sits between the router and node sections; SimConfig gained the
+/// workload.* table.
+constexpr std::uint32_t kCheckpointVersion = 5;
+
+/// Jain fairness over per-job accepted loads: delivered phits divided
+/// by job-nodes times the overlap of the job's lifetime with
+/// [win_begin, win_end). Jobs with no overlap contribute 0 (they
+/// depress fairness, which is the point — a tenant that got nothing
+/// through is maximally unfair).
+double jobs_jain(const MetricsCollector& col, Cycle win_begin,
+                 Cycle win_end) {
+  std::vector<double> loads;
+  loads.reserve(col.jobs().size());
+  for (const JobRecord& job : col.jobs()) {
+    const Cycle e = job.end < 0 ? win_end : std::min(job.end, win_end);
+    const Cycle b = std::max(job.start, win_begin);
+    const Cycle overlap = e > b ? e - b : 0;
+    loads.push_back(
+        overlap > 0 && job.nodes > 0
+            ? static_cast<double>(job.delivered_phits) /
+                  (static_cast<double>(job.nodes) *
+                   static_cast<double>(overlap))
+            : 0.0);
+  }
+  if (loads.empty()) return 0.0;
+  return summarize(loads).jain;
+}
 
 }  // namespace
 
@@ -146,6 +175,12 @@ void Session::emit_sample() {
   const Summary fairness = summarize(counts);
   s.fairness_cov = fairness.cov;
   s.fairness_jain = fairness.jain;
+  s.live_jobs = col.live_jobs();
+  if (col.measurement_begun()) {
+    const Cycle end =
+        col.measurement_closed() ? col.measure_end() : net_.now();
+    s.jain_jobs = jobs_jain(col, col.measure_start(), end);
+  }
   tap_->on_sample(s);
 
   sample_begin_ = net_.now();
@@ -367,6 +402,57 @@ SimResult Session::collect() const {
       std::span<const double>(net_.measured_injection_counts()));
   r.measured_cycles = col.measured_cycles();
   r.converged = converged_;
+
+  // --- workload metrics battery -----------------------------------------
+  r.p999_latency = col.p999_estimate();
+  if (r.offered_load > 0.0) {
+    r.saturation_margin = std::max(
+        0.0, (r.offered_load - r.accepted_load) / r.offered_load);
+  }
+  const Topology& topo = net_.topology();
+  std::vector<double> group_sums(
+      static_cast<std::size_t>(topo.num_groups()), 0.0);
+  const std::vector<double> counts = net_.measured_injection_counts();
+  for (std::size_t rtr = 0; rtr < counts.size(); ++rtr) {
+    group_sums[static_cast<std::size_t>(
+        topo.group_of_router(static_cast<RouterId>(rtr)))] += counts[rtr];
+  }
+  r.jain_groups = summarize(group_sums).jain;
+  const Cycle win_begin = col.measure_start();
+  const Cycle win_end =
+      col.measurement_closed() ? col.measure_end() : net_.now();
+  std::vector<double> job_loads;
+  for (const JobRecord& job : col.jobs()) {
+    JobResult jr;
+    jr.id = job.id;
+    jr.label = job.label;
+    jr.nodes = job.nodes;
+    jr.start = job.start;
+    jr.end = job.end;
+    jr.delivered_packets = job.delivered_packets;
+    const Cycle e = job.end < 0 ? win_end : std::min(job.end, win_end);
+    const Cycle b = std::max(job.start, win_begin);
+    const Cycle overlap = e > b ? e - b : 0;
+    if (overlap > 0 && job.nodes > 0) {
+      jr.accepted_load = static_cast<double>(job.delivered_phits) /
+                         (static_cast<double>(job.nodes) *
+                          static_cast<double>(overlap));
+    }
+    jr.avg_latency = job.delivered_packets > 0
+                         ? job.latency_sum /
+                               static_cast<double>(job.delivered_packets)
+                         : 0.0;
+    jr.p99_latency = job.p99.value();
+    jr.max_latency = job.max_latency;
+    jr.iterations = job.iterations;
+    jr.mean_iteration_cycles =
+        job.iterations > 0
+            ? job.iteration_cycles / static_cast<double>(job.iterations)
+            : 0.0;
+    job_loads.push_back(jr.accepted_load);
+    r.jobs.push_back(std::move(jr));
+  }
+  if (!r.jobs.empty()) r.jain_jobs = summarize(job_loads).jain;
   return r;
 }
 

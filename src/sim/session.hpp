@@ -37,6 +37,24 @@
 
 namespace dragonfly {
 
+/// Per-job slice of a SimResult (workload modes; see JobRecord).
+struct JobResult {
+  std::int32_t id = -1;
+  std::string label;          ///< traffic mix or collective name
+  std::int32_t nodes = 0;
+  Cycle start = 0;
+  Cycle end = -1;             ///< -1 = still live when collected
+  std::int64_t delivered_packets = 0;
+  /// Delivered phits/(job node * cycle) over the overlap of the job's
+  /// lifetime with the measurement window.
+  double accepted_load = 0.0;
+  double avg_latency = 0.0;
+  double p99_latency = 0.0;
+  double max_latency = 0.0;
+  std::int64_t iterations = 0;          ///< collective iterations, window
+  double mean_iteration_cycles = 0.0;   ///< mean completion time
+};
+
 /// Results of one simulation run at one offered load.
 struct SimResult {
   double offered_load = 0.0;   ///< configured phits/(node*cycle)
@@ -59,6 +77,18 @@ struct SimResult {
   /// True when stop.mode=ci ended the window early because the CIs
   /// converged (always false in fixed mode).
   bool converged = false;
+
+  // --- workload metrics battery ------------------------------------------
+  /// P² tail estimate over all measured deliveries.
+  double p999_latency = 0.0;
+  /// Headroom below saturation: max(0, (offered - accepted) / offered).
+  double saturation_margin = 0.0;
+  /// Jain fairness across per-job accepted loads (0 when no jobs).
+  double jain_jobs = 0.0;
+  /// Jain fairness across per-group measured injection sums.
+  double jain_groups = 0.0;
+  /// One entry per workload job (empty outside workload modes).
+  std::vector<JobResult> jobs;
 };
 
 class Session {

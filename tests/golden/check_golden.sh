@@ -5,25 +5,39 @@
 # drifting silently. Legitimate result changes: re-run regen.sh and
 # commit the new files with an explanation.
 #
-# usage: check_golden.sh <simulate_cli binary> <repo root>
+# usage: check_golden.sh <simulate_cli binary> <repo root> [smoke|churn|all]
 set -euo pipefail
 cli="$1"
 root="$2"
+which="${3:-all}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 status=0
-for seed in 1 2; do
-  "$cli" --config "$root/examples/specs/smoke.spec" \
-    --set seeds=1 --set "seed=$seed" --out csv --quiet \
-    > "$tmp/smoke_seed$seed.csv"
-  if ! cmp -s "$tmp/smoke_seed$seed.csv" "$root/tests/golden/smoke_seed$seed.csv"; then
-    echo "golden mismatch for seed $seed:" >&2
-    diff "$root/tests/golden/smoke_seed$seed.csv" "$tmp/smoke_seed$seed.csv" >&2 || true
+if [ "$which" = all ] || [ "$which" = smoke ]; then
+  for seed in 1 2; do
+    "$cli" --config "$root/examples/specs/smoke.spec" \
+      --set seeds=1 --set "seed=$seed" --out csv --quiet \
+      > "$tmp/smoke_seed$seed.csv"
+    if ! cmp -s "$tmp/smoke_seed$seed.csv" "$root/tests/golden/smoke_seed$seed.csv"; then
+      echo "golden mismatch for seed $seed:" >&2
+      diff "$root/tests/golden/smoke_seed$seed.csv" "$tmp/smoke_seed$seed.csv" >&2 || true
+      status=1
+    fi
+  done
+fi
+# The fixed job-churn scenario: multi-tenant workload results (per-job
+# battery columns included) are byte-locked the same way.
+if [ "$which" = all ] || [ "$which" = churn ]; then
+  "$cli" --config "$root/examples/specs/jobs_churn.spec" --out csv --quiet \
+    > "$tmp/jobs_churn.csv"
+  if ! cmp -s "$tmp/jobs_churn.csv" "$root/tests/golden/jobs_churn.csv"; then
+    echo "golden mismatch for jobs_churn.spec:" >&2
+    diff "$root/tests/golden/jobs_churn.csv" "$tmp/jobs_churn.csv" >&2 || true
     status=1
   fi
-done
+fi
 if [ "$status" -eq 0 ]; then
-  echo "golden OK: smoke.spec CSV bytes match for seeds 1 and 2"
+  echo "golden OK ($which): CSV bytes match tests/golden/"
 fi
 exit "$status"

@@ -13,3 +13,6 @@ for seed in 1 2; do
     > "$root/tests/golden/smoke_seed$seed.csv"
   echo "wrote tests/golden/smoke_seed$seed.csv"
 done
+"$cli" --config "$root/examples/specs/jobs_churn.spec" --out csv --quiet \
+  > "$root/tests/golden/jobs_churn.csv"
+echo "wrote tests/golden/jobs_churn.csv"

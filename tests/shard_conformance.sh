@@ -12,8 +12,24 @@ set -euo pipefail
 cli="$1"
 root="$2"
 golden="$root/tests/golden/matrix_sha256.txt"
+wl_golden="$root/tests/golden/workload_sha256.txt"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+# Workload-driver scenarios (src/workload): the driver is stepped
+# serially, so collective schedules, bursty dwells and churn job state
+# must also be sha256-identical for every kernel/shard variant. One
+# "name sha256" line per scenario in tests/golden/workload_sha256.txt.
+workload_names="collective_ring collective_alltoall bursty churn churn_random"
+workload_args() {  # name -> extra --set args
+  case "$1" in
+    collective_ring) echo "--set workload.mode=collective --set workload.collective=ring --set workload.participants=16" ;;
+    collective_alltoall) echo "--set workload.mode=collective --set workload.collective=alltoall --set workload.participants=12" ;;
+    bursty) echo "--set workload.mode=bursty --set workload.burst_cycles=150 --set workload.idle_cycles=450" ;;
+    churn) echo "--set workload.mode=churn --set workload.jobs=3 --set workload.arrival_cycles=200 --set workload.job_cycles=900 --set workload.mix=uniform,shift" ;;
+    churn_random) echo "--set workload.mode=churn --set workload.placement=random --set workload.job_routers=3 --set workload.arrival_cycles=200 --set workload.mix=hotspot,ring" ;;
+  esac
+}
 
 routings="$("$cli" --list | sed -n 's/^routings://p')"
 traffics="$("$cli" --list | sed -n 's/^traffic patterns://p')"
@@ -39,6 +55,14 @@ if [ "${REGEN:-0}" = "1" ]; then
     done
   done
   echo "regenerated $golden ($(wc -l < "$golden") pairs)"
+  : > "$wl_golden"
+  for name in $workload_names; do
+    # shellcheck disable=SC2046
+    hash="$(run_csv par-mm uniform $(workload_args "$name") \
+      | sha256sum | cut -d' ' -f1)"
+    echo "$name $hash" >> "$wl_golden"
+  done
+  echo "regenerated $wl_golden ($(wc -l < "$wl_golden") scenarios)"
   exit 0
 fi
 
@@ -81,8 +105,42 @@ for routing in $routings; do
   done
 done
 
+wl_count=0
+for name in $workload_names; do
+  wl_count=$((wl_count + 1))
+  want="$(awk -v n="$name" '$1 == n { print $2 }' "$wl_golden")"
+  if [ -z "$want" ]; then
+    echo "MISSING workload golden hash for $name (REGEN=1 to add it)" >&2
+    status=1
+    continue
+  fi
+  args_base="$(workload_args "$name")"
+  # shellcheck disable=SC2086
+  run_csv par-mm uniform $args_base > "$tmp/base.csv"
+  got="$(sha256sum < "$tmp/base.csv" | cut -d' ' -f1)"
+  if [ "$got" != "$want" ]; then
+    echo "WORKLOAD GOLDEN MISMATCH $name: want $want got $got" >&2
+    status=1
+    continue
+  fi
+  for variant in "scan:--set sim.kernel=scan" \
+                 "shards2:--set sim.shards=2" \
+                 "shards7:--set sim.shards=7"; do
+    label="${variant%%:*}"
+    args="${variant#*:}"
+    # shellcheck disable=SC2086
+    run_csv par-mm uniform $args_base $args > "$tmp/variant.csv"
+    if ! cmp -s "$tmp/base.csv" "$tmp/variant.csv"; then
+      echo "WORKLOAD VARIANT MISMATCH $name ($label)" >&2
+      diff "$tmp/base.csv" "$tmp/variant.csv" >&2 || true
+      status=1
+    fi
+  done
+done
+
 if [ "$status" -eq 0 ]; then
-  echo "shard conformance OK: $pairs routing x traffic pairs," \
-       "5 variants each, all sha256-identical to the committed hashes"
+  echo "shard conformance OK: $pairs routing x traffic pairs +" \
+       "$wl_count workload scenarios, all variants sha256-identical" \
+       "to the committed hashes"
 fi
 exit "$status"

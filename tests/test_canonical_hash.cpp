@@ -74,6 +74,17 @@ const std::map<std::string, std::string>& perturbations() {
       {"phases", "ramp:100@load=0.5"},
       {"drain.max_cycles", "50"},
       {"stream.interval", "250"},
+      {"workload.mode", "bursty"},
+      {"workload.collective", "tree"},
+      {"workload.participants", "8"},
+      {"workload.burst_cycles", "321"},
+      {"workload.idle_cycles", "654"},
+      {"workload.jobs", "6"},
+      {"workload.arrival_cycles", "777"},
+      {"workload.job_cycles", "3333"},
+      {"workload.job_routers", "2"},
+      {"workload.placement", "random"},
+      {"workload.mix", "uniform,shift"},
   };
   return kPerturb;
 }

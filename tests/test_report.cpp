@@ -64,7 +64,7 @@ TEST_F(ReportFixture, LatencyThroughputPrintsAndMirrorsUnifiedCsv) {
             "label,offered,accepted,latency,lat_base,lat_misroute,"
             "lat_local_q,lat_global_q,lat_inj_q,local_hops,global_hops,"
             "min_inj,max_inj,max_over_min,cov,jain,seeds,measured_cycles,"
-            "converged");
+            "converged,p999,sat_margin,jain_jobs,jain_groups,jobs");
   int rows = 0;
   while (std::getline(csv, line)) {
     if (!line.empty()) ++rows;

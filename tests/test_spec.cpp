@@ -146,12 +146,50 @@ TEST(Spec, KeyDescriptionsCoverEveryKey) {
   // The new session-lifecycle keys are part of the --list table.
   bool has_stop_mode = false;
   bool has_phases = false;
+  bool has_workload_mode = false;
   for (const auto& [key, desc] : descriptions) {
     has_stop_mode = has_stop_mode || key == "stop.mode";
     has_phases = has_phases || key == "phases";
+    has_workload_mode = has_workload_mode || key == "workload.mode";
   }
   EXPECT_TRUE(has_stop_mode);
   EXPECT_TRUE(has_phases);
+  EXPECT_TRUE(has_workload_mode);
+}
+
+TEST(Spec, WorkloadKeysReachableFromSpecGrammar) {
+  std::istringstream file(R"(
+h = 2
+routing = par-mm
+load = 0.4
+workload.mode = churn
+workload.jobs = 3
+workload.arrival_cycles = 250
+workload.job_cycles = 1200
+workload.job_routers = 2
+workload.placement = random
+workload.mix = uniform,shift
+)");
+  ExperimentSpec spec = ExperimentSpec::parse(file, "churn.spec");
+  EXPECT_EQ(spec.base.workload.mode, "churn");
+  EXPECT_EQ(spec.base.workload.jobs, 3);
+  EXPECT_EQ(spec.base.workload.arrival_cycles, 250);
+  EXPECT_EQ(spec.base.workload.job_cycles, 1200);
+  EXPECT_EQ(spec.base.workload.job_routers, 2);
+  EXPECT_EQ(spec.base.workload.placement, "random");
+  EXPECT_EQ(spec.base.workload.mix, "uniform,shift");
+  EXPECT_NO_THROW(spec.finalize());
+
+  // Unknown vocabulary entries fail loudly with the valid names listed.
+  std::istringstream bad("h = 2\nworkload.mode = sometimes\n");
+  try {
+    ExperimentSpec::parse(bad, "bad.spec");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sometimes"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("churn"), std::string::npos) << msg;
+  }
 }
 
 TEST(Spec, HashInValueAndExplicitTopologySurvive) {
