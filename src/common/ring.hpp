@@ -1,0 +1,103 @@
+// Flat FIFO ring over a power-of-two array.
+//
+// The three hottest queues in the cycle kernel — input-VC FIFOs, output
+// transmit queues and node source queues — are strict FIFOs of small
+// trivially-copyable records with bounded steady-state depth (buffer
+// capacity in packets). std::deque pays block-map indirection and
+// boundary branches on every push/pop, which shows up at the top of the
+// saturated-load profile; this ring replaces those with an index
+// increment and a mask. Growth doubles the array and re-packs the live
+// window, so a transient overshoot is amortized and steady state never
+// allocates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace dragonfly {
+
+template <typename T>
+class Ring {
+ public:
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    const_iterator() = default;
+    const_iterator(const Ring* ring, std::size_t pos)
+        : ring_(ring), pos_(pos) {}
+    reference operator*() const {
+      return ring_->buf_[(ring_->head_ + pos_) & ring_->mask_];
+    }
+    pointer operator->() const { return &**this; }
+    const_iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++pos_;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const const_iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    const Ring* ring_ = nullptr;
+    std::size_t pos_ = 0;
+  };
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  const T& front() const { return buf_[head_]; }
+  T& front() { return buf_[head_]; }
+  /// Element `i` positions behind the head (0 == front).
+  const T& operator[](std::size_t i) const {
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) [[unlikely]] grow();
+    buf_[(head_ + size_) & mask_] = v;
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> fresh(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      fresh[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(fresh);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace dragonfly

@@ -1,5 +1,7 @@
 #include "common/rng.hpp"
 
+#include <bit>
+
 namespace dragonfly {
 
 std::uint64_t splitmix64(std::uint64_t& state) {
@@ -23,7 +25,8 @@ Rng::Rng(std::uint64_t seed) {
 Rng Rng::child(std::uint64_t index) const {
   // Mix the child's index with the parent state through splitmix64 so
   // child(i) and child(j) differ in every state word for i != j.
-  std::uint64_t sm = s_[0] ^ rotl(s_[2], 17) ^ (index * 0xd1342543de82ef95ull);
+  std::uint64_t sm =
+      s_[0] ^ std::rotl(s_[2], 17) ^ (index * 0xd1342543de82ef95ull);
   Rng out(splitmix64(sm));
   return out;
 }

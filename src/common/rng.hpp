@@ -7,6 +7,8 @@
 #pragma once
 
 #include <array>
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -15,6 +17,25 @@ namespace dragonfly {
 /// splitmix64 step; used to expand a single 64-bit seed into a full
 /// xoshiro state and to derive independent child seeds.
 std::uint64_t splitmix64(std::uint64_t& state);
+
+/// One xoshiro256** step over explicit state words — the scalar core
+/// shared by Rng, RngView and (lane for lane) the batched kernel in
+/// common/simd.hpp. Any change here must be mirrored there.
+inline std::uint64_t xoshiro256ss_step(std::uint64_t& s0, std::uint64_t& s1,
+                                       std::uint64_t& s2, std::uint64_t& s3) {
+  const auto rotl = [](std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  };
+  const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+  const std::uint64_t t = s1 << 17;
+  s2 ^= s0;
+  s3 ^= s1;
+  s1 ^= s2;
+  s0 ^= s3;
+  s2 ^= t;
+  s3 = rotl(s3, 45);
+  return result;
+}
 
 /// Seed of the `index`-th replica of a multi-seed experiment: a pure
 /// function of (base_seed, index), so a (config, seed) job produces the
@@ -40,17 +61,7 @@ class Rng {
   /// Inline: the cycle kernel draws one Bernoulli per generating node per
   /// cycle and several bounded draws per adaptive routing decision — an
   /// out-of-line call chain here dominates the low-load step cost.
-  std::uint64_t next() {
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-  }
+  std::uint64_t next() { return xoshiro256ss_step(s_[0], s_[1], s_[2], s_[3]); }
   result_type operator()() { return next(); }
 
   static constexpr result_type min() { return 0; }
@@ -58,9 +69,11 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
-  /// multiply-shift rejection method (unbiased).
+  /// Uniform integer in [0, bound). Requires bound > 0: bound == 0 would
+  /// hit `-bound % bound` below, a division by zero. Degenerate shapes
+  /// (1-node networks, 1-participant jobs) must guard at the call site.
   std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0 && "Rng::below requires a positive bound");
     std::uint64_t x = next();
     __uint128_t m = static_cast<__uint128_t>(x) * bound;
     auto lo = static_cast<std::uint64_t>(m);
@@ -92,6 +105,17 @@ class Rng {
     return uniform() < p;
   }
 
+  /// Integer threshold T with `uniform() < p` iff `(next() >> 11) < T`,
+  /// exactly, for p in (0, 1). uniform() is double(k) * 2^-53 with
+  /// k = next() >> 11 < 2^53, so double(k) is exact; scaling the
+  /// comparison by 2^53 is exact too (p * 2^53 only shifts p's
+  /// exponent), leaving the real-number condition k < p * 2^53, i.e.
+  /// k < ceil(p * 2^53) over the integers. The batched SIMD Bernoulli
+  /// (common/simd.hpp) compares against this instead of a double.
+  static std::uint64_t bernoulli_threshold(double p) {
+    return static_cast<std::uint64_t>(std::ceil(p * 9007199254740992.0));
+  }
+
   /// Raw xoshiro state, for checkpoint/restore: a restored generator
   /// continues the exact stream of the saved one.
   std::array<std::uint64_t, 4> state() const {
@@ -102,11 +126,51 @@ class Rng {
   }
 
  private:
-  static std::uint64_t rotl(std::uint64_t x, int k) {
-    return (x << k) | (x >> (64 - k));
+  std::uint64_t s_[4];
+};
+
+/// Mutable view over one lane of a structure-of-arrays xoshiro256**
+/// bank (sim/hot_state.hpp's NodeHot; common/simd.hpp advances whole
+/// 64-lane windows of it at once). Draws through the view produce the
+/// exact stream a value-type Rng holding the same state would: both
+/// run xoshiro256ss_step over the same four words, and the derived
+/// draws (uniform, bernoulli) repeat Rng's arithmetic verbatim.
+class RngView {
+ public:
+  RngView() = default;
+  RngView(std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2,
+          std::uint64_t* s3)
+      : s_{s0, s1, s2, s3} {}
+
+  std::uint64_t next() {
+    return xoshiro256ss_step(*s_[0], *s_[1], *s_[2], *s_[3]);
+  }
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
   }
 
-  std::uint64_t s_[4];
+  /// Materialize a value-type Rng continuing this stream — for call
+  /// sites taking Rng& (traffic patterns, routing injection hooks).
+  /// Write the state back with set_state afterwards or the draws are
+  /// lost.
+  Rng materialize() const {
+    Rng r;
+    r.set_state(state());
+    return r;
+  }
+
+  std::array<std::uint64_t, 4> state() const {
+    return {*s_[0], *s_[1], *s_[2], *s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) *s_[i] = s[i];
+  }
+
+ private:
+  std::uint64_t* s_[4] = {nullptr, nullptr, nullptr, nullptr};
 };
 
 }  // namespace dragonfly

@@ -44,7 +44,11 @@ void RunningStats::reset() { *this = RunningStats{}; }
 double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
 
 double RunningStats::variance() const {
-  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+  // Welford's m2_ is mathematically non-negative but catastrophic
+  // cancellation (notably in merge()) can leave it a tiny negative
+  // number; sqrt of that is NaN and would leak into the cov/jain CSV
+  // columns. Clamp: the true variance is ~0 whenever this triggers.
+  return n_ == 0 ? 0.0 : std::max(0.0, m2_ / static_cast<double>(n_));
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }

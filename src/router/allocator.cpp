@@ -38,6 +38,28 @@ SeparableAllocator::SeparableAllocator(int num_inputs, int num_outputs,
 void SeparableAllocator::allocate(std::vector<AllocRequest>& requests) {
   if (requests.empty()) return;  // persistent pointers untouched
 
+  // A lone request short-circuits the whole iterate/propose/arbitrate
+  // machinery: with grant budgets >= 1 the full algorithm always grants
+  // it on the first iteration (it is its input's only proposal and its
+  // output's only proposer, and neither the transit-priority filter nor
+  // either arbitration flavour can reject a sole candidate), leaving
+  // by_input_/proposals_ exactly as a full pass would. Only the
+  // round-robin pointers move, in the same way the grant path moves
+  // them — so this is bit-identical, and it covers the majority of
+  // saturated-load calls (most active routers arbitrate one head).
+  if (requests.size() == 1 && cfg_.iterations >= 1 &&
+      cfg_.max_grants_per_input >= 1 && cfg_.max_grants_per_output >= 1) {
+    AllocRequest& req = requests[0];
+    req.granted = true;
+    input_rr_[static_cast<std::size_t>(req.in_port)] += 1;
+    if (!cfg_.age_arbitration) {
+      output_rr_[static_cast<std::size_t>(req.out_port)] =
+          (static_cast<std::uint32_t>(req.in_port) + 1) %
+          static_cast<std::uint32_t>(num_inputs_);
+    }
+    return;
+  }
+
   // Sparse request indexing: only the input/output ports that actually
   // appear in `requests` are cleared, reset and iterated below. The
   // touched lists are sorted so both stages visit ports in ascending

@@ -13,9 +13,9 @@
 // class behaviour is unchanged either way — only the storage moves.
 #pragma once
 
-#include <deque>
 #include <vector>
 
+#include "common/ring.hpp"
 #include "common/types.hpp"
 #include "router/packet.hpp"
 
@@ -51,7 +51,7 @@ class VcFifo {
 
   PacketRef head() const { return *head_; }
   /// Buffered packets in arrival order (invariant sweeps, tests).
-  const std::deque<PacketRef>& contents() const { return fifo_; }
+  const Ring<PacketRef>& contents() const { return fifo_; }
 
   void push(PacketRef pkt, int size_phits);
   /// Pop the head; returns the freed phit count.
@@ -82,7 +82,7 @@ class VcFifo {
   PacketRef own_head_ = kNoPacket;
   std::int32_t* occ_ = nullptr;
   PacketRef* head_ = nullptr;
-  std::deque<PacketRef> fifo_;
+  Ring<PacketRef> fifo_;
 };
 
 /// One input port: per-VC FIFOs plus the upstream endpoint needed to
@@ -173,7 +173,7 @@ class OutputPort {
     return ready > *link_free_ ? ready : *link_free_;
   }
   /// Queued transmissions in grant order (invariant sweeps, tests).
-  const std::deque<PendingTx>& pending() const { return queue_; }
+  const Ring<PendingTx>& pending() const { return queue_; }
 
   /// Checkpoint the queue ordering only; the hot counters (credits,
   /// queue occupancy, link deadline) live in the HotState arrays (a
@@ -203,7 +203,7 @@ class OutputPort {
   std::int32_t* credit_capacity_ = nullptr;
   std::int32_t* queue_occupancy_ = &own_queue_occupancy_;
   Cycle* link_free_ = &own_link_free_;
-  std::deque<PendingTx> queue_;
+  Ring<PendingTx> queue_;
 };
 
 }  // namespace dragonfly

@@ -138,6 +138,21 @@ class Router {
   /// This router's row in the shared HotState (invariant sweeps).
   const HotState& hot() const { return *hot_; }
   RouterId hot_row() const { return hot_row_; }
+  /// Total buffered phits across one input port's VCs: a contiguous sum
+  /// over the port's HotState occupancy span, where
+  /// InputPort::total_occupancy chases per-VcFifo slot pointers. Same
+  /// value either way; this is the injection hot path's form.
+  int input_occupancy(PortId port) const {
+    const HotLayout& l = hot_->layout();
+    const std::int32_t* occ =
+        hot_->in_occupancy(hot_row_) +
+        l.in_vc_off[static_cast<std::size_t>(port)];
+    const int n = l.in_vc_off[static_cast<std::size_t>(port) + 1] -
+                  l.in_vc_off[static_cast<std::size_t>(port)];
+    int sum = 0;
+    for (int i = 0; i < n; ++i) sum += occ[i];
+    return sum;
+  }
 
   // --- statistics ---------------------------------------------------------------
   void set_measuring(bool on) { measuring_ = on; }

@@ -157,4 +157,46 @@ class HotState {
   std::vector<std::uint64_t> in_mask_;
 };
 
+/// SoA bank of per-node generation state for the batched Bernoulli
+/// phase (Network::shard_inject phase A): xoshiro256** lanes — one per
+/// node, the four state words split across four arrays so
+/// common/simd.hpp can advance a 64-node window with vector loads —
+/// plus the integer Bernoulli threshold ceil(p * 2^53) (`uniform() < p`
+/// iff `(next() >> 11) < threshold`; see Rng::bernoulli_threshold), a
+/// generation-mode byte (0 = draw against the threshold; 1 = never,
+/// p <= 0 consumes no draw; 2 = always, p >= 1 hits without a draw —
+/// mirroring Rng::bernoulli's short-circuits) and a
+/// source-queue-full byte. Arrays are padded to a whole 64-lane window
+/// so whole-word vector loads never run off the end (pad lanes carry
+/// mode 1 and never enter a draw mask). Nodes bind per-lane pointers at
+/// build time and fall back to private storage standalone, like VcFifo.
+class NodeHot {
+ public:
+  NodeHot() = default;
+
+  void init(int nodes) {
+    const auto padded =
+        (static_cast<std::size_t>(nodes) + 63) / 64 * 64;
+    s0_.assign(padded, 0);
+    s1_.assign(padded, 0);
+    s2_.assign(padded, 0);
+    s3_.assign(padded, 0);
+    threshold_.assign(padded, 0);
+    mode_.assign(padded, 1);
+    blocked_.assign(padded, 0);
+  }
+
+  std::uint64_t* s0() { return s0_.data(); }
+  std::uint64_t* s1() { return s1_.data(); }
+  std::uint64_t* s2() { return s2_.data(); }
+  std::uint64_t* s3() { return s3_.data(); }
+  std::uint64_t* threshold() { return threshold_.data(); }
+  std::uint8_t* mode() { return mode_.data(); }
+  std::uint8_t* blocked() { return blocked_.data(); }
+
+ private:
+  std::vector<std::uint64_t> s0_, s1_, s2_, s3_, threshold_;
+  std::vector<std::uint8_t> mode_, blocked_;
+};
+
 }  // namespace dragonfly

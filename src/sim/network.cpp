@@ -8,6 +8,7 @@
 
 #include "common/checkpoint.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "workload/workload.hpp"
 
@@ -118,6 +119,13 @@ void Network::build_shards() {
     const auto nlen = static_cast<std::size_t>(sh.n_end - sh.n_begin);
     sh.gen_mask.assign((nlen + 63) / 64, 0);
     sh.queue_mask.assign((nlen + 63) / 64, 0);
+    sh.hit_mask.assign((nlen + 63) / 64, 0);
+    sh.tx_bitmap.assign(
+        (static_cast<std::size_t>(len) *
+             static_cast<std::size_t>(topo_->ports_per_router()) +
+         63) /
+            64,
+        0);
     sh.out_credits.resize(static_cast<std::size_t>(S));
     sh.out_packets.resize(static_cast<std::size_t>(S));
     // Size the event ring past the largest scheduling delay (packet and
@@ -209,13 +217,15 @@ void Network::build() {
     }
   }
 
+  node_hot_.init(N);
   nodes_.reserve(static_cast<std::size_t>(N));
   router_of_node_.reserve(static_cast<std::size_t>(N));
   for (NodeId n = 0; n < N; ++n) {
     const RouterId r = topo_->router_of_node(n);
     nodes_.emplace_back(n, routers_[static_cast<std::size_t>(r)].get(),
                         traffic_.get(), routing_.get(), &store_, &cfg_,
-                        root.child(static_cast<std::uint64_t>(n)));
+                        root.child(static_cast<std::uint64_t>(n)),
+                        &node_hot_);
     nodes_.back().set_arena(shard_of_router_[static_cast<std::size_t>(r)]);
     router_of_node_.push_back(r);
   }
@@ -367,21 +377,77 @@ void Network::shard_dispatch(Shard& sh) {
   sh.dispatched += static_cast<std::int64_t>(sh.due_scratch.size());
 }
 
+void Network::build_hit_masks(Shard& sh) {
+  // Batched Bernoulli generation gates over the NodeHot SoA bank. The
+  // gate a dense scan evaluates per node — generates_ (the gen_mask
+  // bit), queue slack (the blocked byte), then the p<=0 / p>=1
+  // short-circuits (the mode byte) and finally the draw itself — is
+  // evaluated here for 64 nodes at a time; the draw advances exactly
+  // the lanes the scan would have advanced, by exactly one step. Gates
+  // are fixed at phase start: no node's injection can change another
+  // node's gate, so hoisting them out of the per-node walk is exact.
+  const auto nlen = static_cast<std::size_t>(sh.n_end - sh.n_begin);
+  const bool lone = shards_.size() == 1;
+  NodeHot& nh = node_hot_;
+  for (std::size_t w = 0; w < sh.gen_mask.size(); ++w) {
+    const std::uint64_t gen = sh.gen_mask[w];
+    if (gen == 0) {
+      sh.hit_mask[w] = 0;
+      continue;
+    }
+    const std::size_t base = static_cast<std::size_t>(sh.n_begin) + (w << 6);
+    // The dispatched helpers load whole 64-lane windows. That is safe
+    // when every lane of the window is this shard's (single-shard runs
+    // may also touch the zero-padded tail); the last word of a
+    // multi-shard range overlaps the next shard's lanes, so it takes
+    // the per-lane scalar reference, which reads and writes only the
+    // masked lanes.
+    const bool whole = lone || (w + 1) * 64 <= nlen;
+    std::uint64_t blocked, never, always;
+    if (whole) {
+      blocked = simd::nonzero_bytes_mask(nh.blocked() + base);
+      never = simd::equal_bytes_mask(nh.mode() + base, 1);
+      always = simd::equal_bytes_mask(nh.mode() + base, 2);
+    } else {
+      blocked = simd::nonzero_bytes_mask_scalar(nh.blocked() + base, gen);
+      never = simd::equal_bytes_mask_scalar(nh.mode() + base, 1, gen);
+      always = simd::equal_bytes_mask_scalar(nh.mode() + base, 2, gen);
+    }
+    const std::uint64_t eligible = gen & ~blocked;
+    const std::uint64_t draw = eligible & ~never & ~always;
+    std::uint64_t hits = eligible & always;
+    if (draw != 0) {
+      hits |= whole ? simd::bernoulli_word(nh.s0() + base, nh.s1() + base,
+                                           nh.s2() + base, nh.s3() + base,
+                                           nh.threshold() + base, draw)
+                    : simd::bernoulli_word_scalar(
+                          nh.s0() + base, nh.s1() + base, nh.s2() + base,
+                          nh.s3() + base, nh.threshold() + base, draw);
+    }
+    sh.hit_mask[w] = hits;
+  }
+}
+
 void Network::shard_inject(Shard& sh, bool measuring) {
-  // Traffic generation and injection over the active nodes — generators
-  // (while generation is on) plus nodes with queued packets. Skipped
-  // nodes are exact no-ops (no RNG draw, no state change), so results
-  // match the dense scan bit for bit.
+  // Traffic generation and injection. Phase A evaluates every
+  // generator's Bernoulli gate with batched SoA draws (build_hit_masks);
+  // phase B walks only the hits and the nodes with queued packets, in
+  // ascending node order. A generator that missed its draw and has an
+  // empty queue is the dense scan's exact no-op — its draw already
+  // happened in the batch — so skipping its visit matches the scan bit
+  // for bit.
+  const bool gen_on = generation_enabled_;
+  if (gen_on) build_hit_masks(sh);
   for (std::size_t w = 0; w < sh.queue_mask.size(); ++w) {
-    std::uint64_t bits =
-        (generation_enabled_ ? sh.gen_mask[w] : 0) | sh.queue_mask[w];
+    const std::uint64_t hit = gen_on ? sh.hit_mask[w] : 0;
+    std::uint64_t bits = hit | sh.queue_mask[w];
     while (bits != 0) {
       const int b = std::countr_zero(bits);
       bits &= bits - 1;
       const auto n = static_cast<std::size_t>(sh.n_begin) + (w << 6) +
                      static_cast<std::size_t>(b);
       Node& node = nodes_[n];
-      if (node.step(now_, measuring, generation_enabled_)) {
+      if (node.step_pregen(now_, measuring, ((hit >> b) & 1) != 0)) {
         mark_alloc_active(router_of_node_[n]);
       }
       const std::uint64_t bit = 1ull << b;
@@ -426,11 +492,30 @@ void Network::shard_transmit(Shard& sh) {
   sh.tx_scratch.swap(
       sh.tx_ring[static_cast<std::size_t>(now_) & sh.tx_ring_mask]);
   if (sh.tx_scratch.empty()) return;
-  std::sort(sh.tx_scratch.begin(), sh.tx_scratch.end());
+  // Branchless ordering: scatter the flat ids into a bitmap over the
+  // shard's port space and walk its set bits — that is ascending
+  // (router, port) order at O(ids + words), with no compare branches.
+  // Ids are unique (one outstanding fire per non-empty output queue,
+  // checked by the invariant sweep), so the bitmap loses nothing.
   const int ports = hot_.layout().ports;
+  const std::int64_t base =
+      static_cast<std::int64_t>(sh.r_begin) * static_cast<std::int64_t>(ports);
   for (const std::int32_t rp : sh.tx_scratch) {
-    routers_[static_cast<std::size_t>(rp / ports)]->transmit_due(rp % ports,
-                                                                 now_);
+    const auto i = static_cast<std::size_t>(rp - base);
+    sh.tx_bitmap[i >> 6] |= 1ull << (i & 63);
+  }
+  for (std::size_t w = 0; w < sh.tx_bitmap.size(); ++w) {
+    std::uint64_t bits = sh.tx_bitmap[w];
+    if (bits == 0) continue;
+    sh.tx_bitmap[w] = 0;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto rp = base + static_cast<std::int64_t>((w << 6) +
+                                                       static_cast<std::size_t>(b));
+      routers_[static_cast<std::size_t>(rp / ports)]->transmit_due(
+          static_cast<PortId>(rp % ports), now_);
+    }
   }
 }
 
@@ -537,37 +622,65 @@ void Network::check_invariants() const {
     return (sh.alloc_active[bit >> 6] >> (bit & 63)) & 1;
   };
 
-  // Credit accounting: every output VC within [0, capacity]. One
-  // contiguous pass over the SoA arrays instead of an object walk.
+  // Credit accounting: every output VC within [0, capacity]. A
+  // vectorized contiguous pass over the SoA arrays (common/simd.hpp);
+  // only a detected violation pays the scalar re-scan for diagnosis.
   {
     const auto& credits = hot_.all_credits();
     const auto& caps = hot_.all_credit_capacity();
-    for (std::size_t i = 0; i < credits.size(); ++i) {
-      if (credits[i] < 0 || credits[i] > caps[i]) {
-        fail("flat output VC " + std::to_string(i) + " credits " +
-             std::to_string(credits[i]) + " outside [0, " +
-             std::to_string(caps[i]) + "]");
+    if (simd::credit_violations(credits.data(), caps.data(), credits.size()) !=
+        0) {
+      for (std::size_t i = 0; i < credits.size(); ++i) {
+        if (credits[i] < 0 || credits[i] > caps[i]) {
+          fail("flat output VC " + std::to_string(i) + " credits " +
+               std::to_string(credits[i]) + " outside [0, " +
+               std::to_string(caps[i]) + "]");
+        }
       }
     }
   }
 
-  // Input FIFOs: occupancy array vs mask vs contents. Only non-empty
-  // VCs (mask bits) pay the object walk; the contiguous occupancy scan
-  // catches a non-empty FIFO whose mask bit was lost.
+  // Input FIFOs: occupancy array vs mask vs contents. The occupancy/
+  // mask consistency check compares whole 64-VC words (a vectorized
+  // occ > 0 bitmask against the maintained mask word); only non-empty
+  // VCs (mask bits) pay the object walk.
   for (RouterId r = 0; r < R; ++r) {
     const Router& router = *routers_[static_cast<std::size_t>(r)];
     const std::int32_t* occ = hot_.in_occupancy(r);
     const PacketRef* heads = hot_.in_head(r);
     const std::uint64_t* mask = hot_.in_mask(r);
+    for (int w = 0; w < l.in_mask_words(); ++w) {
+      const int lanes = std::min(l.in_stride() - 64 * w, 64);
+      const std::uint64_t lane_sel =
+          lanes == 64 ? ~0ull : (1ull << lanes) - 1;
+      // A whole-window load past this router's stride reads the next
+      // router's lanes (masked off below) — in bounds except at the
+      // very end of the array, where the scalar loop takes over.
+      std::uint64_t derived;
+      if (lanes == 64 || r + 1 < R) {
+        derived = simd::positive_i32_mask(occ + 64 * w) & lane_sel;
+      } else {
+        derived = 0;
+        for (int i = 0; i < lanes; ++i) {
+          if (occ[64 * w + i] > 0) derived |= 1ull << i;
+        }
+      }
+      if (derived != (mask[w] & lane_sel)) {
+        for (int i = 0; i < lanes; ++i) {
+          const int flat = 64 * w + i;
+          const bool bit = (mask[w] >> i) & 1;
+          if ((occ[flat] > 0) != bit) {
+            fail("router " + std::to_string(r) + " flat input VC " +
+                 std::to_string(flat) + " occupancy " +
+                 std::to_string(occ[flat]) + " inconsistent with mask bit " +
+                 std::to_string(bit));
+          }
+        }
+      }
+    }
     int buffered = 0;
     for (int flat = 0; flat < l.in_stride(); ++flat) {
       const bool bit = (mask[flat >> 6] >> (flat & 63)) & 1;
-      if ((occ[flat] > 0) != bit) {
-        fail("router " + std::to_string(r) + " flat input VC " +
-             std::to_string(flat) + " occupancy " +
-             std::to_string(occ[flat]) + " inconsistent with mask bit " +
-             std::to_string(bit));
-      }
       if (!bit) continue;
       const PortId port = l.port_of_in_vc[static_cast<std::size_t>(flat)];
       const VcId vc = static_cast<VcId>(

@@ -268,6 +268,14 @@ class Network final : public EventSink {
     /// generation_enabled_ at use) and nodes with queued packets.
     std::vector<std::uint64_t> gen_mask;
     std::vector<std::uint64_t> queue_mask;
+    /// Per-cycle Bernoulli verdicts for gen_mask's nodes, filled by the
+    /// batched phase A (build_hit_masks) and consumed by phase B.
+    std::vector<std::uint64_t> hit_mask;
+    /// Scratch bitmap over the shard's flat (router, port) space: the
+    /// transmit phase scatters this cycle's due ports into it and walks
+    /// the set bits, which yields ascending (router, port) order — the
+    /// dense-scan order — without a sort. Always left zeroed.
+    std::vector<std::uint64_t> tx_bitmap;
     /// Cycle-boundary mailboxes, one per destination shard. Credits and
     /// packets are kept in separate streams: the canonical merge order
     /// is "every shard's credits, then every shard's packets", matching
@@ -289,6 +297,10 @@ class Network final : public EventSink {
   void shard_inject(Shard& sh, bool measuring);
   void shard_allocate(Shard& sh);
   void shard_transmit(Shard& sh);
+  /// Phase A of shard_inject: evaluate the Bernoulli generation gate
+  /// for every generator in the shard with batched draws over the
+  /// NodeHot SoA bank (common/simd.hpp), filling sh.hit_mask.
+  void build_hit_masks(Shard& sh);
   /// Serial top-of-cycle delivery drain (order-sensitive collector).
   void drain_deliveries();
   /// Serial cycle barrier: move outbox contents into the destination
@@ -334,6 +346,9 @@ class Network final : public EventSink {
   MetricsCollector collector_;
   /// Structure-of-arrays hot state; routers bind their rows at build.
   HotState hot_;
+  /// SoA bank of per-node generation state (RNG lanes, Bernoulli
+  /// thresholds, queue-full bytes); nodes bind their lanes at build.
+  NodeHot node_hot_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<Node> nodes_;
   /// Node id -> router id (hot injection-path lookup).

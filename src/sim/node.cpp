@@ -3,14 +3,14 @@
 #include <array>
 
 #include "common/checkpoint.hpp"
+#include "sim/hot_state.hpp"
 
 namespace dragonfly {
 
 Node::Node(NodeId id, Router* router, const TrafficPattern* pattern,
            RoutingAlgorithm* routing, PacketStore* store, const SimConfig* cfg,
-           Rng rng)
-    : rng_(rng),
-      gen_prob_(cfg->load / static_cast<double>(cfg->packet_size)),
+           Rng rng, NodeHot* hot)
+    : gen_prob_(cfg->load / static_cast<double>(cfg->packet_size)),
       queue_cap_(cfg->node_queue_capacity),
       generates_(pattern->generates(id)),
       id_(id),
@@ -20,12 +20,35 @@ Node::Node(NodeId id, Router* router, const TrafficPattern* pattern,
       pattern_(pattern),
       routing_(routing),
       store_(store),
-      cfg_(cfg) {}
+      cfg_(cfg) {
+  if (hot != nullptr) {
+    const auto lane = static_cast<std::size_t>(id);
+    rng_ = RngView(hot->s0() + lane, hot->s1() + lane, hot->s2() + lane,
+                   hot->s3() + lane);
+    threshold_slot_ = hot->threshold() + lane;
+    mode_slot_ = hot->mode() + lane;
+    blocked_slot_ = hot->blocked() + lane;
+  } else {
+    rng_ = RngView(&own_rng_[0], &own_rng_[1], &own_rng_[2], &own_rng_[3]);
+    threshold_slot_ = &own_threshold_;
+    mode_slot_ = &own_mode_;
+    blocked_slot_ = &own_blocked_;
+  }
+  rng_.set_state(rng.state());
+  sync_gen_params();
+  sync_blocked();
+}
 
 void Node::generate_packet(Cycle now, bool measuring) {
-  // Bernoulli hit (the inline step() gate already drew it).
-  const NodeId dst = pattern_->destination(id_, rng_);
-  if (dst == kInvalidNode) return;
+  // Bernoulli hit (the step() gate or the batched phase A already drew
+  // it). Destination and routing hooks take a value-type Rng&:
+  // materialize the lane, write it back after — an exact round-trip.
+  Rng rng = rng_.materialize();
+  const NodeId dst = pattern_->destination(id_, rng);
+  if (dst == kInvalidNode) {
+    rng_.set_state(rng.state());
+    return;
+  }
   const PacketRef ref = store_->create(arena_);
   Packet& pkt = (*store_)[ref];
   pkt.id = (static_cast<PacketId>(id_) << 32) | generated_total_;
@@ -35,9 +58,11 @@ void Node::generate_packet(Cycle now, bool measuring) {
   pkt.job = job_;
   pkt.t_gen = now;
   pkt.current_router = router_->id();
-  routing_->on_inject(*router_, pkt, rng_);
+  routing_->on_inject(*router_, pkt, rng);
+  rng_.set_state(rng.state());
   queue_.push_back(ref);
   ++queue_len_;
+  sync_blocked();
   ++generated_total_;
   if (measuring) ++generated_measured_;
 }
@@ -58,9 +83,12 @@ bool Node::post_send(NodeId dst, Cycle now, bool measuring,
   pkt.job = job;
   pkt.t_gen = now;
   pkt.current_router = router_->id();
-  routing_->on_inject(*router_, pkt, rng_);
+  Rng rng = rng_.materialize();
+  routing_->on_inject(*router_, pkt, rng);
+  rng_.set_state(rng.state());
   queue_.push_back(ref);
   ++queue_len_;
+  sync_blocked();
   ++generated_total_;
   if (measuring) ++generated_measured_;
   return true;
@@ -74,7 +102,7 @@ bool Node::inject_head(Cycle now) {
   // keep the standing in-router backlog bounded to one buffer's worth so
   // saturation shows up as source backpressure, not as an ever-deeper
   // injection queue (FOGSim behaves the same way; see DESIGN.md).
-  if (router_->input(inj_port_).total_occupancy() + size >
+  if (router_->input_occupancy(inj_port_) + size >
       cfg_->local_input_buffer) {
     return false;
   }
@@ -86,6 +114,7 @@ bool Node::inject_head(Cycle now) {
       router_->inject(inj_port_, vc, head, now);
       queue_.pop_front();
       --queue_len_;
+      sync_blocked();
       next_vc_ = static_cast<VcId>((vc + 1) % cfg_->injection_vcs);
       next_inject_allowed_ = now + size;
       return true;
@@ -116,6 +145,7 @@ void Node::load(CheckpointReader& ck) {
   queue_.clear();
   for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(ck.pkt());
   queue_len_ = static_cast<std::int32_t>(queue_.size());
+  sync_blocked();
   next_vc_ = ck.i32();
   next_inject_allowed_ = ck.i64();
   generated_total_ = ck.i64();

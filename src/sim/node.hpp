@@ -2,8 +2,7 @@
 // finite source queue, injected into the router at link rate.
 #pragma once
 
-#include <deque>
-
+#include "common/ring.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "router/packet.hpp"
@@ -15,12 +14,18 @@ namespace dragonfly {
 
 class CheckpointWriter;
 class CheckpointReader;
+class NodeHot;
 
 class Node {
  public:
+  /// `hot` (with this node's id as the lane index) binds the RNG lane,
+  /// Bernoulli threshold/mode and queue-full byte into the Network's
+  /// NodeHot SoA bank so the batched generation phase can read them
+  /// contiguously; null falls back to private storage (standalone use).
+  /// Like VcFifo, only the storage moves — behaviour is identical.
   Node(NodeId id, Router* router, const TrafficPattern* pattern,
        RoutingAlgorithm* routing, PacketStore* store, const SimConfig* cfg,
-       Rng rng);
+       Rng rng, NodeHot* hot = nullptr);
 
   NodeId id() const { return id_; }
   bool generates() const { return generates_; }
@@ -47,6 +52,19 @@ class Node {
     if (queue_len_ == 0 || now < next_inject_allowed_) return false;
     return inject_head(now);
   }
+
+  /// Active-kernel variant: the whole Bernoulli gate (generates_, queue
+  /// slack, the draw itself) was evaluated for a 64-node window by the
+  /// batched phase A of Network::shard_inject; `gen_hit` is this node's
+  /// verdict. Bit-identical to step(): the batch advances exactly the
+  /// lanes step() would have drawn, with the same per-lane sequence —
+  /// only the cross-node draw order changes, and lanes are independent
+  /// streams.
+  bool step_pregen(Cycle now, bool measuring, bool gen_hit) {
+    if (gen_hit) generate_packet(now, measuring);
+    if (queue_len_ == 0 || now < next_inject_allowed_) return false;
+    return inject_head(now);
+  }
   std::int64_t generated_total() const { return generated_total_; }
   std::int64_t generated_measured() const { return generated_measured_; }
   std::size_t queue_length() const {
@@ -54,7 +72,7 @@ class Node {
   }
   /// Queued (generated, not yet injected) packets — the invariant sweep
   /// counts their arena references.
-  const std::deque<PacketRef>& source_queue() const { return queue_; }
+  const Ring<PacketRef>& source_queue() const { return queue_; }
   void reset_measured_counters() { generated_measured_ = 0; }
 
   // --- scripted-phase mutations (Network::set_* at cycle boundaries) -------
@@ -62,6 +80,7 @@ class Node {
   /// load.
   void set_offered_load(double load, int packet_size) {
     gen_prob_ = load / static_cast<double>(packet_size);
+    sync_gen_params();
   }
   /// Switch to a new pattern instance (re-evaluates generates()).
   void set_pattern(const TrafficPattern* pattern) {
@@ -105,11 +124,31 @@ class Node {
   /// Move the queue head into an injection VC buffer if the router can
   /// take it; returns true on injection.
   bool inject_head(Cycle now);
+  /// Re-derive the SoA threshold/mode slots from gen_prob_ (ctor,
+  /// set_offered_load).
+  void sync_gen_params() {
+    if (gen_prob_ <= 0.0) {
+      *mode_slot_ = 1;
+      *threshold_slot_ = 0;
+    } else if (gen_prob_ >= 1.0) {
+      *mode_slot_ = 2;
+      *threshold_slot_ = 0;
+    } else {
+      *mode_slot_ = 0;
+      *threshold_slot_ = Rng::bernoulli_threshold(gen_prob_);
+    }
+  }
+  /// Mirror the queue-full gate into the SoA blocked byte (every
+  /// queue_len_ change).
+  void sync_blocked() {
+    *blocked_slot_ = queue_len_ >= queue_cap_ ? 1 : 0;
+  }
 
   // Hot fields first: the step() gate runs for every active node every
   // cycle and should touch one cache line in the common case (no
-  // Bernoulli hit, empty source queue).
-  Rng rng_;
+  // Bernoulli hit, empty source queue). The RNG state itself lives in
+  // the NodeHot lane rng_ points into (own_rng_ standalone).
+  RngView rng_;
   /// Per-cycle Bernoulli generation probability load/packet_size, hoisted
   /// out of the hot step() loop.
   double gen_prob_;
@@ -120,6 +159,10 @@ class Node {
   /// cfg_->node_queue_capacity, cached to skip the config pointer chase.
   std::int32_t queue_cap_;
   bool generates_;
+  // NodeHot slots (private fallback storage when unbound).
+  std::uint64_t* threshold_slot_;
+  std::uint8_t* mode_slot_;
+  std::uint8_t* blocked_slot_;
 
   // Cold fields: touched on generation hits, injections and bookkeeping.
   NodeId id_;
@@ -136,9 +179,14 @@ class Node {
   RoutingAlgorithm* routing_;
   PacketStore* store_;
   const SimConfig* cfg_;
-  std::deque<PacketRef> queue_;
+  Ring<PacketRef> queue_;
   std::int64_t generated_total_ = 0;
   std::int64_t generated_measured_ = 0;
+  // Fallback storage for the NodeHot slots (standalone construction).
+  std::uint64_t own_rng_[4] = {0, 0, 0, 0};
+  std::uint64_t own_threshold_ = 0;
+  std::uint8_t own_mode_ = 1;
+  std::uint8_t own_blocked_ = 0;
 };
 
 }  // namespace dragonfly

@@ -404,6 +404,10 @@ SimResult Session::collect() const {
   r.converged = converged_;
 
   // --- workload metrics battery -----------------------------------------
+  // Empty-window semantics (pinned by test_session): a window with no
+  // samples reports p999 = 0, sat_margin = 0 (offered 0 means nothing
+  // was asked for, so nothing is "missing"), jain_jobs = 0 without
+  // jobs. None of these may emit NaN/inf into the CSV.
   r.p999_latency = col.p999_estimate();
   if (r.offered_load > 0.0) {
     r.saturation_margin = std::max(

@@ -24,18 +24,6 @@ Topology::Topology(int p, int a, int groups, int global_slots)
                 static_cast<std::size_t>(h_));
 }
 
-PortKind Topology::input_port_kind(PortId port) const {
-  if (port < p_) return PortKind::kInjection;
-  if (port < first_global_port()) return PortKind::kLocal;
-  return PortKind::kGlobal;
-}
-
-PortKind Topology::output_port_kind(PortId port) const {
-  if (port < p_) return PortKind::kEjection;
-  if (port < first_global_port()) return PortKind::kLocal;
-  return PortKind::kGlobal;
-}
-
 PortId Topology::local_port_to(RouterId from, RouterId to) const {
   if (group_of_router(from) != group_of_router(to) || from == to) {
     throw std::invalid_argument("local_port_to: not a local pair");

@@ -95,9 +95,19 @@ class Topology {
   int first_local_port() const { return p_; }
   int first_global_port() const { return p_ + a_ - 1; }
   int local_ports_per_router() const { return a_ - 1; }
-  PortKind input_port_kind(PortId port) const;
+  // Inline: the routing hot path (VC selection, misroute candidate
+  // scans) queries port kinds millions of times per second.
+  PortKind input_port_kind(PortId port) const {
+    if (port < p_) return PortKind::kInjection;
+    if (port < first_global_port()) return PortKind::kLocal;
+    return PortKind::kGlobal;
+  }
   /// Output-side kind: same layout, but ports [0,p) are ejection.
-  PortKind output_port_kind(PortId port) const;
+  PortKind output_port_kind(PortId port) const {
+    if (port < p_) return PortKind::kEjection;
+    if (port < first_global_port()) return PortKind::kLocal;
+    return PortKind::kGlobal;
+  }
 
   PortId injection_port(int node_index) const { return node_index; }
   PortId ejection_port(int node_index) const { return node_index; }

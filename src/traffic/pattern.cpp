@@ -13,7 +13,9 @@ class Uniform final : public TrafficPattern {
   std::string name() const override { return "UN"; }
 
   NodeId destination(NodeId src, Rng& rng) const override {
-    // Uniform over all nodes except the source itself.
+    // Uniform over all nodes except the source itself. A one-node
+    // network has no such destination (below(0) would be UB).
+    if (topo_.num_nodes() < 2) return kInvalidNode;
     auto dst = static_cast<NodeId>(
         rng.below(static_cast<std::uint64_t>(topo_.num_nodes() - 1)));
     if (dst >= src) ++dst;
@@ -109,6 +111,8 @@ class Placement final : public TrafficPattern {
     const int per_group = topo_.nodes_per_group();
     const long long job_nodes =
         static_cast<long long>(per_group) * num_groups_;
+    // A one-node placement has no peer to send to (below(0) is UB).
+    if (job_nodes < 2) return kInvalidNode;
     auto pick = static_cast<long long>(
         rng.below(static_cast<std::uint64_t>(job_nodes - 1)));
     const long long src_flat =
@@ -178,6 +182,9 @@ class Hotspot final : public TrafficPattern {
 
   NodeId destination(NodeId src, Rng& rng) const override {
     if (src != hot_ && rng.bernoulli(fraction_)) return hot_;
+    // One node: src is necessarily the hotspot itself and there is no
+    // background destination (below(0) would be UB).
+    if (topo_.num_nodes() < 2) return kInvalidNode;
     auto dst = static_cast<NodeId>(
         rng.below(static_cast<std::uint64_t>(topo_.num_nodes() - 1)));
     if (dst >= src) ++dst;

@@ -138,9 +138,33 @@ for name in $workload_names; do
   done
 done
 
+# Degenerate-shape sweep: the smallest registry-constructible shapes
+# (two routers / two nodes) must also be kernel- and shard-invariant.
+# Self-consistency only — no committed hash, since the point is the
+# below(0)/zero-sample-window regression class, not golden drift. The
+# two-router shapes cap sim.shards at 2 (at most one shard per router).
+for shape in "dfly:1,1,1,2" "flatbfly:2,2,1"; do
+  "$cli" --routing min --traffic uniform --set "topology=$shape" \
+    --load 0.5 --warmup 500 --measure 1000 --seeds 1 \
+    --out csv --quiet > "$tmp/base.csv"
+  for variant in "scan:--set sim.kernel=scan" "shards2:--set sim.shards=2"; do
+    label="${variant%%:*}"
+    args="${variant#*:}"
+    # shellcheck disable=SC2086
+    "$cli" --routing min --traffic uniform --set "topology=$shape" \
+      --load 0.5 --warmup 500 --measure 1000 --seeds 1 \
+      --out csv --quiet $args > "$tmp/variant.csv"
+    if ! cmp -s "$tmp/base.csv" "$tmp/variant.csv"; then
+      echo "DEGENERATE SHAPE MISMATCH $shape ($label)" >&2
+      diff "$tmp/base.csv" "$tmp/variant.csv" >&2 || true
+      status=1
+    fi
+  done
+done
+
 if [ "$status" -eq 0 ]; then
   echo "shard conformance OK: $pairs routing x traffic pairs +" \
-       "$wl_count workload scenarios, all variants sha256-identical" \
-       "to the committed hashes"
+       "$wl_count workload scenarios + 2 degenerate shapes," \
+       "all variants sha256-identical to the committed hashes"
 fi
 exit "$status"

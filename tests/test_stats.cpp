@@ -171,6 +171,42 @@ TEST(P2Quantile, ExactForSmallSamples) {
   EXPECT_DOUBLE_EQ(p50.value(), 3.0);  // exact median of {1,3,7}
 }
 
+TEST(P2Quantile, SmallSampleP999ClampsToEmpiricalQuantile) {
+  // The p99.9 estimator on a nearly-empty measurement window (< 5
+  // samples) must report the exact empirical quantile of the sorted
+  // prefix — never an extrapolation past the observed maximum, and
+  // never NaN.
+  P2Quantile p999(0.999);
+  EXPECT_DOUBLE_EQ(p999.value(), 0.0);  // zero-sample window
+  p999.add(50.0);
+  EXPECT_DOUBLE_EQ(p999.value(), 50.0);  // one sample: that sample
+  p999.add(10.0);
+  // Two samples {10, 50}: pos = 0.999, interpolate between them.
+  EXPECT_DOUBLE_EQ(p999.value(), 10.0 + 0.999 * 40.0);
+  p999.add(30.0);
+  // Three samples {10, 30, 50}: pos = 1.998, between 30 and 50.
+  EXPECT_DOUBLE_EQ(p999.value(), 30.0 + 0.998 * 20.0);
+  p999.add(20.0);
+  // Four samples {10, 20, 30, 50}: pos = 2.997, between 30 and 50.
+  EXPECT_DOUBLE_EQ(p999.value(), 30.0 + 0.997 * 20.0);
+  // Never above the observed maximum while in the exact regime.
+  EXPECT_LE(p999.value(), 50.0);
+}
+
+TEST(P2Quantile, SmallSampleValueIsOrderInsensitive) {
+  // The exact small-sample quantile sorts a copy: insertion order must
+  // not matter, and value() must not perturb later adds.
+  P2Quantile a(0.9), b(0.9);
+  const double xs[] = {4.0, 1.0, 3.0, 2.0};
+  for (int i = 0; i < 4; ++i) {
+    a.add(xs[i]);
+    (void)a.value();
+    b.add(xs[3 - i]);
+  }
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+  EXPECT_DOUBLE_EQ(a.value(), 1.0 + 0.9 * 3.0);  // pos = 2.7 in {1,2,3,4}
+}
+
 TEST(P2Quantile, TracksUniformDistributionQuantiles) {
   // Deterministic LCG stream over [0, 1000): p50 ~ 500, p99 ~ 990.
   P2Quantile p50(0.5);
@@ -218,6 +254,23 @@ TEST(P2Quantile, CheckpointRoundTripContinuesIdentically) {
     b.add(v);
   }
   EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+TEST(RunningStats, VarianceNeverNegativeUnderCancellation) {
+  // Welford's m2 can drift to a tiny negative under catastrophic
+  // cancellation (huge mean, tiny spread, many merges); stddev/cov must
+  // come out 0, not NaN, since they feed CSV columns directly.
+  RunningStats all;
+  for (int part = 0; part < 64; ++part) {
+    RunningStats chunk;
+    for (int i = 0; i < 16; ++i) {
+      chunk.add(1e16 + static_cast<double>((part * 16 + i) % 3) * 1e-3);
+    }
+    all.merge(chunk);
+  }
+  EXPECT_GE(all.variance(), 0.0);
+  EXPECT_TRUE(std::isfinite(all.stddev()));
+  EXPECT_TRUE(std::isfinite(all.cov()));
 }
 
 TEST(RunningStats, CheckpointRoundTrip) {

@@ -52,6 +52,18 @@ TEST(Conformance, CanonicalDragonflies) {
   }
 }
 
+TEST(Conformance, MinimalShapes) {
+  // The smallest shape each family admits: two one-router groups of one
+  // node each (dfly) and a 2x2 mesh row (flatbfly). Degenerate-shape
+  // bugs (below(0)-style UB, zero-sample windows) surface here first.
+  for (const char* spec : {"dfly:1,1,1,2", "flatbfly:2,2,1"}) {
+    expect_conformant(spec);
+    const auto bad =
+        check_flit_conservation(config_for(spec, "min", "uniform", 3));
+    EXPECT_FALSE(bad.has_value()) << spec << ": " << *bad;
+  }
+}
+
 TEST(Conformance, UnbalancedDragonflies) {
   // a != 2h, p != h: the shapes the balanced preset cannot reach.
   for (const char* spec :
